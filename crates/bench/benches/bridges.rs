@@ -1,0 +1,134 @@
+//! E3 — per-bridge overhead: the same logical lookup through the three
+//! connection paths of Figure 2 (JDBC → Oracle, JNI → Ontos, C++
+//! method invocation → ObjectStore), plus the gateway-compensation path
+//! (an aggregate against mSQL that the wrapper must stage locally).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use webfindit_connect::manager::standard_manager;
+use webfindit_connect::{CompensatingConnection, Connection, DataSourceRegistry};
+use webfindit_oostore::method::MethodTable;
+use webfindit_oostore::model::{ClassDef, OType, OValue};
+use webfindit_oostore::ObjectStore;
+use webfindit_relstore::{Database, Dialect};
+
+fn registry() -> Arc<DataSourceRegistry> {
+    let reg = DataSourceRegistry::new();
+
+    // Oracle via JDBC.
+    let mut oracle = Database::new("RBH", Dialect::Oracle);
+    oracle
+        .execute("CREATE TABLE items (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
+    for i in 0..200 {
+        oracle
+            .execute(&format!("INSERT INTO items VALUES ({i}, 'value-{i}')"))
+            .unwrap();
+    }
+    reg.register_relational("oracle", "RBH", oracle);
+
+    // mSQL via JDBC with compensation.
+    let mut msql = Database::new("CentreLink", Dialect::MSql);
+    msql.execute("CREATE TABLE payments (client_id INT, amount DOUBLE)")
+        .unwrap();
+    for i in 0..200 {
+        msql.execute(&format!(
+            "INSERT INTO payments VALUES ({}, {})",
+            i % 20,
+            (i * 13) % 700
+        ))
+        .unwrap();
+    }
+    reg.register_relational("msql", "CentreLink", msql);
+
+    // Ontos via JNI; ObjectStore via C++ invocation.
+    for vendor in ["ontos", "objectstore"] {
+        let mut store = ObjectStore::new("PCH");
+        store
+            .define_class(
+                ClassDef::root("Treatment")
+                    .attr("name", OType::Text)
+                    .attr("cost", OType::Double),
+            )
+            .unwrap();
+        for i in 0..200 {
+            store
+                .create(
+                    "Treatment",
+                    [
+                        ("name".to_string(), OValue::Text(format!("treatment-{i}"))),
+                        ("cost".to_string(), OValue::Double((i * 37 % 5000) as f64)),
+                    ],
+                )
+                .unwrap();
+        }
+        let mut methods = MethodTable::new();
+        methods.register("Treatment", "count_all", |s, _r, _a| {
+            Ok(OValue::Int(
+                s.instances_of("Treatment", true).unwrap().len() as i64,
+            ))
+        });
+        reg.register_object(vendor, "PCH", store, methods);
+    }
+    reg
+}
+
+fn bench_bridges(c: &mut Criterion) {
+    let reg = registry();
+    let manager = Arc::new(standard_manager(reg));
+    let mut group = c.benchmark_group("bridge_lookup");
+
+    group.bench_function("jdbc_oracle_point_query", |b| {
+        let mut conn = manager.get_connection("jdbc:oracle://h/RBH").unwrap();
+        b.iter(|| {
+            conn.execute("SELECT v FROM items WHERE id = 123").unwrap();
+        });
+    });
+
+    group.bench_function("jni_ontos_oql_filter", |b| {
+        let mut conn = manager.get_connection("jni:ontos://h/PCH").unwrap();
+        b.iter(|| {
+            conn.execute("select name from Treatment where cost > 4000")
+                .unwrap();
+        });
+    });
+
+    group.bench_function("native_objectstore_oql_filter", |b| {
+        let mut conn = manager
+            .get_connection("native:objectstore://h/PCH")
+            .unwrap();
+        b.iter(|| {
+            conn.execute("select name from Treatment where cost > 4000")
+                .unwrap();
+        });
+    });
+
+    group.bench_function("jni_ontos_method_invocation", |b| {
+        let mut conn = manager.get_connection("jni:ontos://h/PCH").unwrap();
+        b.iter(|| {
+            conn.invoke("Treatment.count_all", &[]).unwrap();
+        });
+    });
+
+    group.bench_function("msql_native_filter", |b| {
+        let mut conn = manager.get_connection("jdbc:msql://h/CentreLink").unwrap();
+        b.iter(|| {
+            conn.execute("SELECT amount FROM payments WHERE client_id = 7")
+                .unwrap();
+        });
+    });
+
+    group.bench_function("msql_compensated_aggregate", |b| {
+        let inner = manager.get_connection("jdbc:msql://h/CentreLink").unwrap();
+        let mut conn = CompensatingConnection::new(inner);
+        b.iter(|| {
+            conn.execute("SELECT client_id, SUM(amount) FROM payments GROUP BY client_id")
+                .unwrap();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_bridges);
+criterion_main!(benches);

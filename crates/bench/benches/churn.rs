@@ -1,0 +1,63 @@
+//! E4 (latency view) — wall-clock cost of coalition churn operations
+//! (form/join/leave cycles) on a 16-site federation, including the
+//! metadata propagation over IIOP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use webfindit::synth::{build, SynthConfig};
+
+fn bench_churn(c: &mut Criterion) {
+    let synth = build(&SynthConfig {
+        databases: 16,
+        coalition_size: 4,
+        orbs: 3,
+        extra_links: 0,
+        ring_links: true,
+        seed: 77,
+    })
+    .expect("synthetic federation");
+    let fed = synth.fed.clone();
+    let counter = AtomicU64::new(0);
+
+    let mut group = c.benchmark_group("churn_16_sites");
+    group.sample_size(20);
+
+    group.bench_function("form_join_leave_dissolve_cycle", |b| {
+        b.iter(|| {
+            // A unique coalition name per iteration keeps the operations
+            // honest (no already-exists shortcuts).
+            let n = counter.fetch_add(1, Ordering::Relaxed);
+            let name = format!("Churn{n}");
+            let members: Vec<&str> =
+                synth.sites.iter().take(3).map(String::as_str).collect();
+            fed.form_coalition(&name, None, "churn topic", &members)
+                .unwrap();
+            fed.join_coalition(&synth.sites[3], &name, "churn topic")
+                .unwrap();
+            fed.leave_coalition(&synth.sites[0], &name).unwrap();
+            for site in fed.site_names() {
+                let handle = fed.site(&site).unwrap();
+                let _ = handle.codb.write().dissolve_coalition(&name);
+            }
+        });
+    });
+
+    group.bench_function("advertise_one_source", |b| {
+        // The steady-state operation: one site re-advertising through a
+        // coalition of 4 (form_coalition is idempotent about existing
+        // members, so this measures the propagation round-trips).
+        let members: Vec<&str> = synth.sites.iter().take(4).map(String::as_str).collect();
+        fed.form_coalition("Steady", None, "steady topic", &members)
+            .unwrap();
+        b.iter(|| {
+            fed.form_coalition("Steady", None, "steady topic", &members)
+                .unwrap();
+        });
+    });
+
+    group.finish();
+    synth.fed.shutdown();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E1 (latency view) — wall-clock cost of discovery over real loopback
+//! IIOP: WebFINDIT incremental search (near and far targets) vs flat
+//! broadcast vs the central index, on a 32-site federation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use webfindit::baselines::{CentralIndex, FlatBroadcast};
+use webfindit::discovery::DiscoveryEngine;
+use webfindit::synth::{build, SynthConfig, SynthFederation};
+
+fn bench_discovery(c: &mut Criterion) {
+    let synth = build(&SynthConfig {
+        databases: 32,
+        coalition_size: 4,
+        orbs: 4,
+        extra_links: 2,
+        ring_links: true,
+        seed: 1999,
+    })
+    .expect("synthetic federation");
+    let engine = DiscoveryEngine::new(synth.fed.clone());
+    let flat = FlatBroadcast::new(synth.fed.clone());
+    let central = CentralIndex::build(synth.fed.clone()).expect("central index");
+    let start = synth.member_of(0).to_owned();
+
+    let mut group = c.benchmark_group("discovery_32_sites");
+    group.sample_size(30);
+
+    group.bench_function("webfindit_local_topic", |b| {
+        b.iter(|| {
+            let out = engine.find(&start, &SynthFederation::topic(0)).unwrap();
+            assert!(out.found());
+        });
+    });
+
+    group.bench_function("webfindit_adjacent_topic", |b| {
+        b.iter(|| {
+            let out = engine.find(&start, &SynthFederation::topic(1)).unwrap();
+            assert!(out.found());
+        });
+    });
+
+    group.bench_function("webfindit_distant_topic", |b| {
+        b.iter(|| {
+            let out = engine.find(&start, &SynthFederation::topic(4)).unwrap();
+            assert!(out.found());
+        });
+    });
+
+    group.bench_function("flat_broadcast", |b| {
+        b.iter(|| {
+            let out = flat.find(&SynthFederation::topic(4)).unwrap();
+            assert!(out.found());
+        });
+    });
+
+    group.bench_function("central_index", |b| {
+        b.iter(|| {
+            let out = central.find(&SynthFederation::topic(4)).unwrap();
+            assert!(out.found());
+        });
+    });
+
+    group.finish();
+    synth.fed.shutdown();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E5 (latency view) — WebTassili parsing and translation costs: the
+//! full text → AST → SQL pipeline for the paper's Funding() example, a
+//! large compound predicate, and SQL parsing/execution on the engine
+//! side of the wrapper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use webfindit_relstore::{Database, Dialect};
+use webfindit_tassili::{parse, translate_invoke_to_sql};
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("webtassili");
+
+    let funding = "Invoke ResearchProjects.Funding(ResearchProjects.Title, \
+                   (ResearchProjects.Title = 'AIDS and drugs')) On Instance Royal Brisbane Hospital;";
+    group.bench_function("parse_funding_example", |b| {
+        b.iter(|| parse(funding).unwrap());
+    });
+
+    let parsed = parse(funding).unwrap();
+    group.bench_function("translate_funding_to_sql", |b| {
+        b.iter(|| translate_invoke_to_sql(&parsed).unwrap());
+    });
+
+    let compound = "Invoke T.F((T.a > 1 And T.b < 2) Or (T.c = 'x' And Not (T.d Like 'y%')), \
+                    (T.e >= 10 And T.f <= 20)) On Instance D;";
+    group.bench_function("parse_and_translate_compound", |b| {
+        b.iter(|| {
+            let stmt = parse(compound).unwrap();
+            translate_invoke_to_sql(&stmt).unwrap()
+        });
+    });
+
+    group.finish();
+
+    // The wrapper's other half: executing the translated SQL.
+    let mut db = Database::new("RBH", Dialect::Oracle);
+    db.execute(
+        "CREATE TABLE researchprojects (project_id INT PRIMARY KEY, title TEXT, funding DOUBLE)",
+    )
+    .unwrap();
+    for i in 0..500 {
+        db.execute(&format!(
+            "INSERT INTO researchprojects VALUES ({i}, 'project {i}', {})",
+            (i * 997) % 400_000
+        ))
+        .unwrap();
+    }
+    db.execute("INSERT INTO researchprojects VALUES (500, 'AIDS and drugs', 250000)")
+        .unwrap();
+    db.execute("CREATE INDEX rp_title ON researchprojects (title)")
+        .unwrap();
+
+    let mut group = c.benchmark_group("wrapper_sql");
+    group.bench_function("execute_translated_funding_query", |b| {
+        b.iter(|| {
+            db.execute(
+                "SELECT a.funding FROM researchprojects a WHERE a.title = 'AIDS and drugs'",
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("execute_scan_aggregate", |b| {
+        b.iter(|| {
+            db.execute("SELECT COUNT(*), AVG(funding) FROM researchprojects WHERE funding > 100000")
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E2 — CDR/GIOP marshalling throughput (the IIOP choice of §3).
+//!
+//! Measures encode and decode of GIOP Request/Reply frames across
+//! payload shapes (primitives, flat structs, string sequences from
+//! 64 B to 64 KiB) and both byte orders — the cost every WebFINDIT
+//! invocation pays at the communication layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use webfindit_wire::cdr::ByteOrder;
+use webfindit_wire::giop::{self, GiopMessage};
+use webfindit_wire::Value;
+
+fn string_payload(total_bytes: usize) -> Value {
+    let item = "x".repeat(32);
+    let n = total_bytes / 32;
+    Value::Sequence((0..n).map(|_| Value::string(item.clone())).collect())
+}
+
+fn struct_payload() -> Value {
+    Value::record([
+        ("name", Value::string("Royal Brisbane Hospital")),
+        ("information_type", Value::string("Research and Medical")),
+        ("funding", Value::Double(250_000.0)),
+        ("active", Value::Bool(true)),
+        (
+            "interface",
+            Value::Sequence(vec![
+                Value::string("ResearchProjects"),
+                Value::string("PatientHistory"),
+            ]),
+        ),
+    ])
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("giop_encode");
+    for (label, payload) in [
+        ("primitives", Value::Sequence(vec![Value::Long(1), Value::Double(2.0)])),
+        ("descriptor_struct", struct_payload()),
+        ("strings_64B", string_payload(64)),
+        ("strings_1KiB", string_payload(1024)),
+        ("strings_64KiB", string_payload(64 * 1024)),
+    ] {
+        let msg = giop::reply_ok(7, payload);
+        let frame_len = msg.encode(ByteOrder::BigEndian).unwrap().len();
+        group.throughput(Throughput::Bytes(frame_len as u64));
+        group.bench_with_input(BenchmarkId::new("big_endian", label), &msg, |b, msg| {
+            b.iter(|| msg.encode(ByteOrder::BigEndian).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("little_endian", label), &msg, |b, msg| {
+            b.iter(|| msg.encode(ByteOrder::LittleEndian).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("giop_decode");
+    for (label, payload) in [
+        ("descriptor_struct", struct_payload()),
+        ("strings_1KiB", string_payload(1024)),
+        ("strings_64KiB", string_payload(64 * 1024)),
+    ] {
+        let msg = giop::request(9, b"codb/RBH".to_vec(), "find_coalitions", vec![payload]);
+        let frame = msg.encode(ByteOrder::LittleEndian).unwrap();
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &frame, |b, frame| {
+            b.iter(|| GiopMessage::decode_frame(frame).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

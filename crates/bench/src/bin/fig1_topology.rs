@@ -1,0 +1,61 @@
+//! F1 — regenerate Figure 1: "Coalitions and Service Links in the
+//! Medical World". Prints the live topology (coalitions with members,
+//! service links with their paper-style names) read back from the
+//! running deployment's co-databases, not from the static tables — so
+//! the figure reflects what the federation actually knows.
+
+use webfindit_bench::header;
+use webfindit_healthcare::{build_healthcare, coalitions, service_links};
+
+fn main() {
+    header(
+        "Figure 1",
+        "Coalitions and Service Links in the Medical World",
+    );
+    let dep = build_healthcare(1999).expect("healthcare deployment");
+
+    println!("\nCoalitions ({}):", coalitions().len());
+    for (name, doc, _) in coalitions() {
+        // Read membership from a live co-database, not the static table.
+        let mut members: Vec<String> = Vec::new();
+        for site in dep.fed.site_names() {
+            let handle = dep.fed.site(&site).expect("site");
+            let found = handle.codb.read().members(name).ok();
+            if let Some(m) = found {
+                members = m;
+                break;
+            }
+        }
+        println!("  {name} — {doc}");
+        for m in members {
+            println!("      * {m}");
+        }
+    }
+
+    println!("\nService links ({}):", service_links().len());
+    for link in service_links() {
+        println!(
+            "  {:<38} {} → {}   [{}]",
+            link.link_name(),
+            link.from,
+            link.to,
+            link.description
+        );
+    }
+
+    println!("\nDatabases: {}", dep.fed.site_names().len());
+    for site in dep.fed.site_names() {
+        let handle = dep.fed.site(&site).expect("site");
+        let memberships = handle.codb.read().memberships(&site);
+        println!(
+            "  {:<28} coalitions: {}",
+            site,
+            if memberships.is_empty() {
+                "(service links only)".to_owned()
+            } else {
+                memberships.join(", ")
+            }
+        );
+    }
+    dep.fed.shutdown();
+}

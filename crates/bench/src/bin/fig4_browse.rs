@@ -1,0 +1,60 @@
+//! F4 — regenerate Figure 4: browsing the co-database. The screenshot
+//! shows the browser after `Display Coalitions With Information Medical
+//! Research`, with the Research coalition expanded to its instances and
+//! the documentation format picker for Royal Brisbane Hospital. This
+//! binary reproduces that state as text.
+
+use webfindit::processor::{Processor, Response};
+use webfindit::session::BrowserSession;
+use webfindit_bench::header;
+use webfindit_healthcare::build_healthcare;
+
+fn main() {
+    header("Figure 4", "Browsing the RBH co-database");
+    let dep = build_healthcare(1999).expect("healthcare deployment");
+    let processor = Processor::new(dep.fed.clone());
+    let mut session = BrowserSession::new("QUT Research");
+
+    // Left pane, top: the coalitions matching the query.
+    println!("\n[left pane] Display Coalitions With Information Medical Research");
+    let resp = processor
+        .submit(
+            &mut session,
+            "Find Coalitions With Information Medical Research;",
+            None,
+        )
+        .expect("find");
+    for line in resp.render().lines() {
+        println!("  {line}");
+    }
+
+    // Left pane, bottom: instances of the Research coalition.
+    processor
+        .submit(&mut session, "Connect To Coalition Research;", None)
+        .expect("connect");
+    println!("\n[left pane, lower half] Display Instances of Class Research");
+    let resp = processor
+        .submit(&mut session, "Display Instances of Class Research;", None)
+        .expect("instances");
+    for line in resp.render().lines() {
+        println!("  {line}");
+    }
+
+    // Right pane: clicking Royal Brisbane Hospital shows the available
+    // documentation formats.
+    println!("\n[right pane] documentation formats for Royal Brisbane Hospital:");
+    let resp = processor
+        .submit(
+            &mut session,
+            "Display Document of Instance Royal Brisbane Hospital Of Class Research;",
+            None,
+        )
+        .expect("document");
+    if let Response::Document { formats, .. } = &resp {
+        for f in formats {
+            println!("  [ {f} ]");
+        }
+    }
+
+    dep.fed.shutdown();
+}

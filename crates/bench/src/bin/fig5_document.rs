@@ -1,0 +1,36 @@
+//! F5 — regenerate Figure 5: the Royal Brisbane Hospital HTML document.
+//! The user clicked the HTML button in the Figure-4 format picker; the
+//! browser fetched the page named in the co-database's documentation
+//! URL. This binary performs the same resolution through the document
+//! store and prints the page.
+
+use webfindit::docs::DocFormat;
+use webfindit::processor::Processor;
+use webfindit::session::BrowserSession;
+use webfindit_bench::header;
+use webfindit_healthcare::build_healthcare;
+
+fn main() {
+    header("Figure 5", "RBH HTML document displayed");
+    let dep = build_healthcare(1999).expect("healthcare deployment");
+    let processor = Processor::new(dep.fed.clone());
+    let session = BrowserSession::new("QUT Research");
+
+    // Resolve the documentation URL from the co-database descriptor,
+    // exactly as the browser does.
+    let (descriptor, via) = processor
+        .find_descriptor(&session, "Royal Brisbane Hospital")
+        .expect("descriptor");
+    println!(
+        "\ndocumentation URL (from co-database at {via}): {}",
+        descriptor.documentation_url
+    );
+    let doc = dep
+        .fed
+        .docs()
+        .fetch(&descriptor.documentation_url, DocFormat::Html)
+        .expect("HTML document");
+    println!("content-type: {} \n", doc.format);
+    println!("{}", doc.content);
+    dep.fed.shutdown();
+}

@@ -1,0 +1,37 @@
+//! F6 — regenerate Figure 6: the query result on the RBH database. The
+//! screenshot shows the result of `select * from medical_students`
+//! after pressing Fetch: the query travels query layer → ORB → ISI
+//! wrapper → Oracle, and the rows come back as a table. This binary
+//! runs the same statement through the full stack and prints the table.
+
+use webfindit::processor::{Processor, Response};
+use webfindit::session::BrowserSession;
+use webfindit_bench::header;
+use webfindit_healthcare::build_healthcare;
+
+fn main() {
+    header("Figure 6", "Query Result on RBH Database");
+    let dep = build_healthcare(1999).expect("healthcare deployment");
+    let processor = Processor::new(dep.fed.clone());
+    let mut session = BrowserSession::new("QUT Research");
+
+    let stmt = "Submit Native 'select * from medical_students' To Instance Royal Brisbane Hospital;";
+    println!("\nSQL (native, via the Fetch button): select * from medical_students\n");
+    let resp = processor.submit(&mut session, stmt, None).expect("query");
+    match resp {
+        Response::Table(rs) => print!("{}", rs.to_text_table()),
+        other => println!("unexpected response: {other:?}"),
+    }
+
+    // The paper's Funding() example from §2.3, for good measure.
+    println!("\nWebTassili access-function path (§2.3):");
+    let stmt = "Invoke ResearchProjects.Funding(ResearchProjects.Title, \
+                (ResearchProjects.Title = 'AIDS and drugs')) On Instance Royal Brisbane Hospital;";
+    println!("WebTassili> {stmt}\n");
+    let resp = processor.submit(&mut session, stmt, None).expect("funding");
+    match resp {
+        Response::Table(rs) => print!("{}", rs.to_text_table()),
+        other => println!("unexpected response: {other:?}"),
+    }
+    dep.fed.shutdown();
+}

@@ -1,0 +1,42 @@
+//! Shared helpers for the benchmark harness and the figure/experiment
+//! regeneration binaries. See DESIGN.md §5 for the experiment index and
+//! EXPERIMENTS.md for recorded results.
+
+#![warn(missing_docs)]
+
+/// Print a figure/table header in a consistent style.
+pub fn header(id: &str, caption: &str) {
+    println!("==================================================================");
+    println!("{id}: {caption}");
+    println!("==================================================================");
+}
+
+/// Format a mean of a series.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation of a series.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+}

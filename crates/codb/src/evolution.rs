@@ -1,0 +1,149 @@
+//! Coalition evolution: the dynamics of §2.1.
+//!
+//! "As database node 'interests' change over time, new coalitions may
+//! form, old coalitions may be dissolved, and components of existing
+//! coalitions change." Formation and membership changes live on
+//! [`CoDatabase`] (`create_coalition`, `advertise`, `withdraw`); this
+//! module adds dissolution and a churn summary used by experiment E4.
+
+use crate::metadata::{CoDatabase, LinkEnd};
+use crate::{CodbError, CodbResult};
+
+/// The effects of dissolving a coalition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DissolutionReport {
+    /// The dissolved coalition and any sub-coalitions removed with it.
+    pub removed_coalitions: Vec<String>,
+    /// Sources whose membership in those coalitions ended.
+    pub displaced_sources: Vec<String>,
+    /// Service links severed because an endpoint disappeared.
+    pub severed_links: usize,
+}
+
+impl CoDatabase {
+    /// Dissolve a coalition: its class subtree is dropped, member
+    /// advertisements in it are withdrawn, and service links touching
+    /// the removed coalitions are severed.
+    pub fn dissolve_coalition(&mut self, name: &str) -> CodbResult<DissolutionReport> {
+        // Collect the doomed coalition set first.
+        let mut removed = self
+            .store()
+            .subclasses_transitive(name)
+            .map_err(|_| CodbError::NoSuchCoalition(name.to_owned()))?;
+        let canonical = self
+            .store()
+            .class(name)
+            .map(|c| c.name.clone())
+            .map_err(|_| CodbError::NoSuchCoalition(name.to_owned()))?;
+        removed.push(canonical);
+
+        // Withdraw memberships coalition by coalition (keeps descriptor
+        // bookkeeping consistent), remembering who was displaced.
+        let mut displaced = Vec::new();
+        for coalition in &removed {
+            for member in self.members_direct(coalition) {
+                let _ = self.withdraw(coalition, &member);
+                displaced.push(member);
+            }
+        }
+        displaced.sort();
+        displaced.dedup();
+
+        // Drop the classes.
+        self.drop_coalition_classes(name)?;
+
+        // Sever links with a removed endpoint.
+        let mut severed = 0;
+        for coalition in &removed {
+            let end = LinkEnd::Coalition(coalition.clone());
+            let involving: Vec<(LinkEnd, LinkEnd)> = self
+                .service_links()
+                .iter()
+                .filter(|l| l.from == end || l.to == end)
+                .map(|l| (l.from.clone(), l.to.clone()))
+                .collect();
+            for (from, to) in involving {
+                if self.remove_service_link(&from, &to) {
+                    severed += 1;
+                }
+            }
+        }
+
+        removed.sort();
+        Ok(DissolutionReport {
+            removed_coalitions: removed,
+            displaced_sources: displaced,
+            severed_links: severed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::InformationSource;
+    use crate::metadata::ServiceLink;
+
+    fn src(name: &str, itype: &str) -> InformationSource {
+        InformationSource {
+            name: name.into(),
+            information_type: itype.into(),
+            documentation_url: format!("http://docs/{name}"),
+            location: "host".into(),
+            wrapper: "host/wrapper".into(),
+            interface: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dissolution_removes_subtree_members_and_links() {
+        let mut c = CoDatabase::new("RBH");
+        c.create_coalition("Research", None, "research").unwrap();
+        c.create_coalition("MedicalResearch", Some("Research"), "medical research")
+            .unwrap();
+        c.create_coalition("Medical", None, "medical").unwrap();
+        c.advertise("Research", src("QUT Research", "research")).unwrap();
+        c.advertise("MedicalResearch", src("RMIT Medical Research", "medical research"))
+            .unwrap();
+        c.advertise("Medical", src("Medibank", "insurance")).unwrap();
+        c.add_service_link(ServiceLink {
+            from: LinkEnd::Coalition("MedicalResearch".into()),
+            to: LinkEnd::Coalition("Medical".into()),
+            description: "research results".into(),
+        })
+        .unwrap();
+        c.add_service_link(ServiceLink {
+            from: LinkEnd::Coalition("Medical".into()),
+            to: LinkEnd::Database("Ambulance".into()),
+            description: "dispatch".into(),
+        })
+        .unwrap();
+
+        let report = c.dissolve_coalition("Research").unwrap();
+        assert_eq!(
+            report.removed_coalitions,
+            vec!["MedicalResearch", "Research"]
+        );
+        assert_eq!(
+            report.displaced_sources,
+            vec!["QUT Research", "RMIT Medical Research"]
+        );
+        assert_eq!(report.severed_links, 1);
+
+        // The unrelated coalition and link survive.
+        assert_eq!(c.coalitions(), vec!["Medical"]);
+        assert_eq!(c.service_links().len(), 1);
+        assert_eq!(c.members("Medical").unwrap(), vec!["Medibank"]);
+        // Displaced descriptors are gone (no remaining memberships).
+        assert!(c.descriptor("QUT Research").is_err());
+    }
+
+    #[test]
+    fn dissolving_missing_coalition_errors() {
+        let mut c = CoDatabase::new("x");
+        assert!(matches!(
+            c.dissolve_coalition("Ghost"),
+            Err(CodbError::NoSuchCoalition(_))
+        ));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for co-database invariants.
+//!
+//! * membership bookkeeping: after any sequence of advertise/withdraw
+//!   operations, `members` agrees with the surviving advertisements,
+//!   and descriptors exist exactly for sources with ≥1 membership;
+//! * discovery soundness: every coalition returned by `find_coalitions`
+//!   really matches the query by name, documentation, or a member's
+//!   information type;
+//! * discovery completeness: a coalition whose documentation contains
+//!   the exact query is always returned.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use webfindit_codb::{topic_matches, CoDatabase, InformationSource};
+
+fn mk_source(name: &str, itype: &str) -> InformationSource {
+    InformationSource {
+        name: name.to_owned(),
+        information_type: itype.to_owned(),
+        documentation_url: format!("http://docs/{name}"),
+        location: "host".into(),
+        wrapper: format!("jdbc:oracle://host/{name}"),
+        interface: Vec::new(),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Advertise { coalition: usize, source: usize },
+    Withdraw { coalition: usize, source: usize },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..4, 0usize..6).prop_map(|(coalition, source)| Op::Advertise {
+                coalition,
+                source
+            }),
+            (0usize..4, 0usize..6).prop_map(|(coalition, source)| Op::Withdraw {
+                coalition,
+                source
+            }),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn membership_bookkeeping_is_exact(ops in arb_ops()) {
+        let mut codb = CoDatabase::new("prop");
+        for c in 0..4 {
+            codb.create_coalition(&format!("Co{c}"), None, &format!("subject s{c}"))
+                .unwrap();
+        }
+        // Model: set of (coalition, source) memberships.
+        let mut model: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for op in &ops {
+            match op {
+                Op::Advertise { coalition, source } => {
+                    let result = codb.advertise(
+                        &format!("Co{coalition}"),
+                        mk_source(&format!("DB{source}"), &format!("subject s{coalition}")),
+                    );
+                    if model.insert((*coalition, *source)) {
+                        prop_assert!(result.is_ok());
+                    } else {
+                        prop_assert!(result.is_err(), "duplicate advertise must fail");
+                    }
+                }
+                Op::Withdraw { coalition, source } => {
+                    let result =
+                        codb.withdraw(&format!("Co{coalition}"), &format!("DB{source}"));
+                    if model.remove(&(*coalition, *source)) {
+                        prop_assert!(result.is_ok());
+                    } else {
+                        prop_assert!(result.is_err(), "withdraw of non-member must fail");
+                    }
+                }
+            }
+        }
+        // members() agrees with the model, per coalition.
+        for c in 0..4 {
+            let mut expected: Vec<String> = model
+                .iter()
+                .filter(|(co, _)| *co == c)
+                .map(|(_, s)| format!("DB{s}"))
+                .collect();
+            expected.sort();
+            expected.dedup();
+            prop_assert_eq!(codb.members(&format!("Co{c}")).unwrap(), expected);
+        }
+        // Descriptors exist iff the source has ≥1 membership.
+        for s in 0..6 {
+            let has_membership = model.iter().any(|(_, src)| *src == s);
+            prop_assert_eq!(
+                codb.descriptor(&format!("DB{s}")).is_ok(),
+                has_membership,
+                "descriptor presence for DB{}", s
+            );
+        }
+    }
+
+    #[test]
+    fn find_coalitions_is_sound_and_complete(
+        docs in proptest::collection::vec("[a-z]{3,8} [a-z]{3,8}", 1..5),
+        query_idx in any::<prop::sample::Index>(),
+    ) {
+        let mut codb = CoDatabase::new("prop");
+        for (i, doc) in docs.iter().enumerate() {
+            codb.create_coalition(&format!("Co{i}"), None, doc).unwrap();
+        }
+        let query = &docs[query_idx.index(docs.len())];
+        let hits = codb.find_coalitions(query);
+        // Completeness: the coalition whose documentation IS the query
+        // must be found.
+        let target = docs.iter().position(|d| d == query).unwrap();
+        prop_assert!(
+            hits.contains(&format!("Co{target}")),
+            "query {query:?} must find Co{target}: {hits:?}"
+        );
+        // Soundness: every hit matches by name or documentation.
+        for hit in &hits {
+            let idx: usize = hit[2..].parse().unwrap();
+            let doc = &docs[idx];
+            prop_assert!(
+                topic_matches(&hit.to_ascii_lowercase(), &query.to_ascii_lowercase())
+                    || topic_matches(&doc.to_ascii_lowercase(), &query.to_ascii_lowercase()),
+                "{hit} (doc {doc:?}) does not match {query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn topic_matching_is_reflexive_on_nonempty(s in "[a-z]{1,8}( [a-z]{1,8}){0,3}") {
+        prop_assert!(topic_matches(&s, &s));
+    }
+}

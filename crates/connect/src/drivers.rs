@@ -1,0 +1,407 @@
+//! Concrete drivers: four relational vendors plus the two OO bridges.
+
+use crate::api::{
+    parse_url, BridgeKind, Connection, Driver, QueryOutput, SourceMetadata,
+};
+use crate::registry::{DataSourceRegistry, OoInstance};
+use crate::{ConnectError, ConnectResult};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use webfindit_oostore::{OValue, OqlQuery};
+use webfindit_relstore::engine::ExecOutcome;
+use webfindit_relstore::{Database, Dialect};
+
+/// Per-bridge traffic counters (read by experiment E3).
+#[derive(Debug, Default)]
+pub struct BridgeStats {
+    /// Statements/invocations carried.
+    pub calls: AtomicU64,
+    /// Data rows returned.
+    pub rows: AtomicU64,
+}
+
+impl BridgeStats {
+    /// Snapshot `(calls, rows)`.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.calls.load(Ordering::Relaxed),
+            self.rows.load(Ordering::Relaxed),
+        )
+    }
+}
+
+// ---- relational (JDBC) --------------------------------------------------
+
+/// A JDBC-style driver for one relational vendor.
+pub struct RelationalDriver {
+    vendor: &'static str,
+    dialect: Dialect,
+    registry: Arc<DataSourceRegistry>,
+    stats: Arc<BridgeStats>,
+}
+
+impl RelationalDriver {
+    /// Create a driver for `dialect`, resolving against `registry`.
+    pub fn new(dialect: Dialect, registry: Arc<DataSourceRegistry>) -> RelationalDriver {
+        let vendor = match dialect {
+            Dialect::Oracle => "oracle",
+            Dialect::MSql => "msql",
+            Dialect::Db2 => "db2",
+            Dialect::Sybase => "sybase",
+            Dialect::Canonical => "canonical",
+        };
+        RelationalDriver {
+            vendor,
+            dialect,
+            registry,
+            stats: Arc::new(BridgeStats::default()),
+        }
+    }
+
+    /// The driver's cumulative bridge statistics.
+    pub fn stats(&self) -> Arc<BridgeStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl Driver for RelationalDriver {
+    fn name(&self) -> &str {
+        self.vendor
+    }
+
+    fn accepts(&self, url: &str) -> bool {
+        parse_url(url)
+            .map(|p| p.scheme == "jdbc" && p.vendor == self.vendor)
+            .unwrap_or(false)
+    }
+
+    fn connect(&self, url: &str) -> ConnectResult<Box<dyn Connection>> {
+        let parts = parse_url(url).ok_or_else(|| ConnectError::BadUrl(url.to_owned()))?;
+        let db = self.registry.relational(parts.vendor, parts.instance)?;
+        // The registered instance must actually speak this dialect —
+        // catching mis-deployments early.
+        {
+            let guard = db.lock();
+            if guard.dialect() != self.dialect {
+                return Err(ConnectError::WrongParadigm(format!(
+                    "instance {} speaks {}, driver is {}",
+                    guard.name(),
+                    guard.dialect(),
+                    self.dialect
+                )));
+            }
+        }
+        Ok(Box::new(RelationalConnection {
+            db: Some(db),
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+}
+
+/// A live JDBC-style connection.
+pub struct RelationalConnection {
+    db: Option<Arc<Mutex<Database>>>,
+    stats: Arc<BridgeStats>,
+}
+
+impl RelationalConnection {
+    fn live(&self) -> ConnectResult<&Arc<Mutex<Database>>> {
+        self.db.as_ref().ok_or(ConnectError::Closed)
+    }
+}
+
+impl Connection for RelationalConnection {
+    fn execute(&mut self, text: &str) -> ConnectResult<QueryOutput> {
+        let db = self.live()?;
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        let outcome = db.lock().execute(text)?;
+        Ok(match outcome {
+            ExecOutcome::Rows(rs) => {
+                self.stats
+                    .rows
+                    .fetch_add(rs.rows.len() as u64, Ordering::Relaxed);
+                QueryOutput::Rows(rs)
+            }
+            ExecOutcome::Count(n) => QueryOutput::Count(n),
+            ExecOutcome::Done => QueryOutput::Done,
+        })
+    }
+
+    fn metadata(&self) -> ConnectResult<SourceMetadata> {
+        let db = self.live()?;
+        let guard = db.lock();
+        let tables = guard
+            .table_names()
+            .into_iter()
+            .filter_map(|t| guard.table(&t).map(|tab| tab.schema.clone()))
+            .collect();
+        Ok(SourceMetadata {
+            product: guard.dialect().name().to_owned(),
+            instance: guard.name().to_owned(),
+            tables,
+            classes: Vec::new(),
+        })
+    }
+
+    fn bridge(&self) -> BridgeKind {
+        BridgeKind::Jdbc
+    }
+
+    fn close(&mut self) {
+        self.db = None;
+    }
+}
+
+// ---- object-oriented bridges (JNI / native C++) -------------------------
+
+/// A bridge driver for one object-database vendor.
+///
+/// `ontos` connects via the `jni:` scheme (the paper reaches Ontos from
+/// OrbixWeb Java servers over JNI); `objectstore` connects via
+/// `native:` (C++ method invocation from Orbix C++ servers).
+pub struct ObjectDriver {
+    vendor: &'static str,
+    scheme: &'static str,
+    bridge: BridgeKind,
+    registry: Arc<DataSourceRegistry>,
+    stats: Arc<BridgeStats>,
+}
+
+impl ObjectDriver {
+    /// The Ontos-over-JNI driver.
+    pub fn ontos(registry: Arc<DataSourceRegistry>) -> ObjectDriver {
+        ObjectDriver {
+            vendor: "ontos",
+            scheme: "jni",
+            bridge: BridgeKind::Jni,
+            registry,
+            stats: Arc::new(BridgeStats::default()),
+        }
+    }
+
+    /// The ObjectStore-over-C++ driver.
+    pub fn objectstore(registry: Arc<DataSourceRegistry>) -> ObjectDriver {
+        ObjectDriver {
+            vendor: "objectstore",
+            scheme: "native",
+            bridge: BridgeKind::NativeCpp,
+            registry,
+            stats: Arc::new(BridgeStats::default()),
+        }
+    }
+
+    /// The driver's cumulative bridge statistics.
+    pub fn stats(&self) -> Arc<BridgeStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl Driver for ObjectDriver {
+    fn name(&self) -> &str {
+        self.vendor
+    }
+
+    fn accepts(&self, url: &str) -> bool {
+        parse_url(url)
+            .map(|p| p.scheme == self.scheme && p.vendor == self.vendor)
+            .unwrap_or(false)
+    }
+
+    fn connect(&self, url: &str) -> ConnectResult<Box<dyn Connection>> {
+        let parts = parse_url(url).ok_or_else(|| ConnectError::BadUrl(url.to_owned()))?;
+        let inst = self.registry.object(parts.vendor, parts.instance)?;
+        Ok(Box::new(ObjectConnection {
+            inst: Some(inst),
+            bridge: self.bridge,
+            vendor: self.vendor,
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+}
+
+/// A live object-database connection.
+pub struct ObjectConnection {
+    inst: Option<Arc<Mutex<OoInstance>>>,
+    bridge: BridgeKind,
+    vendor: &'static str,
+    stats: Arc<BridgeStats>,
+}
+
+impl ObjectConnection {
+    fn live(&self) -> ConnectResult<&Arc<Mutex<OoInstance>>> {
+        self.inst.as_ref().ok_or(ConnectError::Closed)
+    }
+}
+
+impl Connection for ObjectConnection {
+    fn execute(&mut self, text: &str) -> ConnectResult<QueryOutput> {
+        let inst = self.live()?;
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        let query = OqlQuery::parse(text)?;
+        let guard = inst.lock();
+        let result = query.execute(&guard.store)?;
+        self.stats
+            .rows
+            .fetch_add(result.rows.len() as u64, Ordering::Relaxed);
+        Ok(QueryOutput::Objects {
+            columns: result.columns,
+            rows: result.rows,
+        })
+    }
+
+    fn invoke(&mut self, method: &str, args: &[OValue]) -> ConnectResult<QueryOutput> {
+        let inst = self.live()?;
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        // Method invocations are addressed `Class.method` or
+        // `Class.method@oid`.
+        let (class, rest) = method
+            .split_once('.')
+            .ok_or_else(|| ConnectError::WrongParadigm(format!("method {method} needs Class.name form")))?;
+        let (name, receiver) = match rest.split_once('@') {
+            Some((n, oid)) => {
+                let id: u64 = oid.parse().map_err(|_| {
+                    ConnectError::WrongParadigm(format!("bad receiver oid in {method}"))
+                })?;
+                (n, Some(webfindit_oostore::Oid(id)))
+            }
+            None => (rest, None),
+        };
+        let guard = inst.lock();
+        let out = guard
+            .methods
+            .invoke_on_class(&guard.store, class, receiver, name, args)?;
+        Ok(QueryOutput::Value(out))
+    }
+
+    fn metadata(&self) -> ConnectResult<SourceMetadata> {
+        let inst = self.live()?;
+        let guard = inst.lock();
+        Ok(SourceMetadata {
+            product: match self.vendor {
+                "ontos" => "Ontos".to_owned(),
+                _ => "ObjectStore".to_owned(),
+            },
+            instance: guard.store.name().to_owned(),
+            tables: Vec::new(),
+            classes: guard.store.class_names(),
+        })
+    }
+
+    fn bridge(&self) -> BridgeKind {
+        self.bridge
+    }
+
+    fn close(&mut self) {
+        self.inst = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webfindit_oostore::method::MethodTable;
+    use webfindit_oostore::model::{ClassDef, OType};
+    use webfindit_oostore::ObjectStore;
+
+    fn registry() -> Arc<DataSourceRegistry> {
+        let reg = DataSourceRegistry::new();
+        let mut db = Database::new("RBH", Dialect::Oracle);
+        db.execute("CREATE TABLE beds (bed_id INT PRIMARY KEY, location TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO beds VALUES (1, 'ward A'), (2, 'ward B')")
+            .unwrap();
+        reg.register_relational("oracle", "RBH", db);
+
+        let mut store = ObjectStore::new("PrinceCharles");
+        store
+            .define_class(ClassDef::root("Treatment").attr("name", OType::Text))
+            .unwrap();
+        store
+            .create("Treatment", [("name".to_string(), OValue::from("dialysis"))])
+            .unwrap();
+        let mut mt = MethodTable::new();
+        mt.register("Treatment", "count_all", |s, _r, _a| {
+            Ok(OValue::Int(s.instances_of("Treatment", true).unwrap().len() as i64))
+        });
+        reg.register_object("ontos", "PrinceCharles", store, mt);
+        reg
+    }
+
+    #[test]
+    fn jdbc_query_roundtrip() {
+        let reg = registry();
+        let driver = RelationalDriver::new(Dialect::Oracle, Arc::clone(&reg));
+        assert!(driver.accepts("jdbc:oracle://h/RBH"));
+        assert!(!driver.accepts("jdbc:msql://h/RBH"));
+        assert!(!driver.accepts("jni:oracle://h/RBH"));
+        let mut conn = driver.connect("jdbc:oracle://h/RBH").unwrap();
+        let out = conn.execute("SELECT location FROM beds ORDER BY bed_id").unwrap();
+        assert_eq!(out.row_count(), 2);
+        assert_eq!(conn.bridge(), BridgeKind::Jdbc);
+        assert_eq!(driver.stats().snapshot(), (1, 2));
+
+        let md = conn.metadata().unwrap();
+        assert_eq!(md.product, "Oracle");
+        assert_eq!(md.tables.len(), 1);
+
+        conn.close();
+        assert!(matches!(
+            conn.execute("SELECT * FROM beds"),
+            Err(ConnectError::Closed)
+        ));
+    }
+
+    #[test]
+    fn dialect_mismatch_rejected() {
+        let reg = registry();
+        // Register the same instance name under msql to create a clash.
+        let db = Database::new("RBH", Dialect::Oracle);
+        reg.register_relational("msql", "RBH", db);
+        let driver = RelationalDriver::new(Dialect::MSql, Arc::clone(&reg));
+        assert!(matches!(
+            driver.connect("jdbc:msql://h/RBH"),
+            Err(ConnectError::WrongParadigm(_))
+        ));
+    }
+
+    #[test]
+    fn jni_bridge_oql_and_methods() {
+        let reg = registry();
+        let driver = ObjectDriver::ontos(Arc::clone(&reg));
+        assert!(driver.accepts("jni:ontos://h/PrinceCharles"));
+        assert!(!driver.accepts("native:ontos://h/PrinceCharles"));
+        let mut conn = driver.connect("jni:ontos://h/PrinceCharles").unwrap();
+        assert_eq!(conn.bridge(), BridgeKind::Jni);
+
+        let out = conn.execute("select name from Treatment").unwrap();
+        assert_eq!(out.row_count(), 1);
+
+        let v = conn.invoke("Treatment.count_all", &[]).unwrap();
+        assert_eq!(v, QueryOutput::Value(OValue::Int(1)));
+
+        assert!(conn.invoke("count_all", &[]).is_err()); // missing class
+        assert_eq!(driver.stats().snapshot().0, 3);
+    }
+
+    #[test]
+    fn relational_connection_rejects_invoke() {
+        let reg = registry();
+        let driver = RelationalDriver::new(Dialect::Oracle, Arc::clone(&reg));
+        let mut conn = driver.connect("jdbc:oracle://h/RBH").unwrap();
+        assert!(matches!(
+            conn.invoke("X.y", &[]),
+            Err(ConnectError::WrongParadigm(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_instance() {
+        let reg = registry();
+        let driver = RelationalDriver::new(Dialect::Oracle, reg);
+        assert!(matches!(
+            driver.connect("jdbc:oracle://h/Ghost"),
+            Err(ConnectError::UnknownDataSource(_))
+        ));
+    }
+}

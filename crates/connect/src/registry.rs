@@ -1,0 +1,146 @@
+//! The data-source registry: the simulated network of database servers.
+//!
+//! In the paper, URLs inside co-database descriptors name real hosts.
+//! Here, a [`DataSourceRegistry`] plays the network: deployments register
+//! running engine instances under `(vendor, instance)` keys, and drivers
+//! resolve connection URLs against it.
+
+use crate::{ConnectError, ConnectResult};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use webfindit_oostore::method::MethodTable;
+use webfindit_oostore::ObjectStore;
+use webfindit_relstore::Database;
+
+/// A registered object database: the store plus its access routines.
+pub struct OoInstance {
+    /// The object store.
+    pub store: ObjectStore,
+    /// Registered access routines.
+    pub methods: MethodTable,
+}
+
+/// `(vendor, instance)` → shared engine handle.
+type InstanceMap<T> = RwLock<BTreeMap<(String, String), Arc<Mutex<T>>>>;
+
+/// Shared registry of running database instances.
+#[derive(Default)]
+pub struct DataSourceRegistry {
+    relational: InstanceMap<Database>,
+    object: InstanceMap<OoInstance>,
+}
+
+impl DataSourceRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Register a relational instance under `(vendor, name)`.
+    pub fn register_relational(
+        &self,
+        vendor: &str,
+        name: &str,
+        db: Database,
+    ) -> Arc<Mutex<Database>> {
+        let handle = Arc::new(Mutex::new(db));
+        self.relational.write().insert(
+            (vendor.to_ascii_lowercase(), name.to_ascii_lowercase()),
+            Arc::clone(&handle),
+        );
+        handle
+    }
+
+    /// Register an object instance under `(vendor, name)`.
+    pub fn register_object(
+        &self,
+        vendor: &str,
+        name: &str,
+        store: ObjectStore,
+        methods: MethodTable,
+    ) -> Arc<Mutex<OoInstance>> {
+        let handle = Arc::new(Mutex::new(OoInstance { store, methods }));
+        self.object.write().insert(
+            (vendor.to_ascii_lowercase(), name.to_ascii_lowercase()),
+            Arc::clone(&handle),
+        );
+        handle
+    }
+
+    /// Resolve a relational instance.
+    pub fn relational(&self, vendor: &str, name: &str) -> ConnectResult<Arc<Mutex<Database>>> {
+        self.relational
+            .read()
+            .get(&(vendor.to_ascii_lowercase(), name.to_ascii_lowercase()))
+            .cloned()
+            .ok_or_else(|| ConnectError::UnknownDataSource(format!("{vendor}/{name}")))
+    }
+
+    /// Resolve an object instance.
+    pub fn object(&self, vendor: &str, name: &str) -> ConnectResult<Arc<Mutex<OoInstance>>> {
+        self.object
+            .read()
+            .get(&(vendor.to_ascii_lowercase(), name.to_ascii_lowercase()))
+            .cloned()
+            .ok_or_else(|| ConnectError::UnknownDataSource(format!("{vendor}/{name}")))
+    }
+
+    /// Remove an instance (database taken offline). Returns true if it
+    /// existed. Used by the failure-injection tests.
+    pub fn unregister(&self, vendor: &str, name: &str) -> bool {
+        let key = (vendor.to_ascii_lowercase(), name.to_ascii_lowercase());
+        let a = self.relational.write().remove(&key).is_some();
+        let b = self.object.write().remove(&key).is_some();
+        a || b
+    }
+
+    /// All registered `(vendor, instance)` pairs, for deployment listings.
+    pub fn list(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .relational
+            .read()
+            .keys()
+            .chain(self.object.read().keys())
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webfindit_relstore::Dialect;
+
+    #[test]
+    fn register_resolve_unregister() {
+        let reg = DataSourceRegistry::new();
+        reg.register_relational("Oracle", "RBH", Database::new("RBH", Dialect::Oracle));
+        assert!(reg.relational("oracle", "rbh").is_ok());
+        assert!(reg.relational("oracle", "ghost").is_err());
+        assert!(reg.unregister("ORACLE", "RBH"));
+        assert!(!reg.unregister("oracle", "rbh"));
+        assert!(reg.relational("oracle", "rbh").is_err());
+    }
+
+    #[test]
+    fn listing_is_sorted_and_merged() {
+        let reg = DataSourceRegistry::new();
+        reg.register_relational("oracle", "b", Database::new("b", Dialect::Oracle));
+        reg.register_object(
+            "ontos",
+            "a",
+            ObjectStore::new("a"),
+            MethodTable::new(),
+        );
+        assert_eq!(
+            reg.list(),
+            vec![
+                ("ontos".to_string(), "a".to_string()),
+                ("oracle".to_string(), "b".to_string())
+            ]
+        );
+    }
+}

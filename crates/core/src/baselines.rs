@@ -1,0 +1,212 @@
+//! Comparison systems for the scalability experiments.
+//!
+//! The paper argues (§1, §6) that neither extreme scales for Web-scale
+//! federations: tightly-coupled global schemas "do not scale up given
+//! the complexity when constructing the global schema for a large
+//! number of heterogeneous systems", and loosely-coupled systems
+//! "expect users to know the semantics and locations of the available
+//! systems". Experiment E1 quantifies that argument against two
+//! baselines:
+//!
+//! * [`FlatBroadcast`] — no organization at all: a query probes *every*
+//!   co-database in the federation (what a user without WebFINDIT's
+//!   two-level organization must do).
+//! * [`CentralIndex`] — the multidatabase/global-schema approach: one
+//!   central repository ingests every advertisement, so queries are one
+//!   round-trip but registration and maintenance all funnel through
+//!   (and scale with) the center.
+
+use crate::discovery::{DiscoveryOutcome, DiscoveryStats, Lead};
+use crate::federation::Federation;
+use crate::servants::CoDatabaseServant;
+use crate::value_map::{descriptor_to_value, value_to_strings};
+use crate::servants::{link_to_value, value_to_link};
+use crate::{WebfinditError, WfResult};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use webfindit_codb::CoDatabase;
+use webfindit_wire::{Ior, Value};
+
+/// The no-organization baseline: ask everyone, every time.
+pub struct FlatBroadcast {
+    fed: Arc<Federation>,
+}
+
+impl FlatBroadcast {
+    /// Create a broadcaster over the federation.
+    pub fn new(fed: Arc<Federation>) -> FlatBroadcast {
+        FlatBroadcast { fed }
+    }
+
+    /// Find `topic` by probing every site's co-database. A broadcaster
+    /// has no way to stop early — it pays the full fan-out each query.
+    pub fn find(&self, topic: &str) -> WfResult<DiscoveryOutcome> {
+        let mut stats = DiscoveryStats::default();
+        let mut leads = Vec::new();
+        let nc = self.fed.naming_client();
+        for site in self.fed.site_names() {
+            stats.sites_visited += 1;
+            stats.naming_lookups += 1;
+            let ior = match nc.resolve(&format!("codb/{site}")) {
+                Ok(ior) => ior,
+                Err(_) => continue,
+            };
+            stats.codb_queries += 1;
+            if let Ok(v) =
+                self.fed
+                    .client_orb()
+                    .invoke(&ior, "find_coalitions", &[Value::string(topic)])
+            {
+                for name in value_to_strings(&v)? {
+                    leads.push(Lead::Coalition {
+                        name,
+                        via_site: site.clone(),
+                        distance: 1,
+                    });
+                }
+            }
+            stats.codb_queries += 1;
+            if let Ok(v) = self
+                .fed
+                .client_orb()
+                .invoke(&ior, "find_links", &[Value::string(topic)])
+            {
+                if let Some(seq) = v.as_sequence() {
+                    for l in seq {
+                        if let Ok(link) = value_to_link(l) {
+                            leads.push(Lead::Link {
+                                link,
+                                via_site: site.clone(),
+                                distance: 1,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if !leads.is_empty() {
+            stats.found_at_level = Some(1);
+        }
+        Ok(DiscoveryOutcome { leads, stats })
+    }
+}
+
+/// The centralized global-index baseline.
+///
+/// Built by replaying every site's coalitions, advertisements, and
+/// links into one central co-database, hosted as a servant on the
+/// bootstrap ORB so queries still pay one real GIOP round-trip.
+pub struct CentralIndex {
+    fed: Arc<Federation>,
+    central_ior: Ior,
+    /// ORB invocations spent building the index.
+    pub registration_calls: u64,
+}
+
+impl CentralIndex {
+    /// Build the index from the current federation state.
+    ///
+    /// Every (coalition, member) advertisement and every service link
+    /// costs one registration call to the center — the maintenance
+    /// funnel that makes the approach scale poorly.
+    pub fn build(fed: Arc<Federation>) -> WfResult<CentralIndex> {
+        let central = Arc::new(RwLock::new(CoDatabase::new("central-index")));
+        let servant = Arc::new(CoDatabaseServant::new(Arc::clone(&central)));
+        let central_ior = fed
+            .client_orb()
+            .activate(b"codb/central-index".to_vec(), servant);
+
+        let mut registration_calls = 0u64;
+        let orb = fed.client_orb();
+        for site in fed.site_names() {
+            let handle = fed.site(&site)?;
+            let codb = handle.codb.read();
+            for coalition in codb.coalitions() {
+                let doc = codb.coalition_documentation(&coalition).unwrap_or_default();
+                registration_calls += 1;
+                match orb.invoke(
+                    &central_ior,
+                    "create_coalition",
+                    &[Value::string(coalition.clone()), Value::Null, Value::Str(doc)],
+                ) {
+                    Ok(_) => {}
+                    Err(webfindit_orb::OrbError::RemoteException { system: false, .. }) => {}
+                    Err(e) => return Err(e.into()),
+                }
+                for member in codb.members_direct(&coalition) {
+                    if let Ok(d) = codb.descriptor(&member) {
+                        registration_calls += 1;
+                        match orb.invoke(
+                            &central_ior,
+                            "advertise",
+                            &[Value::string(coalition.clone()), descriptor_to_value(d)],
+                        ) {
+                            Ok(_) => {}
+                            Err(webfindit_orb::OrbError::RemoteException {
+                                system: false,
+                                ..
+                            }) => {}
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                }
+            }
+            for link in codb.service_links() {
+                registration_calls += 1;
+                match orb.invoke(&central_ior, "add_link", &[link_to_value(link)]) {
+                    Ok(_) => {}
+                    Err(webfindit_orb::OrbError::RemoteException { system: false, .. }) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Ok(CentralIndex {
+            fed,
+            central_ior,
+            registration_calls,
+        })
+    }
+
+    /// Find `topic`: one naming-free round-trip to the center.
+    pub fn find(&self, topic: &str) -> WfResult<DiscoveryOutcome> {
+        let mut stats = DiscoveryStats {
+            sites_visited: 1,
+            ..Default::default()
+        };
+        stats.codb_queries += 1;
+        let v = self.fed.client_orb().invoke(
+            &self.central_ior,
+            "find_coalitions",
+            &[Value::string(topic)],
+        )?;
+        let mut leads: Vec<Lead> = value_to_strings(&v)?
+            .into_iter()
+            .map(|name| Lead::Coalition {
+                name,
+                via_site: "central-index".into(),
+                distance: 1,
+            })
+            .collect();
+        stats.codb_queries += 1;
+        let lv = self.fed.client_orb().invoke(
+            &self.central_ior,
+            "find_links",
+            &[Value::string(topic)],
+        )?;
+        if let Some(seq) = lv.as_sequence() {
+            for l in seq {
+                let link = value_to_link(l)
+                    .map_err(|e| WebfinditError::Protocol(e.to_string()))?;
+                leads.push(Lead::Link {
+                    link,
+                    via_site: "central-index".into(),
+                    distance: 1,
+                });
+            }
+        }
+        if !leads.is_empty() {
+            stats.found_at_level = Some(1);
+        }
+        Ok(DiscoveryOutcome { leads, stats })
+    }
+}

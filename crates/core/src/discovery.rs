@@ -1,0 +1,334 @@
+//! The incremental discovery algorithm of §2.
+//!
+//! "Initially, the user specifies the query in terms of relevant
+//! information […] The query is sent to a local metadata repository […]
+//! If the local metadata repository fails to resolve the user's query,
+//! using the information on clusters' inter-relationships, the local
+//! repository sends the query to one or more remote metadata
+//! repositories."
+//!
+//! [`DiscoveryEngine::find`] implements that as a breadth-first search
+//! over co-databases:
+//!
+//! * **Level 0** — the local co-database (a local lookup; the user is a
+//!   user of a participating database, so this costs no network).
+//! * **Level k ≥ 1** — remote co-databases reached through the previous
+//!   level's inter-relationships: coalition peers (other members of the
+//!   coalitions known there) and service-link endpoints. Each remote
+//!   probe is a naming lookup plus GIOP invocations, all counted in
+//!   [`DiscoveryStats`].
+//!
+//! The search stops at the first level that produces leads (all leads
+//! of that level are returned, supporting the paper's "the system
+//! prompts the user to select the most interesting leads").
+
+use crate::federation::Federation;
+use crate::servants::value_to_link;
+use crate::value_map::value_to_strings;
+use crate::{WebfinditError, WfResult};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use webfindit_codb::{LinkEnd, ServiceLink};
+use webfindit_wire::{Ior, Value};
+
+/// What a discovery found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lead {
+    /// A coalition advertising the requested information.
+    Coalition {
+        /// Coalition name.
+        name: String,
+        /// The site whose co-database reported it.
+        via_site: String,
+        /// BFS distance (0 = local).
+        distance: usize,
+    },
+    /// A service link whose description matches the request.
+    Link {
+        /// The link.
+        link: ServiceLink,
+        /// The site whose co-database reported it.
+        via_site: String,
+        /// BFS distance.
+        distance: usize,
+    },
+}
+
+impl Lead {
+    /// Distance at which this lead was found.
+    pub fn distance(&self) -> usize {
+        match self {
+            Lead::Coalition { distance, .. } | Lead::Link { distance, .. } => *distance,
+        }
+    }
+
+    /// The coalition name, if this is a coalition lead.
+    pub fn coalition_name(&self) -> Option<&str> {
+        match self {
+            Lead::Coalition { name, .. } => Some(name),
+            Lead::Link { .. } => None,
+        }
+    }
+}
+
+/// Cost accounting for one discovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiscoveryStats {
+    /// GIOP invocations on remote co-database servants.
+    pub codb_queries: u64,
+    /// Naming-service resolutions performed.
+    pub naming_lookups: u64,
+    /// Distinct sites whose co-database was consulted (incl. local).
+    pub sites_visited: usize,
+    /// BFS level at which the first lead appeared (None = nothing found).
+    pub found_at_level: Option<usize>,
+}
+
+impl DiscoveryStats {
+    /// Total remote round-trips (codb queries + naming lookups).
+    pub fn total_round_trips(&self) -> u64 {
+        self.codb_queries + self.naming_lookups
+    }
+}
+
+/// The outcome of one discovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveryOutcome {
+    /// All leads found at the first productive level.
+    pub leads: Vec<Lead>,
+    /// Cost accounting.
+    pub stats: DiscoveryStats,
+}
+
+impl DiscoveryOutcome {
+    /// True if anything was found.
+    pub fn found(&self) -> bool {
+        !self.leads.is_empty()
+    }
+}
+
+/// The §2 resolution engine.
+pub struct DiscoveryEngine {
+    fed: Arc<Federation>,
+    /// Maximum BFS depth (levels of remote expansion).
+    pub max_depth: usize,
+}
+
+impl DiscoveryEngine {
+    /// Create an engine over a federation with the default depth bound.
+    pub fn new(fed: Arc<Federation>) -> DiscoveryEngine {
+        DiscoveryEngine { fed, max_depth: 8 }
+    }
+
+    fn resolve_codb(&self, site: &str, stats: &mut DiscoveryStats) -> WfResult<Ior> {
+        stats.naming_lookups += 1;
+        self.fed
+            .naming_client()
+            .resolve(&format!("codb/{site}"))
+            .map_err(WebfinditError::from)
+    }
+
+    fn remote_strings(
+        &self,
+        ior: &Ior,
+        op: &str,
+        args: &[Value],
+        stats: &mut DiscoveryStats,
+    ) -> WfResult<Vec<String>> {
+        stats.codb_queries += 1;
+        let v = self.fed.client_orb().invoke(ior, op, args)?;
+        value_to_strings(&v)
+    }
+
+    fn remote_links(
+        &self,
+        ior: &Ior,
+        op: &str,
+        args: &[Value],
+        stats: &mut DiscoveryStats,
+    ) -> WfResult<Vec<ServiceLink>> {
+        stats.codb_queries += 1;
+        let v = self.fed.client_orb().invoke(ior, op, args)?;
+        v.as_sequence()
+            .ok_or_else(|| WebfinditError::Protocol("expected link sequence".into()))?
+            .iter()
+            .map(|l| value_to_link(l).map_err(|e| WebfinditError::Protocol(e.to_string())))
+            .collect()
+    }
+
+    /// Sites reachable from a set of links: database endpoints directly;
+    /// coalition endpoints via the reporting co-database's member list.
+    fn expand_links(
+        &self,
+        links: &[ServiceLink],
+        via_ior: &Ior,
+        stats: &mut DiscoveryStats,
+        frontier: &mut BTreeSet<String>,
+    ) {
+        for link in links {
+            for end in [&link.from, &link.to] {
+                match end {
+                    LinkEnd::Database(name) => {
+                        frontier.insert(name.clone());
+                    }
+                    LinkEnd::Coalition(coalition) => {
+                        if let Ok(members) = self.remote_strings(
+                            via_ior,
+                            "members",
+                            &[Value::string(coalition.clone())],
+                            stats,
+                        ) {
+                            frontier.extend(members);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run discovery for `topic`, starting at `start_site`.
+    pub fn find(&self, start_site: &str, topic: &str) -> WfResult<DiscoveryOutcome> {
+        let mut stats = DiscoveryStats::default();
+        let start = self.fed.site(start_site)?;
+        let mut visited: BTreeSet<String> = BTreeSet::new();
+        visited.insert(start.name.to_ascii_lowercase());
+        stats.sites_visited = 1;
+
+        // ---- level 0: the local co-database, no network ----
+        let mut leads: Vec<Lead> = Vec::new();
+        let mut frontier: BTreeSet<String> = BTreeSet::new();
+        {
+            let codb = start.codb.read();
+            for c in codb.find_coalitions(topic) {
+                leads.push(Lead::Coalition {
+                    name: c,
+                    via_site: start.name.clone(),
+                    distance: 0,
+                });
+            }
+            for l in codb.find_links(topic) {
+                leads.push(Lead::Link {
+                    link: l.clone(),
+                    via_site: start.name.clone(),
+                    distance: 0,
+                });
+            }
+            if leads.is_empty() {
+                // Expand through local inter-relationships.
+                for coalition in codb.coalitions() {
+                    if let Ok(members) = codb.members(&coalition) {
+                        frontier.extend(members);
+                    }
+                }
+                let links: Vec<ServiceLink> = codb.service_links().to_vec();
+                for link in &links {
+                    for end in [&link.from, &link.to] {
+                        match end {
+                            LinkEnd::Database(name) => {
+                                frontier.insert(name.clone());
+                            }
+                            LinkEnd::Coalition(c) => {
+                                if let Ok(members) = codb.members(c) {
+                                    frontier.extend(members);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !leads.is_empty() {
+            stats.found_at_level = Some(0);
+            return Ok(DiscoveryOutcome { leads, stats });
+        }
+
+        // ---- levels 1..max_depth: remote co-databases ----
+        for depth in 1..=self.max_depth {
+            let wave: Vec<String> = frontier
+                .iter()
+                .filter(|s| !visited.contains(&s.to_ascii_lowercase()))
+                .cloned()
+                .collect();
+            frontier.clear();
+            if wave.is_empty() {
+                break;
+            }
+            let mut next: BTreeSet<String> = BTreeSet::new();
+            for site in wave {
+                visited.insert(site.to_ascii_lowercase());
+                stats.sites_visited += 1;
+                let ior = match self.resolve_codb(&site, &mut stats) {
+                    Ok(ior) => ior,
+                    Err(_) => continue, // site down / unknown — degrade gracefully
+                };
+                // Probe for both coalition and link leads — the paper's
+                // browser shows the user every kind of lead a repository
+                // can offer before they pick one.
+                let mut found_here = false;
+                match self.remote_strings(
+                    &ior,
+                    "find_coalitions",
+                    &[Value::string(topic)],
+                    &mut stats,
+                ) {
+                    Ok(coalitions) => {
+                        for c in coalitions {
+                            found_here = true;
+                            leads.push(Lead::Coalition {
+                                name: c,
+                                via_site: site.clone(),
+                                distance: depth,
+                            });
+                        }
+                    }
+                    Err(_) => continue,
+                }
+                match self.remote_links(
+                    &ior,
+                    "find_links",
+                    &[Value::string(topic)],
+                    &mut stats,
+                ) {
+                    Ok(links) => {
+                        for l in links {
+                            found_here = true;
+                            leads.push(Lead::Link {
+                                link: l,
+                                via_site: site.clone(),
+                                distance: depth,
+                            });
+                        }
+                    }
+                    Err(_) => continue,
+                }
+                if found_here {
+                    continue;
+                }
+                // No leads here: expand its inter-relationships.
+                if let Ok(coalitions) =
+                    self.remote_strings(&ior, "coalitions", &[], &mut stats)
+                {
+                    for c in coalitions {
+                        if let Ok(members) = self.remote_strings(
+                            &ior,
+                            "members",
+                            &[Value::string(c)],
+                            &mut stats,
+                        ) {
+                            next.extend(members);
+                        }
+                    }
+                }
+                if let Ok(links) = self.remote_links(&ior, "service_links", &[], &mut stats) {
+                    self.expand_links(&links, &ior, &mut stats, &mut next);
+                }
+            }
+            if !leads.is_empty() {
+                stats.found_at_level = Some(depth);
+                return Ok(DiscoveryOutcome { leads, stats });
+            }
+            frontier = next;
+        }
+        Ok(DiscoveryOutcome { leads, stats })
+    }
+}

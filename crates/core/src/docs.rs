@@ -1,0 +1,138 @@
+//! The document store: the Web stand-in for documentation URLs.
+//!
+//! Co-database descriptors carry documentation URLs ("a file containing
+//! multimedia data or a program that plays a product demonstration").
+//! In the paper these resolve over HTTP; here a [`DocStore`] resolves
+//! them in-process. Formats mirror the Figure-4 format picker (text,
+//! HTML, and the Java-applet placeholder).
+
+use crate::{WebfinditError, WfResult};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Supported documentation formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DocFormat {
+    /// Plain text.
+    Text,
+    /// HTML (the Figure-5 display).
+    Html,
+    /// A Java applet demo (represented by its descriptor text).
+    Applet,
+}
+
+impl std::fmt::Display for DocFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DocFormat::Text => "text",
+            DocFormat::Html => "HTML",
+            DocFormat::Applet => "Java applet",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One stored document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Format of the content.
+    pub format: DocFormat,
+    /// The content itself.
+    pub content: String,
+}
+
+/// URL → documents (one per available format).
+#[derive(Default)]
+pub struct DocStore {
+    docs: RwLock<BTreeMap<String, BTreeMap<DocFormat, Document>>>,
+}
+
+impl DocStore {
+    /// Create an empty store.
+    pub fn new() -> DocStore {
+        DocStore::default()
+    }
+
+    /// Publish a document under `url` in its format.
+    pub fn publish(&self, url: &str, doc: Document) {
+        self.docs
+            .write()
+            .entry(url.to_owned())
+            .or_default()
+            .insert(doc.format, doc);
+    }
+
+    /// The formats available at `url` (the Figure-4 buttons).
+    pub fn formats(&self, url: &str) -> Vec<DocFormat> {
+        self.docs
+            .read()
+            .get(url)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Fetch `url` in `format`.
+    pub fn fetch(&self, url: &str, format: DocFormat) -> WfResult<Document> {
+        self.docs
+            .read()
+            .get(url)
+            .and_then(|m| m.get(&format))
+            .cloned()
+            .ok_or_else(|| WebfinditError::UnknownDocument(format!("{url} ({format})")))
+    }
+
+    /// Fetch `url` in the best available format (HTML > text > applet).
+    pub fn fetch_best(&self, url: &str) -> WfResult<Document> {
+        for format in [DocFormat::Html, DocFormat::Text, DocFormat::Applet] {
+            if let Ok(doc) = self.fetch(url, format) {
+                return Ok(doc);
+            }
+        }
+        Err(WebfinditError::UnknownDocument(url.to_owned()))
+    }
+
+    /// Number of published URLs.
+    pub fn len(&self) -> usize {
+        self.docs.read().len()
+    }
+
+    /// True when nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.docs.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_fetch() {
+        let store = DocStore::new();
+        let url = "http://www.medicine.uq.edu.au/RBH";
+        store.publish(
+            url,
+            Document {
+                format: DocFormat::Html,
+                content: "<h1>Royal Brisbane Hospital</h1>".into(),
+            },
+        );
+        store.publish(
+            url,
+            Document {
+                format: DocFormat::Text,
+                content: "Royal Brisbane Hospital".into(),
+            },
+        );
+        assert_eq!(store.formats(url), vec![DocFormat::Text, DocFormat::Html]);
+        assert!(store
+            .fetch(url, DocFormat::Html)
+            .unwrap()
+            .content
+            .contains("<h1>"));
+        assert_eq!(store.fetch_best(url).unwrap().format, DocFormat::Html);
+        assert!(store.fetch(url, DocFormat::Applet).is_err());
+        assert!(store.fetch_best("http://nowhere").is_err());
+        assert_eq!(store.len(), 1);
+    }
+}

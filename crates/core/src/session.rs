@@ -1,0 +1,71 @@
+//! Browser sessions — the user-facing navigation context.
+//!
+//! "The browser is the user's interface to WebFINDIT. It uses the
+//! meta-data stored in the co-databases to educate users about the
+//! available information space." A [`BrowserSession`] holds what the
+//! Java-applet browser held: the user's home site (the paper assumes
+//! every user is already a user of a participating database), the
+//! coalition they are currently connected to, the leads of their last
+//! discovery, and a transcript of the interaction.
+
+use crate::discovery::Lead;
+
+/// One user's interaction state.
+#[derive(Debug, Clone)]
+pub struct BrowserSession {
+    /// The participating database this user belongs to.
+    pub site: String,
+    /// The coalition currently connected to, with the site whose
+    /// co-database serves it.
+    pub coalition: Option<(String, String)>,
+    /// Leads from the most recent `Find …` statement.
+    pub last_leads: Vec<Lead>,
+    /// `(statement, rendered response)` pairs, in order.
+    pub transcript: Vec<(String, String)>,
+}
+
+impl BrowserSession {
+    /// Start a session for a user of `site`.
+    pub fn new(site: impl Into<String>) -> BrowserSession {
+        BrowserSession {
+            site: site.into(),
+            coalition: None,
+            last_leads: Vec::new(),
+            transcript: Vec::new(),
+        }
+    }
+
+    /// Record an exchange in the transcript.
+    pub fn record(&mut self, statement: impl Into<String>, response: impl Into<String>) {
+        self.transcript.push((statement.into(), response.into()));
+    }
+
+    /// Render the transcript as the browser would show it.
+    pub fn render_transcript(&self) -> String {
+        let mut out = String::new();
+        for (stmt, resp) in &self.transcript {
+            out.push_str(&format!("WebTassili> {stmt}\n"));
+            for line in resp.lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcript_rendering() {
+        let mut s = BrowserSession::new("QUT Research");
+        assert_eq!(s.site, "QUT Research");
+        assert!(s.coalition.is_none());
+        s.record("Find Coalitions With Information X;", "coalition Research");
+        let t = s.render_transcript();
+        assert!(t.contains("WebTassili> Find Coalitions"));
+        assert!(t.contains("  coalition Research"));
+    }
+}

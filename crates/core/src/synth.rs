@@ -1,0 +1,196 @@
+//! Deterministic synthetic federations for the scalability experiments.
+//!
+//! The generator builds a federation of `databases` sites partitioned
+//! into topic-specific coalitions (the paper's premise: "databases are
+//! developed with a specific purpose"), with a ring of service links
+//! between consecutive coalitions plus optional random chords. Topics
+//! are distinct strings (`topic_007`) so information-type matching is
+//! exact, and everything is seeded, so experiment runs are reproducible
+//! byte for byte.
+
+use crate::federation::{Federation, SiteSpec, SiteVendor};
+use crate::WfResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use webfindit_codb::{LinkEnd, ServiceLink};
+use webfindit_relstore::{Database, Dialect};
+use webfindit_wire::cdr::ByteOrder;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of databases (sites).
+    pub databases: usize,
+    /// Databases per coalition.
+    pub coalition_size: usize,
+    /// Number of ORB instances to spread sites across.
+    pub orbs: usize,
+    /// Extra random coalition-to-coalition links beyond the ring.
+    pub extra_links: usize,
+    /// Whether to create the ring of consecutive-coalition service
+    /// links at all (disabled by the coalition-only ablation, E6).
+    pub ring_links: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            databases: 16,
+            coalition_size: 4,
+            orbs: 3,
+            extra_links: 0,
+            ring_links: true,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated federation plus its ground-truth topology.
+pub struct SynthFederation {
+    /// The deployed federation.
+    pub fed: Arc<Federation>,
+    /// Site names, in creation order.
+    pub sites: Vec<String>,
+    /// `(coalition name, topic, member sites)` in creation order.
+    pub coalitions: Vec<(String, String, Vec<String>)>,
+    /// The service links created.
+    pub links: Vec<ServiceLink>,
+}
+
+impl SynthFederation {
+    /// The topic advertised by coalition `i`.
+    pub fn topic(i: usize) -> String {
+        format!("topic_{i:03}")
+    }
+
+    /// The coalition name for index `i`.
+    pub fn coalition_name(i: usize) -> String {
+        format!("Coalition_{i:03}")
+    }
+
+    /// A member site of coalition `i` (the first one).
+    pub fn member_of(&self, i: usize) -> &str {
+        &self.coalitions[i].2[0]
+    }
+
+    /// Number of coalitions.
+    pub fn coalition_count(&self) -> usize {
+        self.coalitions.len()
+    }
+}
+
+/// Build a synthetic federation.
+pub fn build(config: &SynthConfig) -> WfResult<SynthFederation> {
+    assert!(config.databases > 0 && config.coalition_size > 0 && config.orbs > 0);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let fed = Federation::new()?;
+
+    // ORBs with alternating vendor flavors.
+    let orb_names: Vec<String> = (0..config.orbs).map(|i| format!("ORB-{i}")).collect();
+    for (i, name) in orb_names.iter().enumerate() {
+        let order = if i % 2 == 0 {
+            ByteOrder::BigEndian
+        } else {
+            ByteOrder::LittleEndian
+        };
+        fed.add_orb(name, &format!("orb{i}.synth.net"), 9100 + i as u16, order)?;
+    }
+
+    // Sites, each with a tiny relational database.
+    let vendors = [
+        Dialect::Oracle,
+        Dialect::MSql,
+        Dialect::Db2,
+        Dialect::Sybase,
+    ];
+    let n_coalitions = config.databases.div_ceil(config.coalition_size);
+    let mut sites = Vec::with_capacity(config.databases);
+    for i in 0..config.databases {
+        let name = format!("SynthDB_{i:04}");
+        let coalition_idx = i / config.coalition_size;
+        let dialect = vendors[i % vendors.len()];
+        let mut db = Database::new(&name, dialect);
+        db.execute("CREATE TABLE records (id INT PRIMARY KEY, payload TEXT)")
+            .map_err(|e| crate::WebfinditError::Protocol(e.to_string()))?;
+        for row in 0..4 {
+            db.execute(&format!(
+                "INSERT INTO records VALUES ({row}, 'payload-{i}-{row}')"
+            ))
+            .map_err(|e| crate::WebfinditError::Protocol(e.to_string()))?;
+        }
+        let spec = SiteSpec {
+            name: name.clone(),
+            orb: orb_names[i % orb_names.len()].clone(),
+            vendor: SiteVendor::Relational(dialect),
+            host: format!("synth{i}.net"),
+            information_type: SynthFederation::topic(coalition_idx),
+            documentation_url: format!("http://docs.synth.net/{name}"),
+            interface: Vec::new(),
+        };
+        fed.add_relational_site(spec, db)?;
+        sites.push(name);
+    }
+
+    // Coalitions: contiguous blocks, one topic each.
+    let mut coalitions = Vec::with_capacity(n_coalitions);
+    for c in 0..n_coalitions {
+        let name = SynthFederation::coalition_name(c);
+        let topic = SynthFederation::topic(c);
+        let members: Vec<String> = sites
+            .iter()
+            .skip(c * config.coalition_size)
+            .take(config.coalition_size)
+            .cloned()
+            .collect();
+        let member_refs: Vec<&str> = members.iter().map(String::as_str).collect();
+        fed.form_coalition(
+            &name,
+            None,
+            &format!("information about {topic}"),
+            &member_refs,
+        )?;
+        coalitions.push((name, topic, members));
+    }
+
+    // Service links: a ring plus random chords. Link descriptions name
+    // the *target* coalition's topic, which is what makes multi-hop
+    // discovery walk the ring.
+    let mut links = Vec::new();
+    if n_coalitions > 1 && config.ring_links {
+        for c in 0..n_coalitions {
+            let next = (c + 1) % n_coalitions;
+            let link = ServiceLink {
+                from: LinkEnd::Coalition(SynthFederation::coalition_name(c)),
+                to: LinkEnd::Coalition(SynthFederation::coalition_name(next)),
+                description: format!("shared access to {}", SynthFederation::topic(next)),
+            };
+            fed.add_service_link(&link)?;
+            links.push(link);
+        }
+        for _ in 0..config.extra_links {
+            let a = rng.gen_range(0..n_coalitions);
+            let mut b = rng.gen_range(0..n_coalitions);
+            if a == b {
+                b = (b + 1) % n_coalitions;
+            }
+            let link = ServiceLink {
+                from: LinkEnd::Coalition(SynthFederation::coalition_name(a)),
+                to: LinkEnd::Coalition(SynthFederation::coalition_name(b)),
+                description: format!("shared access to {}", SynthFederation::topic(b)),
+            };
+            if fed.add_service_link(&link).is_ok() {
+                links.push(link);
+            }
+        }
+    }
+
+    Ok(SynthFederation {
+        fed,
+        sites,
+        coalitions,
+        links,
+    })
+}

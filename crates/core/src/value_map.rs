@@ -1,0 +1,352 @@
+//! Serialization between engine-level results and wire [`Value`]s.
+//!
+//! Everything crossing an ORB boundary is a self-describing [`Value`];
+//! these helpers define the canonical encodings for relational result
+//! sets, object rows, and information-source descriptors, with strict
+//! decoders (malformed payloads become [`WebfinditError::Protocol`]).
+
+use crate::{WebfinditError, WfResult};
+use webfindit_codb::{ExportedFunction, ExportedType, InformationSource};
+use webfindit_oostore::OValue;
+use webfindit_relstore::exec::ResultSet;
+use webfindit_relstore::types::{format_date, Datum};
+use webfindit_wire::Value;
+
+/// Encode a [`Datum`] (dates travel as ISO strings tagged by position).
+pub fn datum_to_value(d: &Datum) -> Value {
+    match d {
+        Datum::Null => Value::Null,
+        Datum::Int(v) => Value::LongLong(*v),
+        Datum::Double(v) => Value::Double(*v),
+        Datum::Text(s) => Value::Str(s.clone()),
+        Datum::Bool(b) => Value::Bool(*b),
+        Datum::Date(days) => Value::record([
+            ("date", Value::string(format_date(*days))),
+        ]),
+    }
+}
+
+/// Decode a [`Datum`].
+pub fn value_to_datum(v: &Value) -> WfResult<Datum> {
+    Ok(match v {
+        Value::Null | Value::Void => Datum::Null,
+        Value::LongLong(v) => Datum::Int(*v),
+        Value::Long(v) => Datum::Int(*v as i64),
+        Value::Short(v) => Datum::Int(*v as i64),
+        Value::ULong(v) => Datum::Int(*v as i64),
+        Value::Double(v) => Datum::Double(*v),
+        Value::Float(v) => Datum::Double(*v as f64),
+        Value::Str(s) => Datum::Text(s.clone()),
+        Value::Bool(b) => Datum::Bool(*b),
+        Value::Struct(_) => {
+            let iso = v
+                .field("date")
+                .and_then(Value::as_str)
+                .ok_or_else(|| WebfinditError::Protocol("struct datum is not a date".into()))?;
+            Datum::Date(
+                webfindit_relstore::types::parse_date(iso)
+                    .ok_or_else(|| WebfinditError::Protocol(format!("bad date {iso}")))?,
+            )
+        }
+        other => {
+            return Err(WebfinditError::Protocol(format!(
+                "unexpected datum encoding: {other}"
+            )))
+        }
+    })
+}
+
+/// Encode an [`OValue`] (object references travel as their OID number).
+pub fn ovalue_to_value(v: &OValue) -> Value {
+    match v {
+        OValue::Null => Value::Null,
+        OValue::Int(i) => Value::LongLong(*i),
+        OValue::Double(d) => Value::Double(*d),
+        OValue::Text(s) => Value::Str(s.clone()),
+        OValue::Bool(b) => Value::Bool(*b),
+        OValue::List(items) => Value::Sequence(items.iter().map(ovalue_to_value).collect()),
+        OValue::Ref(oid) => Value::record([("oid", Value::ULong(oid.0 as u32))]),
+    }
+}
+
+/// Encode a relational [`ResultSet`].
+pub fn result_set_to_value(rs: &ResultSet) -> Value {
+    Value::record([
+        (
+            "columns",
+            Value::Sequence(rs.columns.iter().map(|c| Value::string(c.clone())).collect()),
+        ),
+        (
+            "rows",
+            Value::Sequence(
+                rs.rows
+                    .iter()
+                    .map(|r| Value::Sequence(r.iter().map(datum_to_value).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode a relational [`ResultSet`].
+pub fn value_to_result_set(v: &Value) -> WfResult<ResultSet> {
+    let columns = v
+        .field("columns")
+        .and_then(Value::as_sequence)
+        .ok_or_else(|| WebfinditError::Protocol("result set missing columns".into()))?
+        .iter()
+        .map(|c| {
+            c.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| WebfinditError::Protocol("non-string column name".into()))
+        })
+        .collect::<WfResult<Vec<String>>>()?;
+    let rows_v = v
+        .field("rows")
+        .and_then(Value::as_sequence)
+        .ok_or_else(|| WebfinditError::Protocol("result set missing rows".into()))?;
+    let mut rows = Vec::with_capacity(rows_v.len());
+    for r in rows_v {
+        let cells = r
+            .as_sequence()
+            .ok_or_else(|| WebfinditError::Protocol("row is not a sequence".into()))?;
+        rows.push(
+            cells
+                .iter()
+                .map(value_to_datum)
+                .collect::<WfResult<Vec<Datum>>>()?,
+        );
+    }
+    Ok(ResultSet { columns, rows })
+}
+
+/// Encode an information-source descriptor.
+pub fn descriptor_to_value(d: &InformationSource) -> Value {
+    Value::record([
+        ("name", Value::string(d.name.clone())),
+        ("information_type", Value::string(d.information_type.clone())),
+        ("documentation", Value::string(d.documentation_url.clone())),
+        ("location", Value::string(d.location.clone())),
+        ("wrapper", Value::string(d.wrapper.clone())),
+        (
+            "interface",
+            Value::Sequence(d.interface.iter().map(exported_type_to_value).collect()),
+        ),
+    ])
+}
+
+fn exported_type_to_value(t: &ExportedType) -> Value {
+    Value::record([
+        ("name", Value::string(t.name.clone())),
+        ("description", Value::string(t.description.clone())),
+        (
+            "attributes",
+            Value::Sequence(
+                t.attributes
+                    .iter()
+                    .map(|(ty, name)| {
+                        Value::record([
+                            ("type", Value::string(ty.clone())),
+                            ("name", Value::string(name.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "functions",
+            Value::Sequence(
+                t.functions
+                    .iter()
+                    .map(|f| {
+                        Value::record([
+                            ("name", Value::string(f.name.clone())),
+                            ("returns", Value::string(f.returns.clone())),
+                            (
+                                "params",
+                                Value::Sequence(
+                                    f.params.iter().map(|p| Value::string(p.clone())).collect(),
+                                ),
+                            ),
+                            ("description", Value::string(f.description.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode an information-source descriptor.
+pub fn value_to_descriptor(v: &Value) -> WfResult<InformationSource> {
+    let get = |name: &str| -> WfResult<String> {
+        v.field(name)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| WebfinditError::Protocol(format!("descriptor missing {name}")))
+    };
+    let mut interface = Vec::new();
+    if let Some(types) = v.field("interface").and_then(Value::as_sequence) {
+        for t in types {
+            interface.push(value_to_exported_type(t)?);
+        }
+    }
+    Ok(InformationSource {
+        name: get("name")?,
+        information_type: get("information_type")?,
+        documentation_url: get("documentation")?,
+        location: get("location")?,
+        wrapper: get("wrapper")?,
+        interface,
+    })
+}
+
+fn value_to_exported_type(v: &Value) -> WfResult<ExportedType> {
+    let name = v
+        .field("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WebfinditError::Protocol("exported type missing name".into()))?
+        .to_owned();
+    let description = v
+        .field("description")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_owned();
+    let mut attributes = Vec::new();
+    if let Some(attrs) = v.field("attributes").and_then(Value::as_sequence) {
+        for a in attrs {
+            let ty = a
+                .field("type")
+                .and_then(Value::as_str)
+                .unwrap_or("string")
+                .to_owned();
+            let an = a
+                .field("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| WebfinditError::Protocol("attribute missing name".into()))?
+                .to_owned();
+            attributes.push((ty, an));
+        }
+    }
+    let mut functions = Vec::new();
+    if let Some(funcs) = v.field("functions").and_then(Value::as_sequence) {
+        for f in funcs {
+            functions.push(ExportedFunction {
+                name: f
+                    .field("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| WebfinditError::Protocol("function missing name".into()))?
+                    .to_owned(),
+                returns: f
+                    .field("returns")
+                    .and_then(Value::as_str)
+                    .unwrap_or("void")
+                    .to_owned(),
+                params: f
+                    .field("params")
+                    .and_then(Value::as_sequence)
+                    .map(|ps| {
+                        ps.iter()
+                            .filter_map(|p| p.as_str().map(str::to_owned))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                description: f
+                    .field("description")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_owned(),
+            });
+        }
+    }
+    Ok(ExportedType {
+        name,
+        attributes,
+        functions,
+        description,
+    })
+}
+
+/// Decode a list of strings (coalition names, member names, …).
+pub fn value_to_strings(v: &Value) -> WfResult<Vec<String>> {
+    v.as_sequence()
+        .ok_or_else(|| WebfinditError::Protocol("expected a string sequence".into()))?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| WebfinditError::Protocol("expected a string".into()))
+        })
+        .collect()
+}
+
+/// Encode a list of strings.
+pub fn strings_to_value<I: IntoIterator<Item = String>>(items: I) -> Value {
+    Value::Sequence(items.into_iter().map(Value::Str).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datum_roundtrip() {
+        let data = vec![
+            Datum::Null,
+            Datum::Int(42),
+            Datum::Double(2.5),
+            Datum::Text("x".into()),
+            Datum::Bool(true),
+            Datum::Date(webfindit_relstore::types::parse_date("1999-06-15").unwrap()),
+        ];
+        for d in data {
+            let v = datum_to_value(&d);
+            assert_eq!(value_to_datum(&v).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn result_set_roundtrip() {
+        let rs = ResultSet {
+            columns: vec!["id".into(), "name".into()],
+            rows: vec![
+                vec![Datum::Int(1), Datum::Text("a".into())],
+                vec![Datum::Int(2), Datum::Null],
+            ],
+        };
+        let v = result_set_to_value(&rs);
+        assert_eq!(value_to_result_set(&v).unwrap(), rs);
+    }
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let d = InformationSource {
+            name: "RBH".into(),
+            information_type: "Research and Medical".into(),
+            documentation_url: "http://docs/RBH".into(),
+            location: "dba.icis.qut.edu.au".into(),
+            wrapper: "dba.icis.qut.edu.au/WebTassiliOracle".into(),
+            interface: vec![ExportedType {
+                name: "ResearchProjects".into(),
+                attributes: vec![("string".into(), "Title".into())],
+                functions: vec![ExportedFunction {
+                    name: "Funding".into(),
+                    params: vec!["Title x".into()],
+                    returns: "real".into(),
+                    description: "budget".into(),
+                }],
+                description: "projects".into(),
+            }],
+        };
+        let v = descriptor_to_value(&d);
+        assert_eq!(value_to_descriptor(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert!(value_to_result_set(&Value::Long(5)).is_err());
+        assert!(value_to_descriptor(&Value::record([("name", Value::Long(1))])).is_err());
+        assert!(value_to_strings(&Value::Long(1)).is_err());
+        assert!(value_to_datum(&Value::Sequence(vec![])).is_err());
+    }
+}

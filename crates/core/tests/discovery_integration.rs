@@ -1,0 +1,234 @@
+//! Integration tests: synthetic federations, the discovery algorithm,
+//! the baselines, and the full WebTassili processing path over real
+//! multi-ORB IIOP.
+
+use webfindit::baselines::{CentralIndex, FlatBroadcast};
+use webfindit::discovery::DiscoveryEngine;
+use webfindit::processor::{Processor, Response};
+use webfindit::session::BrowserSession;
+use webfindit::synth::{build, SynthConfig, SynthFederation};
+
+fn small() -> SynthFederation {
+    build(&SynthConfig {
+        databases: 12,
+        coalition_size: 3,
+        orbs: 3,
+        extra_links: 0,
+        ring_links: true,
+        seed: 7,
+    })
+    .unwrap()
+}
+
+#[test]
+fn local_topics_resolve_at_level_zero() {
+    let synth = small();
+    let engine = DiscoveryEngine::new(synth.fed.clone());
+    // A member of coalition 0 looking for its own topic: local hit.
+    let outcome = engine
+        .find(synth.member_of(0), &SynthFederation::topic(0))
+        .unwrap();
+    assert!(outcome.found());
+    assert_eq!(outcome.stats.found_at_level, Some(0));
+    assert_eq!(outcome.stats.total_round_trips(), 0);
+    assert!(outcome
+        .leads
+        .iter()
+        .any(|l| l.coalition_name() == Some("Coalition_000")));
+    synth.fed.shutdown();
+}
+
+#[test]
+fn linked_topics_resolve_via_minimal_description() {
+    let synth = small();
+    let engine = DiscoveryEngine::new(synth.fed.clone());
+    // Coalition 0 is linked to coalition 1; the minimal description
+    // (class + contact) makes topic_001 findable from coalition 0
+    // without broadcasting.
+    let outcome = engine
+        .find(synth.member_of(0), &SynthFederation::topic(1))
+        .unwrap();
+    assert!(outcome.found(), "{outcome:?}");
+    assert!(
+        outcome.stats.sites_visited < synth.sites.len(),
+        "discovery should not visit every site: {:?}",
+        outcome.stats
+    );
+    synth.fed.shutdown();
+}
+
+#[test]
+fn distant_topics_need_more_hops_but_not_broadcast() {
+    let synth = build(&SynthConfig {
+        databases: 24,
+        coalition_size: 3,
+        orbs: 3,
+        extra_links: 0,
+        ring_links: true,
+        seed: 11,
+    })
+    .unwrap();
+    let engine = DiscoveryEngine::new(synth.fed.clone());
+    let near = engine
+        .find(synth.member_of(0), &SynthFederation::topic(1))
+        .unwrap();
+    let far = engine
+        .find(synth.member_of(0), &SynthFederation::topic(4))
+        .unwrap();
+    assert!(near.found() && far.found());
+    assert!(
+        far.stats.found_at_level >= near.stats.found_at_level,
+        "near {near:?} vs far {far:?}"
+    );
+    synth.fed.shutdown();
+}
+
+#[test]
+fn broadcast_always_pays_full_fanout() {
+    let synth = small();
+    let engine = DiscoveryEngine::new(synth.fed.clone());
+    let flat = FlatBroadcast::new(synth.fed.clone());
+
+    let wf = engine
+        .find(synth.member_of(0), &SynthFederation::topic(0))
+        .unwrap();
+    let bc = flat.find(&SynthFederation::topic(0)).unwrap();
+
+    assert!(bc.found());
+    assert_eq!(bc.stats.sites_visited, synth.sites.len());
+    assert!(
+        wf.stats.total_round_trips() < bc.stats.total_round_trips(),
+        "WebFINDIT {wf:?} should beat broadcast {bc:?}"
+    );
+    synth.fed.shutdown();
+}
+
+#[test]
+fn central_index_is_cheap_to_query_expensive_to_build() {
+    let synth = small();
+    let central = CentralIndex::build(synth.fed.clone()).unwrap();
+    assert!(
+        central.registration_calls as usize >= synth.sites.len(),
+        "the center ingests at least one call per site"
+    );
+    let outcome = central.find(&SynthFederation::topic(2)).unwrap();
+    assert!(outcome.found());
+    assert_eq!(outcome.stats.codb_queries, 2); // find_coalitions + find_links
+    synth.fed.shutdown();
+}
+
+#[test]
+fn webfindit_and_broadcast_agree_on_answerability() {
+    let synth = small();
+    let engine = DiscoveryEngine::new(synth.fed.clone());
+    let flat = FlatBroadcast::new(synth.fed.clone());
+    for c in 0..synth.coalition_count() {
+        let topic = SynthFederation::topic(c);
+        let wf = engine.find(synth.member_of(0), &topic).unwrap();
+        let bc = flat.find(&topic).unwrap();
+        assert_eq!(
+            wf.found(),
+            bc.found(),
+            "coalition {c}: WebFINDIT {wf:?} vs broadcast {bc:?}"
+        );
+    }
+    // A topic nobody advertises is found by neither.
+    let wf = engine.find(synth.member_of(0), "nonexistent-subject").unwrap();
+    let bc = flat.find("nonexistent-subject").unwrap();
+    assert!(!wf.found() && !bc.found());
+    synth.fed.shutdown();
+}
+
+#[test]
+fn webtassili_session_over_the_synthetic_federation() {
+    let synth = small();
+    let processor = Processor::new(synth.fed.clone());
+    let mut session = BrowserSession::new(synth.member_of(0));
+
+    // Find, connect, browse, query — the §2.3 interaction pattern.
+    let resp = processor
+        .submit(&mut session, "Find Coalitions With Information topic_000;", None)
+        .unwrap();
+    match &resp {
+        Response::Leads { leads, .. } => {
+            assert!(leads.iter().any(|l| l.coalition_name() == Some("Coalition_000")))
+        }
+        other => panic!("{other:?}"),
+    }
+
+    let resp = processor
+        .submit(&mut session, "Connect To Coalition Coalition_000;", None)
+        .unwrap();
+    assert!(matches!(resp, Response::Connected { .. }));
+
+    let resp = processor
+        .submit(&mut session, "Display Instances of Class Coalition_000;", None)
+        .unwrap();
+    match &resp {
+        Response::Instances(names) => assert_eq!(names.len(), 3),
+        other => panic!("{other:?}"),
+    }
+
+    let resp = processor
+        .submit(
+            &mut session,
+            &format!(
+                "Submit Native 'SELECT payload FROM records WHERE id = 1' To Instance {};",
+                synth.member_of(0)
+            ),
+            None,
+        )
+        .unwrap();
+    match &resp {
+        Response::Table(rs) => {
+            assert_eq!(rs.rows.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+    synth.fed.shutdown();
+}
+
+#[test]
+fn dead_site_degrades_gracefully() {
+    let synth = small();
+    // Take one coalition-1 member's data source offline and unbind its
+    // co-database from naming: discovery should still find topic_001 via
+    // the remaining members, not error out.
+    let victim = synth.coalitions[1].2[1].clone();
+    synth.fed.naming_client().unbind(&format!("codb/{victim}")).unwrap();
+    let engine = DiscoveryEngine::new(synth.fed.clone());
+    let outcome = engine
+        .find(synth.member_of(0), &SynthFederation::topic(1))
+        .unwrap();
+    assert!(outcome.found(), "{outcome:?}");
+    synth.fed.shutdown();
+}
+
+#[test]
+fn churn_join_leave_reflects_in_discovery() {
+    let synth = small();
+    let engine = DiscoveryEngine::new(synth.fed.clone());
+
+    // A new-ish topic appears when a site joins a fresh coalition.
+    let newcomer = synth.sites[0].clone();
+    synth
+        .fed
+        .form_coalition(
+            "PopUp",
+            None,
+            "information about popup-topic",
+            &[&newcomer],
+        )
+        .unwrap();
+    let outcome = engine.find(synth.member_of(1), "popup-topic").unwrap();
+    assert!(outcome.found(), "{outcome:?}");
+
+    // After dissolution at every site, it is gone.
+    for site in synth.fed.site_names() {
+        let handle = synth.fed.site(&site).unwrap();
+        let _ = handle.codb.write().dissolve_coalition("PopUp");
+    }
+    let outcome = engine.find(synth.member_of(1), "popup-topic").unwrap();
+    assert!(!outcome.found(), "{outcome:?}");
+    synth.fed.shutdown();
+}

@@ -1,0 +1,78 @@
+//! Property-based tests on the discovery algorithm over randomized
+//! synthetic federations (DESIGN.md §6):
+//!
+//! * **Completeness** — every advertised topic is findable from every
+//!   start site (the ring topology keeps the federation connected).
+//! * **Soundness** — a topic nobody advertises is never "found", from
+//!   any start site.
+//! * **Locality** — a site's own coalition topic always resolves at
+//!   level 0 with zero network round-trips.
+//!
+//! Federations carry real ORBs and TCP listeners, so the strategy keeps
+//! sizes small and case counts low.
+
+use proptest::prelude::*;
+use webfindit::discovery::DiscoveryEngine;
+use webfindit::synth::{build, SynthConfig, SynthFederation};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 16,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn discovery_is_complete_sound_and_local(
+        databases in 4usize..14,
+        coalition_size in 1usize..4,
+        extra_links in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let synth = build(&SynthConfig {
+            databases,
+            coalition_size,
+            orbs: 2,
+            extra_links,
+            ring_links: true,
+            seed,
+        })
+        .unwrap();
+        let mut engine = DiscoveryEngine::new(synth.fed.clone());
+        engine.max_depth = 32;
+
+        // Locality: own topic at level 0, free.
+        for c in 0..synth.coalition_count() {
+            let outcome = engine
+                .find(synth.member_of(c), &SynthFederation::topic(c))
+                .unwrap();
+            prop_assert!(outcome.found());
+            prop_assert_eq!(outcome.stats.found_at_level, Some(0));
+            prop_assert_eq!(outcome.stats.total_round_trips(), 0);
+        }
+
+        // Completeness: every topic from every coalition's first member.
+        for start in 0..synth.coalition_count() {
+            for target in 0..synth.coalition_count() {
+                let outcome = engine
+                    .find(synth.member_of(start), &SynthFederation::topic(target))
+                    .unwrap();
+                prop_assert!(
+                    outcome.found(),
+                    "topic {target} unreachable from coalition {start}: {:?}",
+                    outcome.stats
+                );
+            }
+        }
+
+        // Soundness: unadvertised topics are found nowhere.
+        for start in 0..synth.coalition_count() {
+            let outcome = engine
+                .find(synth.member_of(start), "subject nobody advertises")
+                .unwrap();
+            prop_assert!(!outcome.found(), "phantom lead: {:?}", outcome.leads);
+        }
+
+        synth.fed.shutdown();
+    }
+}

@@ -1,0 +1,116 @@
+//! `webfindit-shell` — an interactive WebTassili shell over the
+//! healthcare federation: the text-mode equivalent of the paper's
+//! Java-applet browser.
+//!
+//! ```text
+//! cargo run -p webfindit-examples --bin webfindit-shell
+//! WebTassili> Find Coalitions With Information Medical Research;
+//! WebTassili> Connect To Coalition Research;
+//! WebTassili> Display Instances of Class Research;
+//! WebTassili> Submit Native 'select * from medical_students' To Instance Royal Brisbane Hospital;
+//! WebTassili> :help        (shell commands)
+//! WebTassili> :quit
+//! ```
+//!
+//! Reads statements from stdin, so it also works non-interactively:
+//! `echo "Find Coalitions With Information Medical Research;" | cargo run …`.
+
+use std::io::{self, BufRead, Write};
+use webfindit::processor::Processor;
+use webfindit::session::BrowserSession;
+use webfindit::trace::Trace;
+use webfindit_healthcare::build_healthcare;
+
+const HELP: &str = "\
+Shell commands:
+  :help              this text
+  :site <name>       switch the session's home site (default: QUT Research)
+  :sites             list federation sites
+  :trace on|off      show the layered execution trace per statement
+  :transcript        print the session transcript so far
+  :quit              exit
+
+Anything else is parsed as a WebTassili statement, e.g.:
+  Find Coalitions With Information Medical Research;
+  Connect To Coalition Research;
+  Display SubClasses of Class Research;
+  Display Instances of Class Research;
+  Display Document of Instance Royal Brisbane Hospital Of Class Research;
+  Display Access Information of Instance Royal Brisbane Hospital;
+  Invoke ResearchProjects.Funding((ResearchProjects.Title = 'AIDS and drugs')) On Instance Royal Brisbane Hospital;
+  Submit Native 'select * from medical_students' To Instance Royal Brisbane Hospital;
+  Create Coalition Telehealth Documentation 'remote care';
+  Join Instance Medicare To Coalition Telehealth;
+";
+
+fn main() {
+    eprintln!("building the healthcare federation (14 databases, 3 ORBs)…");
+    let dep = build_healthcare(1999).expect("healthcare deployment");
+    let processor = Processor::new(dep.fed.clone());
+    let mut session = BrowserSession::new("QUT Research");
+    let mut tracing = false;
+
+    eprintln!("ready. You are a user of: {}. Type :help for help.", session.site);
+    let stdin = io::stdin();
+    loop {
+        print!("WebTassili> ");
+        let _ = io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(cmd) = line.strip_prefix(':') {
+            let mut parts = cmd.splitn(2, ' ');
+            match (parts.next().unwrap_or(""), parts.next()) {
+                ("quit", _) | ("q", _) | ("exit", _) => break,
+                ("help", _) => println!("{HELP}"),
+                ("sites", _) => {
+                    for s in dep.fed.site_names() {
+                        println!("  {s}");
+                    }
+                }
+                ("site", Some(name)) => {
+                    let name = name.trim();
+                    if dep.fed.site(name).is_ok() {
+                        session = BrowserSession::new(name);
+                        println!("now a user of {name}");
+                    } else {
+                        println!("unknown site: {name}");
+                    }
+                }
+                ("trace", Some(v)) => {
+                    tracing = v.trim() == "on";
+                    println!("trace {}", if tracing { "on" } else { "off" });
+                }
+                ("transcript", _) => print!("{}", session.render_transcript()),
+                other => println!("unknown shell command :{} — try :help", other.0),
+            }
+            continue;
+        }
+        let mut trace = Trace::new();
+        let result = processor.submit(
+            &mut session,
+            line,
+            if tracing { Some(&mut trace) } else { None },
+        );
+        match result {
+            Ok(response) => {
+                let rendered = response.render();
+                println!("{rendered}");
+                session.record(line, rendered);
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        if tracing {
+            print!("{}", trace.render());
+        }
+    }
+    eprintln!("shutting down…");
+    dep.fed.shutdown();
+}

@@ -1,0 +1,17 @@
+//! Shared helpers for the runnable examples (see the repository-level
+//! `examples/` directory). The examples themselves are the interesting
+//! part; this library only holds tiny formatting utilities.
+
+#![warn(missing_docs)]
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Print an indented block.
+pub fn block(text: &str) {
+    for line in text.lines() {
+        println!("    {line}");
+    }
+}

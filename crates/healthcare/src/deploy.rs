@@ -1,0 +1,215 @@
+//! Standing up the healthcare federation (§4–5).
+
+use crate::schemas::{build_database, BuiltSource};
+use crate::topology::{coalitions, databases, service_links, OrbName};
+use std::sync::Arc;
+use webfindit::docs::{DocFormat, Document};
+use webfindit::federation::{Federation, SiteSpec, SiteVendor};
+use webfindit::WfResult;
+use webfindit::wire::cdr::ByteOrder;
+use webfindit_relstore::Dialect;
+
+/// A running healthcare deployment.
+pub struct HealthcareDeployment {
+    /// The federation.
+    pub fed: Arc<Federation>,
+    /// Total ORB invocations spent wiring coalitions and links.
+    pub wiring_calls: u64,
+    /// The seed used for data generation.
+    pub seed: u64,
+}
+
+/// Build the full 14-database healthcare federation: three ORBs
+/// (Orbix big-endian C++-flavored, OrbixWeb and VisiBroker
+/// little-endian Java-flavored), every database with its co-database,
+/// the five coalitions, the nine service links, and the documentation
+/// store contents.
+pub fn build_healthcare(seed: u64) -> WfResult<HealthcareDeployment> {
+    let fed = Federation::new()?;
+
+    // Figure 2's three ORBs. Byte orders differ so cross-ORB calls are
+    // genuinely cross-endian.
+    fed.add_orb("Orbix", "orbix.qut.edu.au", 9000, ByteOrder::BigEndian)?;
+    fed.add_orb("OrbixWeb", "orbixweb.qut.edu.au", 9001, ByteOrder::LittleEndian)?;
+    fed.add_orb(
+        "VisiBroker",
+        "visibroker.qut.edu.au",
+        9002,
+        ByteOrder::LittleEndian,
+    )?;
+
+    // The fourteen sites.
+    for info in databases() {
+        let orb = match info.dbms.orb() {
+            OrbName::Orbix => "Orbix",
+            OrbName::OrbixWeb => "OrbixWeb",
+            OrbName::VisiBroker => "VisiBroker",
+        };
+        let built = build_database(&info, seed);
+        let vendor = match &built {
+            BuiltSource::Relational(db, _) => match db.dialect() {
+                Dialect::Oracle => SiteVendor::Relational(Dialect::Oracle),
+                Dialect::MSql => SiteVendor::Relational(Dialect::MSql),
+                Dialect::Db2 => SiteVendor::Relational(Dialect::Db2),
+                Dialect::Sybase => SiteVendor::Relational(Dialect::Sybase),
+                Dialect::Canonical => SiteVendor::Relational(Dialect::Canonical),
+            },
+            BuiltSource::Object(..) => match info.dbms {
+                crate::topology::Dbms::Ontos => SiteVendor::Ontos,
+                _ => SiteVendor::ObjectStore,
+            },
+        };
+        let interface = match &built {
+            BuiltSource::Relational(_, iface) => iface.clone(),
+            BuiltSource::Object(_, _, iface) => iface.clone(),
+        };
+        let spec = SiteSpec {
+            name: info.name.to_owned(),
+            orb: orb.to_owned(),
+            vendor,
+            host: info.host.to_owned(),
+            information_type: info.information_type.to_owned(),
+            documentation_url: info.documentation_url.to_owned(),
+            interface,
+        };
+        match built {
+            BuiltSource::Relational(db, _) => {
+                fed.add_relational_site(spec, db)?;
+            }
+            BuiltSource::Object(store, methods, _) => {
+                fed.add_object_site(spec, store, methods)?;
+            }
+        }
+        publish_documentation(&fed, &info);
+    }
+
+    // Coalitions and service links from Figure 1.
+    let mut wiring_calls = 0;
+    for (name, doc, members) in coalitions() {
+        wiring_calls += fed.form_coalition(name, None, doc, &members)?;
+    }
+    for link in service_links() {
+        wiring_calls += fed.add_service_link(&link)?;
+    }
+
+    // Lattice refinement: the Figure-4 session displays SubClasses of
+    // Research, so the taxonomy has at least one level below the
+    // coalitions. Cancer Research specializes Research; every Research
+    // member learns the subclass, with Queensland Cancer Fund as its
+    // instance.
+    {
+        use webfindit::value_map::descriptor_to_value;
+        use webfindit::wire::Value;
+        let qcf = fed.site("Queensland Cancer Fund")?;
+        let research_members = coalitions()
+            .into_iter()
+            .find(|(n, _, _)| *n == "Research")
+            .map(|(_, _, m)| m)
+            .unwrap_or_default();
+        for member in research_members {
+            let site = fed.site(member)?;
+            fed.client_orb().invoke(
+                &site.codb_ior,
+                "create_coalition",
+                &[
+                    Value::string("Cancer Research"),
+                    Value::string("Research"),
+                    Value::string("cancer-specific medical research"),
+                ],
+            )?;
+            fed.client_orb().invoke(
+                &site.codb_ior,
+                "advertise",
+                &[
+                    Value::string("Cancer Research"),
+                    descriptor_to_value(&qcf.descriptor),
+                ],
+            )?;
+            wiring_calls += 2;
+        }
+    }
+
+    Ok(HealthcareDeployment {
+        fed,
+        wiring_calls,
+        seed,
+    })
+}
+
+/// Publish the documentation the Figure-4 format picker offers. RBH
+/// gets text, HTML (the Figure-5 page), and a Java-applet placeholder.
+fn publish_documentation(fed: &Arc<Federation>, info: &crate::topology::DatabaseInfo) {
+    let docs = fed.docs();
+    docs.publish(
+        info.documentation_url,
+        Document {
+            format: DocFormat::Text,
+            content: format!(
+                "{} — {}. Hosted at {} on {}.",
+                info.name,
+                info.information_type,
+                info.host,
+                info.dbms.name()
+            ),
+        },
+    );
+    if info.name == "Royal Brisbane Hospital" {
+        docs.publish(
+            info.documentation_url,
+            Document {
+                format: DocFormat::Html,
+                content: "<html><head><title>Royal Brisbane Hospital</title></head>\n\
+                          <body>\n<h1>Royal Brisbane Hospital</h1>\n\
+                          <p>The Royal Brisbane Hospital is a teaching hospital \
+                          conducting medical research and providing patient care. \
+                          Its database exports the ResearchProjects and \
+                          PatientHistory types.</p>\n\
+                          <p>Contact: dba.icis.qut.edu.au</p>\n</body></html>"
+                    .to_owned(),
+            },
+        );
+        docs.publish(
+            info.documentation_url,
+            Document {
+                format: DocFormat::Applet,
+                content: "applet: RBHVirtualTour.class (video clip of the campus)"
+                    .to_owned(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_deployment_comes_up() {
+        let dep = build_healthcare(1999).unwrap();
+        // 14 sites, 3 ORBs (plus the bootstrap one), 28 servants (a
+        // co-database and an ISI per site).
+        assert_eq!(dep.fed.site_names().len(), 14);
+        assert_eq!(dep.fed.orb_names().len(), 3);
+        let mut servants = 0;
+        for orb_name in dep.fed.orb_names() {
+            servants += dep.fed.orb(&orb_name).unwrap().adapter().len();
+        }
+        assert_eq!(servants, 28, "14 co-databases + 14 ISIs");
+        assert!(dep.wiring_calls > 0);
+        dep.fed.shutdown();
+    }
+
+    #[test]
+    fn rbh_codb_knows_its_two_coalitions_and_links() {
+        let dep = build_healthcare(1999).unwrap();
+        let rbh = dep.fed.site("Royal Brisbane Hospital").unwrap();
+        let codb = rbh.codb.read();
+        let memberships = codb.memberships("Royal Brisbane Hospital");
+        assert!(memberships.contains(&"Research".to_string()), "{memberships:?}");
+        assert!(memberships.contains(&"Medical".to_string()), "{memberships:?}");
+        // Links involving Medical are known at RBH (a Medical member).
+        assert!(!codb.links_involving("Medical").is_empty());
+        drop(codb);
+        dep.fed.shutdown();
+    }
+}

@@ -1,0 +1,29 @@
+//! # webfindit-healthcare — the paper's healthcare application
+//!
+//! Sections 4–5 of the paper validate WebFINDIT with a Queensland
+//! healthcare deployment: **14 databases** (28 counting co-databases)
+//! across **five DBMS products** (Oracle, mSQL, DB2, ObjectStore,
+//! Ontos), **three IIOP-compliant ORBs** (Orbix, OrbixWeb, VisiBroker),
+//! organized into **five coalitions** and **nine service links**
+//! (Figure 1). This crate builds exactly that deployment on the
+//! simulated substrates:
+//!
+//! * [`topology`] — the ground-truth names: databases, coalitions,
+//!   memberships, service links, DBMS and ORB assignments.
+//! * [`schemas`] — per-database schemas (the Royal Brisbane Hospital
+//!   schema is the paper's §2.2 relation list verbatim) and seeded
+//!   synthetic data generators.
+//! * [`deploy`] — [`deploy::build_healthcare`], which stands the whole
+//!   federation up and returns handles for querying it.
+//! * [`sessions`] — the canned §5 user session that regenerates the
+//!   content of Figures 4, 5, and 6.
+
+#![warn(missing_docs)]
+
+pub mod deploy;
+pub mod schemas;
+pub mod sessions;
+pub mod topology;
+
+pub use deploy::{build_healthcare, HealthcareDeployment};
+pub use topology::{coalitions, databases, service_links, DatabaseInfo, Dbms, OrbName};

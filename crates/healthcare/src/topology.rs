@@ -1,0 +1,342 @@
+//! Ground truth of the medical world (the paper's Figure 1 and §4).
+//!
+//! Fourteen databases, five coalitions, nine service links. DBMS and
+//! ORB assignments follow Figure 2 and §4: "ObjectStore databases are
+//! connected to Orbix. The Ontos database is connected to OrbixWeb.
+//! […] Oracle databases are connected to VisiBroker, whereas mSQL and
+//! DB2 are connected to OrbixWeb."
+
+use webfindit_codb::{LinkEnd, ServiceLink};
+
+/// The five DBMS products of the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dbms {
+    /// Oracle (relational).
+    Oracle,
+    /// mSQL (relational, minimal feature set).
+    MSql,
+    /// DB2 (relational).
+    Db2,
+    /// ObjectStore (object-oriented, C++ interface).
+    ObjectStore,
+    /// Ontos (object-oriented, reached over JNI).
+    Ontos,
+}
+
+impl Dbms {
+    /// Product name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dbms::Oracle => "Oracle",
+            Dbms::MSql => "mSQL",
+            Dbms::Db2 => "DB2",
+            Dbms::ObjectStore => "ObjectStore",
+            Dbms::Ontos => "Ontos",
+        }
+    }
+
+    /// The ORB hosting this product's proxies (Figure 2).
+    pub fn orb(&self) -> OrbName {
+        match self {
+            Dbms::Oracle => OrbName::VisiBroker,
+            Dbms::MSql | Dbms::Db2 | Dbms::Ontos => OrbName::OrbixWeb,
+            Dbms::ObjectStore => OrbName::Orbix,
+        }
+    }
+}
+
+/// The three ORB instances of the prototype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrbName {
+    /// Orbix (C++ servers; hosts ObjectStore proxies).
+    Orbix,
+    /// OrbixWeb (Java servers; hosts mSQL, DB2, and Ontos proxies).
+    OrbixWeb,
+    /// VisiBroker for Java (hosts Oracle proxies).
+    VisiBroker,
+}
+
+impl OrbName {
+    /// Instance name string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OrbName::Orbix => "Orbix",
+            OrbName::OrbixWeb => "OrbixWeb",
+            OrbName::VisiBroker => "VisiBroker",
+        }
+    }
+}
+
+/// Static description of one participating database.
+#[derive(Debug, Clone)]
+pub struct DatabaseInfo {
+    /// Database name as used in the paper.
+    pub name: &'static str,
+    /// DBMS product.
+    pub dbms: Dbms,
+    /// Advertised host.
+    pub host: &'static str,
+    /// Advertised information type.
+    pub information_type: &'static str,
+    /// Documentation URL.
+    pub documentation_url: &'static str,
+}
+
+/// The fourteen databases (§4).
+pub fn databases() -> Vec<DatabaseInfo> {
+    vec![
+        DatabaseInfo {
+            name: "Royal Brisbane Hospital",
+            dbms: Dbms::Oracle,
+            host: "dba.icis.qut.edu.au",
+            information_type: "Research and Medical",
+            documentation_url: "http://www.medicine.uq.edu.au/RBH",
+        },
+        DatabaseInfo {
+            name: "QUT Research",
+            dbms: Dbms::Oracle,
+            host: "research.qut.edu.au",
+            information_type: "Medical Research",
+            documentation_url: "http://docs.webfindit.net/QUT_Research",
+        },
+        DatabaseInfo {
+            name: "Medicare",
+            dbms: Dbms::Oracle,
+            host: "medicare.gov.au",
+            information_type: "Medicare claims and coverage",
+            documentation_url: "http://docs.webfindit.net/Medicare",
+        },
+        DatabaseInfo {
+            name: "Medibank",
+            dbms: Dbms::Oracle,
+            host: "medibank.com.au",
+            information_type: "Medical Insurance memberships",
+            documentation_url: "http://docs.webfindit.net/Medibank",
+        },
+        DatabaseInfo {
+            name: "Centre Link",
+            dbms: Dbms::MSql,
+            host: "centrelink.gov.au",
+            information_type: "welfare payments",
+            documentation_url: "http://docs.webfindit.net/Centre_Link",
+        },
+        DatabaseInfo {
+            name: "State Government Funding",
+            dbms: Dbms::MSql,
+            host: "funding.qld.gov.au",
+            information_type: "state health funding",
+            documentation_url: "http://docs.webfindit.net/State_Government_Funding",
+        },
+        DatabaseInfo {
+            name: "RBH Workers Union",
+            dbms: Dbms::MSql,
+            host: "union.rbh.org.au",
+            information_type: "Medical Workers Union membership",
+            documentation_url: "http://docs.webfindit.net/RBH_Workers_Union",
+        },
+        DatabaseInfo {
+            name: "Australian Taxation Office",
+            dbms: Dbms::Db2,
+            host: "ato.gov.au",
+            information_type: "taxation records",
+            documentation_url: "http://docs.webfindit.net/Australian_Taxation_Office",
+        },
+        DatabaseInfo {
+            name: "MBF",
+            dbms: Dbms::Db2,
+            host: "mbf.com.au",
+            information_type: "Medical Insurance policies",
+            documentation_url: "http://docs.webfindit.net/MBF",
+        },
+        DatabaseInfo {
+            name: "RMIT Medical Research",
+            dbms: Dbms::ObjectStore,
+            host: "research.rmit.edu.au",
+            information_type: "Medical Research projects",
+            documentation_url: "http://docs.webfindit.net/RMIT_Medical_Research",
+        },
+        DatabaseInfo {
+            name: "Queensland Cancer Fund",
+            dbms: Dbms::ObjectStore,
+            host: "qldcancer.org.au",
+            information_type: "cancer Research funding",
+            documentation_url: "http://docs.webfindit.net/Queensland_Cancer_Fund",
+        },
+        DatabaseInfo {
+            name: "Ambulance",
+            dbms: Dbms::ObjectStore,
+            host: "ambulance.qld.gov.au",
+            information_type: "emergency transport",
+            documentation_url: "http://docs.webfindit.net/Ambulance",
+        },
+        DatabaseInfo {
+            name: "AMP",
+            dbms: Dbms::ObjectStore,
+            host: "amp.com.au",
+            information_type: "Superannuation investment",
+            documentation_url: "http://docs.webfindit.net/AMP",
+        },
+        DatabaseInfo {
+            name: "Prince Charles Hospital",
+            dbms: Dbms::Ontos,
+            host: "pch.health.qld.gov.au",
+            information_type: "Medical treatment",
+            documentation_url: "http://docs.webfindit.net/Prince_Charles_Hospital",
+        },
+    ]
+}
+
+/// The five coalitions with their member databases (Figure 1).
+pub fn coalitions() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
+    vec![
+        (
+            "Research",
+            "medical research conducted in hospitals and universities",
+            vec![
+                "QUT Research",
+                "RMIT Medical Research",
+                "Queensland Cancer Fund",
+                "Royal Brisbane Hospital",
+            ],
+        ),
+        (
+            "Medical",
+            "hospitals and medical service providers",
+            vec!["Royal Brisbane Hospital", "Prince Charles Hospital", "Medicare"],
+        ),
+        (
+            "Medical Insurance",
+            "medical insurance providers",
+            vec!["Medibank", "MBF"],
+        ),
+        ("Superannuation", "superannuation funds", vec!["AMP"]),
+        (
+            "Medical Workers Union",
+            "medical workers unions",
+            vec!["RBH Workers Union"],
+        ),
+    ]
+}
+
+/// The nine service links (Figure 1).
+pub fn service_links() -> Vec<ServiceLink> {
+    let c = |n: &str| LinkEnd::Coalition(n.to_owned());
+    let d = |n: &str| LinkEnd::Database(n.to_owned());
+    vec![
+        ServiceLink {
+            from: d("State Government Funding"),
+            to: d("Medicare"),
+            description: "state funding flows to Medicare".into(),
+        },
+        ServiceLink {
+            from: d("Australian Taxation Office"),
+            to: d("Medicare"),
+            description: "levy collection for Medicare".into(),
+        },
+        ServiceLink {
+            from: d("State Government Funding"),
+            to: c("Medical"),
+            description: "state health funding for Medical providers".into(),
+        },
+        ServiceLink {
+            from: d("Australian Taxation Office"),
+            to: c("Medical"),
+            description: "taxation data for Medical providers".into(),
+        },
+        ServiceLink {
+            from: c("Superannuation"),
+            to: c("Medical"),
+            description: "superannuation cover for Medical staff".into(),
+        },
+        ServiceLink {
+            from: d("Centre Link"),
+            to: c("Medical"),
+            description: "welfare entitlements for Medical patients".into(),
+        },
+        ServiceLink {
+            from: c("Medical Workers Union"),
+            to: c("Medical"),
+            description: "union coverage of Medical staff".into(),
+        },
+        ServiceLink {
+            from: d("Ambulance"),
+            to: c("Medical"),
+            description: "emergency transport for Medical providers".into(),
+        },
+        ServiceLink {
+            from: c("Medical"),
+            to: c("Medical Insurance"),
+            description: "Medical Insurance information for providers".into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_paper() {
+        assert_eq!(databases().len(), 14);
+        assert_eq!(coalitions().len(), 5);
+        assert_eq!(service_links().len(), 9);
+    }
+
+    #[test]
+    fn five_dbms_products_are_used() {
+        let mut products: Vec<&str> = databases().iter().map(|d| d.dbms.name()).collect();
+        products.sort();
+        products.dedup();
+        assert_eq!(products, vec!["DB2", "ObjectStore", "Ontos", "Oracle", "mSQL"]);
+    }
+
+    #[test]
+    fn rbh_is_in_research_and_medical() {
+        let memberships: Vec<&str> = coalitions()
+            .iter()
+            .filter(|(_, _, m)| m.contains(&"Royal Brisbane Hospital"))
+            .map(|(n, _, _)| *n)
+            .collect();
+        assert_eq!(memberships, vec!["Research", "Medical"]);
+    }
+
+    #[test]
+    fn orb_assignment_follows_figure_2() {
+        for db in databases() {
+            let expected = match db.dbms {
+                Dbms::Oracle => OrbName::VisiBroker,
+                Dbms::MSql | Dbms::Db2 | Dbms::Ontos => OrbName::OrbixWeb,
+                Dbms::ObjectStore => OrbName::Orbix,
+            };
+            assert_eq!(db.dbms.orb(), expected, "{}", db.name);
+        }
+    }
+
+    #[test]
+    fn every_coalition_member_is_a_database() {
+        let names: Vec<&str> = databases().iter().map(|d| d.name).collect();
+        for (coalition, _, members) in coalitions() {
+            for m in members {
+                assert!(names.contains(&m), "{m} of {coalition} is not a database");
+            }
+        }
+    }
+
+    #[test]
+    fn every_link_endpoint_exists() {
+        let db_names: Vec<&str> = databases().iter().map(|d| d.name).collect();
+        let coalition_names: Vec<&str> = coalitions().iter().map(|(n, _, _)| *n).collect();
+        for link in service_links() {
+            for end in [&link.from, &link.to] {
+                match end {
+                    LinkEnd::Database(n) => {
+                        assert!(db_names.contains(&n.as_str()), "{n} unknown")
+                    }
+                    LinkEnd::Coalition(n) => {
+                        assert!(coalition_names.contains(&n.as_str()), "{n} unknown")
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,690 @@
+//! A small OQL-flavoured query language over class extents.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query  := SELECT ( '*' | attr (',' attr)* ) FROM Class [WHERE pred]
+//! pred   := or
+//! or     := and (OR and)*
+//! and    := not (AND not)*
+//! not    := [NOT] cmp | '(' pred ')'
+//! cmp    := attr (= | <> | < | <= | > | >=| LIKE) literal
+//!         | attr IS [NOT] NULL
+//! ```
+//!
+//! `FROM Class` ranges over the extent *closure* (instances of the class
+//! and all its subclasses), which is what makes coalition queries like
+//! "all databases under Research" one-liners in the co-database.
+
+use crate::model::OValue;
+use crate::store::ObjectStore;
+use crate::{OoError, OoResult};
+use crate::model::Oid;
+use std::cmp::Ordering;
+
+/// A parsed OQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OqlQuery {
+    /// Projected attribute names, or empty for `*`.
+    pub attrs: Vec<String>,
+    /// The class whose extent closure is queried.
+    pub class: String,
+    /// Optional predicate.
+    pub filter: Option<Pred>,
+    /// Optional `order by (attribute, descending)` key.
+    pub order_by: Option<(String, bool)>,
+    /// Optional `limit`.
+    pub limit: Option<usize>,
+}
+
+/// OQL predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// Comparison of an attribute to a literal.
+    Cmp {
+        /// Attribute name.
+        attr: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal operand.
+        value: OValue,
+    },
+    /// `attr IS [NOT] NULL`.
+    IsNull {
+        /// Attribute name.
+        attr: String,
+        /// True for IS NOT NULL.
+        negated: bool,
+    },
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `LIKE` with `%`/`_`
+    Like,
+}
+
+/// Query result: projected column names plus `(oid, values)` rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OqlResult {
+    /// Output attribute names.
+    pub columns: Vec<String>,
+    /// Matching objects with projected values.
+    pub rows: Vec<(Oid, Vec<OValue>)>,
+}
+
+impl OqlQuery {
+    /// Parse OQL text.
+    pub fn parse(text: &str) -> OoResult<OqlQuery> {
+        Parser::new(text).query()
+    }
+
+    /// Execute against a store.
+    pub fn execute(&self, store: &ObjectStore) -> OoResult<OqlResult> {
+        let oids = store.instances_of(&self.class, true)?;
+        let columns: Vec<String> = if self.attrs.is_empty() {
+            store
+                .all_attributes(&self.class)?
+                .into_iter()
+                .map(|a| a.name)
+                .collect()
+        } else {
+            self.attrs.clone()
+        };
+        let mut rows = Vec::new();
+        for oid in oids {
+            let obj = store.object(oid)?;
+            if let Some(p) = &self.filter {
+                if !matches!(eval_pred(p, obj), Some(true)) {
+                    continue;
+                }
+            }
+            let values = columns.iter().map(|c| obj.get(c)).collect();
+            rows.push((oid, values));
+        }
+        if let Some((attr, desc)) = &self.order_by {
+            let mut keyed: Vec<(OValue, (Oid, Vec<OValue>))> = rows
+                .into_iter()
+                .map(|(oid, values)| {
+                    let key = store.object(oid).map(|o| o.get(attr)).unwrap_or(OValue::Null);
+                    (key, (oid, values))
+                })
+                .collect();
+            keyed.sort_by(|(a, (ao, _)), (b, (bo, _))| {
+                // Nulls first, incomparables by OID for a stable total order.
+                let ord = match (a.is_null(), b.is_null()) {
+                    (true, true) => Ordering::Equal,
+                    (true, false) => Ordering::Less,
+                    (false, true) => Ordering::Greater,
+                    (false, false) => a.compare(b).unwrap_or(Ordering::Equal),
+                };
+                let ord = if *desc { ord.reverse() } else { ord };
+                ord.then(ao.cmp(bo))
+            });
+            rows = keyed.into_iter().map(|(_, row)| row).collect();
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n);
+        }
+        Ok(OqlResult { columns, rows })
+    }
+}
+
+fn eval_pred(p: &Pred, obj: &crate::store::Object) -> Option<bool> {
+    match p {
+        Pred::Cmp { attr, op, value } => {
+            let v = obj.get(attr);
+            if *op == CmpOp::Like {
+                return match (v.as_text(), value.as_text()) {
+                    (Some(t), Some(pat)) => Some(like(t, pat)),
+                    _ => None,
+                };
+            }
+            let ord = v.compare(value)?;
+            Some(match op {
+                CmpOp::Eq => ord == Ordering::Equal,
+                CmpOp::Ne => ord != Ordering::Equal,
+                CmpOp::Lt => ord == Ordering::Less,
+                CmpOp::Le => ord != Ordering::Greater,
+                CmpOp::Gt => ord == Ordering::Greater,
+                CmpOp::Ge => ord != Ordering::Less,
+                CmpOp::Like => unreachable!(),
+            })
+        }
+        Pred::IsNull { attr, negated } => Some(obj.get(attr).is_null() != *negated),
+        Pred::And(a, b) => match (eval_pred(a, obj), eval_pred(b, obj)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        Pred::Or(a, b) => match (eval_pred(a, obj), eval_pred(b, obj)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        Pred::Not(a) => eval_pred(a, obj).map(|b| !b),
+    }
+}
+
+/// LIKE matching with `%` and `_`.
+fn like(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => (0..=t.len()).any(|i| rec(&t[i..], rest)),
+            Some(('_', rest)) => t
+                .split_first()
+                .is_some_and(|(_, tr)| rec(tr, rest)),
+            Some((c, rest)) => t
+                .split_first()
+                .is_some_and(|(tc, tr)| tc == c && rec(tr, rest)),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+// ---- parsing ----------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Sym(&'static str),
+    Eof,
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(text: &str) -> Parser {
+        Parser {
+            toks: lex(text),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> OoResult<T> {
+        Err(OoError::Parse {
+            message: msg.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw)) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> OoResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {}", kw.to_uppercase()))
+        }
+    }
+
+    fn ident(&mut self) -> OoResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn query(&mut self) -> OoResult<OqlQuery> {
+        self.expect_kw("select")?;
+        let mut attrs = Vec::new();
+        if !matches!(self.peek(), Tok::Sym("*")) {
+            loop {
+                attrs.push(self.ident()?.to_ascii_lowercase());
+                if !matches!(self.peek(), Tok::Sym(",")) {
+                    break;
+                }
+                self.bump();
+            }
+        } else {
+            self.bump();
+        }
+        self.expect_kw("from")?;
+        let class = self.ident()?;
+        let filter = if self.eat_kw("where") {
+            Some(self.pred_or()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            let attr = self.ident()?.to_ascii_lowercase();
+            let desc = if self.eat_kw("desc") {
+                true
+            } else {
+                self.eat_kw("asc");
+                false
+            };
+            Some((attr, desc))
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("limit") {
+            match self.bump() {
+                Tok::Int(n) if n >= 0 => Some(n as usize),
+                other => return self.err(format!("expected a limit count, found {other:?}")),
+            }
+        } else {
+            None
+        };
+        if !matches!(self.peek(), Tok::Eof) {
+            return self.err("trailing input after query");
+        }
+        Ok(OqlQuery {
+            attrs,
+            class,
+            filter,
+            order_by,
+            limit,
+        })
+    }
+
+    fn pred_or(&mut self) -> OoResult<Pred> {
+        let mut left = self.pred_and()?;
+        while self.eat_kw("or") {
+            let right = self.pred_and()?;
+            left = Pred::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_and(&mut self) -> OoResult<Pred> {
+        let mut left = self.pred_not()?;
+        while self.eat_kw("and") {
+            let right = self.pred_not()?;
+            left = Pred::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_not(&mut self) -> OoResult<Pred> {
+        if self.eat_kw("not") {
+            let inner = self.pred_not()?;
+            return Ok(Pred::Not(Box::new(inner)));
+        }
+        if matches!(self.peek(), Tok::Sym("(")) {
+            self.bump();
+            let inner = self.pred_or()?;
+            if !matches!(self.bump(), Tok::Sym(")")) {
+                return self.err("expected ')'");
+            }
+            return Ok(inner);
+        }
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> OoResult<Pred> {
+        let attr = self.ident()?.to_ascii_lowercase();
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Pred::IsNull { attr, negated });
+        }
+        if self.eat_kw("like") {
+            let value = self.literal()?;
+            return Ok(Pred::Cmp {
+                attr,
+                op: CmpOp::Like,
+                value,
+            });
+        }
+        let op = match self.bump() {
+            Tok::Sym("=") => CmpOp::Eq,
+            Tok::Sym("<>") => CmpOp::Ne,
+            Tok::Sym("<=") => CmpOp::Le,
+            Tok::Sym(">=") => CmpOp::Ge,
+            Tok::Sym("<") => CmpOp::Lt,
+            Tok::Sym(">") => CmpOp::Gt,
+            other => return self.err(format!("expected comparison operator, found {other:?}")),
+        };
+        let value = self.literal()?;
+        Ok(Pred::Cmp { attr, op, value })
+    }
+
+    fn literal(&mut self) -> OoResult<OValue> {
+        match self.bump() {
+            Tok::Str(s) => Ok(OValue::Text(s)),
+            Tok::Int(v) => Ok(OValue::Int(v)),
+            Tok::Float(v) => Ok(OValue::Double(v)),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(OValue::Bool(true)),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("false") => Ok(OValue::Bool(false)),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(OValue::Null),
+            Tok::Sym("-") => match self.bump() {
+                Tok::Int(v) => Ok(OValue::Int(-v)),
+                Tok::Float(v) => Ok(OValue::Double(-v)),
+                other => self.err(format!("expected number after '-', found {other:?}")),
+            },
+            other => self.err(format!("expected literal, found {other:?}")),
+        }
+    }
+}
+
+fn lex(text: &str) -> Vec<(Tok, usize)> {
+    let b = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '\'' {
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            while i < b.len() {
+                if b[i] == b'\'' {
+                    if b.get(i + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    let ch = text[i..].chars().next().expect("valid utf8");
+                    s.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+            out.push((Tok::Str(s), start));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit()
+            {
+                i += 1;
+                while i < b.len() && (b[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                out.push((
+                    Tok::Float(text[start..i].parse().unwrap_or(0.0)),
+                    start,
+                ));
+            } else {
+                out.push((Tok::Int(text[start..i].parse().unwrap_or(0)), start));
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push((Tok::Ident(text[start..i].to_owned()), start));
+            continue;
+        }
+        let rest = &text[i..];
+        let mut matched = false;
+        for sym in ["<>", "<=", ">=", "=", "<", ">", "(", ")", ",", "*", "-"] {
+            if rest.starts_with(sym) {
+                out.push((Tok::Sym(match sym {
+                    "<>" => "<>",
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    "=" => "=",
+                    "<" => "<",
+                    ">" => ">",
+                    "(" => "(",
+                    ")" => ")",
+                    "," => ",",
+                    "*" => "*",
+                    "-" => "-",
+                    _ => unreachable!(),
+                }), i));
+                i += sym.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            // Skip unknown characters; the parser will report a sensible
+            // error at the next expectation point.
+            i += 1;
+        }
+    }
+    out.push((Tok::Eof, text.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ClassDef, OType};
+
+    fn store() -> ObjectStore {
+        let mut s = ObjectStore::new("codb");
+        s.define_class(
+            ClassDef::root("Research")
+                .attr("name", OType::Text)
+                .attr("funding", OType::Double)
+                .attr("active", OType::Bool),
+        )
+        .unwrap();
+        s.define_class(ClassDef::root("MedicalResearch").extends("Research"))
+            .unwrap();
+        s.create(
+            "Research",
+            [
+                ("name".to_string(), OValue::from("QUT Research")),
+                ("funding".to_string(), OValue::from(120_000.0)),
+                ("active".to_string(), OValue::from(true)),
+            ],
+        )
+        .unwrap();
+        s.create(
+            "MedicalResearch",
+            [
+                ("name".to_string(), OValue::from("RMIT Medical Research")),
+                ("funding".to_string(), OValue::from(80_000.0)),
+                ("active".to_string(), OValue::from(false)),
+            ],
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn select_star_covers_subclass_extents() {
+        let q = OqlQuery::parse("select * from Research").unwrap();
+        let r = q.execute(&store()).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.columns, vec!["name", "funding", "active"]);
+    }
+
+    #[test]
+    fn projection_and_filter() {
+        let q = OqlQuery::parse("select name from Research where funding > 100000").unwrap();
+        let r = q.execute(&store()).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].1[0].as_text(), Some("QUT Research"));
+    }
+
+    #[test]
+    fn like_and_boolean_literals() {
+        let q = OqlQuery::parse("select name from Research where name like '%Medical%' and active = false")
+            .unwrap();
+        let r = q.execute(&store()).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].1[0].as_text(), Some("RMIT Medical Research"));
+    }
+
+    #[test]
+    fn or_not_parens() {
+        let q = OqlQuery::parse(
+            "select name from Research where (funding < 100000 or name = 'QUT Research') and not active = false",
+        )
+        .unwrap();
+        let r = q.execute(&store()).unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let mut s = store();
+        s.create("Research", [("name".to_string(), OValue::from("NoFunding"))])
+            .unwrap();
+        let q = OqlQuery::parse("select name from Research where funding is null").unwrap();
+        let r = q.execute(&s).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let q2 = OqlQuery::parse("select name from Research where funding is not null").unwrap();
+        assert_eq!(q2.execute(&s).unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn null_comparisons_filter_out() {
+        let mut s = store();
+        s.create("Research", [("name".to_string(), OValue::from("NoFunding"))])
+            .unwrap();
+        // funding > 0 is unknown for the null row → excluded.
+        let q = OqlQuery::parse("select name from Research where funding > 0").unwrap();
+        assert_eq!(q.execute(&s).unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(OqlQuery::parse("select from X").is_err());
+        assert!(OqlQuery::parse("select * from").is_err());
+        assert!(OqlQuery::parse("select * from X where").is_err());
+        assert!(OqlQuery::parse("select * from X where a ~ 3").is_err());
+        assert!(OqlQuery::parse("select * from X trailing").is_err());
+    }
+
+    #[test]
+    fn unknown_class_errors_at_execute() {
+        let q = OqlQuery::parse("select * from Ghost").unwrap();
+        assert!(matches!(
+            q.execute(&store()),
+            Err(OoError::NoSuchClass(_))
+        ));
+    }
+
+    #[test]
+    fn negative_number_literals() {
+        let q = OqlQuery::parse("select name from Research where funding > -1").unwrap();
+        assert_eq!(q.execute(&store()).unwrap().rows.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod order_limit_tests {
+    use super::*;
+    use crate::model::{ClassDef, OType};
+
+    fn funded() -> ObjectStore {
+        let mut s = ObjectStore::new("x");
+        s.define_class(
+            ClassDef::root("G")
+                .attr("name", OType::Text)
+                .attr("amount", OType::Double),
+        )
+        .unwrap();
+        for (n, a) in [("a", 30.0), ("b", 10.0), ("c", 20.0)] {
+            s.create(
+                "G",
+                [
+                    ("name".to_string(), OValue::from(n)),
+                    ("amount".to_string(), OValue::Double(a)),
+                ],
+            )
+            .unwrap();
+        }
+        // One row with a NULL sort key.
+        s.create("G", [("name".to_string(), OValue::from("d"))]).unwrap();
+        s
+    }
+
+    #[test]
+    fn order_by_asc_nulls_first() {
+        let q = OqlQuery::parse("select name from G order by amount").unwrap();
+        let names: Vec<String> = q
+            .execute(&funded())
+            .unwrap()
+            .rows
+            .into_iter()
+            .map(|(_, v)| v[0].to_string())
+            .collect();
+        assert_eq!(names, vec!["d", "b", "c", "a"]);
+    }
+
+    #[test]
+    fn order_by_desc_with_limit() {
+        let q = OqlQuery::parse("select name from G order by amount desc limit 2").unwrap();
+        let names: Vec<String> = q
+            .execute(&funded())
+            .unwrap()
+            .rows
+            .into_iter()
+            .map(|(_, v)| v[0].to_string())
+            .collect();
+        assert_eq!(names, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn limit_without_order() {
+        let q = OqlQuery::parse("select name from G limit 2").unwrap();
+        assert_eq!(q.execute(&funded()).unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn order_by_parse_errors() {
+        assert!(OqlQuery::parse("select * from G order amount").is_err());
+        assert!(OqlQuery::parse("select * from G limit x").is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the object store's class lattice.
+//!
+//! Invariants:
+//! * the lattice is acyclic by construction (`is_subclass_of` never
+//!   holds in both directions for distinct classes);
+//! * `instances_of(c, true)` equals the union of direct extents over
+//!   `{c} ∪ subclasses_transitive(c)`;
+//! * attribute visibility is monotonic: a subclass sees every ancestor
+//!   attribute name;
+//! * delete removes exactly the deleted object from every view.
+
+use proptest::prelude::*;
+use webfindit_oostore::model::{ClassDef, OType, OValue};
+use webfindit_oostore::ObjectStore;
+
+/// A random lattice description: class i gets parents drawn from the
+/// classes 0..i (guaranteeing acyclicity the same way real schema
+/// evolution does: you can only extend what already exists).
+#[derive(Debug, Clone)]
+struct LatticeSpec {
+    /// parents[i] ⊆ 0..i
+    parents: Vec<Vec<usize>>,
+    /// objects: (class index, value)
+    objects: Vec<(usize, i64)>,
+}
+
+fn arb_lattice() -> impl Strategy<Value = LatticeSpec> {
+    (2usize..10).prop_flat_map(|n| {
+        let parents = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Just(Vec::new()).boxed()
+                } else {
+                    proptest::collection::vec(0..i, 0..=i.min(2)).boxed()
+                }
+            })
+            .collect::<Vec<_>>();
+        let objects = proptest::collection::vec((0..n, any::<i64>()), 0..30);
+        (parents, objects).prop_map(|(parents, objects)| LatticeSpec { parents, objects })
+    })
+}
+
+fn class_name(i: usize) -> String {
+    format!("C{i}")
+}
+
+fn build(spec: &LatticeSpec) -> ObjectStore {
+    let mut store = ObjectStore::new("prop");
+    for (i, parents) in spec.parents.iter().enumerate() {
+        let mut def = ClassDef::root(class_name(i)).attr(format!("a{i}"), OType::Int);
+        let mut seen = std::collections::BTreeSet::new();
+        for &p in parents {
+            if seen.insert(p) {
+                def = def.extends(class_name(p));
+            }
+        }
+        store.define_class(def).expect("acyclic by construction");
+    }
+    for (class, v) in &spec.objects {
+        store
+            .create(&class_name(*class), [(format!("a{class}"), OValue::Int(*v))])
+            .expect("valid attr");
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lattice_is_acyclic(spec in arb_lattice()) {
+        let store = build(&spec);
+        let n = spec.parents.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j { continue; }
+                let ij = store.is_subclass_of(&class_name(i), &class_name(j)).unwrap();
+                let ji = store.is_subclass_of(&class_name(j), &class_name(i)).unwrap();
+                prop_assert!(!(ij && ji), "cycle between C{i} and C{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn extent_closure_matches_subclass_union(spec in arb_lattice()) {
+        let store = build(&spec);
+        for i in 0..spec.parents.len() {
+            let name = class_name(i);
+            let mut expected: Vec<_> = store.instances_of(&name, false).unwrap();
+            for sub in store.subclasses_transitive(&name).unwrap() {
+                expected.extend(store.instances_of(&sub, false).unwrap());
+            }
+            expected.sort();
+            expected.dedup();
+            let closure = store.instances_of(&name, true).unwrap();
+            prop_assert_eq!(closure, expected);
+        }
+    }
+
+    #[test]
+    fn subclass_sees_ancestor_attributes(spec in arb_lattice()) {
+        let store = build(&spec);
+        let n = spec.parents.len();
+        for i in 0..n {
+            let attrs: Vec<String> = store
+                .all_attributes(&class_name(i))
+                .unwrap()
+                .into_iter()
+                .map(|a| a.name)
+                .collect();
+            for j in 0..n {
+                if store.is_subclass_of(&class_name(i), &class_name(j)).unwrap() {
+                    prop_assert!(
+                        attrs.contains(&format!("a{j}")),
+                        "C{i} must see a{j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_removes_exactly_one(spec in arb_lattice()) {
+        let mut store = build(&spec);
+        let total = store.object_count();
+        if let Some(oid) = store.instances_of(&class_name(0), true).unwrap().first().copied() {
+            let class = store.object(oid).unwrap().class.clone();
+            store.delete(oid).unwrap();
+            prop_assert_eq!(store.object_count(), total - 1);
+            prop_assert!(!store.instances_of(&class, false).unwrap().contains(&oid));
+            prop_assert!(store.object(oid).is_err());
+        }
+    }
+
+    #[test]
+    fn drop_class_is_exhaustive(spec in arb_lattice()) {
+        let mut store = build(&spec);
+        // Drop class 1 (if it exists) and verify nothing references it.
+        if spec.parents.len() > 1 {
+            let doomed = store.drop_class(&class_name(1)).unwrap();
+            prop_assert!(doomed.contains(&class_name(1)));
+            prop_assert!(store.class(&class_name(1)).is_err());
+            // No surviving class lists a doomed parent.
+            for name in store.class_names() {
+                for parent in store.superclasses(&name).unwrap() {
+                    prop_assert!(
+                        store.class(&parent).is_ok(),
+                        "{name} references dropped parent {parent}"
+                    );
+                }
+            }
+            // No orphaned objects.
+            for c in store.class_names() {
+                for oid in store.instances_of(&c, false).unwrap() {
+                    prop_assert!(store.object(oid).is_ok());
+                }
+            }
+        }
+    }
+}

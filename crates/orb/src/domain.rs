@@ -1,0 +1,97 @@
+//! The ORB domain: shared endpoint resolution across ORB instances.
+//!
+//! The paper's IORs advertise real hostnames (`dba.icis.qut.edu.au`); in
+//! this reproduction every ORB binds a loopback socket on an ephemeral
+//! port. `OrbDomain` is the DNS stand-in that maps an advertised
+//! `(host, port)` pair to the actual socket address, so IORs keep the
+//! paper's names while frames still flow through genuine TCP.
+//!
+//! A domain is also the unit of deployment bookkeeping: it remembers
+//! which ORB instances exist, which is what the Figure-2 regeneration
+//! binary walks to print the implementation map.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Shared registry of advertised endpoints within one federation.
+#[derive(Default)]
+pub struct OrbDomain {
+    endpoints: RwLock<BTreeMap<(String, u16), SocketAddr>>,
+    orb_names: RwLock<Vec<String>>,
+}
+
+impl OrbDomain {
+    /// Create an empty domain.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Register that `host:port` (as advertised in IORs) is actually
+    /// served at `addr`.
+    pub fn register_endpoint(&self, host: impl Into<String>, port: u16, addr: SocketAddr) {
+        self.endpoints.write().insert((host.into(), port), addr);
+    }
+
+    /// Remove an endpoint registration (an ORB shutting down).
+    pub fn unregister_endpoint(&self, host: &str, port: u16) {
+        self.endpoints.write().remove(&(host.to_owned(), port));
+    }
+
+    /// Resolve an advertised endpoint to its socket address.
+    pub fn resolve(&self, host: &str, port: u16) -> Option<SocketAddr> {
+        self.endpoints.read().get(&(host.to_owned(), port)).copied()
+    }
+
+    /// Record an ORB instance name for deployment listings.
+    pub fn register_orb(&self, name: impl Into<String>) {
+        self.orb_names.write().push(name.into());
+    }
+
+    /// Names of all ORB instances registered in this domain.
+    pub fn orb_names(&self) -> Vec<String> {
+        self.orb_names.read().clone()
+    }
+
+    /// All advertised endpoints, sorted, for diagnostics.
+    pub fn endpoints(&self) -> Vec<(String, u16, SocketAddr)> {
+        self.endpoints
+            .read()
+            .iter()
+            .map(|((h, p), a)| (h.clone(), *p, *a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_resolve() {
+        let d = OrbDomain::new();
+        let addr: SocketAddr = "127.0.0.1:45001".parse().unwrap();
+        d.register_endpoint("dba.icis.qut.edu.au", 9000, addr);
+        assert_eq!(d.resolve("dba.icis.qut.edu.au", 9000), Some(addr));
+        assert_eq!(d.resolve("dba.icis.qut.edu.au", 9001), None);
+        assert_eq!(d.resolve("other.host", 9000), None);
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let d = OrbDomain::new();
+        let addr: SocketAddr = "127.0.0.1:45001".parse().unwrap();
+        d.register_endpoint("h", 1, addr);
+        d.unregister_endpoint("h", 1);
+        assert_eq!(d.resolve("h", 1), None);
+    }
+
+    #[test]
+    fn orb_names_accumulate() {
+        let d = OrbDomain::new();
+        d.register_orb("Orbix");
+        d.register_orb("VisiBroker");
+        assert_eq!(d.orb_names(), vec!["Orbix", "VisiBroker"]);
+    }
+}

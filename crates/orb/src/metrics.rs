@@ -1,0 +1,104 @@
+//! Per-ORB traffic counters.
+//!
+//! The scalability experiments (E1, E4, E6) quantify discovery cost in
+//! *IIOP round-trips* and *bytes marshalled* — the same units the paper
+//! argues about qualitatively. Counters are lock-free atomics so that
+//! the measurement does not perturb the measured path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic traffic counters for one ORB instance.
+#[derive(Default, Debug)]
+pub struct OrbMetrics {
+    /// GIOP Requests sent by this ORB acting as a client.
+    pub requests_sent: AtomicU64,
+    /// GIOP Requests served by this ORB's adapter (arrived via IIOP).
+    pub requests_served: AtomicU64,
+    /// Invocations short-circuited because the target servant is local.
+    pub local_dispatches: AtomicU64,
+    /// Bytes of GIOP frames written to transports.
+    pub bytes_sent: AtomicU64,
+    /// Bytes of GIOP frames read from transports.
+    pub bytes_received: AtomicU64,
+    /// Replies carrying exceptions (user or system) sent by this ORB.
+    pub exceptions_sent: AtomicU64,
+    /// LocateRequest probes served.
+    pub locates_served: AtomicU64,
+}
+
+/// A point-in-time copy of the counters, for before/after deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// See [`OrbMetrics::requests_sent`].
+    pub requests_sent: u64,
+    /// See [`OrbMetrics::requests_served`].
+    pub requests_served: u64,
+    /// See [`OrbMetrics::local_dispatches`].
+    pub local_dispatches: u64,
+    /// See [`OrbMetrics::bytes_sent`].
+    pub bytes_sent: u64,
+    /// See [`OrbMetrics::bytes_received`].
+    pub bytes_received: u64,
+    /// See [`OrbMetrics::exceptions_sent`].
+    pub exceptions_sent: u64,
+    /// See [`OrbMetrics::locates_served`].
+    pub locates_served: u64,
+}
+
+impl MetricsSnapshot {
+    /// Component-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_sent: self.requests_sent - earlier.requests_sent,
+            requests_served: self.requests_served - earlier.requests_served,
+            local_dispatches: self.local_dispatches - earlier.local_dispatches,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+            exceptions_sent: self.exceptions_sent - earlier.exceptions_sent,
+            locates_served: self.locates_served - earlier.locates_served,
+        }
+    }
+
+    /// Total invocations regardless of locality.
+    pub fn total_invocations(&self) -> u64 {
+        self.requests_sent + self.local_dispatches
+    }
+}
+
+impl OrbMetrics {
+    /// Capture the current values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_sent: self.requests_sent.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            local_dispatches: self.local_dispatches.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            exceptions_sent: self.exceptions_sent.load(Ordering::Relaxed),
+            locates_served: self.locates_served.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let m = OrbMetrics::default();
+        m.add(&m.requests_sent, 3);
+        m.add(&m.bytes_sent, 100);
+        let s1 = m.snapshot();
+        m.add(&m.requests_sent, 2);
+        let s2 = m.snapshot();
+        let d = s2.since(&s1);
+        assert_eq!(d.requests_sent, 2);
+        assert_eq!(d.bytes_sent, 0);
+        assert_eq!(s2.total_invocations(), 5);
+    }
+}

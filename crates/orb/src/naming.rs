@@ -1,0 +1,244 @@
+//! A CORBA-style naming service, implemented as an ordinary servant.
+//!
+//! WebFINDIT needs a bootstrap step: given the *name* of a co-database
+//! or information source ("RBH", "Medicare"), obtain its IOR. CORBA
+//! solves this with the COS Naming service — itself a CORBA object — and
+//! so do we: [`NamingService`] is a [`Servant`] whose `bind`/`resolve`/
+//! `unbind`/`list` operations travel through GIOP like any other call.
+//! IORs cross the wire in their stringified `IOR:…` form, exactly how
+//! 1990s deployments moved references between ORBs.
+
+use crate::servant::{InvokeResult, Servant, ServantError};
+use crate::{Orb, OrbError, OrbResult};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use webfindit_wire::{Ior, Value};
+
+/// Interface repository id of the naming service.
+pub const NAMING_INTERFACE_ID: &str = "IDL:webfindit/NamingContext:1.0";
+
+/// Conventional object key under which the naming servant is activated.
+pub const NAMING_OBJECT_KEY: &[u8] = b"naming/root";
+
+/// The server-side naming context: a flat name → IOR table.
+#[derive(Default)]
+pub struct NamingService {
+    bindings: RwLock<BTreeMap<String, Ior>>,
+}
+
+impl NamingService {
+    /// Create an empty naming context.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Direct (in-process) bind, used during deployment bootstrap.
+    pub fn bind_direct(&self, name: impl Into<String>, ior: Ior) {
+        self.bindings.write().insert(name.into(), ior);
+    }
+
+    /// Direct resolve, used by tests.
+    pub fn resolve_direct(&self, name: &str) -> Option<Ior> {
+        self.bindings.read().get(name).cloned()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.read().len()
+    }
+
+    /// True when no names are bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.read().is_empty()
+    }
+}
+
+impl Servant for NamingService {
+    fn interface_id(&self) -> &str {
+        NAMING_INTERFACE_ID
+    }
+
+    fn invoke(&self, operation: &str, args: &[Value]) -> InvokeResult {
+        match operation {
+            "bind" => {
+                let name = args
+                    .first()
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ServantError::BadArguments("bind(name, ior)".into()))?;
+                let ior_str = args
+                    .get(1)
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ServantError::BadArguments("bind(name, ior)".into()))?;
+                let ior = Ior::from_stringified(ior_str).map_err(|e| {
+                    ServantError::BadArguments(format!("unparseable IOR: {e}"))
+                })?;
+                self.bindings.write().insert(name.to_owned(), ior);
+                Ok(Value::Void)
+            }
+            "resolve" => {
+                let name = args
+                    .first()
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ServantError::BadArguments("resolve(name)".into()))?;
+                match self.bindings.read().get(name) {
+                    Some(ior) => Ok(Value::string(ior.to_stringified())),
+                    None => Err(ServantError::Application(format!("NotFound: {name}"))),
+                }
+            }
+            "unbind" => {
+                let name = args
+                    .first()
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ServantError::BadArguments("unbind(name)".into()))?;
+                match self.bindings.write().remove(name) {
+                    Some(_) => Ok(Value::Void),
+                    None => Err(ServantError::Application(format!("NotFound: {name}"))),
+                }
+            }
+            "list" => Ok(Value::Sequence(
+                self.bindings
+                    .read()
+                    .keys()
+                    .map(|k| Value::string(k.clone()))
+                    .collect(),
+            )),
+            other => Err(ServantError::UnknownOperation(other.to_owned())),
+        }
+    }
+
+    fn operations(&self) -> Vec<String> {
+        ["bind", "resolve", "unbind", "list"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+}
+
+/// Client-side stub for a (possibly remote) naming service.
+pub struct NamingClient {
+    orb: Arc<Orb>,
+    naming_ior: Ior,
+}
+
+impl NamingClient {
+    /// Create a stub that calls the naming service at `naming_ior`
+    /// through `orb`.
+    pub fn new(orb: Arc<Orb>, naming_ior: Ior) -> Self {
+        NamingClient { orb, naming_ior }
+    }
+
+    /// Bind `name` to `ior`.
+    pub fn bind(&self, name: &str, ior: &Ior) -> OrbResult<()> {
+        self.orb.invoke(
+            &self.naming_ior,
+            "bind",
+            &[Value::string(name), Value::string(ior.to_stringified())],
+        )?;
+        Ok(())
+    }
+
+    /// Resolve `name` to an IOR.
+    pub fn resolve(&self, name: &str) -> OrbResult<Ior> {
+        match self.orb.invoke(&self.naming_ior, "resolve", &[Value::string(name)]) {
+            Ok(v) => {
+                let s = v.as_str().ok_or_else(|| OrbError::RemoteException {
+                    system: true,
+                    description: "resolve returned a non-string".into(),
+                })?;
+                Ior::from_stringified(s).map_err(OrbError::from)
+            }
+            Err(OrbError::RemoteException {
+                system: false,
+                description,
+            }) if description.starts_with("NotFound") => Err(OrbError::NameNotFound {
+                name: name.to_owned(),
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Remove the binding for `name`.
+    pub fn unbind(&self, name: &str) -> OrbResult<()> {
+        self.orb
+            .invoke(&self.naming_ior, "unbind", &[Value::string(name)])?;
+        Ok(())
+    }
+
+    /// All bound names.
+    pub fn list(&self) -> OrbResult<Vec<String>> {
+        let v = self.orb.invoke(&self.naming_ior, "list", &[])?;
+        Ok(v.as_sequence()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|x| x.as_str().map(str::to_owned))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orb::OrbConfig;
+    use crate::servant::EchoServant;
+    use crate::OrbDomain;
+    use webfindit_wire::cdr::ByteOrder;
+
+    #[test]
+    fn naming_over_the_wire() {
+        let domain = OrbDomain::new();
+        let server = Orb::start(
+            OrbConfig::new("Orbix", "ns.qut.edu.au", 9000, ByteOrder::BigEndian),
+            Arc::clone(&domain),
+        )
+        .unwrap();
+        let client_orb = Orb::start(
+            OrbConfig::new("OrbixWeb", "cl.qut.edu.au", 9001, ByteOrder::LittleEndian),
+            Arc::clone(&domain),
+        )
+        .unwrap();
+
+        let naming = NamingService::new();
+        let naming_ior = server.activate(NAMING_OBJECT_KEY, naming);
+        let echo_ior = server.activate("echo/1", Arc::new(EchoServant));
+
+        let nc = NamingClient::new(Arc::clone(&client_orb), naming_ior);
+        nc.bind("RBH", &echo_ior).unwrap();
+        assert_eq!(nc.list().unwrap(), vec!["RBH".to_string()]);
+
+        let resolved = nc.resolve("RBH").unwrap();
+        assert_eq!(resolved, echo_ior);
+
+        // The resolved reference is usable.
+        let out = client_orb.invoke(&resolved, "ping", &[]).unwrap();
+        assert_eq!(out, Value::string("pong"));
+
+        nc.unbind("RBH").unwrap();
+        assert!(matches!(
+            nc.resolve("RBH"),
+            Err(OrbError::NameNotFound { .. })
+        ));
+
+        server.shutdown();
+        client_orb.shutdown();
+    }
+
+    #[test]
+    fn direct_bindings() {
+        let ns = NamingService::new();
+        assert!(ns.is_empty());
+        ns.bind_direct("a", Ior::new_iiop("IDL:X:1.0", "h", 1, b"k".to_vec()));
+        assert_eq!(ns.len(), 1);
+        assert!(ns.resolve_direct("a").is_some());
+        assert!(ns.resolve_direct("b").is_none());
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        let ns = NamingService::new();
+        assert!(ns.invoke("bind", &[]).is_err());
+        assert!(ns.invoke("bind", &[Value::string("x"), Value::string("junk")]).is_err());
+        assert!(ns.invoke("resolve", &[Value::Long(1)]).is_err());
+        assert!(ns.invoke("nonsense", &[]).is_err());
+    }
+}

@@ -1,0 +1,685 @@
+//! The ORB runtime: listener, dispatcher, client stubs, connection pool.
+//!
+//! Each [`Orb`] models one vendor ORB instance from the paper's Figure 2
+//! (`Orbix`, `OrbixWeb`, `VisiBroker`). An ORB:
+//!
+//! * binds a loopback TCP listener (its IIOP endpoint) and registers its
+//!   advertised `(host, port)` with the shared [`OrbDomain`];
+//! * serves GIOP Requests arriving on that endpoint by dispatching into
+//!   its [`ObjectAdapter`];
+//! * acts as a client: [`Orb::invoke`] marshals a Request, ships it over
+//!   a pooled connection, and unmarshals the Reply. Invocations whose
+//!   target lives on this same ORB short-circuit through the adapter
+//!   (counted separately — collocated calls were a selling point of
+//!   1990s ORBs too);
+//! * keeps [`OrbMetrics`] so experiments can count round-trips and bytes.
+//!
+//! Vendor flavor: each ORB is configured with a preferred byte order, so
+//! an "Orbix" (big-endian) really does exchange differently-ordered CDR
+//! with a "VisiBroker" (little-endian) — the receiver honors the header
+//! flag, which is the CORBA 2.0 interoperability story in miniature.
+
+use crate::adapter::ObjectAdapter;
+use crate::domain::OrbDomain;
+use crate::metrics::OrbMetrics;
+use crate::servant::Servant;
+use crate::{OrbError, OrbResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use webfindit_wire::cdr::ByteOrder;
+use webfindit_wire::giop::{self, GiopMessage, LocateStatus, ReplyStatus};
+use webfindit_wire::transport::{FramedTcp, Transport};
+use webfindit_wire::{Ior, Value, WireError};
+
+/// Static configuration of an ORB instance.
+#[derive(Debug, Clone)]
+pub struct OrbConfig {
+    /// Vendor-flavored instance name, e.g. `"Orbix"`.
+    pub name: String,
+    /// Hostname advertised inside IORs, e.g. `"dba.icis.qut.edu.au"`.
+    pub advertised_host: String,
+    /// Port advertised inside IORs (decoupled from the real socket).
+    pub advertised_port: u16,
+    /// Byte order this ORB marshals with (receivers adapt via the GIOP
+    /// header flag).
+    pub byte_order: ByteOrder,
+}
+
+impl OrbConfig {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        advertised_host: impl Into<String>,
+        advertised_port: u16,
+        byte_order: ByteOrder,
+    ) -> Self {
+        OrbConfig {
+            name: name.into(),
+            advertised_host: advertised_host.into(),
+            advertised_port,
+            byte_order,
+        }
+    }
+}
+
+/// Client connection pool: advertised endpoint → shared framed stream.
+type ConnectionPool = HashMap<(String, u16), Arc<Mutex<FramedTcp>>>;
+
+/// A running ORB instance.
+pub struct Orb {
+    config: OrbConfig,
+    domain: Arc<OrbDomain>,
+    adapter: Arc<ObjectAdapter>,
+    metrics: Arc<OrbMetrics>,
+    listener_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    /// Streams of accepted server-side connections, kept so `shutdown`
+    /// can force blocked reader threads to exit.
+    server_streams: Arc<Mutex<Vec<TcpStream>>>,
+    /// Client connection pool keyed by advertised endpoint.
+    pool: Mutex<ConnectionPool>,
+    next_request_id: AtomicU32,
+    listener_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Orb {
+    /// Start an ORB: bind a loopback listener, register the endpoint in
+    /// the domain, and begin serving requests.
+    pub fn start(config: OrbConfig, domain: Arc<OrbDomain>) -> OrbResult<Arc<Orb>> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(WireError::Io)?;
+        let listener_addr = listener.local_addr().map_err(WireError::Io)?;
+        domain.register_endpoint(
+            config.advertised_host.clone(),
+            config.advertised_port,
+            listener_addr,
+        );
+        domain.register_orb(config.name.clone());
+
+        let orb = Arc::new(Orb {
+            config,
+            domain,
+            adapter: Arc::new(ObjectAdapter::new()),
+            metrics: Arc::new(OrbMetrics::default()),
+            listener_addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            server_streams: Arc::new(Mutex::new(Vec::new())),
+            pool: Mutex::new(HashMap::new()),
+            next_request_id: AtomicU32::new(1),
+            listener_handle: Mutex::new(None),
+        });
+
+        let accept_orb = Arc::clone(&orb);
+        let handle = std::thread::Builder::new()
+            .name(format!("orb-{}-accept", orb.config.name))
+            .spawn(move || accept_loop(accept_orb, listener))
+            .expect("spawning ORB accept thread");
+        *orb.listener_handle.lock() = Some(handle);
+        Ok(orb)
+    }
+
+    /// This ORB's instance name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The advertised (IOR-visible) endpoint.
+    pub fn advertised_endpoint(&self) -> (String, u16) {
+        (
+            self.config.advertised_host.clone(),
+            self.config.advertised_port,
+        )
+    }
+
+    /// The ORB's object adapter.
+    pub fn adapter(&self) -> &ObjectAdapter {
+        &self.adapter
+    }
+
+    /// Traffic counters.
+    pub fn metrics(&self) -> &OrbMetrics {
+        &self.metrics
+    }
+
+    /// The domain this ORB participates in.
+    pub fn domain(&self) -> &Arc<OrbDomain> {
+        &self.domain
+    }
+
+    /// The byte order this ORB marshals with.
+    pub fn byte_order(&self) -> ByteOrder {
+        self.config.byte_order
+    }
+
+    /// Activate `servant` under `key` and mint an IOR for it.
+    pub fn activate(
+        &self,
+        key: impl Into<Vec<u8>>,
+        servant: Arc<dyn Servant>,
+    ) -> Ior {
+        let key = key.into();
+        let type_id = servant.interface_id().to_owned();
+        self.adapter.activate(key.clone(), servant);
+        Ior::new_iiop(
+            type_id,
+            self.config.advertised_host.clone(),
+            self.config.advertised_port,
+            key,
+        )
+    }
+
+    /// Build an IOR for an already-activated key.
+    pub fn ior_for(&self, key: impl Into<Vec<u8>>, type_id: impl Into<String>) -> Ior {
+        Ior::new_iiop(
+            type_id,
+            self.config.advertised_host.clone(),
+            self.config.advertised_port,
+            key,
+        )
+    }
+
+    fn is_local(&self, host: &str, port: u16) -> bool {
+        host == self.config.advertised_host && port == self.config.advertised_port
+    }
+
+    /// Invoke `operation(args)` on the object `ior` refers to.
+    ///
+    /// Collocated targets dispatch directly through the adapter; remote
+    /// targets marshal through GIOP over pooled TCP connections.
+    pub fn invoke(&self, ior: &Ior, operation: &str, args: &[Value]) -> OrbResult<Value> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(OrbError::ShutDown);
+        }
+        let profile = ior.iiop_profile().ok_or(OrbError::NoEndpoint)?;
+        if self.is_local(&profile.host, profile.port) {
+            self.metrics
+                .add(&self.metrics.local_dispatches, 1);
+            return self
+                .adapter
+                .dispatch(&profile.object_key, operation, args)
+                .map_err(|e| OrbError::RemoteException {
+                    system: e.is_system(),
+                    description: e.description(),
+                });
+        }
+        self.invoke_remote(&profile.host, profile.port, &profile.object_key, operation, args)
+    }
+
+    fn invoke_remote(
+        &self,
+        host: &str,
+        port: u16,
+        object_key: &[u8],
+        operation: &str,
+        args: &[Value],
+    ) -> OrbResult<Value> {
+        let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let msg = giop::request(request_id, object_key.to_vec(), operation, args.to_vec());
+        let frame = msg.encode(self.config.byte_order)?;
+
+        // One retry with a fresh connection if a pooled one went stale.
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let conn = self.pooled_connection(host, port)?;
+            let mut guard = conn.lock();
+            let result = (|| -> OrbResult<Value> {
+                guard.send_frame(&frame)?;
+                self.metrics.add(&self.metrics.bytes_sent, frame.len() as u64);
+                self.metrics.add(&self.metrics.requests_sent, 1);
+                let reply_frame = guard.recv_frame()?;
+                self.metrics
+                    .add(&self.metrics.bytes_received, reply_frame.len() as u64);
+                match GiopMessage::decode_frame(&reply_frame)? {
+                    GiopMessage::Reply {
+                        request_id: rid,
+                        status,
+                        body,
+                        ..
+                    } => {
+                        if rid != request_id {
+                            return Err(OrbError::RemoteException {
+                                system: true,
+                                description: format!(
+                                    "reply id {rid} does not match request id {request_id}"
+                                ),
+                            });
+                        }
+                        match status {
+                            ReplyStatus::NoException => Ok(body),
+                            ReplyStatus::UserException | ReplyStatus::SystemException => {
+                                let description = body
+                                    .field("exception")
+                                    .and_then(Value::as_str)
+                                    .unwrap_or("unknown exception")
+                                    .to_owned();
+                                Err(OrbError::RemoteException {
+                                    system: status == ReplyStatus::SystemException,
+                                    description,
+                                })
+                            }
+                            ReplyStatus::LocationForward => match body {
+                                Value::ObjectRef(fwd) => self.invoke(&fwd, operation, args),
+                                _ => Err(OrbError::RemoteException {
+                                    system: true,
+                                    description: "malformed LocationForward body".into(),
+                                }),
+                            },
+                        }
+                    }
+                    GiopMessage::CloseConnection => Err(OrbError::Wire(WireError::Closed)),
+                    other => Err(OrbError::RemoteException {
+                        system: true,
+                        description: format!("unexpected message kind {:?}", other.kind()),
+                    }),
+                }
+            })();
+            drop(guard);
+            match &result {
+                Err(OrbError::Wire(WireError::Closed)) | Err(OrbError::Wire(WireError::Io(_)))
+                    if attempt == 1 =>
+                {
+                    // Stale pooled connection: evict and retry once.
+                    self.pool.lock().remove(&(host.to_owned(), port));
+                    continue;
+                }
+                _ => return result,
+            }
+        }
+    }
+
+    /// Probe where an object lives (GIOP LocateRequest).
+    pub fn locate(&self, ior: &Ior) -> OrbResult<LocateStatus> {
+        let profile = ior.iiop_profile().ok_or(OrbError::NoEndpoint)?;
+        if self.is_local(&profile.host, profile.port) {
+            return Ok(if self.adapter.contains(&profile.object_key) {
+                LocateStatus::ObjectHere
+            } else {
+                LocateStatus::UnknownObject
+            });
+        }
+        let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let msg = GiopMessage::LocateRequest {
+            request_id,
+            object_key: profile.object_key.clone(),
+        };
+        let conn = self.pooled_connection(&profile.host, profile.port)?;
+        let mut guard = conn.lock();
+        guard.send_message(&msg, self.config.byte_order)?;
+        match guard.recv_message()? {
+            GiopMessage::LocateReply { status, .. } => Ok(status),
+            other => Err(OrbError::RemoteException {
+                system: true,
+                description: format!("unexpected locate reply {:?}", other.kind()),
+            }),
+        }
+    }
+
+    fn pooled_connection(&self, host: &str, port: u16) -> OrbResult<Arc<Mutex<FramedTcp>>> {
+        let key = (host.to_owned(), port);
+        if let Some(conn) = self.pool.lock().get(&key) {
+            return Ok(Arc::clone(conn));
+        }
+        let addr = self
+            .domain
+            .resolve(host, port)
+            .ok_or_else(|| OrbError::UnknownHost {
+                host: host.to_owned(),
+                port,
+            })?;
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        stream.set_nodelay(true).map_err(WireError::Io)?;
+        let conn = Arc::new(Mutex::new(FramedTcp::new(stream)));
+        self.pool.lock().insert(key, Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    /// Shut the ORB down: stop accepting, sever server connections,
+    /// unregister the endpoint, and drop pooled client connections.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already down
+        }
+        // Unblock the accept loop by poking the listener.
+        let _ = TcpStream::connect(self.listener_addr);
+        if let Some(handle) = self.listener_handle.lock().take() {
+            let _ = handle.join();
+        }
+        for stream in self.server_streams.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        self.domain
+            .unregister_endpoint(&self.config.advertised_host, self.config.advertised_port);
+        self.pool.lock().clear();
+    }
+}
+
+impl Drop for Orb {
+    fn drop(&mut self) {
+        // Only effective if the caller forgot to shut down; harmless
+        // otherwise. (Arc cycles are avoided: handler threads hold only
+        // the adapter/metrics Arcs, not the Orb itself.)
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.listener_addr);
+        }
+    }
+}
+
+fn accept_loop(orb: Arc<Orb>, listener: TcpListener) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => break,
+        };
+        if orb.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            orb.server_streams.lock().push(clone);
+        }
+        let adapter = Arc::clone(&orb.adapter);
+        let metrics = Arc::clone(&orb.metrics);
+        let order = orb.config.byte_order;
+        let name = orb.config.name.clone();
+        let _ = std::thread::Builder::new()
+            .name(format!("orb-{name}-conn"))
+            .spawn(move || serve_connection(stream, adapter, metrics, order));
+    }
+}
+
+/// Serve one inbound IIOP connection until it closes or errors.
+fn serve_connection(
+    stream: TcpStream,
+    adapter: Arc<ObjectAdapter>,
+    metrics: Arc<OrbMetrics>,
+    order: ByteOrder,
+) {
+    let _ = stream.set_nodelay(true);
+    let mut transport = FramedTcp::new(stream);
+    loop {
+        let frame = match transport.recv_frame() {
+            Ok(f) => f,
+            Err(WireError::Closed) => break,
+            Err(_) => {
+                // Protocol garbage: tell the peer and drop the connection,
+                // as GIOP requires.
+                let _ = transport.send_message(&GiopMessage::MessageError, order);
+                break;
+            }
+        };
+        metrics.add(&metrics.bytes_received, frame.len() as u64);
+        let msg = match GiopMessage::decode_frame(&frame) {
+            Ok(m) => m,
+            Err(_) => {
+                let _ = transport.send_message(&GiopMessage::MessageError, order);
+                break;
+            }
+        };
+        match msg {
+            GiopMessage::Request { header, args } => {
+                metrics.add(&metrics.requests_served, 1);
+                // A servant bug must become a system exception for this
+                // one request, not a dead connection: isolate panics.
+                let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || adapter.dispatch(&header.object_key, &header.operation, &args),
+                ));
+                let reply = match dispatched {
+                    Ok(Ok(value)) => giop::reply_ok(header.request_id, value),
+                    Ok(Err(e)) => {
+                        metrics.add(&metrics.exceptions_sent, 1);
+                        giop::reply_exception(header.request_id, e.is_system(), &e.description())
+                    }
+                    Err(panic) => {
+                        metrics.add(&metrics.exceptions_sent, 1);
+                        let what = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "unknown panic".into());
+                        giop::reply_exception(
+                            header.request_id,
+                            true,
+                            &format!("UNKNOWN: servant panicked: {what}"),
+                        )
+                    }
+                };
+                if header.response_expected {
+                    match reply.encode(order) {
+                        Ok(frame) => {
+                            metrics.add(&metrics.bytes_sent, frame.len() as u64);
+                            if transport.send_frame(&frame).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            GiopMessage::LocateRequest {
+                request_id,
+                object_key,
+            } => {
+                metrics.add(&metrics.locates_served, 1);
+                let status = if adapter.contains(&object_key) {
+                    LocateStatus::ObjectHere
+                } else {
+                    LocateStatus::UnknownObject
+                };
+                let reply = GiopMessage::LocateReply {
+                    request_id,
+                    status,
+                    forward: None,
+                };
+                if transport.send_message(&reply, order).is_err() {
+                    break;
+                }
+            }
+            GiopMessage::CancelRequest { .. } => {
+                // Dispatch here is synchronous; by the time a cancel
+                // arrives the request has already been answered. Ignore.
+            }
+            GiopMessage::CloseConnection => break,
+            GiopMessage::MessageError => break,
+            GiopMessage::Reply { .. } | GiopMessage::LocateReply { .. } => {
+                // Clients do not send replies; protocol violation.
+                let _ = transport.send_message(&GiopMessage::MessageError, order);
+                break;
+            }
+            GiopMessage::Fragment { .. } => {
+                // Fragmentation is not negotiated by this implementation.
+                let _ = transport.send_message(&GiopMessage::MessageError, order);
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::servant::EchoServant;
+
+    fn two_orbs() -> (Arc<Orb>, Arc<Orb>, Arc<OrbDomain>) {
+        let domain = OrbDomain::new();
+        let orbix = Orb::start(
+            OrbConfig::new("Orbix", "orbix.qut.edu.au", 9000, ByteOrder::BigEndian),
+            Arc::clone(&domain),
+        )
+        .unwrap();
+        let visi = Orb::start(
+            OrbConfig::new(
+                "VisiBroker",
+                "visi.qut.edu.au",
+                9001,
+                ByteOrder::LittleEndian,
+            ),
+            Arc::clone(&domain),
+        )
+        .unwrap();
+        (orbix, visi, domain)
+    }
+
+    #[test]
+    fn cross_orb_invocation_over_iiop() {
+        let (orbix, visi, _domain) = two_orbs();
+        let ior = orbix.activate("echo/1", Arc::new(EchoServant));
+
+        // VisiBroker (little-endian) calls a servant hosted on Orbix
+        // (big-endian): a genuine cross-vendor IIOP round-trip.
+        let out = visi
+            .invoke(&ior, "echo", &[Value::Long(5), Value::string("hi")])
+            .unwrap();
+        assert_eq!(
+            out,
+            Value::Sequence(vec![Value::Long(5), Value::string("hi")])
+        );
+
+        let visi_m = visi.metrics().snapshot();
+        let orbix_m = orbix.metrics().snapshot();
+        assert_eq!(visi_m.requests_sent, 1);
+        assert_eq!(visi_m.local_dispatches, 0);
+        assert_eq!(orbix_m.requests_served, 1);
+        assert!(visi_m.bytes_sent > 12);
+
+        orbix.shutdown();
+        visi.shutdown();
+    }
+
+    #[test]
+    fn collocated_invocation_short_circuits() {
+        let (orbix, _visi, _domain) = two_orbs();
+        let ior = orbix.activate("echo/1", Arc::new(EchoServant));
+        let out = orbix.invoke(&ior, "ping", &[]).unwrap();
+        assert_eq!(out, Value::string("pong"));
+        let m = orbix.metrics().snapshot();
+        assert_eq!(m.local_dispatches, 1);
+        assert_eq!(m.requests_sent, 0);
+        orbix.shutdown();
+    }
+
+    #[test]
+    fn user_and_system_exceptions_propagate() {
+        let (orbix, visi, _domain) = two_orbs();
+        let ior = orbix.activate("echo/1", Arc::new(EchoServant));
+
+        match visi.invoke(&ior, "fail_user", &[]) {
+            Err(OrbError::RemoteException {
+                system: false,
+                description,
+            }) => assert_eq!(description, "declared failure"),
+            other => panic!("expected user exception, got {other:?}"),
+        }
+        match visi.invoke(&ior, "fail_system", &[]) {
+            Err(OrbError::RemoteException { system: true, .. }) => {}
+            other => panic!("expected system exception, got {other:?}"),
+        }
+        match visi.invoke(&ior, "no_such_op", &[]) {
+            Err(OrbError::RemoteException {
+                system: true,
+                description,
+            }) => assert!(description.contains("BAD_OPERATION")),
+            other => panic!("expected BAD_OPERATION, got {other:?}"),
+        }
+        orbix.shutdown();
+        visi.shutdown();
+    }
+
+    #[test]
+    fn unknown_object_key_is_object_not_exist() {
+        let (orbix, visi, _domain) = two_orbs();
+        let ior = orbix.ior_for("ghost", "IDL:X:1.0");
+        match visi.invoke(&ior, "ping", &[]) {
+            Err(OrbError::RemoteException {
+                system: true,
+                description,
+            }) => assert!(description.contains("OBJECT_NOT_EXIST")),
+            other => panic!("expected OBJECT_NOT_EXIST, got {other:?}"),
+        }
+        orbix.shutdown();
+        visi.shutdown();
+    }
+
+    #[test]
+    fn locate_probe() {
+        let (orbix, visi, _domain) = two_orbs();
+        let ior = orbix.activate("echo/1", Arc::new(EchoServant));
+        assert_eq!(visi.locate(&ior).unwrap(), LocateStatus::ObjectHere);
+        let ghost = orbix.ior_for("ghost", "IDL:X:1.0");
+        assert_eq!(visi.locate(&ghost).unwrap(), LocateStatus::UnknownObject);
+        // Local probe too.
+        assert_eq!(orbix.locate(&ior).unwrap(), LocateStatus::ObjectHere);
+        orbix.shutdown();
+        visi.shutdown();
+    }
+
+    #[test]
+    fn unknown_host_fails_fast() {
+        let (_orbix, visi, _domain) = two_orbs();
+        let ior = Ior::new_iiop("IDL:X:1.0", "nowhere.example", 1234, b"k".to_vec());
+        assert!(matches!(
+            visi.invoke(&ior, "ping", &[]),
+            Err(OrbError::UnknownHost { .. })
+        ));
+    }
+
+    #[test]
+    fn nil_reference_rejected() {
+        let (_orbix, visi, _domain) = two_orbs();
+        assert!(matches!(
+            visi.invoke(&Ior::nil(), "ping", &[]),
+            Err(OrbError::NoEndpoint)
+        ));
+    }
+
+    #[test]
+    fn shutdown_then_invoke_errors() {
+        let (orbix, visi, _domain) = two_orbs();
+        let ior = orbix.activate("echo/1", Arc::new(EchoServant));
+        visi.invoke(&ior, "ping", &[]).unwrap();
+        orbix.shutdown();
+        // The endpoint is gone from the domain and the connection severed;
+        // either way the call must fail, not hang.
+        assert!(visi.invoke(&ior, "ping", &[]).is_err());
+        visi.shutdown();
+    }
+
+    #[test]
+    fn pool_reuses_connections() {
+        let (orbix, visi, _domain) = two_orbs();
+        let ior = orbix.activate("echo/1", Arc::new(EchoServant));
+        for _ in 0..10 {
+            visi.invoke(&ior, "ping", &[]).unwrap();
+        }
+        assert_eq!(visi.pool.lock().len(), 1);
+        orbix.shutdown();
+        visi.shutdown();
+    }
+
+    #[test]
+    fn concurrent_invocations() {
+        let (orbix, visi, _domain) = two_orbs();
+        let ior = orbix.activate("echo/1", Arc::new(EchoServant));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let visi = Arc::clone(&visi);
+            let ior = ior.clone();
+            handles.push(std::thread::spawn(move || {
+                for j in 0..25 {
+                    let v = visi
+                        .invoke(&ior, "echo", &[Value::Long(i * 100 + j)])
+                        .unwrap();
+                    assert_eq!(v, Value::Sequence(vec![Value::Long(i * 100 + j)]));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(visi.metrics().snapshot().requests_sent, 200);
+        orbix.shutdown();
+        visi.shutdown();
+    }
+}

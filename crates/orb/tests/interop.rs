@@ -1,0 +1,204 @@
+//! Cross-ORB interoperability tests: panic isolation, value fidelity
+//! across mixed byte orders, many-ORB meshes, and location probing
+//! under churn.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use webfindit_orb::servant::{InvokeResult, Servant, ServantError};
+use webfindit_orb::{Orb, OrbConfig, OrbDomain, OrbError};
+use webfindit_wire::cdr::ByteOrder;
+use webfindit_wire::Value;
+
+struct PanickyServant;
+
+impl Servant for PanickyServant {
+    fn interface_id(&self) -> &str {
+        "IDL:test/Panicky:1.0"
+    }
+    fn invoke(&self, operation: &str, _args: &[Value]) -> InvokeResult {
+        match operation {
+            "boom" => panic!("servant bug #42"),
+            "ok" => Ok(Value::string("fine")),
+            other => Err(ServantError::UnknownOperation(other.into())),
+        }
+    }
+}
+
+#[test]
+fn servant_panic_becomes_system_exception_and_connection_survives() {
+    let domain = OrbDomain::new();
+    let server = Orb::start(
+        OrbConfig::new("S", "s.net", 1, ByteOrder::BigEndian),
+        Arc::clone(&domain),
+    )
+    .unwrap();
+    let client = Orb::start(
+        OrbConfig::new("C", "c.net", 2, ByteOrder::LittleEndian),
+        Arc::clone(&domain),
+    )
+    .unwrap();
+    let ior = server.activate("p", Arc::new(PanickyServant));
+
+    match client.invoke(&ior, "boom", &[]) {
+        Err(OrbError::RemoteException {
+            system: true,
+            description,
+        }) => {
+            assert!(description.contains("servant bug #42"), "{description}");
+        }
+        other => panic!("expected system exception, got {other:?}"),
+    }
+    // Same pooled connection still works afterwards.
+    assert_eq!(
+        client.invoke(&ior, "ok", &[]).unwrap(),
+        Value::string("fine")
+    );
+    server.shutdown();
+    client.shutdown();
+}
+
+#[test]
+fn three_orb_mesh_full_interop() {
+    // Every ORB can call servants on every other ORB, mixed byte orders.
+    let domain = OrbDomain::new();
+    let orders = [
+        ByteOrder::BigEndian,
+        ByteOrder::LittleEndian,
+        ByteOrder::BigEndian,
+    ];
+    let orbs: Vec<Arc<Orb>> = (0..3)
+        .map(|i| {
+            Orb::start(
+                OrbConfig::new(format!("O{i}"), format!("o{i}.net"), 10 + i as u16, orders[i]),
+                Arc::clone(&domain),
+            )
+            .unwrap()
+        })
+        .collect();
+    let iors: Vec<_> = orbs
+        .iter()
+        .enumerate()
+        .map(|(i, orb)| {
+            orb.activate(
+                format!("echo{i}"),
+                Arc::new(webfindit_orb::servant::EchoServant),
+            )
+        })
+        .collect();
+    for caller in &orbs {
+        for ior in &iors {
+            let out = caller
+                .invoke(ior, "echo", &[Value::Long(7), Value::string("mesh")])
+                .unwrap();
+            assert_eq!(
+                out,
+                Value::Sequence(vec![Value::Long(7), Value::string("mesh")])
+            );
+        }
+    }
+    for orb in &orbs {
+        orb.shutdown();
+    }
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::LongLong),
+        (-1e9f64..1e9).prop_map(Value::Double),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(2, 12, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Sequence),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(Value::Struct),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn values_cross_the_wire_unchanged(values in proptest::collection::vec(arb_value(), 0..4)) {
+        let domain = OrbDomain::new();
+        let server = Orb::start(
+            OrbConfig::new("S", "sp.net", 1, ByteOrder::BigEndian),
+            Arc::clone(&domain),
+        )
+        .unwrap();
+        let client = Orb::start(
+            OrbConfig::new("C", "cp.net", 2, ByteOrder::LittleEndian),
+            Arc::clone(&domain),
+        )
+        .unwrap();
+        let ior = server.activate("echo", Arc::new(webfindit_orb::servant::EchoServant));
+        let out = client.invoke(&ior, "echo", &values).unwrap();
+        prop_assert_eq!(out, Value::Sequence(values));
+        server.shutdown();
+        client.shutdown();
+    }
+}
+
+#[test]
+fn deactivation_is_visible_to_remote_locate() {
+    use webfindit_wire::giop::LocateStatus;
+    let domain = OrbDomain::new();
+    let server = Orb::start(
+        OrbConfig::new("S", "sd.net", 1, ByteOrder::BigEndian),
+        Arc::clone(&domain),
+    )
+    .unwrap();
+    let client = Orb::start(
+        OrbConfig::new("C", "cd.net", 2, ByteOrder::LittleEndian),
+        Arc::clone(&domain),
+    )
+    .unwrap();
+    let ior = server.activate("e", Arc::new(webfindit_orb::servant::EchoServant));
+    assert_eq!(client.locate(&ior).unwrap(), LocateStatus::ObjectHere);
+    server.adapter().deactivate(b"e");
+    assert_eq!(client.locate(&ior).unwrap(), LocateStatus::UnknownObject);
+    server.shutdown();
+    client.shutdown();
+}
+
+#[test]
+fn pooled_connection_survives_server_restart() {
+    // A client with a stale pooled connection must evict and retry when
+    // the server comes back at the same advertised endpoint.
+    let domain = OrbDomain::new();
+    let client = Orb::start(
+        OrbConfig::new("C", "cr.net", 2, ByteOrder::LittleEndian),
+        Arc::clone(&domain),
+    )
+    .unwrap();
+
+    let server1 = Orb::start(
+        OrbConfig::new("S", "sr.net", 1, ByteOrder::BigEndian),
+        Arc::clone(&domain),
+    )
+    .unwrap();
+    let ior = server1.activate("e", Arc::new(webfindit_orb::servant::EchoServant));
+    assert_eq!(
+        client.invoke(&ior, "ping", &[]).unwrap(),
+        Value::string("pong")
+    );
+
+    // Restart: same advertised endpoint, new socket.
+    server1.shutdown();
+    let server2 = Orb::start(
+        OrbConfig::new("S", "sr.net", 1, ByteOrder::BigEndian),
+        Arc::clone(&domain),
+    )
+    .unwrap();
+    server2.activate("e", Arc::new(webfindit_orb::servant::EchoServant));
+
+    // The pooled connection is dead; the retry path must reconnect.
+    assert_eq!(
+        client.invoke(&ior, "ping", &[]).unwrap(),
+        Value::string("pong")
+    );
+    server2.shutdown();
+    client.shutdown();
+}

@@ -1,0 +1,664 @@
+//! The database engine: catalog, statement execution, transactions.
+//!
+//! A [`Database`] is one simulated vendor instance (the paper's "Oracle
+//! database at RBH", "mSQL database at CentreLink", …). It owns its
+//! tables, enforces its [`Dialect`]'s feature set, and executes parsed
+//! statements with:
+//!
+//! * **statement atomicity** — a multi-row `INSERT` that fails half-way
+//!   undoes the rows it already wrote;
+//! * **explicit transactions** — `BEGIN`/`COMMIT`/`ROLLBACK` backed by an
+//!   undo log of inverse slot operations.
+
+use crate::dialect::Dialect;
+use crate::exec::{execute_select, ResultSet};
+use crate::expr::{eval, EvalContext, Expr};
+use crate::sql::ast::Statement;
+use crate::sql::parse_statement;
+use crate::storage::Table;
+use crate::types::{Datum, Row};
+use crate::{RelError, RelResult};
+use std::collections::HashMap;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// A query produced rows.
+    Rows(ResultSet),
+    /// DML affected this many rows.
+    Count(usize),
+    /// DDL or transaction control completed.
+    Done,
+}
+
+impl ExecOutcome {
+    /// The result set, if this outcome carries one.
+    pub fn rows(&self) -> Option<&ResultSet> {
+        match self {
+            ExecOutcome::Rows(rs) => Some(rs),
+            _ => None,
+        }
+    }
+
+    /// The affected-row count, if this outcome carries one.
+    pub fn count(&self) -> Option<usize> {
+        match self {
+            ExecOutcome::Count(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Inverse operations recorded while a transaction is open.
+#[derive(Debug)]
+enum UndoOp {
+    /// Undo an insert: delete the slot.
+    Insert { table: String, slot: usize },
+    /// Undo a delete: restore the row into its slot.
+    Delete {
+        table: String,
+        slot: usize,
+        row: Row,
+    },
+    /// Undo an update: put the old row back.
+    Update {
+        table: String,
+        slot: usize,
+        old: Row,
+    },
+    /// Undo CREATE TABLE: drop it.
+    CreateTable { name: String },
+    /// Undo DROP TABLE: put the whole table back.
+    DropTable { name: String, table: Box<Table> },
+}
+
+/// Cumulative execution statistics (read by the experiments).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DbStats {
+    /// Statements successfully executed.
+    pub statements: u64,
+    /// Rows returned by queries.
+    pub rows_returned: u64,
+    /// Rows written (inserted + updated + deleted).
+    pub rows_written: u64,
+}
+
+/// One simulated relational database instance.
+#[derive(Debug)]
+pub struct Database {
+    name: String,
+    dialect: Dialect,
+    tables: HashMap<String, Table>,
+    txn: Option<Vec<UndoOp>>,
+    stats: DbStats,
+}
+
+/// Evaluation context rejecting all column references (INSERT values).
+struct ConstOnly;
+
+impl EvalContext for ConstOnly {
+    fn resolve_column(&self, _t: Option<&str>, name: &str) -> RelResult<Datum> {
+        Err(RelError::Unsupported(format!(
+            "column reference {name} in a constant context"
+        )))
+    }
+}
+
+impl Database {
+    /// Create an empty database named `name` speaking `dialect`.
+    pub fn new(name: impl Into<String>, dialect: Dialect) -> Database {
+        Database {
+            name: name.into(),
+            dialect,
+            tables: HashMap::new(),
+            txn: None,
+            stats: DbStats::default(),
+        }
+    }
+
+    /// The instance name (e.g. `"Royal Brisbane Hospital"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The vendor dialect this instance enforces.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DbStats {
+        self.stats
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Borrow a table's metadata.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// True while a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Bulk-create a table and load rows into it, bypassing SQL parsing.
+    ///
+    /// Used by gateway compensation (staging remote tables locally) and
+    /// by the healthcare data generators. Rows are validated against the
+    /// schema exactly as `INSERT` would.
+    pub fn import_table(
+        &mut self,
+        schema: crate::schema::TableSchema,
+        rows: Vec<Row>,
+    ) -> RelResult<usize> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(RelError::TableExists(schema.name));
+        }
+        let mut table = Table::new(schema.clone());
+        let mut n = 0;
+        for row in rows {
+            table.insert(row)?;
+            n += 1;
+        }
+        self.tables.insert(schema.name, table);
+        self.stats.rows_written += n as u64;
+        Ok(n)
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> RelResult<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_stmt(&mut self, stmt: &Statement) -> RelResult<ExecOutcome> {
+        self.dialect.check(stmt)?;
+        let outcome = match stmt {
+            Statement::Select(s) => {
+                let rs = execute_select(s, &self.tables)?;
+                self.stats.rows_returned += rs.rows.len() as u64;
+                ExecOutcome::Rows(rs)
+            }
+            Statement::Explain(s) => {
+                let plan = crate::exec::explain_select(s, &self.tables)?;
+                ExecOutcome::Rows(crate::exec::ResultSet {
+                    columns: vec!["plan".to_string()],
+                    rows: plan
+                        .into_iter()
+                        .map(|line| vec![Datum::Text(line)])
+                        .collect(),
+                })
+            }
+            Statement::CreateTable(schema) => {
+                if self.tables.contains_key(&schema.name) {
+                    return Err(RelError::TableExists(schema.name.clone()));
+                }
+                self.tables
+                    .insert(schema.name.clone(), Table::new(schema.clone()));
+                if let Some(log) = &mut self.txn {
+                    log.push(UndoOp::CreateTable {
+                        name: schema.name.clone(),
+                    });
+                }
+                ExecOutcome::Done
+            }
+            Statement::DropTable { name, if_exists } => {
+                let lower = name.to_ascii_lowercase();
+                match self.tables.remove(&lower) {
+                    Some(t) => {
+                        if let Some(log) = &mut self.txn {
+                            log.push(UndoOp::DropTable {
+                                name: lower,
+                                table: Box::new(t),
+                            });
+                        }
+                        ExecOutcome::Done
+                    }
+                    None if *if_exists => ExecOutcome::Done,
+                    None => return Err(RelError::NoSuchTable(lower)),
+                }
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                let lower = table.to_ascii_lowercase();
+                let t = self
+                    .tables
+                    .get_mut(&lower)
+                    .ok_or(RelError::NoSuchTable(lower))?;
+                let (ci, _) = t.schema.column(column)?;
+                t.create_index(name, ci)?;
+                ExecOutcome::Done
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.run_insert(table, columns.as_deref(), rows)?,
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => self.run_update(table, assignments, filter.as_ref())?,
+            Statement::Delete { table, filter } => {
+                self.run_delete(table, filter.as_ref())?
+            }
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(RelError::TransactionState(
+                        "transaction already open".into(),
+                    ));
+                }
+                self.txn = Some(Vec::new());
+                ExecOutcome::Done
+            }
+            Statement::Commit => {
+                if self.txn.take().is_none() {
+                    return Err(RelError::TransactionState("no open transaction".into()));
+                }
+                ExecOutcome::Done
+            }
+            Statement::Rollback => {
+                let log = self.txn.take().ok_or(RelError::TransactionState(
+                    "no open transaction".into(),
+                ))?;
+                self.apply_undo(log);
+                ExecOutcome::Done
+            }
+        };
+        self.stats.statements += 1;
+        Ok(outcome)
+    }
+
+    fn apply_undo(&mut self, log: Vec<UndoOp>) {
+        for op in log.into_iter().rev() {
+            match op {
+                UndoOp::Insert { table, slot } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.delete_slot(slot);
+                    }
+                }
+                UndoOp::Delete { table, slot, row } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.restore_slot(slot, row);
+                    }
+                }
+                UndoOp::Update { table, slot, old } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        let _ = t.update_slot(slot, old);
+                    }
+                }
+                UndoOp::CreateTable { name } => {
+                    self.tables.remove(&name);
+                }
+                UndoOp::DropTable { name, table } => {
+                    self.tables.insert(name, *table);
+                }
+            }
+        }
+    }
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        value_rows: &[Vec<Expr>],
+    ) -> RelResult<ExecOutcome> {
+        let lower = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get_mut(&lower)
+            .ok_or(RelError::NoSuchTable(lower.clone()))?;
+
+        // Map written columns to schema positions.
+        let positions: Vec<usize> = match columns {
+            Some(cols) => {
+                let mut ps = Vec::with_capacity(cols.len());
+                for c in cols {
+                    ps.push(t.schema.column(c)?.0);
+                }
+                ps
+            }
+            None => (0..t.schema.arity()).collect(),
+        };
+
+        let mut inserted: Vec<usize> = Vec::new();
+        let mut insert_all = || -> RelResult<()> {
+            for exprs in value_rows {
+                if exprs.len() != positions.len() {
+                    return Err(RelError::ArityMismatch {
+                        expected: positions.len(),
+                        found: exprs.len(),
+                    });
+                }
+                let mut row = vec![Datum::Null; t.schema.arity()];
+                for (i, e) in exprs.iter().enumerate() {
+                    row[positions[i]] = eval(e, &ConstOnly)?;
+                }
+                inserted.push(t.insert(row)?);
+            }
+            Ok(())
+        };
+        match insert_all() {
+            Ok(()) => {
+                let n = inserted.len();
+                if let Some(log) = &mut self.txn {
+                    for slot in inserted {
+                        log.push(UndoOp::Insert {
+                            table: lower.clone(),
+                            slot,
+                        });
+                    }
+                }
+                self.stats.rows_written += n as u64;
+                Ok(ExecOutcome::Count(n))
+            }
+            Err(e) => {
+                // Statement atomicity: roll back this statement's rows.
+                for slot in inserted {
+                    t.delete_slot(slot);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, Expr)],
+        filter: Option<&Expr>,
+    ) -> RelResult<ExecOutcome> {
+        let lower = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get_mut(&lower)
+            .ok_or(RelError::NoSuchTable(lower.clone()))?;
+        let columns = t.schema.column_names();
+
+        // Resolve assignment targets first.
+        let mut targets = Vec::with_capacity(assignments.len());
+        for (col, e) in assignments {
+            targets.push((t.schema.column(col)?.0, e));
+        }
+
+        // Phase 1: decide which slots match and compute the new rows.
+        let mut changes: Vec<(usize, Row)> = Vec::new();
+        for (slot, row) in t.scan() {
+            let ctx = crate::expr::SingleRow {
+                columns: &columns,
+                row,
+            };
+            let keep = match filter {
+                None => true,
+                Some(f) => matches!(eval(f, &ctx)?, Datum::Bool(true)),
+            };
+            if !keep {
+                continue;
+            }
+            let mut new_row = row.clone();
+            for (pos, e) in &targets {
+                new_row[*pos] = eval(e, &ctx)?;
+            }
+            changes.push((slot, new_row));
+        }
+
+        // Phase 2: apply, undoing on mid-statement failure.
+        let mut applied: Vec<(usize, Row)> = Vec::new();
+        for (slot, new_row) in changes {
+            match t.update_slot(slot, new_row) {
+                Ok(old) => applied.push((slot, old)),
+                Err(e) => {
+                    for (s, old) in applied.into_iter().rev() {
+                        let _ = t.update_slot(s, old);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let n = applied.len();
+        if let Some(log) = &mut self.txn {
+            for (slot, old) in applied {
+                log.push(UndoOp::Update {
+                    table: lower.clone(),
+                    slot,
+                    old,
+                });
+            }
+        }
+        self.stats.rows_written += n as u64;
+        Ok(ExecOutcome::Count(n))
+    }
+
+    fn run_delete(
+        &mut self,
+        table: &str,
+        filter: Option<&Expr>,
+    ) -> RelResult<ExecOutcome> {
+        let lower = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get_mut(&lower)
+            .ok_or(RelError::NoSuchTable(lower.clone()))?;
+        let columns = t.schema.column_names();
+
+        let mut victims: Vec<usize> = Vec::new();
+        for (slot, row) in t.scan() {
+            let ctx = crate::expr::SingleRow {
+                columns: &columns,
+                row,
+            };
+            let doomed = match filter {
+                None => true,
+                Some(f) => matches!(eval(f, &ctx)?, Datum::Bool(true)),
+            };
+            if doomed {
+                victims.push(slot);
+            }
+        }
+        let mut n = 0;
+        for slot in victims {
+            if let Some(row) = t.delete_slot(slot) {
+                n += 1;
+                if let Some(log) = &mut self.txn {
+                    log.push(UndoOp::Delete {
+                        table: lower.clone(),
+                        slot,
+                        row,
+                    });
+                }
+            }
+        }
+        self.stats.rows_written += n as u64;
+        Ok(ExecOutcome::Count(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hospital_db() -> Database {
+        let mut db = Database::new("RBH", Dialect::Oracle);
+        db.execute(
+            "CREATE TABLE medical_students (student_id INT PRIMARY KEY, \
+             name TEXT NOT NULL, course TEXT, year INT)",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO medical_students VALUES \
+             (1, 'J. Chen', 'MBBS', 3), (2, 'A. Patel', 'MBBS', 5), (3, 'T. Nguyen', 'Nursing', 2)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn the_papers_section5_query() {
+        let mut db = hospital_db();
+        let out = db.execute("select * from medical_students").unwrap();
+        let rs = out.rows().unwrap();
+        assert_eq!(rs.columns, vec!["student_id", "name", "course", "year"]);
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn insert_returns_count_and_updates_stats() {
+        let mut db = hospital_db();
+        let out = db
+            .execute("INSERT INTO medical_students VALUES (4, 'New', 'MBBS', 1)")
+            .unwrap();
+        assert_eq!(out.count(), Some(1));
+        assert_eq!(db.stats().rows_written, 4); // 3 seed + 1
+    }
+
+    #[test]
+    fn multi_row_insert_is_atomic() {
+        let mut db = hospital_db();
+        // Second row collides with pk 1 → whole statement rolls back.
+        let err = db
+            .execute("INSERT INTO medical_students VALUES (9, 'X', 'c', 1), (1, 'Dup', 'c', 1)")
+            .unwrap_err();
+        assert!(matches!(err, RelError::DuplicateKey(_)));
+        let rs = db.execute("SELECT COUNT(*) FROM medical_students").unwrap();
+        assert_eq!(rs.rows().unwrap().rows[0][0], Datum::Int(3));
+    }
+
+    #[test]
+    fn update_with_self_reference() {
+        let mut db = hospital_db();
+        let out = db
+            .execute("UPDATE medical_students SET year = year + 1 WHERE course = 'MBBS'")
+            .unwrap();
+        assert_eq!(out.count(), Some(2));
+        let rs = db
+            .execute("SELECT year FROM medical_students WHERE student_id = 1")
+            .unwrap();
+        assert_eq!(rs.rows().unwrap().rows[0][0], Datum::Int(4));
+    }
+
+    #[test]
+    fn delete_with_filter() {
+        let mut db = hospital_db();
+        let out = db
+            .execute("DELETE FROM medical_students WHERE year < 3")
+            .unwrap();
+        assert_eq!(out.count(), Some(1));
+        assert_eq!(db.table("medical_students").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn transaction_rollback_restores_everything() {
+        let mut db = hospital_db();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO medical_students VALUES (10, 'Tmp', 'c', 1)")
+            .unwrap();
+        db.execute("UPDATE medical_students SET year = 99").unwrap();
+        db.execute("DELETE FROM medical_students WHERE student_id = 2")
+            .unwrap();
+        db.execute("CREATE TABLE scratch (x INT)").unwrap();
+        db.execute("ROLLBACK").unwrap();
+
+        assert!(db.table("scratch").is_none());
+        let rs = db
+            .execute("SELECT student_id, year FROM medical_students ORDER BY student_id")
+            .unwrap();
+        let rows = &rs.rows().unwrap().rows;
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![Datum::Int(1), Datum::Int(3)]);
+        assert_eq!(rows[1], vec![Datum::Int(2), Datum::Int(5)]);
+    }
+
+    #[test]
+    fn transaction_commit_keeps_changes() {
+        let mut db = hospital_db();
+        db.execute("BEGIN").unwrap();
+        db.execute("DELETE FROM medical_students").unwrap();
+        db.execute("COMMIT").unwrap();
+        assert_eq!(db.table("medical_students").unwrap().len(), 0);
+        assert!(!db.in_transaction());
+    }
+
+    #[test]
+    fn rollback_of_drop_table_restores_data() {
+        let mut db = hospital_db();
+        db.execute("BEGIN").unwrap();
+        db.execute("DROP TABLE medical_students").unwrap();
+        assert!(db.table("medical_students").is_none());
+        db.execute("ROLLBACK").unwrap();
+        assert_eq!(db.table("medical_students").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn transaction_state_errors() {
+        let mut db = hospital_db();
+        assert!(matches!(
+            db.execute("COMMIT"),
+            Err(RelError::TransactionState(_))
+        ));
+        db.execute("BEGIN").unwrap();
+        assert!(matches!(
+            db.execute("BEGIN"),
+            Err(RelError::TransactionState(_))
+        ));
+    }
+
+    #[test]
+    fn dialect_gating_applies() {
+        let mut db = Database::new("CentreLink", Dialect::MSql);
+        db.execute("CREATE TABLE t (x INT)").unwrap();
+        assert!(matches!(
+            db.execute("SELECT COUNT(*) FROM t"),
+            Err(RelError::Unsupported(_))
+        ));
+        // Canonical engine runs it fine.
+        let mut db2 = Database::new("x", Dialect::Canonical);
+        db2.execute("CREATE TABLE t (x INT)").unwrap();
+        db2.execute("SELECT COUNT(*) FROM t").unwrap();
+    }
+
+    #[test]
+    fn create_index_and_use() {
+        let mut db = hospital_db();
+        db.execute("CREATE INDEX ms_course ON medical_students (course)")
+            .unwrap();
+        assert!(matches!(
+            db.execute("CREATE INDEX ms_course ON medical_students (course)"),
+            Err(RelError::IndexExists(_))
+        ));
+        let rs = db
+            .execute("SELECT name FROM medical_students WHERE course = 'MBBS' ORDER BY name")
+            .unwrap();
+        assert_eq!(rs.rows().unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn insert_with_column_subset_fills_nulls() {
+        let mut db = Database::new("x", Dialect::Canonical);
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT, c DOUBLE)")
+            .unwrap();
+        db.execute("INSERT INTO t (a) VALUES (1)").unwrap();
+        let rs = db.execute("SELECT * FROM t").unwrap();
+        assert_eq!(
+            rs.rows().unwrap().rows[0],
+            vec![Datum::Int(1), Datum::Null, Datum::Null]
+        );
+    }
+
+    #[test]
+    fn insert_values_must_be_constant() {
+        let mut db = Database::new("x", Dialect::Canonical);
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        assert!(db.execute("INSERT INTO t VALUES (b)").is_err());
+    }
+}

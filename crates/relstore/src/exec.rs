@@ -1,0 +1,1148 @@
+//! Query execution: scans, joins, grouping, sorting, projection.
+//!
+//! The executor is a straightforward pull-everything pipeline (tables are
+//! in-memory, so vector-at-a-time materialization is the honest choice):
+//!
+//! 1. **FROM/JOIN** — base scan plus joins. Inner equi-joins on
+//!    `a.x = b.y` use a hash join; everything else uses nested loops.
+//!    `LEFT JOIN` pads unmatched left rows with NULLs.
+//! 2. **WHERE** — three-valued filter; for single-table queries a
+//!    top-level `col = literal` conjunct is served from an index when
+//!    one exists.
+//! 3. **GROUP BY / aggregates / HAVING** — hash grouping; aggregates are
+//!    computed once per group and substituted into SELECT/HAVING/ORDER
+//!    expressions.
+//! 4. **DISTINCT**, **ORDER BY** (with NULLs-first total order),
+//!    **LIMIT**, projection.
+
+use crate::expr::{eval, AggFunc, BinOp, EvalContext, Expr};
+use crate::sql::ast::{Join, JoinKind, SelectItem, SelectStmt};
+use crate::storage::Table;
+use crate::types::{Datum, Row};
+use crate::{RelError, RelResult};
+use std::collections::HashMap;
+
+/// A query result: named columns and rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Render as a fixed-width text table (used by examples and the
+    /// figure-regeneration binaries; Figure 6 is exactly this view).
+    pub fn to_text_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|d| d.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rendered {
+            out.push('|');
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!(" {:<w$} |", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out.push_str(&format!("{} row(s)\n", self.rows.len()));
+        out
+    }
+}
+
+/// The table layout of a joined row: which bindings cover which column
+/// ranges.
+#[derive(Debug, Clone)]
+struct Layout {
+    /// `(binding, column names, start offset)` per FROM item.
+    parts: Vec<(String, Vec<String>, usize)>,
+    width: usize,
+}
+
+impl Layout {
+    fn new() -> Layout {
+        Layout {
+            parts: Vec::new(),
+            width: 0,
+        }
+    }
+
+    fn push(&mut self, binding: String, columns: Vec<String>) {
+        let start = self.width;
+        self.width += columns.len();
+        self.parts.push((binding, columns, start));
+    }
+
+    /// Resolve `table.name` or bare `name` to an absolute offset.
+    fn resolve(&self, table: Option<&str>, name: &str) -> RelResult<usize> {
+        let lname = name.to_ascii_lowercase();
+        match table {
+            Some(t) => {
+                let lt = t.to_ascii_lowercase();
+                let (_, cols, start) = self
+                    .parts
+                    .iter()
+                    .find(|(b, _, _)| *b == lt)
+                    .ok_or_else(|| RelError::NoSuchTable(lt.clone()))?;
+                cols.iter()
+                    .position(|c| *c == lname)
+                    .map(|i| start + i)
+                    .ok_or(RelError::NoSuchColumn(format!("{lt}.{lname}")))
+            }
+            None => {
+                let mut found = None;
+                for (b, cols, start) in &self.parts {
+                    if let Some(i) = cols.iter().position(|c| *c == lname) {
+                        if found.is_some() {
+                            return Err(RelError::AmbiguousColumn(format!(
+                                "{lname} (in {b} and another table)"
+                            )));
+                        }
+                        found = Some(start + i);
+                    }
+                }
+                found.ok_or(RelError::NoSuchColumn(lname))
+            }
+        }
+    }
+}
+
+struct LayoutRow<'a> {
+    layout: &'a Layout,
+    row: &'a [Datum],
+}
+
+impl EvalContext for LayoutRow<'_> {
+    fn resolve_column(&self, table: Option<&str>, name: &str) -> RelResult<Datum> {
+        Ok(self.row[self.layout.resolve(table, name)?].clone())
+    }
+}
+
+/// Group context: resolves columns from a representative row and
+/// aggregates from the precomputed per-group table.
+struct GroupRow<'a> {
+    layout: &'a Layout,
+    representative: &'a [Datum],
+    aggregates: &'a [(Expr, Datum)],
+}
+
+impl EvalContext for GroupRow<'_> {
+    fn resolve_column(&self, table: Option<&str>, name: &str) -> RelResult<Datum> {
+        Ok(self.representative[self.layout.resolve(table, name)?].clone())
+    }
+
+    fn resolve_aggregate(&self, expr: &Expr) -> RelResult<Datum> {
+        self.aggregates
+            .iter()
+            .find(|(e, _)| e == expr)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| RelError::AggregateMisuse("aggregate not precomputed".into()))
+    }
+}
+
+/// Look up a table in the catalog map (names are lowercase).
+fn table<'a>(tables: &'a HashMap<String, Table>, name: &str) -> RelResult<&'a Table> {
+    let lower = name.to_ascii_lowercase();
+    tables
+        .get(&lower)
+        .ok_or(RelError::NoSuchTable(lower))
+}
+
+/// Split a conjunction into its AND-ed parts.
+fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            let mut v = conjuncts(left);
+            v.extend(conjuncts(right));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// If `expr` is `col = literal` (either side), return them.
+fn eq_col_literal(expr: &Expr) -> Option<(&str, &Datum)> {
+    if let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = expr
+    {
+        match (&**left, &**right) {
+            (Expr::Column { name, .. }, Expr::Literal(d)) => return Some((name, d)),
+            (Expr::Literal(d), Expr::Column { name, .. }) => return Some((name, d)),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Execute a SELECT against the given tables.
+pub fn execute_select(
+    stmt: &SelectStmt,
+    tables: &HashMap<String, Table>,
+) -> RelResult<ResultSet> {
+    // ---- FROM + JOIN -------------------------------------------------
+    let base = table(tables, &stmt.from.name)?;
+    let mut layout = Layout::new();
+    layout.push(
+        stmt.from.binding().to_ascii_lowercase(),
+        base.schema.column_names(),
+    );
+
+    // Index-assisted base scan: single-table query with an indexable
+    // equality conjunct.
+    let mut rows: Vec<Row> = if stmt.joins.is_empty() {
+        let mut indexed: Option<Vec<Row>> = None;
+        if let Some(filter) = &stmt.filter {
+            for c in conjuncts(filter) {
+                if let Some((col, value)) = eq_col_literal(c) {
+                    if let Some(ci) = base.schema.column_index(col) {
+                        if let Some(slots) = base.index_lookup(ci, value) {
+                            indexed = Some(
+                                slots
+                                    .into_iter()
+                                    .filter_map(|s| base.row(s).cloned())
+                                    .collect(),
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        indexed.unwrap_or_else(|| base.scan().map(|(_, r)| r.clone()).collect())
+    } else {
+        base.scan().map(|(_, r)| r.clone()).collect()
+    };
+
+    for join in &stmt.joins {
+        rows = apply_join(rows, &mut layout, join, tables)?;
+    }
+
+    // ---- WHERE --------------------------------------------------------
+    if let Some(filter) = &stmt.filter {
+        if filter.contains_aggregate() {
+            return Err(RelError::AggregateMisuse(
+                "aggregate in WHERE; use HAVING".into(),
+            ));
+        }
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            let ctx = LayoutRow {
+                layout: &layout,
+                row: &row,
+            };
+            if matches!(eval(filter, &ctx)?, Datum::Bool(true)) {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // ---- Grouping / projection ----------------------------------------
+    let select_exprs = expand_items(&stmt.items, &layout)?;
+    let has_aggregates = select_exprs.iter().any(|(e, _)| e.contains_aggregate())
+        || stmt
+            .having
+            .as_ref()
+            .map(Expr::contains_aggregate)
+            .unwrap_or(false)
+        || stmt
+            .order_by
+            .iter()
+            .any(|k| k.expr.contains_aggregate());
+
+    let columns: Vec<String> = select_exprs.iter().map(|(_, n)| n.clone()).collect();
+
+    // Each produced row carries hidden sort keys after the visible columns.
+    let mut produced: Vec<(Row, Vec<Datum>)> = Vec::new();
+
+    if has_aggregates || !stmt.group_by.is_empty() {
+        let groups = build_groups(&rows, &stmt.group_by, &layout)?;
+        for group in groups {
+            let aggregates =
+                compute_aggregates(&group, &select_exprs, stmt, &layout)?;
+            let representative: &[Datum] = group
+                .first()
+                .map(|r| r.as_slice())
+                .unwrap_or(&[]);
+            // An empty representative only happens for zero-row ungrouped
+            // aggregates; column references would error there, which is
+            // the correct SQL behaviour for e.g. `SELECT x, COUNT(*)`.
+            let dummy: Row;
+            let rep = if representative.is_empty() {
+                dummy = vec![Datum::Null; layout.width];
+                &dummy[..]
+            } else {
+                representative
+            };
+            let ctx = GroupRow {
+                layout: &layout,
+                representative: rep,
+                aggregates: &aggregates,
+            };
+            if let Some(having) = &stmt.having {
+                if !matches!(eval(having, &ctx)?, Datum::Bool(true)) {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(select_exprs.len());
+            for (e, _) in &select_exprs {
+                out.push(eval(e, &ctx)?);
+            }
+            let mut keys = Vec::with_capacity(stmt.order_by.len());
+            for k in &stmt.order_by {
+                keys.push(order_key_value(&k.expr, &ctx, &columns, &out)?);
+            }
+            produced.push((out, keys));
+        }
+    } else {
+        for row in &rows {
+            let ctx = LayoutRow {
+                layout: &layout,
+                row,
+            };
+            let mut out = Vec::with_capacity(select_exprs.len());
+            for (e, _) in &select_exprs {
+                out.push(eval(e, &ctx)?);
+            }
+            let mut keys = Vec::with_capacity(stmt.order_by.len());
+            for k in &stmt.order_by {
+                keys.push(order_key_value(&k.expr, &ctx, &columns, &out)?);
+            }
+            produced.push((out, keys));
+        }
+    }
+
+    // ---- DISTINCT -------------------------------------------------------
+    if stmt.distinct {
+        let mut seen = std::collections::HashSet::new();
+        produced.retain(|(row, _)| {
+            let mut key = String::new();
+            for d in row {
+                d.group_key(&mut key);
+            }
+            seen.insert(key)
+        });
+    }
+
+    // ---- ORDER BY -------------------------------------------------------
+    if !stmt.order_by.is_empty() {
+        let descs: Vec<bool> = stmt.order_by.iter().map(|k| k.desc).collect();
+        produced.sort_by(|(_, ka), (_, kb)| {
+            for (i, desc) in descs.iter().enumerate() {
+                let ord = ka[i].sort_cmp(&kb[i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // ---- LIMIT ----------------------------------------------------------
+    if let Some(n) = stmt.limit {
+        produced.truncate(n as usize);
+    }
+
+    Ok(ResultSet {
+        columns,
+        rows: produced.into_iter().map(|(r, _)| r).collect(),
+    })
+}
+
+/// Describe the plan `execute_select` would run, without executing it.
+///
+/// The output mirrors the executor's actual decisions — index lookup vs
+/// scan for the base table, hash vs nested-loop per join — because it
+/// calls the same predicates (`eq_col_literal`, `equi_join_offsets`)
+/// the executor uses.
+pub fn explain_select(
+    stmt: &SelectStmt,
+    tables: &HashMap<String, Table>,
+) -> RelResult<Vec<String>> {
+    let base = table(tables, &stmt.from.name)?;
+    let mut layout = Layout::new();
+    layout.push(
+        stmt.from.binding().to_ascii_lowercase(),
+        base.schema.column_names(),
+    );
+    let mut plan = Vec::new();
+
+    // Base access path.
+    let mut base_access = format!(
+        "scan {} ({} rows)",
+        stmt.from.name.to_ascii_lowercase(),
+        base.len()
+    );
+    if stmt.joins.is_empty() {
+        if let Some(filter) = &stmt.filter {
+            for c in conjuncts(filter) {
+                if let Some((col, value)) = eq_col_literal(c) {
+                    if let Some(ci) = base.schema.column_index(col) {
+                        let lcol = col.to_ascii_lowercase();
+                        if base.pk_columns() == [ci] {
+                            base_access = format!(
+                                "index lookup {}.{lcol} = {value} via PRIMARY KEY",
+                                stmt.from.name.to_ascii_lowercase()
+                            );
+                            break;
+                        }
+                        if base.index_lookup(ci, value).is_some() {
+                            base_access = format!(
+                                "index lookup {}.{lcol} = {value} via secondary index",
+                                stmt.from.name.to_ascii_lowercase()
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    plan.push(base_access);
+
+    for join in &stmt.joins {
+        let right = table(tables, &join.table.name)?;
+        let right_binding = join.table.binding().to_ascii_lowercase();
+        match join.kind {
+            JoinKind::Cross => {
+                plan.push(format!(
+                    "cross join {} ({} rows)",
+                    join.table.name.to_ascii_lowercase(),
+                    right.len()
+                ));
+            }
+            JoinKind::Inner => {
+                let on = join.on.as_ref().expect("inner join has ON");
+                if equi_join_offsets(on, &layout, &right_binding, right).is_some() {
+                    plan.push(format!(
+                        "hash join {} on {} (build {} rows)",
+                        join.table.name.to_ascii_lowercase(),
+                        on.to_sql(),
+                        right.len()
+                    ));
+                } else {
+                    plan.push(format!(
+                        "nested-loop inner join {} on {}",
+                        join.table.name.to_ascii_lowercase(),
+                        on.to_sql()
+                    ));
+                }
+            }
+            JoinKind::Left => {
+                let on = join.on.as_ref().expect("left join has ON");
+                plan.push(format!(
+                    "nested-loop left join {} on {}",
+                    join.table.name.to_ascii_lowercase(),
+                    on.to_sql()
+                ));
+            }
+        }
+        layout.push(right_binding, right.schema.column_names());
+    }
+
+    if let Some(filter) = &stmt.filter {
+        plan.push(format!("filter: {}", filter.to_sql()));
+    }
+    let select_exprs = expand_items(&stmt.items, &layout)?;
+    let has_aggregates = select_exprs.iter().any(|(e, _)| e.contains_aggregate())
+        || stmt
+            .having
+            .as_ref()
+            .map(Expr::contains_aggregate)
+            .unwrap_or(false);
+    if !stmt.group_by.is_empty() {
+        let keys: Vec<String> = stmt.group_by.iter().map(Expr::to_sql).collect();
+        plan.push(format!("hash group by: {}", keys.join(", ")));
+    } else if has_aggregates {
+        plan.push("aggregate over all rows".to_string());
+    }
+    if let Some(h) = &stmt.having {
+        plan.push(format!("having: {}", h.to_sql()));
+    }
+    if stmt.distinct {
+        plan.push("distinct".to_string());
+    }
+    if !stmt.order_by.is_empty() {
+        let keys: Vec<String> = stmt
+            .order_by
+            .iter()
+            .map(|k| {
+                let mut s = k.expr.to_sql();
+                if k.desc {
+                    s.push_str(" DESC");
+                }
+                s
+            })
+            .collect();
+        plan.push(format!("sort: {}", keys.join(", ")));
+    }
+    if let Some(n) = stmt.limit {
+        plan.push(format!("limit: {n}"));
+    }
+    let names: Vec<String> = select_exprs.into_iter().map(|(_, n)| n).collect();
+    plan.push(format!("project: {}", names.join(", ")));
+    Ok(plan)
+}
+
+/// Evaluate an ORDER BY key: a bare column naming an output alias sorts
+/// by the output column; otherwise the expression is evaluated in `ctx`.
+fn order_key_value(
+    expr: &Expr,
+    ctx: &dyn EvalContext,
+    columns: &[String],
+    out_row: &[Datum],
+) -> RelResult<Datum> {
+    if let Expr::Column { table: None, name } = expr {
+        if let Some(i) = columns.iter().position(|c| c == name) {
+            return Ok(out_row[i].clone());
+        }
+    }
+    eval(expr, ctx)
+}
+
+/// Expand the select list into `(expression, output name)` pairs.
+fn expand_items(
+    items: &[SelectItem],
+    layout: &Layout,
+) -> RelResult<Vec<(Expr, String)>> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                for (binding, cols, _) in &layout.parts {
+                    for c in cols {
+                        out.push((Expr::qcol(binding.clone(), c.clone()), c.clone()));
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let lt = t.to_ascii_lowercase();
+                let part = layout
+                    .parts
+                    .iter()
+                    .find(|(b, _, _)| *b == lt)
+                    .ok_or(RelError::NoSuchTable(lt.clone()))?;
+                for c in &part.1 {
+                    out.push((Expr::qcol(lt.clone(), c.clone()), c.clone()));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = match alias {
+                    Some(a) => a.to_ascii_lowercase(),
+                    None => match expr {
+                        Expr::Column { name, .. } => name.clone(),
+                        other => other.to_sql().to_ascii_lowercase(),
+                    },
+                };
+                out.push((expr.clone(), name));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Attach one join step to the current row set.
+fn apply_join(
+    left_rows: Vec<Row>,
+    layout: &mut Layout,
+    join: &Join,
+    tables: &HashMap<String, Table>,
+) -> RelResult<Vec<Row>> {
+    let right = table(tables, &join.table.name)?;
+    let right_binding = join.table.binding().to_ascii_lowercase();
+    let right_cols = right.schema.column_names();
+    let right_width = right_cols.len();
+
+    // Try the hash-join fast path for inner equi-joins.
+    let equi = match (&join.kind, &join.on) {
+        (JoinKind::Inner, Some(on)) => equi_join_offsets(on, layout, &right_binding, right),
+        _ => None,
+    };
+
+    let old_layout = layout.clone();
+    layout.push(right_binding.clone(), right_cols);
+
+    let right_rows: Vec<&Row> = right.scan().map(|(_, r)| r).collect();
+
+    let mut out = Vec::new();
+    match join.kind {
+        JoinKind::Cross => {
+            for l in &left_rows {
+                for r in &right_rows {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    out.push(row);
+                }
+            }
+        }
+        JoinKind::Inner => {
+            if let Some((l_off, r_off)) = equi {
+                // Hash join: build on the right side.
+                let mut ht: HashMap<String, Vec<&Row>> = HashMap::new();
+                for r in &right_rows {
+                    if r[r_off].is_null() {
+                        continue; // NULL never equi-matches
+                    }
+                    let mut key = String::new();
+                    r[r_off].group_key(&mut key);
+                    ht.entry(key).or_default().push(r);
+                }
+                for l in &left_rows {
+                    if l[l_off].is_null() {
+                        continue;
+                    }
+                    let mut key = String::new();
+                    l[l_off].group_key(&mut key);
+                    if let Some(matches) = ht.get(&key) {
+                        for r in matches {
+                            let mut row = l.clone();
+                            row.extend(r.iter().cloned());
+                            out.push(row);
+                        }
+                    }
+                }
+            } else {
+                let on = join.on.as_ref().expect("inner join has ON");
+                for l in &left_rows {
+                    for r in &right_rows {
+                        let mut row = l.clone();
+                        row.extend(r.iter().cloned());
+                        let ctx = LayoutRow {
+                            layout,
+                            row: &row,
+                        };
+                        if matches!(eval(on, &ctx)?, Datum::Bool(true)) {
+                            out.push(row);
+                        }
+                    }
+                }
+            }
+        }
+        JoinKind::Left => {
+            let on = join.on.as_ref().expect("left join has ON");
+            for l in &left_rows {
+                let mut matched = false;
+                for r in &right_rows {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    let ctx = LayoutRow {
+                        layout,
+                        row: &row,
+                    };
+                    if matches!(eval(on, &ctx)?, Datum::Bool(true)) {
+                        matched = true;
+                        out.push(row);
+                    }
+                }
+                if !matched {
+                    let mut row = l.clone();
+                    row.extend(std::iter::repeat_n(Datum::Null, right_width));
+                    out.push(row);
+                }
+            }
+        }
+    }
+    let _ = old_layout; // layout already updated
+    Ok(out)
+}
+
+/// If `on` is `left_col = right_col` with one side in the existing layout
+/// and the other in the newly joined table, return their offsets
+/// (`left_offset`, `right_column_index`).
+fn equi_join_offsets(
+    on: &Expr,
+    layout: &Layout,
+    right_binding: &str,
+    right: &Table,
+) -> Option<(usize, usize)> {
+    let (a, b) = match on {
+        Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } => (&**left, &**right),
+        _ => return None,
+    };
+    let classify = |e: &Expr| -> Option<(Option<String>, String)> {
+        match e {
+            Expr::Column { table, name } => Some((table.clone(), name.clone())),
+            _ => None,
+        }
+    };
+    let (at, an) = classify(a)?;
+    let (bt, bn) = classify(b)?;
+    let right_col = |t: &Option<String>, n: &str| -> Option<usize> {
+        match t {
+            Some(t) if t == right_binding => right.schema.column_index(n),
+            Some(_) => None,
+            None => right.schema.column_index(n),
+        }
+    };
+    let left_off = |t: &Option<String>, n: &str| -> Option<usize> {
+        layout.resolve(t.as_deref(), n).ok()
+    };
+    // a on left, b on right?
+    if let (Some(lo), Some(rc)) = (left_off(&at, &an), right_col(&bt, &bn)) {
+        // ensure b genuinely refers to the right table when unqualified:
+        // prefer the right side interpretation only if the left layout
+        // cannot resolve it unambiguously as well.
+        if bt.as_deref() == Some(right_binding) || left_off(&bt, &bn).is_none() {
+            return Some((lo, rc));
+        }
+    }
+    if let (Some(lo), Some(rc)) = (left_off(&bt, &bn), right_col(&at, &an)) {
+        if at.as_deref() == Some(right_binding) || left_off(&at, &an).is_none() {
+            return Some((lo, rc));
+        }
+    }
+    None
+}
+
+/// Partition rows into groups by the GROUP BY keys (one all-encompassing
+/// group when the key list is empty).
+fn build_groups(
+    rows: &[Row],
+    group_by: &[Expr],
+    layout: &Layout,
+) -> RelResult<Vec<Vec<Row>>> {
+    if group_by.is_empty() {
+        return Ok(vec![rows.to_vec()]);
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<Row>> = HashMap::new();
+    for row in rows {
+        let ctx = LayoutRow { layout, row };
+        let mut key = String::new();
+        for g in group_by {
+            eval(g, &ctx)?.group_key(&mut key);
+        }
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(row.clone());
+    }
+    Ok(order
+        .into_iter()
+        .map(|k| groups.remove(&k).expect("key present"))
+        .collect())
+}
+
+/// Compute every aggregate appearing in SELECT, HAVING, or ORDER BY for
+/// one group.
+fn compute_aggregates(
+    group: &[Row],
+    select_exprs: &[(Expr, String)],
+    stmt: &SelectStmt,
+    layout: &Layout,
+) -> RelResult<Vec<(Expr, Datum)>> {
+    let mut agg_exprs: Vec<&Expr> = Vec::new();
+    for (e, _) in select_exprs {
+        e.collect_aggregates(&mut agg_exprs);
+    }
+    if let Some(h) = &stmt.having {
+        h.collect_aggregates(&mut agg_exprs);
+    }
+    for k in &stmt.order_by {
+        k.expr.collect_aggregates(&mut agg_exprs);
+    }
+
+    let mut out = Vec::with_capacity(agg_exprs.len());
+    for agg in agg_exprs {
+        let (func, arg, distinct) = match agg {
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => (*func, arg.as_deref(), *distinct),
+            _ => unreachable!("collect_aggregates returns aggregates"),
+        };
+        let value = run_aggregate(func, arg, distinct, group, layout)?;
+        out.push((agg.clone(), value));
+    }
+    Ok(out)
+}
+
+fn run_aggregate(
+    func: AggFunc,
+    arg: Option<&Expr>,
+    distinct: bool,
+    group: &[Row],
+    layout: &Layout,
+) -> RelResult<Datum> {
+    // Gather the non-null argument values (COUNT(*) counts rows directly).
+    let mut values: Vec<Datum> = Vec::new();
+    match arg {
+        None => {
+            return Ok(Datum::Int(group.len() as i64));
+        }
+        Some(a) => {
+            if a.contains_aggregate() {
+                return Err(RelError::AggregateMisuse("nested aggregate".into()));
+            }
+            for row in group {
+                let ctx = LayoutRow { layout, row };
+                let v = eval(a, &ctx)?;
+                if !v.is_null() {
+                    values.push(v);
+                }
+            }
+        }
+    }
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        values.retain(|v| {
+            let mut k = String::new();
+            v.group_key(&mut k);
+            seen.insert(k)
+        });
+    }
+    Ok(match func {
+        AggFunc::Count => Datum::Int(values.len() as i64),
+        AggFunc::Sum | AggFunc::Avg => {
+            if values.is_empty() {
+                Datum::Null
+            } else {
+                let mut all_int = true;
+                let mut sum = 0f64;
+                let mut isum = 0i64;
+                for v in &values {
+                    match v {
+                        Datum::Int(i) => {
+                            isum = isum.wrapping_add(*i);
+                            sum += *i as f64;
+                        }
+                        Datum::Double(d) => {
+                            all_int = false;
+                            sum += d;
+                        }
+                        other => {
+                            return Err(RelError::TypeMismatch {
+                                expected: "numeric aggregate input".into(),
+                                found: format!("{other}"),
+                            })
+                        }
+                    }
+                }
+                if func == AggFunc::Sum {
+                    if all_int {
+                        Datum::Int(isum)
+                    } else {
+                        Datum::Double(sum)
+                    }
+                } else {
+                    Datum::Double(sum / values.len() as f64)
+                }
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<Datum> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = match v.sql_cmp(&b) {
+                            Some(std::cmp::Ordering::Less) => func == AggFunc::Min,
+                            Some(std::cmp::Ordering::Greater) => func == AggFunc::Max,
+                            _ => false,
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.unwrap_or(Datum::Null)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use crate::sql::parse_statement;
+    use crate::sql::ast::Statement;
+    use crate::types::DataType;
+
+    fn catalog() -> HashMap<String, Table> {
+        let mut patient = Table::new(TableSchema::new(
+            "patient",
+            vec![
+                Column::new("patient_id", DataType::Int).primary_key(),
+                Column::new("name", DataType::Text),
+                Column::new("gender", DataType::Text),
+            ],
+        ));
+        for (id, name, g) in [
+            (1, "Alice", "F"),
+            (2, "Bob", "M"),
+            (3, "Carol", "F"),
+            (4, "Dan", "M"),
+        ] {
+            patient
+                .insert(vec![
+                    Datum::Int(id),
+                    Datum::Text(name.into()),
+                    Datum::Text(g.into()),
+                ])
+                .unwrap();
+        }
+
+        let mut history = Table::new(TableSchema::new(
+            "history",
+            vec![
+                Column::new("patient_id", DataType::Int),
+                Column::new("description", DataType::Text),
+                Column::new("cost", DataType::Double),
+            ],
+        ));
+        for (pid, desc, cost) in [
+            (1, "flu", 100.0),
+            (1, "checkup", 50.0),
+            (2, "fracture", 900.0),
+            (3, "flu", 120.0),
+        ] {
+            history
+                .insert(vec![
+                    Datum::Int(pid),
+                    Datum::Text(desc.into()),
+                    Datum::Double(cost),
+                ])
+                .unwrap();
+        }
+
+        let mut m = HashMap::new();
+        m.insert("patient".to_string(), patient);
+        m.insert("history".to_string(), history);
+        m
+    }
+
+    fn run(sql: &str) -> ResultSet {
+        let stmt = parse_statement(sql).unwrap();
+        match stmt {
+            Statement::Select(s) => execute_select(&s, &catalog()).unwrap(),
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    fn run_err(sql: &str) -> RelError {
+        let stmt = parse_statement(sql).unwrap();
+        match stmt {
+            Statement::Select(s) => execute_select(&s, &catalog()).unwrap_err(),
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star() {
+        let rs = run("SELECT * FROM patient");
+        assert_eq!(rs.columns, vec!["patient_id", "name", "gender"]);
+        assert_eq!(rs.rows.len(), 4);
+    }
+
+    #[test]
+    fn where_filter_and_projection() {
+        let rs = run("SELECT name FROM patient WHERE gender = 'F' ORDER BY name");
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Datum::Text("Alice".into())],
+                vec![Datum::Text("Carol".into())]
+            ]
+        );
+    }
+
+    #[test]
+    fn index_lookup_path_gives_same_answer() {
+        // patient_id is the PK; the executor should use the index.
+        let rs = run("SELECT name FROM patient WHERE patient_id = 3");
+        assert_eq!(rs.rows, vec![vec![Datum::Text("Carol".into())]]);
+        // Equality that matches nothing.
+        let rs = run("SELECT name FROM patient WHERE patient_id = 99");
+        assert!(rs.rows.is_empty());
+    }
+
+    #[test]
+    fn inner_join_hash_path() {
+        let rs = run(
+            "SELECT p.name, h.description FROM patient p \
+             JOIN history h ON p.patient_id = h.patient_id ORDER BY p.name, h.description",
+        );
+        assert_eq!(rs.rows.len(), 4);
+        assert_eq!(rs.rows[0][0], Datum::Text("Alice".into()));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let rs = run(
+            "SELECT p.name, h.description FROM patient p \
+             LEFT JOIN history h ON p.patient_id = h.patient_id \
+             WHERE h.description IS NULL",
+        );
+        assert_eq!(rs.rows, vec![vec![Datum::Text("Dan".into()), Datum::Null]]);
+    }
+
+    #[test]
+    fn cross_join_cardinality() {
+        let rs = run("SELECT * FROM patient a, patient b");
+        assert_eq!(rs.rows.len(), 16);
+    }
+
+    #[test]
+    fn group_by_with_aggregates_and_having() {
+        let rs = run(
+            "SELECT p.name, COUNT(*) n, SUM(h.cost) total FROM patient p \
+             JOIN history h ON p.patient_id = h.patient_id \
+             GROUP BY p.name HAVING COUNT(*) >= 2",
+        );
+        assert_eq!(rs.columns, vec!["name", "n", "total"]);
+        assert_eq!(
+            rs.rows,
+            vec![vec![
+                Datum::Text("Alice".into()),
+                Datum::Int(2),
+                Datum::Double(150.0)
+            ]]
+        );
+    }
+
+    #[test]
+    fn ungrouped_aggregates_over_empty_input() {
+        let rs = run("SELECT COUNT(*), SUM(cost), MIN(cost) FROM history WHERE cost > 10000");
+        assert_eq!(rs.rows, vec![vec![Datum::Int(0), Datum::Null, Datum::Null]]);
+    }
+
+    #[test]
+    fn avg_min_max() {
+        let rs = run("SELECT AVG(cost), MIN(cost), MAX(cost) FROM history");
+        assert_eq!(
+            rs.rows,
+            vec![vec![
+                Datum::Double(292.5),
+                Datum::Double(50.0),
+                Datum::Double(900.0)
+            ]]
+        );
+    }
+
+    #[test]
+    fn count_distinct() {
+        let rs = run("SELECT COUNT(DISTINCT description) FROM history");
+        assert_eq!(rs.rows, vec![vec![Datum::Int(3)]]);
+    }
+
+    #[test]
+    fn distinct_rows() {
+        let rs = run("SELECT DISTINCT gender FROM patient ORDER BY gender");
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Datum::Text("F".into())],
+                vec![Datum::Text("M".into())]
+            ]
+        );
+    }
+
+    #[test]
+    fn order_by_desc_and_alias_and_limit() {
+        let rs = run("SELECT name, patient_id pid FROM patient ORDER BY pid DESC LIMIT 2");
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][1], Datum::Int(4));
+        assert_eq!(rs.rows[1][1], Datum::Int(3));
+    }
+
+    #[test]
+    fn order_by_aggregate() {
+        let rs = run(
+            "SELECT patient_id, COUNT(*) FROM history GROUP BY patient_id \
+             ORDER BY COUNT(*) DESC, patient_id LIMIT 1",
+        );
+        assert_eq!(rs.rows, vec![vec![Datum::Int(1), Datum::Int(2)]]);
+    }
+
+    #[test]
+    fn ambiguous_column_detected() {
+        assert!(matches!(
+            run_err("SELECT patient_id FROM patient p JOIN history h ON p.patient_id = h.patient_id"),
+            RelError::AmbiguousColumn(_)
+        ));
+    }
+
+    #[test]
+    fn aggregate_in_where_rejected() {
+        assert!(matches!(
+            run_err("SELECT * FROM history WHERE COUNT(*) > 1"),
+            RelError::AggregateMisuse(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_table_and_column() {
+        assert!(matches!(
+            run_err("SELECT * FROM ghosts"),
+            RelError::NoSuchTable(_)
+        ));
+        assert!(matches!(
+            run_err("SELECT nope FROM patient"),
+            RelError::NoSuchColumn(_)
+        ));
+    }
+
+    #[test]
+    fn expression_projection_names() {
+        let rs = run("SELECT cost * 2 FROM history LIMIT 1");
+        assert_eq!(rs.columns, vec!["(cost * 2)"]);
+    }
+
+    #[test]
+    fn text_table_rendering() {
+        let rs = run("SELECT name FROM patient WHERE patient_id = 1");
+        let text = rs.to_text_table();
+        assert!(text.contains("| name"));
+        assert!(text.contains("| Alice"));
+        assert!(text.contains("1 row(s)"));
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let rs = run(
+            "SELECT h.* FROM patient p JOIN history h ON p.patient_id = h.patient_id LIMIT 1",
+        );
+        assert_eq!(rs.columns, vec!["patient_id", "description", "cost"]);
+    }
+}

@@ -1,0 +1,124 @@
+//! # webfindit-relstore — a from-scratch relational engine
+//!
+//! WebFINDIT's data layer wraps relational products — Oracle, mSQL, DB2,
+//! Sybase — behind Information Source Interfaces. Since none of those
+//! 1990s products can ship with this reproduction, this crate implements
+//! the substrate itself: a small but real relational DBMS with
+//!
+//! * a typed catalog ([`schema`]) with primary-key and NOT NULL
+//!   constraints;
+//! * heap table storage with B-tree primary and secondary indexes
+//!   ([`storage`]);
+//! * a SQL subset ([`sql`]) — `CREATE TABLE/INDEX`, `INSERT`, `UPDATE`,
+//!   `DELETE`, and `SELECT` with joins, aggregation, `GROUP BY`/`HAVING`,
+//!   `ORDER BY`, `DISTINCT`, and `LIMIT`;
+//! * an expression evaluator with SQL three-valued logic ([`expr`]);
+//! * an executor ([`exec`]) with index-assisted filtering and both
+//!   nested-loop and hash equi-joins;
+//! * statement atomicity plus multi-statement transactions with an undo
+//!   log ([`engine`]);
+//! * vendor dialect flavoring ([`dialect`]) so that the same logical
+//!   query arrives in visibly different SQL per "product", which is the
+//!   heterogeneity WebFINDIT's wrappers absorb.
+//!
+//! The engine is deliberately synchronous and in-memory: the paper's
+//! experiments stress *federation* behaviour, not single-node storage.
+
+#![warn(missing_docs)]
+
+pub mod dialect;
+pub mod engine;
+pub mod exec;
+pub mod expr;
+pub mod schema;
+pub mod sql;
+pub mod storage;
+pub mod types;
+
+pub use dialect::Dialect;
+pub use engine::{Database, ExecOutcome};
+pub use schema::{Column, TableSchema};
+pub use types::{DataType, Datum, Row};
+
+use std::fmt;
+
+/// Errors produced by the relational engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RelError {
+    /// SQL text failed to lex or parse.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset where the problem was noticed.
+        offset: usize,
+    },
+    /// A referenced table does not exist.
+    NoSuchTable(String),
+    /// A referenced column does not exist.
+    NoSuchColumn(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// An index with this name already exists.
+    IndexExists(String),
+    /// A value's type did not match the column or operator.
+    TypeMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// NOT NULL or primary-key constraint violated.
+    ConstraintViolation(String),
+    /// A duplicate primary key was inserted.
+    DuplicateKey(String),
+    /// Arity mismatch between columns and values.
+    ArityMismatch {
+        /// Expected count.
+        expected: usize,
+        /// Found count.
+        found: usize,
+    },
+    /// Division by zero during expression evaluation.
+    DivisionByZero,
+    /// Aggregate misuse (e.g. nested aggregates, aggregate in WHERE).
+    AggregateMisuse(String),
+    /// A column reference was ambiguous across joined tables.
+    AmbiguousColumn(String),
+    /// Transaction state error (e.g. COMMIT without BEGIN).
+    TransactionState(String),
+    /// The statement is valid SQL but not supported by this engine.
+    Unsupported(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::Parse { message, offset } => {
+                write!(f, "SQL parse error at byte {offset}: {message}")
+            }
+            RelError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            RelError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            RelError::TableExists(t) => write!(f, "table already exists: {t}"),
+            RelError::IndexExists(i) => write!(f, "index already exists: {i}"),
+            RelError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            RelError::ConstraintViolation(msg) => write!(f, "constraint violation: {msg}"),
+            RelError::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
+            RelError::ArityMismatch { expected, found } => {
+                write!(f, "expected {expected} values, found {found}")
+            }
+            RelError::DivisionByZero => write!(f, "division by zero"),
+            RelError::AggregateMisuse(msg) => write!(f, "aggregate misuse: {msg}"),
+            RelError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            RelError::TransactionState(msg) => write!(f, "transaction error: {msg}"),
+            RelError::Unsupported(msg) => write!(f, "unsupported SQL: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Result alias for engine operations.
+pub type RelResult<T> = Result<T, RelError>;

@@ -1,0 +1,172 @@
+//! Table schemas and the catalog metadata model.
+
+use crate::types::DataType;
+use crate::{RelError, RelResult};
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (stored lowercase; SQL identifiers are
+    /// case-insensitive in this engine).
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+    /// Whether NULLs are rejected.
+    pub not_null: bool,
+    /// Whether this column is (part of) the primary key.
+    pub primary_key: bool,
+}
+
+impl Column {
+    /// Create a nullable, non-key column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Column {
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            data_type,
+            not_null: false,
+            primary_key: false,
+        }
+    }
+
+    /// Mark as primary key (implies NOT NULL).
+    pub fn primary_key(mut self) -> Column {
+        self.primary_key = true;
+        self.not_null = true;
+        self
+    }
+
+    /// Mark as NOT NULL.
+    pub fn not_null(mut self) -> Column {
+        self.not_null = true;
+        self
+    }
+}
+
+/// A table schema: ordered columns plus constraint metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (lowercase).
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Create a schema; column and table names are lowercased.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> TableSchema {
+        TableSchema {
+            name: name.into().to_ascii_lowercase(),
+            columns,
+        }
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// Look up a column, erroring with the column name if missing.
+    pub fn column(&self, name: &str) -> RelResult<(usize, &Column)> {
+        self.column_index(name)
+            .map(|i| (i, &self.columns[i]))
+            .ok_or_else(|| RelError::NoSuchColumn(format!("{}.{}", self.name, name)))
+    }
+
+    /// Positions of primary-key columns, in declaration order.
+    pub fn primary_key_indices(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.primary_key)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Render as a `CREATE TABLE` statement (canonical engine dialect).
+    pub fn to_create_sql(&self) -> String {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| {
+                let mut s = format!("{} {}", c.name, c.data_type);
+                if c.primary_key {
+                    s.push_str(" PRIMARY KEY");
+                } else if c.not_null {
+                    s.push_str(" NOT NULL");
+                }
+                s
+            })
+            .collect();
+        format!("CREATE TABLE {} ({})", self.name, cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patient_schema() -> TableSchema {
+        TableSchema::new(
+            "Patient",
+            vec![
+                Column::new("patient_id", DataType::Int).primary_key(),
+                Column::new("Name", DataType::Text).not_null(),
+                Column::new("date_of_birth", DataType::Date),
+                Column::new("gender", DataType::Text),
+                Column::new("address", DataType::Text),
+            ],
+        )
+    }
+
+    #[test]
+    fn names_are_lowercased() {
+        let s = patient_schema();
+        assert_eq!(s.name, "patient");
+        assert_eq!(s.columns[1].name, "name");
+        assert_eq!(s.column_index("NAME"), Some(1));
+        assert_eq!(s.column_index("Patient_Id"), Some(0));
+    }
+
+    #[test]
+    fn primary_key_implies_not_null() {
+        let s = patient_schema();
+        assert!(s.columns[0].not_null);
+        assert_eq!(s.primary_key_indices(), vec![0]);
+    }
+
+    #[test]
+    fn missing_column_error_names_the_table() {
+        let s = patient_schema();
+        match s.column("missing") {
+            Err(RelError::NoSuchColumn(msg)) => assert_eq!(msg, "patient.missing"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_sql_rendering() {
+        let s = TableSchema::new(
+            "t",
+            vec![
+                Column::new("id", DataType::Int).primary_key(),
+                Column::new("v", DataType::Text).not_null(),
+                Column::new("w", DataType::Double),
+            ],
+        );
+        assert_eq!(
+            s.to_create_sql(),
+            "CREATE TABLE t (id INT PRIMARY KEY, v TEXT NOT NULL, w DOUBLE)"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Statement-level SQL AST.
+
+use crate::expr::Expr;
+use crate::schema::TableSchema;
+
+/// A table reference in FROM, with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name (lowercase).
+    pub name: String,
+    /// Alias (lowercase), if written.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is addressed by in expressions: alias if
+    /// present, else the table name.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Join flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `JOIN … ON …` (also `INNER JOIN`).
+    Inner,
+    /// `LEFT [OUTER] JOIN … ON …`: unmatched left rows padded with NULLs.
+    Left,
+    /// Comma-separated FROM items: Cartesian product, filtered by WHERE.
+    Cross,
+}
+
+/// One join step after the first FROM table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// How to join.
+    pub kind: JoinKind,
+    /// The table being joined in.
+    pub table: TableRef,
+    /// The ON condition (`None` only for `Cross`).
+    pub on: Option<Expr>,
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// `alias.*`.
+    QualifiedWildcard(String),
+    /// An expression with optional output alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`, if written.
+        alias: Option<String>,
+    },
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The sort expression.
+    pub expr: Expr,
+    /// True for `DESC`.
+    pub desc: bool,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// First FROM table.
+    pub from: TableRef,
+    /// Subsequent joins (including comma cross-joins).
+    pub joins: Vec<Join>,
+    /// WHERE clause.
+    pub filter: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING clause.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+/// Any parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE`.
+    CreateTable(TableSchema),
+    /// `DROP TABLE [IF EXISTS] name`.
+    DropTable {
+        /// Target table.
+        name: String,
+        /// Suppress the missing-table error.
+        if_exists: bool,
+    },
+    /// `CREATE INDEX name ON table (column)`.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column.
+        column: String,
+    },
+    /// `INSERT INTO t [(cols)] VALUES (…), (…)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list, if written.
+        columns: Option<Vec<String>>,
+        /// One expression row per VALUES tuple.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE t SET c = e, … [WHERE …]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, value-expression)` pairs.
+        assignments: Vec<(String, Expr)>,
+        /// WHERE clause.
+        filter: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE …]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// WHERE clause.
+        filter: Option<Expr>,
+    },
+    /// A query.
+    Select(SelectStmt),
+    /// `EXPLAIN SELECT …`: describe the plan instead of executing.
+    Explain(Box<SelectStmt>),
+    /// `BEGIN [TRANSACTION]`.
+    Begin,
+    /// `COMMIT`.
+    Commit,
+    /// `ROLLBACK`.
+    Rollback,
+}

@@ -1,0 +1,323 @@
+//! SQL lexer.
+//!
+//! Produces a token stream with byte offsets (for error messages).
+//! Identifiers and keywords are case-insensitive; string literals use
+//! single quotes with `''` escaping, as every 1990s SQL dialect did.
+
+use crate::{RelError, RelResult};
+
+/// Token categories.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (stored lowercase).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// A punctuation or operator symbol.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Byte offset in the original SQL text.
+    pub offset: usize,
+}
+
+/// The lexer: call [`Lexer::tokenize`] to get all tokens up front.
+pub struct Lexer;
+
+const SYMBOLS: &[&str] = &[
+    "<>", "!=", "<=", ">=", "||", "(", ")", ",", ".", "*", "+", "-", "/", "%", "=", "<", ">",
+    ";",
+];
+
+impl Lexer {
+    /// Tokenize `input` fully.
+    pub fn tokenize(input: &str) -> RelResult<Vec<Token>> {
+        let bytes = input.as_bytes();
+        let mut tokens = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            // Whitespace
+            if c.is_ascii_whitespace() {
+                i += 1;
+                continue;
+            }
+            // Line comments: -- to end of line
+            if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            // String literal
+            if c == '\'' {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(RelError::Parse {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Advance by one UTF-8 code point.
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().expect("in-bounds char");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+                continue;
+            }
+            // Number
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Exponent
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| RelError::Parse {
+                        message: format!("bad float literal {text}"),
+                        offset: start,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| RelError::Parse {
+                        message: format!("integer literal out of range: {text}"),
+                        offset: start,
+                    })?)
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                continue;
+            }
+            // Identifier / keyword
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_ascii_lowercase()),
+                    offset: start,
+                });
+                continue;
+            }
+            // Quoted identifier "name" (vendor style) — normalized lowercase.
+            if c == '"' {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(RelError::Parse {
+                                message: "unterminated quoted identifier".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s.to_ascii_lowercase()),
+                    offset: start,
+                });
+                continue;
+            }
+            // Symbols (longest first)
+            let rest = &input[i..];
+            let mut matched = false;
+            for sym in SYMBOLS {
+                if rest.starts_with(sym) {
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(sym),
+                        offset: i,
+                    });
+                    i += sym.len();
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                return Err(RelError::Parse {
+                    message: format!("unexpected character {c:?}"),
+                    offset: i,
+                });
+            }
+        }
+        tokens.push(Token {
+            kind: TokenKind::Eof,
+            offset: input.len(),
+        });
+        Ok(tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds("SELECT a.Funding FROM ResearchProjects a WHERE a.Title = 'AIDS'");
+        assert_eq!(ks[0], TokenKind::Ident("select".into()));
+        assert!(ks.contains(&TokenKind::Symbol(".")));
+        assert!(ks.contains(&TokenKind::Str("AIDS".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 3e2 17"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(300.0),
+                TokenKind::Int(17),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("'O''Brien'"),
+            vec![TokenKind::Str("O'Brien".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_offset() {
+        match Lexer::tokenize("SELECT 'oops") {
+            Err(RelError::Parse { offset, .. }) => assert_eq!(offset, 7),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("SELECT 1 -- trailing comment\n, 2"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Int(1),
+                TokenKind::Symbol(","),
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_symbols_win() {
+        assert_eq!(
+            kinds("a <> b <= c || d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Symbol("<>"),
+                TokenKind::Ident("b".into()),
+                TokenKind::Symbol("<="),
+                TokenKind::Ident("c".into()),
+                TokenKind::Symbol("||"),
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers_lowercased() {
+        assert_eq!(
+            kinds("\"MixedCase\""),
+            vec![TokenKind::Ident("mixedcase".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn bad_character_reports_offset() {
+        match Lexer::tokenize("SELECT @") {
+            Err(RelError::Parse { offset, .. }) => assert_eq!(offset, 7),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("'café ☕'"),
+            vec![TokenKind::Str("café ☕".into()), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! The SQL front end: lexer, statement AST, and recursive-descent parser.
+//!
+//! The supported subset covers everything the paper's wrappers emit:
+//! DDL (`CREATE TABLE`, `CREATE INDEX`, `DROP TABLE`), DML (`INSERT`,
+//! `UPDATE`, `DELETE`), transactions (`BEGIN`/`COMMIT`/`ROLLBACK`) and
+//! `SELECT` with joins (inner/left/cross), `WHERE`, `GROUP BY`/`HAVING`,
+//! aggregates, `ORDER BY`, `DISTINCT`, and `LIMIT`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Join, JoinKind, OrderKey, SelectItem, SelectStmt, Statement, TableRef};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::parse_statement;

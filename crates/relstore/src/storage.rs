@@ -1,0 +1,454 @@
+//! Heap table storage with B-tree primary and secondary indexes.
+//!
+//! Rows live in slot-addressed heaps (`Vec<Option<Row>>`); deletion
+//! tombstones the slot so that slot ids stay stable for index entries
+//! and for the transaction undo log. Primary keys are enforced through
+//! a B-tree unique index; `CREATE INDEX` adds non-unique secondary
+//! B-trees used by the executor for equality lookups.
+
+use crate::schema::TableSchema;
+use crate::types::{Datum, Row};
+use crate::{RelError, RelResult};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// A `Datum` wrapper giving the total `sort_cmp` order, usable as a
+/// B-tree key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyDatum(pub Datum);
+
+impl Eq for KeyDatum {}
+
+impl PartialOrd for KeyDatum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KeyDatum {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.sort_cmp(&other.0)
+    }
+}
+
+/// A composite index key.
+pub type IndexKey = Vec<KeyDatum>;
+
+/// Build an index key from selected columns of a row.
+pub fn key_of(row: &Row, cols: &[usize]) -> IndexKey {
+    cols.iter().map(|&i| KeyDatum(row[i].clone())).collect()
+}
+
+/// A non-unique secondary index over one column.
+#[derive(Debug, Default, Clone)]
+pub struct SecondaryIndex {
+    /// Index name (lowercase).
+    pub name: String,
+    /// Indexed column position.
+    pub column: usize,
+    /// Key → slots holding that key.
+    map: BTreeMap<IndexKey, Vec<usize>>,
+}
+
+/// A stored table: schema, heap, and indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    slots: Vec<Option<Row>>,
+    live: usize,
+    /// Unique index over the primary-key columns (if any are declared).
+    pk: Option<BTreeMap<IndexKey, usize>>,
+    pk_cols: Vec<usize>,
+    secondary: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// Create an empty table for `schema`.
+    pub fn new(schema: TableSchema) -> Table {
+        let pk_cols = schema.primary_key_indices();
+        Table {
+            schema,
+            slots: Vec::new(),
+            live: 0,
+            pk: if pk_cols.is_empty() {
+                None
+            } else {
+                Some(BTreeMap::new())
+            },
+            pk_cols,
+            secondary: Vec::new(),
+        }
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Names of secondary indexes.
+    pub fn index_names(&self) -> Vec<String> {
+        self.secondary.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Validate and coerce a row against the schema.
+    fn check_row(&self, mut row: Row) -> RelResult<Row> {
+        if row.len() != self.schema.arity() {
+            return Err(RelError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: row.len(),
+            });
+        }
+        for (i, col) in self.schema.columns.iter().enumerate() {
+            if row[i].is_null() {
+                if col.not_null {
+                    return Err(RelError::ConstraintViolation(format!(
+                        "column {}.{} is NOT NULL",
+                        self.schema.name, col.name
+                    )));
+                }
+                continue;
+            }
+            match row[i].coerce(col.data_type) {
+                Some(v) => row[i] = v,
+                None => {
+                    return Err(RelError::TypeMismatch {
+                        expected: format!("{} for column {}", col.data_type, col.name),
+                        found: format!("{}", row[i]),
+                    })
+                }
+            }
+        }
+        Ok(row)
+    }
+
+    /// Insert a row, returning its slot id.
+    pub fn insert(&mut self, row: Row) -> RelResult<usize> {
+        let row = self.check_row(row)?;
+        if let Some(pk) = &self.pk {
+            let key = key_of(&row, &self.pk_cols);
+            if pk.contains_key(&key) {
+                return Err(RelError::DuplicateKey(format!(
+                    "{} in table {}",
+                    key.iter()
+                        .map(|k| k.0.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    self.schema.name
+                )));
+            }
+        }
+        let slot = self.slots.len();
+        if let Some(pk) = &mut self.pk {
+            pk.insert(key_of(&row, &self.pk_cols), slot);
+        }
+        for idx in &mut self.secondary {
+            idx.map
+                .entry(vec![KeyDatum(row[idx.column].clone())])
+                .or_default()
+                .push(slot);
+        }
+        self.slots.push(Some(row));
+        self.live += 1;
+        Ok(slot)
+    }
+
+    /// Delete the row in `slot`, returning it (for the undo log).
+    pub fn delete_slot(&mut self, slot: usize) -> Option<Row> {
+        let row = self.slots.get_mut(slot)?.take()?;
+        self.live -= 1;
+        if let Some(pk) = &mut self.pk {
+            pk.remove(&key_of(&row, &self.pk_cols));
+        }
+        for idx in &mut self.secondary {
+            let key = vec![KeyDatum(row[idx.column].clone())];
+            if let Some(slots) = idx.map.get_mut(&key) {
+                slots.retain(|&s| s != slot);
+                if slots.is_empty() {
+                    idx.map.remove(&key);
+                }
+            }
+        }
+        Some(row)
+    }
+
+    /// Restore a previously deleted row into its original slot
+    /// (transaction rollback). The slot must be empty.
+    pub fn restore_slot(&mut self, slot: usize, row: Row) {
+        debug_assert!(self.slots[slot].is_none(), "restoring into a live slot");
+        if let Some(pk) = &mut self.pk {
+            pk.insert(key_of(&row, &self.pk_cols), slot);
+        }
+        for idx in &mut self.secondary {
+            idx.map
+                .entry(vec![KeyDatum(row[idx.column].clone())])
+                .or_default()
+                .push(slot);
+        }
+        self.slots[slot] = Some(row);
+        self.live += 1;
+    }
+
+    /// Replace the row in `slot`, returning the old row.
+    pub fn update_slot(&mut self, slot: usize, new_row: Row) -> RelResult<Row> {
+        let new_row = self.check_row(new_row)?;
+        let old = self.slots[slot]
+            .clone()
+            .expect("update_slot targets a live slot");
+        // Primary key change must stay unique.
+        if let Some(pk) = &mut self.pk {
+            let old_key = key_of(&old, &self.pk_cols);
+            let new_key = key_of(&new_row, &self.pk_cols);
+            if old_key != new_key {
+                if pk.contains_key(&new_key) {
+                    return Err(RelError::DuplicateKey(format!(
+                        "update collides in table {}",
+                        self.schema.name
+                    )));
+                }
+                pk.remove(&old_key);
+                pk.insert(new_key, slot);
+            }
+        }
+        for idx in &mut self.secondary {
+            let old_key = vec![KeyDatum(old[idx.column].clone())];
+            let new_key = vec![KeyDatum(new_row[idx.column].clone())];
+            if old_key != new_key {
+                if let Some(slots) = idx.map.get_mut(&old_key) {
+                    slots.retain(|&s| s != slot);
+                    if slots.is_empty() {
+                        idx.map.remove(&old_key);
+                    }
+                }
+                idx.map.entry(new_key).or_default().push(slot);
+            }
+        }
+        self.slots[slot] = Some(new_row);
+        Ok(old)
+    }
+
+    /// Iterate live `(slot, row)` pairs.
+    pub fn scan(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|row| (i, row)))
+    }
+
+    /// The row in `slot`, if live.
+    pub fn row(&self, slot: usize) -> Option<&Row> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Point lookup by full primary key.
+    pub fn lookup_pk(&self, key: &IndexKey) -> Option<usize> {
+        self.pk.as_ref()?.get(key).copied()
+    }
+
+    /// Positions of the primary-key columns.
+    pub fn pk_columns(&self) -> &[usize] {
+        &self.pk_cols
+    }
+
+    /// Create a secondary index named `name` over `column`.
+    pub fn create_index(&mut self, name: &str, column: usize) -> RelResult<()> {
+        let lower = name.to_ascii_lowercase();
+        if self.secondary.iter().any(|s| s.name == lower) {
+            return Err(RelError::IndexExists(lower));
+        }
+        let mut idx = SecondaryIndex {
+            name: lower,
+            column,
+            map: BTreeMap::new(),
+        };
+        for (slot, row) in self.scan() {
+            idx.map
+                .entry(vec![KeyDatum(row[column].clone())])
+                .or_default()
+                .push(slot);
+        }
+        self.secondary.push(idx);
+        Ok(())
+    }
+
+    /// Slots whose `column` equals `value`, via a secondary index or the
+    /// PK index when applicable. `None` means no usable index exists
+    /// (the executor falls back to a scan).
+    pub fn index_lookup(&self, column: usize, value: &Datum) -> Option<Vec<usize>> {
+        if self.pk_cols.len() == 1 && self.pk_cols[0] == column {
+            let key = vec![KeyDatum(value.clone())];
+            return Some(self.lookup_pk(&key).into_iter().collect());
+        }
+        self.secondary
+            .iter()
+            .find(|s| s.column == column)
+            .map(|s| {
+                s.map
+                    .get(&vec![KeyDatum(value.clone())])
+                    .cloned()
+                    .unwrap_or_default()
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::types::DataType;
+
+    fn beds() -> Table {
+        Table::new(TableSchema::new(
+            "beds",
+            vec![
+                Column::new("bed_id", DataType::Int).primary_key(),
+                Column::new("location", DataType::Text).not_null(),
+                Column::new("default_patient_type", DataType::Text),
+            ],
+        ))
+    }
+
+    fn row(id: i64, loc: &str) -> Row {
+        vec![
+            Datum::Int(id),
+            Datum::Text(loc.into()),
+            Datum::Null,
+        ]
+    }
+
+    #[test]
+    fn insert_scan_delete() {
+        let mut t = beds();
+        let s0 = t.insert(row(1, "ward A")).unwrap();
+        let s1 = t.insert(row(2, "ward B")).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.scan().count(), 2);
+        let deleted = t.delete_slot(s0).unwrap();
+        assert_eq!(deleted[0], Datum::Int(1));
+        assert_eq!(t.len(), 1);
+        assert!(t.row(s0).is_none());
+        assert!(t.row(s1).is_some());
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = beds();
+        t.insert(row(1, "ward A")).unwrap();
+        assert!(matches!(
+            t.insert(row(1, "ward B")),
+            Err(RelError::DuplicateKey(_))
+        ));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn pk_free_after_delete() {
+        let mut t = beds();
+        let s = t.insert(row(1, "ward A")).unwrap();
+        t.delete_slot(s);
+        t.insert(row(1, "ward A again")).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = beds();
+        let r = vec![Datum::Int(1), Datum::Null, Datum::Null];
+        assert!(matches!(
+            t.insert(r),
+            Err(RelError::ConstraintViolation(_))
+        ));
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut t = beds();
+        assert!(matches!(
+            t.insert(vec![Datum::Int(1)]),
+            Err(RelError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn type_coercion_on_insert() {
+        let mut t = Table::new(TableSchema::new(
+            "f",
+            vec![Column::new("x", DataType::Double)],
+        ));
+        t.insert(vec![Datum::Int(3)]).unwrap();
+        assert_eq!(t.scan().next().unwrap().1[0], Datum::Double(3.0));
+        assert!(matches!(
+            t.insert(vec![Datum::Text("x".into())]),
+            Err(RelError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn update_slot_maintains_pk_index() {
+        let mut t = beds();
+        let s = t.insert(row(1, "ward A")).unwrap();
+        t.insert(row(2, "ward B")).unwrap();
+        // Moving pk 1 → 3 frees 1 and occupies 3.
+        let old = t.update_slot(s, row(3, "ward C")).unwrap();
+        assert_eq!(old[0], Datum::Int(1));
+        assert!(t.index_lookup(0, &Datum::Int(1)).unwrap().is_empty());
+        assert_eq!(t.index_lookup(0, &Datum::Int(3)).unwrap(), vec![s]);
+        // Colliding update rejected.
+        assert!(matches!(
+            t.update_slot(s, row(2, "collide")),
+            Err(RelError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn secondary_index_lookup_and_maintenance() {
+        let mut t = beds();
+        let s0 = t.insert(row(1, "ward A")).unwrap();
+        let s1 = t.insert(row(2, "ward A")).unwrap();
+        t.insert(row(3, "ward B")).unwrap();
+        t.create_index("beds_loc", 1).unwrap();
+        assert!(matches!(
+            t.create_index("beds_loc", 1),
+            Err(RelError::IndexExists(_))
+        ));
+        let hits = t.index_lookup(1, &Datum::Text("ward A".into())).unwrap();
+        assert_eq!(hits, vec![s0, s1]);
+        t.delete_slot(s0);
+        let hits = t.index_lookup(1, &Datum::Text("ward A".into())).unwrap();
+        assert_eq!(hits, vec![s1]);
+        // Update relocates index entry.
+        t.update_slot(s1, row(2, "ward B")).unwrap();
+        assert!(t
+            .index_lookup(1, &Datum::Text("ward A".into()))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            t.index_lookup(1, &Datum::Text("ward B".into()))
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn restore_slot_round_trips() {
+        let mut t = beds();
+        let s = t.insert(row(1, "ward A")).unwrap();
+        let r = t.delete_slot(s).unwrap();
+        t.restore_slot(s, r);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.index_lookup(0, &Datum::Int(1)).unwrap(), vec![s]);
+    }
+
+    #[test]
+    fn no_index_means_none() {
+        let t = beds();
+        assert!(t.index_lookup(1, &Datum::Text("x".into())).is_none());
+        assert!(t.index_lookup(2, &Datum::Null).is_none());
+    }
+}

@@ -1,0 +1,391 @@
+//! SQL data types and runtime values.
+//!
+//! [`Datum`] is the single runtime value representation: typed scalars
+//! plus SQL `NULL`. Comparison follows SQL semantics — `NULL` compares
+//! as *unknown* (`None`) in predicate position — while [`Datum::sort_cmp`]
+//! provides the total order used by `ORDER BY`, index keys, `DISTINCT`,
+//! and `GROUP BY`, where SQL treats NULLs as equal and orders them first.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Declared column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (covers the paper's `int` columns).
+    Int,
+    /// 64-bit IEEE float (`real` in the paper's examples).
+    Double,
+    /// UTF-8 string (`string` / `varchar`).
+    Text,
+    /// Boolean.
+    Bool,
+    /// Calendar date, stored as days since 1970-01-01.
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Double => "DOUBLE",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+impl DataType {
+    /// Parse a type name as written in `CREATE TABLE`, accepting the
+    /// common vendor spellings.
+    pub fn parse(name: &str) -> Option<DataType> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "NUMBER" => DataType::Int,
+            "DOUBLE" | "REAL" | "FLOAT" | "DECIMAL" | "NUMERIC" => DataType::Double,
+            "TEXT" | "VARCHAR" | "VARCHAR2" | "CHAR" | "STRING" | "CLOB" => DataType::Text,
+            "BOOL" | "BOOLEAN" => DataType::Bool,
+            "DATE" | "DATETIME" | "TIMESTAMP" => DataType::Date,
+            _ => return None,
+        })
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Datum {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Double-precision float.
+    Double(f64),
+    /// String.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+    /// Date as days since the Unix epoch.
+    Date(i32),
+}
+
+/// One stored or produced tuple.
+pub type Row = Vec<Datum>;
+
+impl Datum {
+    /// The dynamic type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        Some(match self {
+            Datum::Null => return None,
+            Datum::Int(_) => DataType::Int,
+            Datum::Double(_) => DataType::Double,
+            Datum::Text(_) => DataType::Text,
+            Datum::Bool(_) => DataType::Bool,
+            Datum::Date(_) => DataType::Date,
+        })
+    }
+
+    /// True for SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Coerce into `target` if losslessly possible (Int→Double, and Text
+    /// date literals → Date). Returns `None` when the coercion is not
+    /// meaningful.
+    pub fn coerce(&self, target: DataType) -> Option<Datum> {
+        match (self, target) {
+            (Datum::Null, _) => Some(Datum::Null),
+            (Datum::Int(v), DataType::Double) => Some(Datum::Double(*v as f64)),
+            (Datum::Int(v), DataType::Int) => Some(self.clone().tap_int(*v)),
+            (Datum::Text(s), DataType::Date) => parse_date(s).map(Datum::Date),
+            (d, t) if d.data_type() == Some(t) => Some(d.clone()),
+            _ => None,
+        }
+    }
+
+    fn tap_int(self, _v: i64) -> Datum {
+        self
+    }
+
+    /// SQL comparison: `None` when either side is NULL or the types are
+    /// incomparable; numeric types compare cross-type.
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        match (self, other) {
+            (Datum::Null, _) | (_, Datum::Null) => None,
+            (Datum::Int(a), Datum::Int(b)) => Some(a.cmp(b)),
+            (Datum::Double(a), Datum::Double(b)) => a.partial_cmp(b),
+            (Datum::Int(a), Datum::Double(b)) => (*a as f64).partial_cmp(b),
+            (Datum::Double(a), Datum::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Datum::Text(a), Datum::Text(b)) => Some(a.cmp(b)),
+            (Datum::Bool(a), Datum::Bool(b)) => Some(a.cmp(b)),
+            (Datum::Date(a), Datum::Date(b)) => Some(a.cmp(b)),
+            // A Text date literal compared against a Date column.
+            (Datum::Text(a), Datum::Date(b)) => parse_date(a).map(|d| d.cmp(b)),
+            (Datum::Date(a), Datum::Text(b)) => parse_date(b).map(|d| a.cmp(&d)),
+            _ => None,
+        }
+    }
+
+    /// Total order for sorting/grouping: NULLs first and equal to each
+    /// other, then by type rank, then by value.
+    pub fn sort_cmp(&self, other: &Datum) -> Ordering {
+        fn rank(d: &Datum) -> u8 {
+            match d {
+                Datum::Null => 0,
+                Datum::Bool(_) => 1,
+                Datum::Int(_) | Datum::Double(_) => 2,
+                Datum::Date(_) => 3,
+                Datum::Text(_) => 4,
+            }
+        }
+        match self.sql_cmp(other) {
+            Some(ord) => ord,
+            None => match (self.is_null(), other.is_null()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                (false, false) => {
+                    // Incomparable non-null types: order by rank for a
+                    // stable, if arbitrary, total order.
+                    let (ra, rb) = (rank(self), rank(other));
+                    if ra != rb {
+                        ra.cmp(&rb)
+                    } else {
+                        // NaN vs number lands here: order NaN last.
+                        match (self, other) {
+                            (Datum::Double(a), Datum::Double(b)) => {
+                                a.is_nan().cmp(&b.is_nan())
+                            }
+                            _ => Ordering::Equal,
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Equality under the grouping/sorting order (NULL == NULL).
+    pub fn group_eq(&self, other: &Datum) -> bool {
+        self.sort_cmp(other) == Ordering::Equal
+    }
+
+    /// A canonical key string for hashing in group-by/distinct/hash-join.
+    ///
+    /// Two datums with `group_eq` true produce identical keys. Numeric
+    /// values are canonicalized through f64 so `Int(1)` and `Double(1.0)`
+    /// collide, matching `sql_cmp`.
+    pub fn group_key(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Datum::Null => out.push('N'),
+            Datum::Bool(b) => {
+                let _ = write!(out, "b{}", *b as u8);
+            }
+            Datum::Int(v) => {
+                let _ = write!(out, "f{}", (*v as f64).to_bits());
+            }
+            Datum::Double(v) => {
+                let _ = write!(out, "f{}", v.to_bits());
+            }
+            Datum::Date(v) => {
+                let _ = write!(out, "d{v}");
+            }
+            Datum::Text(s) => {
+                let _ = write!(out, "t{}:{s}", s.len());
+            }
+        }
+        out.push('|');
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Double(v) => write!(f, "{v}"),
+            Datum::Text(s) => write!(f, "{s}"),
+            Datum::Bool(b) => write!(f, "{b}"),
+            Datum::Date(d) => write!(f, "{}", format_date(*d)),
+        }
+    }
+}
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        self.group_eq(other)
+    }
+}
+
+const DAYS_IN_MONTH: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(y: i64) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Parse `YYYY-MM-DD` into days since 1970-01-01.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut parts = s.splitn(3, '-');
+    let y: i64 = parts.next()?.parse().ok()?;
+    let m: i64 = parts.next()?.parse().ok()?;
+    let d: i64 = parts.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) {
+        return None;
+    }
+    let max_d = DAYS_IN_MONTH[(m - 1) as usize] + i64::from(m == 2 && is_leap(y));
+    if !(1..=max_d).contains(&d) {
+        return None;
+    }
+    // Days from 1970-01-01 to the start of year y.
+    let mut days: i64 = 0;
+    if y >= 1970 {
+        for year in 1970..y {
+            days += 365 + i64::from(is_leap(year));
+        }
+    } else {
+        for year in y..1970 {
+            days -= 365 + i64::from(is_leap(year));
+        }
+    }
+    for month in 1..m {
+        days += DAYS_IN_MONTH[(month - 1) as usize] + i64::from(month == 2 && is_leap(y));
+    }
+    days += d - 1;
+    i32::try_from(days).ok()
+}
+
+/// Format days-since-epoch as `YYYY-MM-DD`.
+pub fn format_date(mut days: i32) -> String {
+    let mut y: i64 = 1970;
+    loop {
+        let len = 365 + i32::from(is_leap(y));
+        if days >= len {
+            days -= len;
+            y += 1;
+        } else if days < 0 {
+            y -= 1;
+            days += 365 + i32::from(is_leap(y));
+        } else {
+            break;
+        }
+    }
+    let mut m = 1usize;
+    loop {
+        let len = (DAYS_IN_MONTH[m - 1] + i64::from(m == 2 && is_leap(y))) as i32;
+        if days >= len {
+            days -= len;
+            m += 1;
+        } else {
+            break;
+        }
+    }
+    format!("{y:04}-{:02}-{:02}", m, days + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_roundtrip_known_values() {
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1970-02-01"), Some(31));
+        assert_eq!(parse_date("1971-01-01"), Some(365));
+        assert_eq!(parse_date("1972-03-01"), Some(365 * 2 + 31 + 29)); // leap
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+        for s in ["1999-06-15", "2026-07-05", "1960-02-29", "2000-02-29"] {
+            let d = parse_date(s).unwrap();
+            assert_eq!(format_date(d), s, "roundtrip {s}");
+        }
+    }
+
+    #[test]
+    fn date_rejects_invalid() {
+        assert_eq!(parse_date("1999-13-01"), None);
+        assert_eq!(parse_date("1999-02-29"), None); // not a leap year
+        assert_eq!(parse_date("1999-06-31"), None);
+        assert_eq!(parse_date("junk"), None);
+        assert_eq!(parse_date("1999-06"), None);
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Int(1)), None);
+        assert_eq!(Datum::Int(1).sql_cmp(&Datum::Null), None);
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Null), None);
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(
+            Datum::Int(2).sql_cmp(&Datum::Double(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Datum::Double(1.5).sql_cmp(&Datum::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn text_date_comparison() {
+        let d = Datum::Date(parse_date("1999-06-15").unwrap());
+        assert_eq!(
+            Datum::Text("1999-06-15".into()).sql_cmp(&d),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            d.sql_cmp(&Datum::Text("2000-01-01".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn sort_order_nulls_first_and_equal() {
+        assert_eq!(Datum::Null.sort_cmp(&Datum::Null), Ordering::Equal);
+        assert_eq!(Datum::Null.sort_cmp(&Datum::Int(0)), Ordering::Less);
+        assert_eq!(Datum::Int(0).sort_cmp(&Datum::Null), Ordering::Greater);
+    }
+
+    #[test]
+    fn group_keys_collide_exactly_when_equal() {
+        let cases = [
+            (Datum::Int(1), Datum::Double(1.0), true),
+            (Datum::Int(1), Datum::Int(2), false),
+            (Datum::Null, Datum::Null, true),
+            (Datum::Text("a".into()), Datum::Text("a".into()), true),
+            (Datum::Text("a".into()), Datum::Text("b".into()), false),
+            (Datum::Bool(true), Datum::Bool(true), true),
+        ];
+        for (a, b, expect_equal) in cases {
+            let (mut ka, mut kb) = (String::new(), String::new());
+            a.group_key(&mut ka);
+            b.group_key(&mut kb);
+            assert_eq!(ka == kb, expect_equal, "{a:?} vs {b:?}");
+            assert_eq!(a.group_eq(&b), expect_equal);
+        }
+    }
+
+    #[test]
+    fn coercion() {
+        assert_eq!(
+            Datum::Int(3).coerce(DataType::Double),
+            Some(Datum::Double(3.0))
+        );
+        assert_eq!(Datum::Null.coerce(DataType::Int), Some(Datum::Null));
+        assert_eq!(Datum::Text("x".into()).coerce(DataType::Int), None);
+        assert_eq!(
+            Datum::Text("1999-01-01".into()).coerce(DataType::Date),
+            Some(Datum::Date(parse_date("1999-01-01").unwrap()))
+        );
+    }
+
+    #[test]
+    fn type_parsing_accepts_vendor_spellings() {
+        assert_eq!(DataType::parse("VARCHAR2"), Some(DataType::Text));
+        assert_eq!(DataType::parse("number"), Some(DataType::Int));
+        assert_eq!(DataType::parse("real"), Some(DataType::Double));
+        assert_eq!(DataType::parse("blob"), None);
+    }
+}

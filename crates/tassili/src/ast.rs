@@ -1,0 +1,326 @@
+//! The WebTassili statement AST.
+
+use std::fmt;
+
+/// A literal value in a WebTassili expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => write!(f, "{v}"),
+            Literal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `Like`
+    Like,
+}
+
+impl PredOp {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            PredOp::Eq => "=",
+            PredOp::Ne => "<>",
+            PredOp::Lt => "<",
+            PredOp::Le => "<=",
+            PredOp::Gt => ">",
+            PredOp::Ge => ">=",
+            PredOp::Like => "LIKE",
+        }
+    }
+}
+
+/// A predicate over exported attributes (used in access-function calls).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `Path op literal`, e.g. `ResearchProjects.Title = 'AIDS and drugs'`.
+    Cmp {
+        /// Dotted attribute path.
+        path: String,
+        /// Operator.
+        op: PredOp,
+        /// Literal operand.
+        value: Literal,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+/// An argument to an access-function invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// A dotted attribute reference, e.g. `ResearchProjects.Title`.
+    AttrRef(String),
+    /// A literal.
+    Literal(Literal),
+    /// A parenthesized predicate.
+    Predicate(Predicate),
+}
+
+/// A service-link endpoint in management statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkTarget {
+    /// `Coalition <name>`.
+    Coalition(String),
+    /// `Instance <name>` (a database).
+    Instance(String),
+}
+
+impl LinkTarget {
+    /// The endpoint name.
+    pub fn name(&self) -> &str {
+        match self {
+            LinkTarget::Coalition(n) | LinkTarget::Instance(n) => n,
+        }
+    }
+}
+
+/// A parsed WebTassili statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `Find Coalitions With Information <topic>` — locate clusters.
+    FindCoalitions {
+        /// The requested information type.
+        topic: String,
+    },
+    /// `Find Databases With Information <topic>` — locate sources
+    /// directly.
+    FindDatabases {
+        /// The requested information type.
+        topic: String,
+    },
+    /// `Connect To Coalition <name>` — obtain a point of entry.
+    ConnectToCoalition {
+        /// Target coalition.
+        name: String,
+    },
+    /// `Display SubClasses of Class <name>` — refine within the lattice.
+    DisplaySubclasses {
+        /// The class to expand.
+        class: String,
+    },
+    /// `Display Instances of Class <name>` — the member databases.
+    DisplayInstances {
+        /// The class whose instances to list.
+        class: String,
+    },
+    /// `Display Document of Instance <name> [Of Class <class>]` — the
+    /// documentation of an information source.
+    DisplayDocument {
+        /// Source name.
+        instance: String,
+        /// Optional class qualification (as in the paper's example).
+        class: Option<String>,
+    },
+    /// `Display Access Information of Instance <name>` — location,
+    /// wrapper, and exported interface summary.
+    DisplayAccessInfo {
+        /// Source name.
+        instance: String,
+    },
+    /// `Display Interface of Instance <name>` — the full exported types.
+    DisplayInterface {
+        /// Source name.
+        instance: String,
+    },
+    /// `Invoke <Type>.<Function>(args…) On Instance <name>` — call an
+    /// exported access routine (translated to the native language).
+    Invoke {
+        /// Target source.
+        instance: String,
+        /// Exported type owning the function.
+        type_name: String,
+        /// Function name.
+        function: String,
+        /// Arguments.
+        args: Vec<Arg>,
+    },
+    /// `Submit Native '<query>' To Instance <name>` — pass a native
+    /// query through unchanged (the Fetch button path of Figure 6).
+    Native {
+        /// Target source.
+        instance: String,
+        /// The native query text.
+        query: String,
+    },
+    /// `Create Coalition <name> [Under <parent>] [Documentation '<d>']`.
+    CreateCoalition {
+        /// New coalition name.
+        name: String,
+        /// Optional parent in the lattice.
+        parent: Option<String>,
+        /// Optional documentation string.
+        documentation: Option<String>,
+    },
+    /// `Dissolve Coalition <name>`.
+    DissolveCoalition {
+        /// Doomed coalition.
+        name: String,
+    },
+    /// `Join Instance <db> To Coalition <c>` — membership change.
+    Join {
+        /// The joining source.
+        instance: String,
+        /// The coalition joined.
+        coalition: String,
+    },
+    /// `Leave Instance <db> From Coalition <c>`.
+    Leave {
+        /// The leaving source.
+        instance: String,
+        /// The coalition left.
+        coalition: String,
+    },
+    /// `Link <end> To <end> [Description '<d>']` — create a service link.
+    AddLink {
+        /// Offering end.
+        from: LinkTarget,
+        /// Consuming end.
+        to: LinkTarget,
+        /// Optional description of the shared information.
+        description: Option<String>,
+    },
+}
+
+impl fmt::Display for Statement {
+    /// Canonical WebTassili rendering (parse ∘ display is identity on
+    /// the AST — checked by property tests).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::FindCoalitions { topic } => {
+                write!(f, "Find Coalitions With Information {topic};")
+            }
+            Statement::FindDatabases { topic } => {
+                write!(f, "Find Databases With Information {topic};")
+            }
+            Statement::ConnectToCoalition { name } => {
+                write!(f, "Connect To Coalition {name};")
+            }
+            Statement::DisplaySubclasses { class } => {
+                write!(f, "Display SubClasses of Class {class};")
+            }
+            Statement::DisplayInstances { class } => {
+                write!(f, "Display Instances of Class {class};")
+            }
+            Statement::DisplayDocument { instance, class } => match class {
+                Some(c) => write!(f, "Display Document of Instance {instance} Of Class {c};"),
+                None => write!(f, "Display Document of Instance {instance};"),
+            },
+            Statement::DisplayAccessInfo { instance } => {
+                write!(f, "Display Access Information of Instance {instance};")
+            }
+            Statement::DisplayInterface { instance } => {
+                write!(f, "Display Interface of Instance {instance};")
+            }
+            Statement::Invoke {
+                instance,
+                type_name,
+                function,
+                args,
+            } => {
+                let rendered: Vec<String> = args
+                    .iter()
+                    .map(|a| match a {
+                        Arg::AttrRef(p) => p.clone(),
+                        Arg::Literal(l) => l.to_string(),
+                        Arg::Predicate(p) => format!("({})", render_pred(p)),
+                    })
+                    .collect();
+                write!(
+                    f,
+                    "Invoke {type_name}.{function}({}) On Instance {instance};",
+                    rendered.join(", ")
+                )
+            }
+            Statement::Native { instance, query } => write!(
+                f,
+                "Submit Native '{}' To Instance {instance};",
+                query.replace('\'', "''")
+            ),
+            Statement::CreateCoalition {
+                name,
+                parent,
+                documentation,
+            } => {
+                write!(f, "Create Coalition {name}")?;
+                if let Some(p) = parent {
+                    write!(f, " Under {p}")?;
+                }
+                if let Some(d) = documentation {
+                    write!(f, " Documentation '{}'", d.replace('\'', "''"))?;
+                }
+                write!(f, ";")
+            }
+            Statement::DissolveCoalition { name } => {
+                write!(f, "Dissolve Coalition {name};")
+            }
+            Statement::Join {
+                instance,
+                coalition,
+            } => write!(f, "Join Instance {instance} To Coalition {coalition};"),
+            Statement::Leave {
+                instance,
+                coalition,
+            } => write!(f, "Leave Instance {instance} From Coalition {coalition};"),
+            Statement::AddLink {
+                from,
+                to,
+                description,
+            } => {
+                let render_end = |e: &LinkTarget| match e {
+                    LinkTarget::Coalition(n) => format!("Coalition {n}"),
+                    LinkTarget::Instance(n) => format!("Instance {n}"),
+                };
+                write!(f, "Link {} To {}", render_end(from), render_end(to))?;
+                if let Some(d) = description {
+                    write!(f, " Description '{}'", d.replace('\'', "''"))?;
+                }
+                write!(f, ";")
+            }
+        }
+    }
+}
+
+/// Render a predicate in WebTassili/SQL-compatible syntax.
+pub fn render_pred(p: &Predicate) -> String {
+    match p {
+        Predicate::Cmp { path, op, value } => format!("{path} {} {value}", op.sql()),
+        Predicate::And(a, b) => format!("({}) And ({})", render_pred(a), render_pred(b)),
+        Predicate::Or(a, b) => format!("({}) Or ({})", render_pred(a), render_pred(b)),
+        Predicate::Not(a) => format!("Not ({})", render_pred(a)),
+    }
+}

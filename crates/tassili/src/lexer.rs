@@ -1,0 +1,151 @@
+//! WebTassili lexer.
+//!
+//! Names in WebTassili are multi-word and case-significant for display
+//! ("Royal Brisbane Hospital", "Medical Research"), so the lexer keeps
+//! identifier case; the parser matches keywords case-insensitively.
+
+use crate::{TassiliError, TassiliResult};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A word (identifier or keyword, original case kept).
+    Word(String),
+    /// A single-quoted string ('' escapes a quote).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its byte offset.
+pub type Spanned = (Tok, usize);
+
+const SYMBOLS: &[&str] = &["<>", "<=", ">=", "(", ")", ",", ".", ";", "=", "<", ">"];
+
+/// Tokenize WebTassili text.
+pub fn tokenize(input: &str) -> TassiliResult<Vec<Spanned>> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '\'' {
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(i) {
+                    None => {
+                        return Err(TassiliError::Parse {
+                            message: "unterminated string".into(),
+                            offset: start,
+                        })
+                    }
+                    Some(b'\'') => {
+                        if b.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    Some(_) => {
+                        let ch = input[i..].chars().next().expect("in-bounds");
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            out.push((Tok::Str(s), start));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i + 1 < b.len() && b[i] == b'.' && (b[i + 1] as char).is_ascii_digit() {
+                i += 1;
+                while i < b.len() && (b[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let v = input[start..i].parse().map_err(|_| TassiliError::Parse {
+                    message: "bad float".into(),
+                    offset: start,
+                })?;
+                out.push((Tok::Float(v), start));
+            } else {
+                let v = input[start..i].parse().map_err(|_| TassiliError::Parse {
+                    message: "integer out of range".into(),
+                    offset: start,
+                })?;
+                out.push((Tok::Int(v), start));
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push((Tok::Word(input[start..i].to_owned()), start));
+            continue;
+        }
+        let rest = &input[i..];
+        let mut matched = false;
+        for sym in SYMBOLS {
+            if rest.starts_with(sym) {
+                out.push((Tok::Sym(sym), i));
+                i += sym.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(TassiliError::Parse {
+                message: format!("unexpected character {c:?}"),
+                offset: i,
+            });
+        }
+    }
+    out.push((Tok::Eof, input.len()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_keep_case() {
+        let toks = tokenize("Find Coalitions With Information Medical Research;").unwrap();
+        assert_eq!(toks[0].0, Tok::Word("Find".into()));
+        assert_eq!(toks[4].0, Tok::Word("Medical".into()));
+        assert_eq!(toks[6].0, Tok::Sym(";"));
+    }
+
+    #[test]
+    fn strings_and_numbers() {
+        let toks = tokenize("'O''Brien' 42 2.5").unwrap();
+        assert_eq!(toks[0].0, Tok::Str("O'Brien".into()));
+        assert_eq!(toks[1].0, Tok::Int(42));
+        assert_eq!(toks[2].0, Tok::Float(2.5));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a @ b").is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for WebTassili: display ∘ parse is the identity
+//! on statement ASTs, and the SQL translation of random predicates is
+//! always parseable by the relational engine's grammar shape (checked
+//! structurally: balanced quoting via re-parse of the rendered
+//! predicate inside a WebTassili statement).
+
+use proptest::prelude::*;
+use webfindit_tassili::ast::{render_pred, Arg, LinkTarget, Literal, PredOp, Predicate};
+use webfindit_tassili::{parse, Statement};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // Multi-word names like the paper's ("Royal Brisbane Hospital"),
+    // avoiding WebTassili keywords as words.
+    proptest::collection::vec("[A-Z][a-z]{1,8}", 1..4).prop_map(|ws| ws.join(" "))
+        .prop_filter("no keywords", |s| {
+            !s.split(' ').any(|w| {
+                matches!(
+                    w.to_ascii_lowercase().as_str(),
+                    "of" | "to" | "from" | "under" | "on" | "with" | "and" | "or" | "not"
+                        | "class" | "instance" | "coalition" | "description" | "documentation"
+                        | "find" | "display" | "connect" | "join" | "leave" | "link" | "invoke"
+                        | "submit" | "native" | "create" | "dissolve" | "is" | "null" | "like"
+                        | "information" | "true" | "false" | "access" | "interface" | "document"
+                        | "instances" | "subclasses" | "coalitions" | "databases"
+                )
+            })
+        })
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[A-Z][A-Za-z0-9_]{0,10}".prop_filter("no keywords", |s| {
+        !matches!(
+            s.to_ascii_lowercase().as_str(),
+            "on" | "and" | "or" | "not" | "is" | "null" | "like" | "true" | "false"
+        )
+    })
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (0i64..1_000_000).prop_map(Literal::Int),
+        "[a-zA-Z0-9 '%_.-]{0,16}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = PredOp> {
+    prop_oneof![
+        Just(PredOp::Eq),
+        Just(PredOp::Ne),
+        Just(PredOp::Lt),
+        Just(PredOp::Le),
+        Just(PredOp::Gt),
+        Just(PredOp::Ge),
+    ]
+}
+
+fn arb_pred() -> impl Strategy<Value = Predicate> {
+    let leaf = (arb_ident(), arb_ident(), arb_op(), arb_literal()).prop_map(
+        |(t, a, op, value)| Predicate::Cmp {
+            path: format!("{t}.{a}"),
+            op,
+            value,
+        },
+    );
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Predicate::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_statement() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        arb_name().prop_map(|topic| Statement::FindCoalitions { topic }),
+        arb_name().prop_map(|topic| Statement::FindDatabases { topic }),
+        arb_name().prop_map(|name| Statement::ConnectToCoalition { name }),
+        arb_name().prop_map(|class| Statement::DisplaySubclasses { class }),
+        arb_name().prop_map(|class| Statement::DisplayInstances { class }),
+        (arb_name(), proptest::option::of(arb_name()))
+            .prop_map(|(instance, class)| Statement::DisplayDocument { instance, class }),
+        arb_name().prop_map(|instance| Statement::DisplayAccessInfo { instance }),
+        arb_name().prop_map(|instance| Statement::DisplayInterface { instance }),
+        (arb_name(), "[a-zA-Z0-9 =*<>_.,-]{1,40}")
+            .prop_map(|(instance, query)| Statement::Native { instance, query }),
+        (arb_name(), proptest::option::of(arb_name()), proptest::option::of("[a-z ]{1,20}".prop_map(String::from)))
+            .prop_map(|(name, parent, documentation)| Statement::CreateCoalition {
+                name,
+                parent,
+                documentation
+            }),
+        arb_name().prop_map(|name| Statement::DissolveCoalition { name }),
+        (arb_name(), arb_name()).prop_map(|(instance, coalition)| Statement::Join {
+            instance,
+            coalition
+        }),
+        (arb_name(), arb_name()).prop_map(|(instance, coalition)| Statement::Leave {
+            instance,
+            coalition
+        }),
+        (arb_name(), arb_name(), any::<bool>(), any::<bool>())
+            .prop_map(|(a, b, ca, cb)| Statement::AddLink {
+                from: if ca {
+                    LinkTarget::Coalition(a)
+                } else {
+                    LinkTarget::Instance(a)
+                },
+                to: if cb {
+                    LinkTarget::Coalition(b)
+                } else {
+                    LinkTarget::Instance(b)
+                },
+                description: None,
+            }),
+        (arb_name(), arb_ident(), arb_ident(), proptest::collection::vec(
+            prop_oneof![
+                arb_pred().prop_map(Arg::Predicate),
+                (arb_ident(), arb_ident()).prop_map(|(t, a)| Arg::AttrRef(format!("{t}.{a}"))),
+            ],
+            0..3
+        ))
+            .prop_map(|(instance, type_name, function, args)| Statement::Invoke {
+                instance,
+                type_name,
+                function,
+                args
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_roundtrip(stmt in arb_statement()) {
+        let text = stmt.to_string();
+        let reparsed = parse(&text);
+        prop_assert!(reparsed.is_ok(), "failed to reparse {text:?}: {reparsed:?}");
+        prop_assert_eq!(reparsed.unwrap(), stmt, "roundtrip of {}", text);
+    }
+
+    #[test]
+    fn rendered_predicates_reparse(p in arb_pred()) {
+        let text = format!("Invoke T.F(({})) On Instance D;", render_pred(&p));
+        let stmt = parse(&text);
+        prop_assert!(stmt.is_ok(), "predicate rendering unparseable: {text}");
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(s in "[ -~]{0,80}") {
+        let _ = parse(&s);
+    }
+}

@@ -1,0 +1,72 @@
+//! Information-space administration with WebTassili's management
+//! constructs (§2.1's coalition dynamics): create a coalition, have
+//! databases join and leave, link it to others, and dissolve it —
+//! watching how each change propagates through co-databases and what it
+//! costs in ORB invocations.
+//!
+//! Run with: `cargo run -p webfindit-examples --example federation_admin`
+
+use webfindit::processor::Processor;
+use webfindit::session::BrowserSession;
+use webfindit_examples::{banner, block};
+use webfindit_healthcare::build_healthcare;
+
+fn main() {
+    let dep = build_healthcare(1999).expect("healthcare deployment");
+    let processor = Processor::new(dep.fed.clone());
+    // The administrator works from the Medicare site.
+    let mut session = BrowserSession::new("Medicare");
+
+    banner("1. A new coalition forms (Telehealth)");
+    for stmt in [
+        "Create Coalition Telehealth Documentation 'remote consultation providers';",
+        "Join Instance Medicare To Coalition Telehealth;",
+        "Join Instance Prince Charles Hospital To Coalition Telehealth;",
+        "Display Instances of Class Telehealth;",
+    ] {
+        println!("\nWebTassili> {stmt}");
+        match processor.submit(&mut session, stmt, None) {
+            Ok(response) => block(&response.render()),
+            Err(e) => block(&format!("error: {e}")),
+        }
+    }
+
+    banner("2. It becomes discoverable across the federation");
+    let mut qut = BrowserSession::new("QUT Research");
+    {
+        let stmt = "Find Coalitions With Information remote consultation;";
+        println!("\nWebTassili@QUT> {stmt}");
+        match processor.submit(&mut qut, stmt, None) {
+            Ok(response) => block(&response.render()),
+            Err(e) => block(&format!("error: {e}")),
+        }
+    }
+
+    banner("3. Linking and membership churn");
+    for stmt in [
+        "Link Coalition Telehealth To Coalition Medical Insurance Description 'telehealth rebates';",
+        "Leave Instance Prince Charles Hospital From Coalition Telehealth;",
+        "Display Instances of Class Telehealth;",
+    ] {
+        println!("\nWebTassili> {stmt}");
+        match processor.submit(&mut session, stmt, None) {
+            Ok(response) => block(&response.render()),
+            Err(e) => block(&format!("error: {e}")),
+        }
+    }
+
+    banner("4. Dissolution (§2.1: 'old coalitions may be dissolved')");
+    for stmt in [
+        "Dissolve Coalition Telehealth;",
+        "Find Coalitions With Information remote consultation;",
+    ] {
+        println!("\nWebTassili> {stmt}");
+        match processor.submit(&mut session, stmt, None) {
+            Ok(response) => block(&response.render()),
+            Err(e) => block(&format!("error: {e}")),
+        }
+    }
+
+    dep.fed.shutdown();
+    println!("\ndone.");
+}

@@ -1,0 +1,66 @@
+//! The healthcare application of the paper's §4–5, end to end: stand up
+//! the 14-database deployment and replay the §5 user session (the one
+//! behind Figures 4, 5, and 6), printing the browser transcript.
+//!
+//! Run with: `cargo run -p webfindit-examples --example healthcare_tour`
+
+use webfindit::trace::Trace;
+use webfindit::processor::Processor;
+use webfindit::session::BrowserSession;
+use webfindit_examples::{banner, block};
+use webfindit_healthcare::sessions::SECTION5_SCRIPT;
+use webfindit_healthcare::{build_healthcare, coalitions, databases, service_links};
+
+fn main() {
+    banner("Deployment (paper §4)");
+    let dep = build_healthcare(1999).expect("healthcare deployment");
+    println!(
+        "{} databases, {} coalitions, {} service links, ORBs: {:?}",
+        databases().len(),
+        coalitions().len(),
+        service_links().len(),
+        dep.fed.orb_names()
+    );
+    println!("metadata wiring cost: {} ORB invocations", dep.wiring_calls);
+
+    banner("User session (paper §5, the Figures 4–6 interaction)");
+    let processor = Processor::new(dep.fed.clone());
+    let mut session = BrowserSession::new("QUT Research");
+    for stmt in SECTION5_SCRIPT {
+        println!("\nWebTassili> {stmt}");
+        let mut trace = Trace::new();
+        match processor.submit(&mut session, stmt, Some(&mut trace)) {
+            Ok(response) => block(&response.render()),
+            Err(e) => block(&format!("error: {e}")),
+        }
+    }
+
+    banner("Cross-coalition discovery (the Medical Insurance example of §2.3)");
+    for stmt in [
+        "Find Coalitions With Information Medical Insurance;",
+        "Connect To Coalition Medical Insurance;",
+        "Display Instances of Class Medical Insurance;",
+        "Submit Native 'SELECT holder, cover FROM policies WHERE premium > 200' To Instance MBF;",
+    ] {
+        println!("\nWebTassili> {stmt}");
+        match processor.submit(&mut session, stmt, None) {
+            Ok(response) => block(&response.render()),
+            Err(e) => block(&format!("error: {e}")),
+        }
+    }
+
+    banner("Object databases through JNI / C++ bridges");
+    for stmt in [
+        "Submit Native 'select name, cost from Treatment where cost > 1000' To Instance Prince Charles Hospital;",
+        "Submit Native 'select suburb, minutes from Callout where priority = 1' To Instance Ambulance;",
+    ] {
+        println!("\nWebTassili> {stmt}");
+        match processor.submit(&mut session, stmt, None) {
+            Ok(response) => block(&response.render()),
+            Err(e) => block(&format!("error: {e}")),
+        }
+    }
+
+    dep.fed.shutdown();
+    println!("\ndone.");
+}

@@ -1,0 +1,85 @@
+//! Quickstart: build a three-database federation from scratch, organize
+//! it into a coalition with a service link, and run the find → connect
+//! → browse → query interaction WebFINDIT was designed for.
+//!
+//! Run with: `cargo run -p webfindit-examples --example quickstart`
+
+use std::sync::Arc;
+use webfindit::federation::{Federation, SiteSpec, SiteVendor};
+use webfindit::processor::Processor;
+use webfindit::session::BrowserSession;
+use webfindit::wire::cdr::ByteOrder;
+use webfindit_examples::{banner, block};
+use webfindit_relstore::{Database, Dialect};
+
+fn site(fed: &Arc<Federation>, name: &str, orb: &str, dialect: Dialect, topic: &str) {
+    let mut db = Database::new(name, dialect);
+    db.execute("CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)")
+        .expect("create");
+    for i in 0..3 {
+        db.execute(&format!("INSERT INTO notes VALUES ({i}, 'note {i} at {name}')"))
+            .expect("insert");
+    }
+    fed.add_relational_site(
+        SiteSpec {
+            name: name.into(),
+            orb: orb.into(),
+            vendor: SiteVendor::Relational(dialect),
+            host: format!("{}.example.net", name.to_ascii_lowercase()),
+            information_type: topic.into(),
+            documentation_url: format!("http://docs.example.net/{name}"),
+            interface: Vec::new(),
+        },
+        db,
+    )
+    .expect("deploy site");
+}
+
+fn main() {
+    banner("1. Deploy a federation: two ORBs, three databases");
+    let fed = Federation::new().expect("federation");
+    fed.add_orb("Orbix", "orbix.example.net", 9000, ByteOrder::BigEndian)
+        .expect("orb");
+    fed.add_orb("VisiBroker", "visi.example.net", 9001, ByteOrder::LittleEndian)
+        .expect("orb");
+    site(&fed, "ClinicA", "Orbix", Dialect::Oracle, "patient care");
+    site(&fed, "ClinicB", "VisiBroker", Dialect::Db2, "patient care");
+    site(&fed, "LabC", "VisiBroker", Dialect::MSql, "pathology results");
+    println!("sites: {:?}", fed.site_names());
+
+    banner("2. Organize: a coalition and a service link");
+    let calls = fed
+        .form_coalition("PatientCare", None, "patient care providers", &["ClinicA", "ClinicB"])
+        .expect("coalition");
+    println!("formed coalition PatientCare ({calls} ORB calls)");
+    let calls = fed
+        .add_service_link(&webfindit_codb::ServiceLink {
+            from: webfindit_codb::LinkEnd::Database("LabC".into()),
+            to: webfindit_codb::LinkEnd::Coalition("PatientCare".into()),
+            description: "pathology results for patient care".into(),
+        })
+        .expect("link");
+    println!("added service link LabC → PatientCare ({calls} ORB calls)");
+
+    banner("3. A ClinicA user explores and queries with WebTassili");
+    let processor = Processor::new(fed.clone());
+    let mut session = BrowserSession::new("ClinicA");
+    for stmt in [
+        "Find Coalitions With Information patient care;",
+        "Connect To Coalition PatientCare;",
+        "Display Instances of Class PatientCare;",
+        "Display Access Information of Instance ClinicB;",
+        "Submit Native 'SELECT body FROM notes WHERE id = 1' To Instance ClinicB;",
+        "Find Coalitions With Information pathology results;",
+    ] {
+        println!("\nWebTassili> {stmt}");
+        match processor.submit(&mut session, stmt, None) {
+            Ok(response) => block(&response.render()),
+            Err(e) => block(&format!("error: {e}")),
+        }
+    }
+
+    banner("4. Shut the federation down");
+    fed.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,146 @@
+//! Cross-crate integration: results obtained through the *full stack*
+//! (WebTassili → processor → ORB/IIOP → ISI → engine) must agree with
+//! ground truth read directly from the engines, and the three discovery
+//! organizations must agree on answerability over the healthcare world.
+
+use webfindit::baselines::{CentralIndex, FlatBroadcast};
+use webfindit::discovery::DiscoveryEngine;
+use webfindit::processor::{Processor, Response};
+use webfindit::session::BrowserSession;
+use webfindit_healthcare::schemas::{build_database, BuiltSource};
+use webfindit_healthcare::{build_healthcare, databases};
+use webfindit_relstore::Datum;
+
+/// Ground truth for a COUNT(*) on a relational site, read from a
+/// freshly built engine with the same seed (generation is
+/// deterministic, so this is exactly what the deployed instance holds).
+fn ground_truth_count(site: &str, table: &str, seed: u64) -> i64 {
+    let info = databases().into_iter().find(|d| d.name == site).unwrap();
+    match build_database(&info, seed) {
+        BuiltSource::Relational(db, _) => db.table(table).unwrap().len() as i64,
+        BuiltSource::Object(..) => panic!("{site} is not relational"),
+    }
+}
+
+#[test]
+fn stack_results_match_engine_ground_truth() {
+    let seed = 1999;
+    let dep = build_healthcare(seed).unwrap();
+    let processor = Processor::new(dep.fed.clone());
+    let mut session = BrowserSession::new("QUT Research");
+
+    for (site, table) in [
+        ("Royal Brisbane Hospital", "patient"),
+        ("Royal Brisbane Hospital", "medical_students"),
+        ("Medicare", "claims"),
+        ("MBF", "policies"),
+    ] {
+        let expected = ground_truth_count(site, table, seed);
+        let resp = processor
+            .submit(
+                &mut session,
+                &format!("Submit Native 'SELECT COUNT(*) FROM {table}' To Instance {site};"),
+                None,
+            )
+            .unwrap();
+        match resp {
+            Response::Table(rs) => {
+                assert_eq!(
+                    rs.rows,
+                    vec![vec![Datum::Int(expected)]],
+                    "{site}.{table} count through the stack"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    dep.fed.shutdown();
+}
+
+#[test]
+fn the_three_organizations_agree_on_answerability() {
+    let dep = build_healthcare(1999).unwrap();
+    let engine = DiscoveryEngine::new(dep.fed.clone());
+    let flat = FlatBroadcast::new(dep.fed.clone());
+    let central = CentralIndex::build(dep.fed.clone()).unwrap();
+
+    for topic in [
+        "Medical Research",
+        "Medical Insurance",
+        "Superannuation",
+        "cancer",
+        "completely unknown subject xyzzy",
+    ] {
+        let bc = flat.find(topic).unwrap();
+        let cx = central.find(topic).unwrap();
+        // Broadcast and central see the whole world identically.
+        assert_eq!(
+            bc.found(),
+            cx.found(),
+            "broadcast vs central on {topic:?}"
+        );
+        // WebFINDIT from QUT must find everything the world contains
+        // that is reachable through its relationships; on the healthcare
+        // topology everything is connected, so answerability matches.
+        let wf = engine.find("QUT Research", topic).unwrap();
+        assert_eq!(wf.found(), bc.found(), "webfindit vs broadcast on {topic:?}");
+    }
+    dep.fed.shutdown();
+}
+
+#[test]
+fn invoke_and_native_paths_agree() {
+    // The access-function path (WebTassili Invoke → translated SQL) and
+    // the native path (user-typed SQL) must return identical data.
+    let dep = build_healthcare(1999).unwrap();
+    let processor = Processor::new(dep.fed.clone());
+    let mut session = BrowserSession::new("QUT Research");
+
+    let via_invoke = processor
+        .submit(
+            &mut session,
+            "Invoke ResearchProjects.Funding((ResearchProjects.Title = 'AIDS and drugs')) \
+             On Instance Royal Brisbane Hospital;",
+            None,
+        )
+        .unwrap();
+    let via_native = processor
+        .submit(
+            &mut session,
+            "Submit Native 'SELECT a.funding FROM researchprojects a \
+             WHERE a.title = ''AIDS and drugs''' To Instance Royal Brisbane Hospital;",
+            None,
+        )
+        .unwrap();
+    match (via_invoke, via_native) {
+        (Response::Table(a), Response::Table(b)) => assert_eq!(a.rows, b.rows),
+        other => panic!("{other:?}"),
+    }
+    dep.fed.shutdown();
+}
+
+#[test]
+fn orb_metrics_account_for_every_layer() {
+    let dep = build_healthcare(1999).unwrap();
+    let processor = Processor::new(dep.fed.clone());
+    let mut session = BrowserSession::new("QUT Research");
+
+    let snap = |name: &str| dep.fed.orb(name).unwrap().metrics().snapshot();
+    let visi_before = snap("VisiBroker");
+
+    // One data query to an Oracle site (hosted on VisiBroker): exactly
+    // one GIOP request served there (the ISI execute), plus the naming
+    // lookup on the bootstrap ORB which we don't count here.
+    processor
+        .submit(
+            &mut session,
+            "Submit Native 'SELECT COUNT(*) FROM doctors' To Instance Royal Brisbane Hospital;",
+            None,
+        )
+        .unwrap();
+    let visi_after = snap("VisiBroker");
+    let d = visi_after.since(&visi_before);
+    assert_eq!(d.requests_served, 1, "exactly the ISI execute");
+    assert!(d.bytes_received > 12 && d.bytes_sent > 12);
+    dep.fed.shutdown();
+}
