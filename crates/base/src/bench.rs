@@ -1,0 +1,254 @@
+//! A miniature benchmark harness with a criterion-shaped API.
+//!
+//! The bench targets were written against `criterion` with
+//! `harness = false`; this module keeps those files almost unchanged in
+//! an offline build. It measures wall-clock time per iteration with a
+//! short warm-up followed by a fixed number of timed samples, and
+//! prints a `median / mean / throughput` line per benchmark. It is a
+//! measurement aid, not a statistics engine — cross-run comparisons
+//! should use the same machine and build flags.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("algo", n)` → `algo/n`.
+    pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(n)` → `n`.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then recording samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also calibrates how many calls fit in one sample so
+        // that sub-microsecond routines are timed in batches.
+        let warmup = Instant::now();
+        let mut calls: u64 = 0;
+        while warmup.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = Duration::from_millis(50)
+            .checked_div(calls.max(1) as u32)
+            .unwrap_or_default();
+        let batch = if per_call < Duration::from_micros(10) {
+            (Duration::from_micros(100).as_nanos() / per_call.as_nanos().max(1)).max(1) as u64
+        } else {
+            1
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate following benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_benchmark(&name, self.sample_size, self.throughput, f);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (kept for criterion API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to each bench target's top-level functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&id.to_string(), 20, None, f);
+        self
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_count: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<48} (no samples — iter not called)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let tp = throughput
+        .map(|t| format_throughput(t, median))
+        .unwrap_or_default();
+    println!("{name:<48} median {:>12?}  mean {:>12?}{tp}", median, mean);
+}
+
+fn format_throughput(tp: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64();
+    if secs <= 0.0 {
+        return String::new();
+    }
+    match tp {
+        Throughput::Bytes(n) => {
+            let mibps = n as f64 / secs / (1024.0 * 1024.0);
+            format!("  {mibps:>10.1} MiB/s")
+        }
+        Throughput::Elements(n) => {
+            let eps = n as f64 / secs;
+            format!("  {eps:>10.0} elem/s")
+        }
+    }
+}
+
+/// Declare a group of bench functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(3)
+            .throughput(Throughput::Bytes(64))
+            .bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("algo", 4).to_string(), "algo/4");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

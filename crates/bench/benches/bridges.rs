@@ -3,8 +3,9 @@
 //! method invocation → ObjectStore), plus the gateway-compensation path
 //! (an aggregate against mSQL that the wrapper must stage locally).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
+use webfindit_base::bench::Criterion;
+use webfindit_base::{criterion_group, criterion_main};
 use webfindit_connect::manager::standard_manager;
 use webfindit_connect::{CompensatingConnection, Connection, DataSourceRegistry};
 use webfindit_oostore::method::MethodTable;

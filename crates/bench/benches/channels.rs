@@ -1,0 +1,143 @@
+//! E7 (latency view) — invoke throughput of the multiplexed IIOP
+//! channel layer: M concurrent client threads sharing one endpoint's
+//! channel versus the same call volume issued serially from a single
+//! thread. The multiplexed shape is what discovery fan-out produces;
+//! the serial shape is the pre-channel baseline where every in-flight
+//! request implied a full round-trip of exclusive connection use.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use webfindit_base::bench::{BenchmarkId, Criterion, Throughput};
+use webfindit_base::{criterion_group, criterion_main};
+use webfindit_orb::servant::{EchoServant, InvokeResult, Servant};
+use webfindit_orb::{Orb, OrbConfig, OrbDomain};
+use webfindit_wire::cdr::ByteOrder;
+use webfindit_wire::Value;
+
+const CALLS_PER_ITER: u64 = 64;
+
+/// A servant standing in for a remote backend with real service time:
+/// each call takes ~1ms, so throughput is bounded by how many requests
+/// the channel keeps in flight at once.
+struct SlowServant;
+
+impl Servant for SlowServant {
+    fn interface_id(&self) -> &str {
+        "IDL:bench/Slow:1.0"
+    }
+    fn invoke(&self, _operation: &str, _args: &[Value]) -> InvokeResult {
+        thread::sleep(Duration::from_millis(1));
+        Ok(Value::string("done"))
+    }
+    fn operations(&self) -> Vec<String> {
+        vec!["work".into()]
+    }
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let domain = OrbDomain::new();
+    let server = Orb::start(
+        OrbConfig::new("S", "server.bench", 1, ByteOrder::BigEndian),
+        Arc::clone(&domain),
+    )
+    .expect("server orb");
+    let client = Orb::start(
+        OrbConfig::new("C", "client.bench", 2, ByteOrder::LittleEndian),
+        Arc::clone(&domain),
+    )
+    .expect("client orb");
+    let ior = server.activate("bench/echo", Arc::new(EchoServant));
+
+    let mut group = c.benchmark_group("iiop_channel_invokes");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(CALLS_PER_ITER));
+
+    group.bench_function("serialized_1_thread", |b| {
+        b.iter(|| {
+            for i in 0..CALLS_PER_ITER {
+                let v = client
+                    .invoke(&ior, "echo", &[Value::string(format!("m{i}"))])
+                    .unwrap();
+                assert!(v.as_sequence().is_some());
+            }
+        });
+    });
+
+    for threads in [2u64, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("multiplexed", format!("{threads}_threads")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let client = Arc::clone(&client);
+                            let ior = ior.clone();
+                            thread::spawn(move || {
+                                for i in 0..CALLS_PER_ITER / threads {
+                                    let v = client
+                                        .invoke(&ior, "echo", &[Value::string(format!("m{t}-{i}"))])
+                                        .unwrap();
+                                    assert!(v.as_sequence().is_some());
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                });
+            },
+        );
+    }
+
+    group.finish();
+
+    // Same shapes against a ~1ms backend: here the win comes entirely
+    // from keeping requests in flight over the shared channel.
+    let slow_ior = server.activate("bench/slow", Arc::new(SlowServant));
+    let mut slow = c.benchmark_group("iiop_channel_slow_backend");
+    slow.sample_size(10);
+    slow.throughput(Throughput::Elements(CALLS_PER_ITER));
+
+    slow.bench_function("serialized_1_thread", |b| {
+        b.iter(|| {
+            for _ in 0..CALLS_PER_ITER {
+                client.invoke(&slow_ior, "work", &[]).unwrap();
+            }
+        });
+    });
+
+    for threads in [2u64, 4, 8] {
+        slow.bench_with_input(
+            BenchmarkId::new("multiplexed", format!("{threads}_threads")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let client = Arc::clone(&client);
+                            let ior = slow_ior.clone();
+                            thread::spawn(move || {
+                                for _ in 0..CALLS_PER_ITER / threads {
+                                    client.invoke(&ior, "work", &[]).unwrap();
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                });
+            },
+        );
+    }
+
+    slow.finish();
+    client.shutdown();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

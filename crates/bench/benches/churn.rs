@@ -2,9 +2,10 @@
 //! (form/join/leave cycles) on a 16-site federation, including the
 //! metadata propagation over IIOP.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::atomic::{AtomicU64, Ordering};
 use webfindit::synth::{build, SynthConfig};
+use webfindit_base::bench::Criterion;
+use webfindit_base::{criterion_group, criterion_main};
 
 fn bench_churn(c: &mut Criterion) {
     let synth = build(&SynthConfig {
@@ -28,8 +29,7 @@ fn bench_churn(c: &mut Criterion) {
             // honest (no already-exists shortcuts).
             let n = counter.fetch_add(1, Ordering::Relaxed);
             let name = format!("Churn{n}");
-            let members: Vec<&str> =
-                synth.sites.iter().take(3).map(String::as_str).collect();
+            let members: Vec<&str> = synth.sites.iter().take(3).map(String::as_str).collect();
             fed.form_coalition(&name, None, "churn topic", &members)
                 .unwrap();
             fed.join_coalition(&synth.sites[3], &name, "churn topic")

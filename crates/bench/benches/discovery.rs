@@ -2,10 +2,11 @@
 //! IIOP: WebFINDIT incremental search (near and far targets) vs flat
 //! broadcast vs the central index, on a 32-site federation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use webfindit::baselines::{CentralIndex, FlatBroadcast};
 use webfindit::discovery::DiscoveryEngine;
 use webfindit::synth::{build, SynthConfig, SynthFederation};
+use webfindit_base::bench::Criterion;
+use webfindit_base::{criterion_group, criterion_main};
 
 fn bench_discovery(c: &mut Criterion) {
     let synth = build(&SynthConfig {

@@ -3,7 +3,8 @@
 //! large compound predicate, and SQL parsing/execution on the engine
 //! side of the wrapper.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use webfindit_base::bench::Criterion;
+use webfindit_base::{criterion_group, criterion_main};
 use webfindit_relstore::{Database, Dialect};
 use webfindit_tassili::{parse, translate_invoke_to_sql};
 
@@ -53,10 +54,8 @@ fn bench_translate(c: &mut Criterion) {
     let mut group = c.benchmark_group("wrapper_sql");
     group.bench_function("execute_translated_funding_query", |b| {
         b.iter(|| {
-            db.execute(
-                "SELECT a.funding FROM researchprojects a WHERE a.title = 'AIDS and drugs'",
-            )
-            .unwrap()
+            db.execute("SELECT a.funding FROM researchprojects a WHERE a.title = 'AIDS and drugs'")
+                .unwrap()
         });
     });
     group.bench_function("execute_scan_aggregate", |b| {

@@ -5,7 +5,8 @@
 //! 64 B to 64 KiB) and both byte orders — the cost every WebFINDIT
 //! invocation pays at the communication layer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use webfindit_base::bench::{BenchmarkId, Criterion, Throughput};
+use webfindit_base::{criterion_group, criterion_main};
 use webfindit_wire::cdr::ByteOrder;
 use webfindit_wire::giop::{self, GiopMessage};
 use webfindit_wire::Value;
@@ -35,7 +36,10 @@ fn struct_payload() -> Value {
 fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("giop_encode");
     for (label, payload) in [
-        ("primitives", Value::Sequence(vec![Value::Long(1), Value::Double(2.0)])),
+        (
+            "primitives",
+            Value::Sequence(vec![Value::Long(1), Value::Double(2.0)]),
+        ),
         ("descriptor_struct", struct_payload()),
         ("strings_64B", string_payload(64)),
         ("strings_1KiB", string_payload(1024)),

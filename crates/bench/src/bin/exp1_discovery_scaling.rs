@@ -10,11 +10,10 @@
 //! round-trips per query, mean sites visited, and the one-off
 //! registration cost each organization pays.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use webfindit::baselines::{CentralIndex, FlatBroadcast};
 use webfindit::discovery::DiscoveryEngine;
 use webfindit::synth::{build, SynthConfig, SynthFederation};
+use webfindit_base::rng::StdRng;
 use webfindit_bench::{header, mean};
 
 fn geometric_distance(rng: &mut StdRng, max: usize) -> usize {

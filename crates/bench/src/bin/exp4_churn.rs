@@ -44,7 +44,9 @@ fn main() {
 
         // One member leaves. (Leaving requires notifying every
         // co-database that might hold the advertisement.)
-        let leave = fed.leave_coalition(&synth.sites[0], "Churn").expect("leave");
+        let leave = fed
+            .leave_coalition(&synth.sites[0], "Churn")
+            .expect("leave");
 
         // Dissolve everywhere.
         let mut dissolve = 0u64;

@@ -3,10 +3,9 @@
 //! round-trip validation over a generated corpus of access-function
 //! calls executed against the live RBH database.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use webfindit::processor::{Processor, Response};
 use webfindit::session::BrowserSession;
+use webfindit_base::rng::StdRng;
 use webfindit_bench::header;
 use webfindit_healthcare::build_healthcare;
 use webfindit_relstore::sql::ast::Statement as SqlStatement;
@@ -36,7 +35,12 @@ fn main() {
     let with_limit = format!("{sql} LIMIT 5");
     let parsed = parse_statement(&with_limit).expect("reparse");
     if let SqlStatement::Select(select) = &parsed {
-        for dialect in [Dialect::Oracle, Dialect::MSql, Dialect::Db2, Dialect::Sybase] {
+        for dialect in [
+            Dialect::Oracle,
+            Dialect::MSql,
+            Dialect::Db2,
+            Dialect::Sybase,
+        ] {
             println!("{:<8} {}", dialect.name(), dialect.render_select(select));
         }
     }

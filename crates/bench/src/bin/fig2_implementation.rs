@@ -4,9 +4,9 @@
 //! connects proxy to database — by interrogating the running system:
 //! the ISI servants report their own bridge kind over IIOP.
 
+use webfindit::wire::Value;
 use webfindit_bench::header;
 use webfindit_healthcare::build_healthcare;
-use webfindit::wire::Value;
 
 fn main() {
     header("Figure 2", "WebFINDIT Implementation");

@@ -15,7 +15,8 @@ fn main() {
     let processor = Processor::new(dep.fed.clone());
     let mut session = BrowserSession::new("QUT Research");
 
-    let stmt = "Submit Native 'select * from medical_students' To Instance Royal Brisbane Hospital;";
+    let stmt =
+        "Submit Native 'select * from medical_students' To Instance Royal Brisbane Hospital;";
     println!("\nSQL (native, via the Fetch button): select * from medical_students\n");
     let resp = processor.submit(&mut session, stmt, None).expect("query");
     match resp {

@@ -102,10 +102,15 @@ mod tests {
         c.create_coalition("MedicalResearch", Some("Research"), "medical research")
             .unwrap();
         c.create_coalition("Medical", None, "medical").unwrap();
-        c.advertise("Research", src("QUT Research", "research")).unwrap();
-        c.advertise("MedicalResearch", src("RMIT Medical Research", "medical research"))
+        c.advertise("Research", src("QUT Research", "research"))
             .unwrap();
-        c.advertise("Medical", src("Medibank", "insurance")).unwrap();
+        c.advertise(
+            "MedicalResearch",
+            src("RMIT Medical Research", "medical research"),
+        )
+        .unwrap();
+        c.advertise("Medical", src("Medibank", "insurance"))
+            .unwrap();
         c.add_service_link(ServiceLink {
             from: LinkEnd::Coalition("MedicalResearch".into()),
             to: LinkEnd::Coalition("Medical".into()),

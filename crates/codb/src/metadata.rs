@@ -176,11 +176,7 @@ impl CoDatabase {
     /// Advertise a source as a member of `coalition` (§2.2: "if the
     /// database administrator decides to make public some of these
     /// relations, they should be advertised through the co-database").
-    pub fn advertise(
-        &mut self,
-        coalition: &str,
-        source: InformationSource,
-    ) -> CodbResult<()> {
+    pub fn advertise(&mut self, coalition: &str, source: InformationSource) -> CodbResult<()> {
         self.coalition_exists(coalition)?;
         let key = (
             coalition.to_ascii_lowercase(),
@@ -209,7 +205,10 @@ impl CoDatabase {
                     "documentation".to_string(),
                     OValue::Text(source.documentation_url.clone()),
                 ),
-                ("location".to_string(), OValue::Text(source.location.clone())),
+                (
+                    "location".to_string(),
+                    OValue::Text(source.location.clone()),
+                ),
                 ("wrapper".to_string(), OValue::Text(source.wrapper.clone())),
                 ("interface".to_string(), OValue::List(iface)),
             ],
@@ -223,10 +222,7 @@ impl CoDatabase {
     /// Withdraw a source from one coalition. The descriptor stays known
     /// while the source is a member of any other coalition.
     pub fn withdraw(&mut self, coalition: &str, source: &str) -> CodbResult<()> {
-        let key = (
-            coalition.to_ascii_lowercase(),
-            source.to_ascii_lowercase(),
-        );
+        let key = (coalition.to_ascii_lowercase(), source.to_ascii_lowercase());
         let oid = self
             .instances
             .remove(&key)
@@ -290,10 +286,7 @@ impl CoDatabase {
 
     /// All advertised source names.
     pub fn sources(&self) -> Vec<String> {
-        self.descriptors
-            .values()
-            .map(|d| d.name.clone())
-            .collect()
+        self.descriptors.values().map(|d| d.name.clone()).collect()
     }
 
     /// Direct member names of one coalition (no subclass closure) —
@@ -323,12 +316,9 @@ impl CoDatabase {
             .store
             .drop_class(name)
             .map_err(|_| CodbError::NoSuchCoalition(name.to_owned()))?;
-        let removed_keys: std::collections::BTreeSet<String> = removed
-            .iter()
-            .map(|c| c.to_ascii_lowercase())
-            .collect();
-        self.instances
-            .retain(|(c, _), _| !removed_keys.contains(c));
+        let removed_keys: std::collections::BTreeSet<String> =
+            removed.iter().map(|c| c.to_ascii_lowercase()).collect();
+        self.instances.retain(|(c, _), _| !removed_keys.contains(c));
         Ok(removed)
     }
 
@@ -365,8 +355,7 @@ impl CoDatabase {
         self.links
             .iter()
             .filter(|l| {
-                l.from.name().eq_ignore_ascii_case(name)
-                    || l.to.name().eq_ignore_ascii_case(name)
+                l.from.name().eq_ignore_ascii_case(name) || l.to.name().eq_ignore_ascii_case(name)
             })
             .collect()
     }
@@ -495,7 +484,10 @@ mod tests {
     #[test]
     fn membership_and_descriptor() {
         let c = codb();
-        assert_eq!(c.members("Research").unwrap(), vec!["Royal Brisbane Hospital"]);
+        assert_eq!(
+            c.members("Research").unwrap(),
+            vec!["Royal Brisbane Hospital"]
+        );
         assert_eq!(
             c.memberships("royal brisbane hospital"),
             vec!["Medical", "Research"]
@@ -570,9 +562,13 @@ mod tests {
         let hits = c.find_coalitions("Medical Research");
         assert!(hits.contains(&"Research".to_string()), "{hits:?}");
         // By class name.
-        assert!(c.find_coalitions("cancerresearch").contains(&"CancerResearch".to_string()));
+        assert!(c
+            .find_coalitions("cancerresearch")
+            .contains(&"CancerResearch".to_string()));
         // By member's information type ("Research and Medical").
-        assert!(c.find_coalitions("Medical").contains(&"Medical".to_string()));
+        assert!(c
+            .find_coalitions("Medical")
+            .contains(&"Medical".to_string()));
         // Miss.
         assert!(c.find_coalitions("astrophysics").is_empty());
     }
@@ -580,7 +576,10 @@ mod tests {
     #[test]
     fn topic_matching_rules() {
         assert!(topic_matches("research", "medical research")); // phrase containment
-        assert!(topic_matches("medical research conducted", "medical research"));
+        assert!(topic_matches(
+            "medical research conducted",
+            "medical research"
+        ));
         assert!(topic_matches("medicalresearch", "medical research")); // compact form
         assert!(!topic_matches("insurance", "medical research"));
         assert!(!topic_matches("", "x"));

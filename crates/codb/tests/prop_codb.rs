@@ -9,8 +9,9 @@
 //! * discovery completeness: a coalition whose documentation contains
 //!   the exact query is always returned.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
+use webfindit_base::prop::{self, string_of, vec_of};
+use webfindit_base::rng::StdRng;
 use webfindit_codb::{topic_matches, CoDatabase, InformationSource};
 
 fn mk_source(name: &str, itype: &str) -> InformationSource {
@@ -30,27 +31,24 @@ enum Op {
     Withdraw { coalition: usize, source: usize },
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0usize..4, 0usize..6).prop_map(|(coalition, source)| Op::Advertise {
-                coalition,
-                source
-            }),
-            (0usize..4, 0usize..6).prop_map(|(coalition, source)| Op::Withdraw {
-                coalition,
-                source
-            }),
-        ],
-        0..40,
-    )
+fn arb_ops(rng: &mut StdRng) -> Vec<Op> {
+    vec_of(rng, 0..40, |r| {
+        let coalition = r.gen_range(0usize..4);
+        let source = r.gen_range(0usize..6);
+        if r.gen_bool(0.5) {
+            Op::Advertise { coalition, source }
+        } else {
+            Op::Withdraw { coalition, source }
+        }
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
 
-    #[test]
-    fn membership_bookkeeping_is_exact(ops in arb_ops()) {
+#[test]
+fn membership_bookkeeping_is_exact() {
+    prop::cases(128, |rng| {
+        let ops = arb_ops(rng);
         let mut codb = CoDatabase::new("prop");
         for c in 0..4 {
             codb.create_coalition(&format!("Co{c}"), None, &format!("subject s{c}"))
@@ -66,18 +64,17 @@ proptest! {
                         mk_source(&format!("DB{source}"), &format!("subject s{coalition}")),
                     );
                     if model.insert((*coalition, *source)) {
-                        prop_assert!(result.is_ok());
+                        assert!(result.is_ok());
                     } else {
-                        prop_assert!(result.is_err(), "duplicate advertise must fail");
+                        assert!(result.is_err(), "duplicate advertise must fail");
                     }
                 }
                 Op::Withdraw { coalition, source } => {
-                    let result =
-                        codb.withdraw(&format!("Co{coalition}"), &format!("DB{source}"));
+                    let result = codb.withdraw(&format!("Co{coalition}"), &format!("DB{source}"));
                     if model.remove(&(*coalition, *source)) {
-                        prop_assert!(result.is_ok());
+                        assert!(result.is_ok());
                     } else {
-                        prop_assert!(result.is_err(), "withdraw of non-member must fail");
+                        assert!(result.is_err(), "withdraw of non-member must fail");
                     }
                 }
             }
@@ -91,34 +88,40 @@ proptest! {
                 .collect();
             expected.sort();
             expected.dedup();
-            prop_assert_eq!(codb.members(&format!("Co{c}")).unwrap(), expected);
+            assert_eq!(codb.members(&format!("Co{c}")).unwrap(), expected);
         }
         // Descriptors exist iff the source has ≥1 membership.
         for s in 0..6 {
             let has_membership = model.iter().any(|(_, src)| *src == s);
-            prop_assert_eq!(
+            assert_eq!(
                 codb.descriptor(&format!("DB{s}")).is_ok(),
                 has_membership,
-                "descriptor presence for DB{}", s
+                "descriptor presence for DB{s}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn find_coalitions_is_sound_and_complete(
-        docs in proptest::collection::vec("[a-z]{3,8} [a-z]{3,8}", 1..5),
-        query_idx in any::<prop::sample::Index>(),
-    ) {
+#[test]
+fn find_coalitions_is_sound_and_complete() {
+    prop::cases(128, |rng| {
+        let docs = vec_of(rng, 1..5, |r| {
+            format!(
+                "{} {}",
+                string_of(r, LOWER, 3..9),
+                string_of(r, LOWER, 3..9)
+            )
+        });
         let mut codb = CoDatabase::new("prop");
         for (i, doc) in docs.iter().enumerate() {
             codb.create_coalition(&format!("Co{i}"), None, doc).unwrap();
         }
-        let query = &docs[query_idx.index(docs.len())];
+        let query = &docs[rng.gen_range(0..docs.len())];
         let hits = codb.find_coalitions(query);
         // Completeness: the coalition whose documentation IS the query
         // must be found.
         let target = docs.iter().position(|d| d == query).unwrap();
-        prop_assert!(
+        assert!(
             hits.contains(&format!("Co{target}")),
             "query {query:?} must find Co{target}: {hits:?}"
         );
@@ -126,16 +129,23 @@ proptest! {
         for hit in &hits {
             let idx: usize = hit[2..].parse().unwrap();
             let doc = &docs[idx];
-            prop_assert!(
+            assert!(
                 topic_matches(&hit.to_ascii_lowercase(), &query.to_ascii_lowercase())
                     || topic_matches(&doc.to_ascii_lowercase(), &query.to_ascii_lowercase()),
                 "{hit} (doc {doc:?}) does not match {query:?}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn topic_matching_is_reflexive_on_nonempty(s in "[a-z]{1,8}( [a-z]{1,8}){0,3}") {
-        prop_assert!(topic_matches(&s, &s));
-    }
+#[test]
+fn topic_matching_is_reflexive_on_nonempty() {
+    prop::cases(128, |rng| {
+        let mut s = string_of(rng, LOWER, 1..9);
+        for _ in 0..rng.gen_range(0usize..4) {
+            s.push(' ');
+            s.push_str(&string_of(rng, LOWER, 1..9));
+        }
+        assert!(topic_matches(&s, &s));
+    });
 }

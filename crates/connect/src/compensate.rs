@@ -71,9 +71,9 @@ impl CompensatingConnection {
                 .cloned()
                 .ok_or_else(|| ConnectError::Rel(RelError::NoSuchTable(t.clone())))?;
             let out = self.inner.execute(&format!("SELECT * FROM {t}"))?;
-            let rs = out
-                .result_set()
-                .ok_or_else(|| ConnectError::WrongParadigm("staging fetch produced no rows".into()))?;
+            let rs = out.result_set().ok_or_else(|| {
+                ConnectError::WrongParadigm("staging fetch produced no rows".into())
+            })?;
             staging
                 .import_table(schema, rs.rows.clone())
                 .map_err(ConnectError::Rel)?;
@@ -125,9 +125,9 @@ impl Connection for CompensatingConnection {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::Driver;
     use crate::drivers::RelationalDriver;
     use crate::registry::DataSourceRegistry;
-    use crate::api::Driver;
     use webfindit_relstore::Datum;
 
     fn msql_connection() -> CompensatingConnection {
@@ -135,10 +135,8 @@ mod tests {
         let mut db = Database::new("CentreLink", Dialect::MSql);
         db.execute("CREATE TABLE payments (client_id INT, amount DOUBLE)")
             .unwrap();
-        db.execute(
-            "INSERT INTO payments VALUES (1, 100.0), (1, 250.0), (2, 80.0), (3, 40.0)",
-        )
-        .unwrap();
+        db.execute("INSERT INTO payments VALUES (1, 100.0), (1, 250.0), (2, 80.0), (3, 40.0)")
+            .unwrap();
         reg.register_relational("msql", "CentreLink", db);
         let driver = RelationalDriver::new(Dialect::MSql, reg);
         CompensatingConnection::new(driver.connect("jdbc:msql://h/CentreLink").unwrap())
@@ -147,7 +145,9 @@ mod tests {
     #[test]
     fn supported_statements_pass_through() {
         let mut conn = msql_connection();
-        let out = conn.execute("SELECT amount FROM payments WHERE client_id = 1").unwrap();
+        let out = conn
+            .execute("SELECT amount FROM payments WHERE client_id = 1")
+            .unwrap();
         assert_eq!(out.row_count(), 2);
         assert_eq!(conn.compensations(), 0);
     }

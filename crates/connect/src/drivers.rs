@@ -1,13 +1,11 @@
 //! Concrete drivers: four relational vendors plus the two OO bridges.
 
-use crate::api::{
-    parse_url, BridgeKind, Connection, Driver, QueryOutput, SourceMetadata,
-};
+use crate::api::{parse_url, BridgeKind, Connection, Driver, QueryOutput, SourceMetadata};
 use crate::registry::{DataSourceRegistry, OoInstance};
 use crate::{ConnectError, ConnectResult};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use webfindit_base::sync::Mutex;
 use webfindit_oostore::{OValue, OqlQuery};
 use webfindit_relstore::engine::ExecOutcome;
 use webfindit_relstore::{Database, Dialect};
@@ -255,9 +253,9 @@ impl Connection for ObjectConnection {
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         // Method invocations are addressed `Class.method` or
         // `Class.method@oid`.
-        let (class, rest) = method
-            .split_once('.')
-            .ok_or_else(|| ConnectError::WrongParadigm(format!("method {method} needs Class.name form")))?;
+        let (class, rest) = method.split_once('.').ok_or_else(|| {
+            ConnectError::WrongParadigm(format!("method {method} needs Class.name form"))
+        })?;
         let (name, receiver) = match rest.split_once('@') {
             Some((n, oid)) => {
                 let id: u64 = oid.parse().map_err(|_| {
@@ -318,11 +316,16 @@ mod tests {
             .define_class(ClassDef::root("Treatment").attr("name", OType::Text))
             .unwrap();
         store
-            .create("Treatment", [("name".to_string(), OValue::from("dialysis"))])
+            .create(
+                "Treatment",
+                [("name".to_string(), OValue::from("dialysis"))],
+            )
             .unwrap();
         let mut mt = MethodTable::new();
         mt.register("Treatment", "count_all", |s, _r, _a| {
-            Ok(OValue::Int(s.instances_of("Treatment", true).unwrap().len() as i64))
+            Ok(OValue::Int(
+                s.instances_of("Treatment", true).unwrap().len() as i64,
+            ))
         });
         reg.register_object("ontos", "PrinceCharles", store, mt);
         reg
@@ -336,7 +339,9 @@ mod tests {
         assert!(!driver.accepts("jdbc:msql://h/RBH"));
         assert!(!driver.accepts("jni:oracle://h/RBH"));
         let mut conn = driver.connect("jdbc:oracle://h/RBH").unwrap();
-        let out = conn.execute("SELECT location FROM beds ORDER BY bed_id").unwrap();
+        let out = conn
+            .execute("SELECT location FROM beds ORDER BY bed_id")
+            .unwrap();
         assert_eq!(out.row_count(), 2);
         assert_eq!(conn.bridge(), BridgeKind::Jdbc);
         assert_eq!(driver.stats().snapshot(), (1, 2));

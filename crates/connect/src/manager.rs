@@ -2,8 +2,8 @@
 
 use crate::api::{Connection, Driver};
 use crate::{ConnectError, ConnectResult};
-use parking_lot::RwLock;
 use std::sync::Arc;
+use webfindit_base::sync::RwLock;
 
 /// Registry of drivers; connections are opened by URL, first driver that
 /// accepts wins (JDBC semantics).
@@ -45,9 +45,7 @@ impl DriverManager {
 
 /// Build a manager with the full vendor complement used by the paper's
 /// deployment, all resolving against `registry`.
-pub fn standard_manager(
-    registry: Arc<crate::registry::DataSourceRegistry>,
-) -> DriverManager {
+pub fn standard_manager(registry: Arc<crate::registry::DataSourceRegistry>) -> DriverManager {
     use crate::drivers::{ObjectDriver, RelationalDriver};
     use webfindit_relstore::Dialect;
 

@@ -6,9 +6,9 @@
 //! resolve connection URLs against it.
 
 use crate::{ConnectError, ConnectResult};
-use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use webfindit_base::sync::{Mutex, RwLock};
 use webfindit_oostore::method::MethodTable;
 use webfindit_oostore::ObjectStore;
 use webfindit_relstore::Database;
@@ -129,12 +129,7 @@ mod tests {
     fn listing_is_sorted_and_merged() {
         let reg = DataSourceRegistry::new();
         reg.register_relational("oracle", "b", Database::new("b", Dialect::Oracle));
-        reg.register_object(
-            "ontos",
-            "a",
-            ObjectStore::new("a"),
-            MethodTable::new(),
-        );
+        reg.register_object("ontos", "a", ObjectStore::new("a"), MethodTable::new());
         assert_eq!(
             reg.list(),
             vec![

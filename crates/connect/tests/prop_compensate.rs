@@ -6,29 +6,34 @@
 //! of running the same statement directly on a canonical-dialect engine
 //! holding identical data.
 
-use proptest::prelude::*;
 use std::sync::Arc;
+use webfindit_base::prop::{self, vec_of};
 use webfindit_connect::api::Driver;
 use webfindit_connect::drivers::RelationalDriver;
 use webfindit_connect::{CompensatingConnection, Connection, DataSourceRegistry};
 use webfindit_relstore::{Database, Dialect};
 
 fn load(db: &mut Database, rows: &[(i64, i64, i64)]) {
-    db.execute("CREATE TABLE t (k INT, grp INT, v INT)").unwrap();
+    db.execute("CREATE TABLE t (k INT, grp INT, v INT)")
+        .unwrap();
     for (k, grp, v) in rows {
         db.execute(&format!("INSERT INTO t VALUES ({k}, {grp}, {v})"))
             .unwrap();
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn compensated_results_equal_canonical() {
+    prop::cases(48, |rng| {
+        let rows = vec_of(rng, 0..40, |r| {
+            (
+                r.gen_range(0i64..50),
+                r.gen_range(0i64..5),
+                r.gen_range(-100i64..100),
+            )
+        });
+        let threshold = rng.gen_range(-100i64..100);
 
-    #[test]
-    fn compensated_results_equal_canonical(
-        rows in proptest::collection::vec((0i64..50, 0i64..5, -100i64..100), 0..40),
-        threshold in -100i64..100,
-    ) {
         // Reference: canonical engine, direct execution.
         let mut reference = Database::new("ref", Dialect::Canonical);
         load(&mut reference, &rows);
@@ -45,7 +50,10 @@ proptest! {
         let queries = [
             format!("SELECT COUNT(*) FROM t WHERE v > {threshold}"),
             "SELECT grp, COUNT(*) c, SUM(v) s FROM t GROUP BY grp ORDER BY grp".to_string(),
-            format!("SELECT MIN(v), MAX(v), AVG(v) FROM t WHERE k < {}", threshold.abs()),
+            format!(
+                "SELECT MIN(v), MAX(v), AVG(v) FROM t WHERE k < {}",
+                threshold.abs()
+            ),
             "SELECT a.k FROM t a LEFT JOIN t b ON a.k = b.k AND a.v < b.v \
              WHERE b.k IS NULL ORDER BY a.k LIMIT 10"
                 .to_string(),
@@ -59,9 +67,9 @@ proptest! {
                 .expect("reference rows");
             let got = gateway.execute(q).unwrap();
             let got = got.result_set().expect("gateway rows");
-            prop_assert_eq!(&got.rows, &want.rows, "query {}", q);
+            assert_eq!(&got.rows, &want.rows, "query {q}");
         }
         // Every aggregate/join query above required compensation.
-        prop_assert!(gateway.compensations() >= 3);
-    }
+        assert!(gateway.compensations() >= 3);
+    });
 }

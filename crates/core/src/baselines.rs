@@ -19,11 +19,11 @@
 use crate::discovery::{DiscoveryOutcome, DiscoveryStats, Lead};
 use crate::federation::Federation;
 use crate::servants::CoDatabaseServant;
-use crate::value_map::{descriptor_to_value, value_to_strings};
 use crate::servants::{link_to_value, value_to_link};
+use crate::value_map::{descriptor_to_value, value_to_strings};
 use crate::{WebfinditError, WfResult};
-use parking_lot::RwLock;
 use std::sync::Arc;
+use webfindit_base::sync::RwLock;
 use webfindit_codb::CoDatabase;
 use webfindit_wire::{Ior, Value};
 
@@ -52,10 +52,9 @@ impl FlatBroadcast {
                 Err(_) => continue,
             };
             stats.codb_queries += 1;
-            if let Ok(v) =
-                self.fed
-                    .client_orb()
-                    .invoke(&ior, "find_coalitions", &[Value::string(topic)])
+            if let Ok(v) = self
+                .fed
+                .invoke(&ior, "find_coalitions", &[Value::string(topic)])
             {
                 for name in value_to_strings(&v)? {
                     leads.push(Lead::Coalition {
@@ -66,11 +65,7 @@ impl FlatBroadcast {
                 }
             }
             stats.codb_queries += 1;
-            if let Ok(v) = self
-                .fed
-                .client_orb()
-                .invoke(&ior, "find_links", &[Value::string(topic)])
-            {
+            if let Ok(v) = self.fed.invoke(&ior, "find_links", &[Value::string(topic)]) {
                 if let Some(seq) = v.as_sequence() {
                     for l in seq {
                         if let Ok(link) = value_to_link(l) {
@@ -117,46 +112,54 @@ impl CentralIndex {
             .activate(b"codb/central-index".to_vec(), servant);
 
         let mut registration_calls = 0u64;
-        let orb = fed.client_orb();
         for site in fed.site_names() {
             let handle = fed.site(&site)?;
             let codb = handle.codb.read();
             for coalition in codb.coalitions() {
                 let doc = codb.coalition_documentation(&coalition).unwrap_or_default();
                 registration_calls += 1;
-                match orb.invoke(
+                match fed.invoke(
                     &central_ior,
                     "create_coalition",
-                    &[Value::string(coalition.clone()), Value::Null, Value::Str(doc)],
+                    &[
+                        Value::string(coalition.clone()),
+                        Value::Null,
+                        Value::Str(doc),
+                    ],
                 ) {
                     Ok(_) => {}
-                    Err(webfindit_orb::OrbError::RemoteException { system: false, .. }) => {}
-                    Err(e) => return Err(e.into()),
+                    Err(WebfinditError::Orb(webfindit_orb::OrbError::RemoteException {
+                        system: false,
+                        ..
+                    })) => {}
+                    Err(e) => return Err(e),
                 }
                 for member in codb.members_direct(&coalition) {
                     if let Ok(d) = codb.descriptor(&member) {
                         registration_calls += 1;
-                        match orb.invoke(
+                        match fed.invoke(
                             &central_ior,
                             "advertise",
                             &[Value::string(coalition.clone()), descriptor_to_value(d)],
                         ) {
                             Ok(_) => {}
-                            Err(webfindit_orb::OrbError::RemoteException {
-                                system: false,
-                                ..
-                            }) => {}
-                            Err(e) => return Err(e.into()),
+                            Err(WebfinditError::Orb(
+                                webfindit_orb::OrbError::RemoteException { system: false, .. },
+                            )) => {}
+                            Err(e) => return Err(e),
                         }
                     }
                 }
             }
             for link in codb.service_links() {
                 registration_calls += 1;
-                match orb.invoke(&central_ior, "add_link", &[link_to_value(link)]) {
+                match fed.invoke(&central_ior, "add_link", &[link_to_value(link)]) {
                     Ok(_) => {}
-                    Err(webfindit_orb::OrbError::RemoteException { system: false, .. }) => {}
-                    Err(e) => return Err(e.into()),
+                    Err(WebfinditError::Orb(webfindit_orb::OrbError::RemoteException {
+                        system: false,
+                        ..
+                    })) => {}
+                    Err(e) => return Err(e),
                 }
             }
         }
@@ -174,7 +177,7 @@ impl CentralIndex {
             ..Default::default()
         };
         stats.codb_queries += 1;
-        let v = self.fed.client_orb().invoke(
+        let v = self.fed.invoke(
             &self.central_ior,
             "find_coalitions",
             &[Value::string(topic)],
@@ -188,15 +191,12 @@ impl CentralIndex {
             })
             .collect();
         stats.codb_queries += 1;
-        let lv = self.fed.client_orb().invoke(
-            &self.central_ior,
-            "find_links",
-            &[Value::string(topic)],
-        )?;
+        let lv = self
+            .fed
+            .invoke(&self.central_ior, "find_links", &[Value::string(topic)])?;
         if let Some(seq) = lv.as_sequence() {
             for l in seq {
-                let link = value_to_link(l)
-                    .map_err(|e| WebfinditError::Protocol(e.to_string()))?;
+                let link = value_to_link(l).map_err(|e| WebfinditError::Protocol(e.to_string()))?;
                 leads.push(Lead::Link {
                     link,
                     via_site: "central-index".into(),

@@ -136,7 +136,7 @@ impl DiscoveryEngine {
         stats: &mut DiscoveryStats,
     ) -> WfResult<Vec<String>> {
         stats.codb_queries += 1;
-        let v = self.fed.client_orb().invoke(ior, op, args)?;
+        let v = self.fed.invoke(ior, op, args)?;
         value_to_strings(&v)
     }
 
@@ -148,7 +148,7 @@ impl DiscoveryEngine {
         stats: &mut DiscoveryStats,
     ) -> WfResult<Vec<ServiceLink>> {
         stats.codb_queries += 1;
-        let v = self.fed.client_orb().invoke(ior, op, args)?;
+        let v = self.fed.invoke(ior, op, args)?;
         v.as_sequence()
             .ok_or_else(|| WebfinditError::Protocol("expected link sequence".into()))?
             .iter()
@@ -283,12 +283,7 @@ impl DiscoveryEngine {
                     }
                     Err(_) => continue,
                 }
-                match self.remote_links(
-                    &ior,
-                    "find_links",
-                    &[Value::string(topic)],
-                    &mut stats,
-                ) {
+                match self.remote_links(&ior, "find_links", &[Value::string(topic)], &mut stats) {
                     Ok(links) => {
                         for l in links {
                             found_here = true;
@@ -305,16 +300,11 @@ impl DiscoveryEngine {
                     continue;
                 }
                 // No leads here: expand its inter-relationships.
-                if let Ok(coalitions) =
-                    self.remote_strings(&ior, "coalitions", &[], &mut stats)
-                {
+                if let Ok(coalitions) = self.remote_strings(&ior, "coalitions", &[], &mut stats) {
                     for c in coalitions {
-                        if let Ok(members) = self.remote_strings(
-                            &ior,
-                            "members",
-                            &[Value::string(c)],
-                            &mut stats,
-                        ) {
+                        if let Ok(members) =
+                            self.remote_strings(&ior, "members", &[Value::string(c)], &mut stats)
+                        {
                             next.extend(members);
                         }
                     }

@@ -7,8 +7,8 @@
 //! HTML, and the Java-applet placeholder).
 
 use crate::{WebfinditError, WfResult};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use webfindit_base::sync::RwLock;
 
 /// Supported documentation formats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

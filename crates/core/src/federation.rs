@@ -19,16 +19,16 @@ use crate::docs::DocStore;
 use crate::servants::{link_to_value, CoDatabaseServant, IsiServant};
 use crate::value_map::descriptor_to_value;
 use crate::{WebfinditError, WfResult};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use webfindit_base::sync::RwLock;
 use webfindit_codb::{CoDatabase, InformationSource, ServiceLink};
 use webfindit_connect::manager::standard_manager;
 use webfindit_connect::{BridgeKind, DataSourceRegistry, DriverManager};
 use webfindit_oostore::method::MethodTable;
 use webfindit_oostore::ObjectStore;
 use webfindit_orb::naming::{NamingClient, NamingService, NAMING_OBJECT_KEY};
-use webfindit_orb::{Orb, OrbConfig, OrbDomain};
+use webfindit_orb::{CallOptions, Orb, OrbConfig, OrbDomain};
 use webfindit_relstore::{Database, Dialect};
 use webfindit_wire::cdr::ByteOrder;
 use webfindit_wire::{Ior, Value};
@@ -146,6 +146,9 @@ pub struct Federation {
     bootstrap_orb: Arc<Orb>,
     naming: Arc<NamingService>,
     naming_ior: Ior,
+    /// Per-call policy (deadline, retry) applied to every outgoing
+    /// invocation made on this federation's behalf.
+    call_options: RwLock<CallOptions>,
 }
 
 impl Federation {
@@ -176,6 +179,7 @@ impl Federation {
             bootstrap_orb,
             naming,
             naming_ior,
+            call_options: RwLock::new(CallOptions::default()),
         }))
     }
 
@@ -202,6 +206,27 @@ impl Federation {
     /// The ORB the query layer uses for its outgoing invocations.
     pub fn client_orb(&self) -> &Arc<Orb> {
         &self.bootstrap_orb
+    }
+
+    /// The per-call policy applied to the federation's invocations.
+    pub fn call_options(&self) -> CallOptions {
+        self.call_options.read().clone()
+    }
+
+    /// Replace the per-call policy (deadline, retry) used for every
+    /// subsequent invocation the federation's layers make.
+    pub fn set_call_options(&self, options: CallOptions) {
+        *self.call_options.write() = options;
+    }
+
+    /// Invoke an operation through the client ORB under the
+    /// federation-wide [`CallOptions`]. All query-layer components
+    /// (discovery, query processor, baselines) route through this, so a
+    /// deadline set on the federation bounds every remote hop.
+    pub fn invoke(&self, ior: &Ior, operation: &str, args: &[Value]) -> WfResult<Value> {
+        Ok(self
+            .bootstrap_orb
+            .invoke_with(ior, operation, args, &self.call_options())?)
     }
 
     /// A naming-service client over the wire.
@@ -341,7 +366,7 @@ impl Federation {
     // ---- metadata propagation (all via ORB invocations) ----------------
 
     fn invoke_codb(&self, site: &SiteHandle, op: &str, args: &[Value]) -> WfResult<Value> {
-        Ok(self.bootstrap_orb.invoke(&site.codb_ior, op, args)?)
+        self.invoke(&site.codb_ior, op, args)
     }
 
     /// Form (or extend) a coalition: every member's co-database gets the
@@ -382,10 +407,7 @@ impl Federation {
                 match self.invoke_codb(
                     member,
                     "advertise",
-                    &[
-                        Value::string(name),
-                        descriptor_to_value(&other.descriptor),
-                    ],
+                    &[Value::string(name), descriptor_to_value(&other.descriptor)],
                 ) {
                     Ok(_) => {}
                     Err(WebfinditError::Orb(webfindit_orb::OrbError::RemoteException {
@@ -409,9 +431,9 @@ impl Federation {
         documentation: &str,
     ) -> WfResult<u64> {
         let _ = self.site(site)?; // validate the joiner exists
-        // Find the current members by asking over the wire like a real
-        // joiner would; union across co-databases because some hold only
-        // a contact-member view.
+                                  // Find the current members by asking over the wire like a real
+                                  // joiner would; union across co-databases because some hold only
+                                  // a contact-member view.
         let mut calls = self.sites.read().len() as u64;
         let current = self.coalition_members(coalition)?;
         let member_refs: Vec<&str> = current.iter().map(String::as_str).collect();
@@ -529,12 +551,10 @@ impl Federation {
                         ],
                     ) {
                         Ok(_) => calls += 1,
-                        Err(WebfinditError::Orb(
-                            webfindit_orb::OrbError::RemoteException {
-                                system: false,
-                                description,
-                            },
-                        )) if description.contains("already exists") => {}
+                        Err(WebfinditError::Orb(webfindit_orb::OrbError::RemoteException {
+                            system: false,
+                            description,
+                        })) if description.contains("already exists") => {}
                         Err(e) => return Err(e),
                     }
                     match self.invoke_codb(
@@ -546,12 +566,10 @@ impl Federation {
                         ],
                     ) {
                         Ok(_) => calls += 1,
-                        Err(WebfinditError::Orb(
-                            webfindit_orb::OrbError::RemoteException {
-                                system: false,
-                                description,
-                            },
-                        )) if description.contains("already a member") => {}
+                        Err(WebfinditError::Orb(webfindit_orb::OrbError::RemoteException {
+                            system: false,
+                            description,
+                        })) if description.contains("already a member") => {}
                         Err(e) => return Err(e),
                     }
                 }

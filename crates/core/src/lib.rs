@@ -43,13 +43,13 @@ pub mod trace;
 pub mod value_map;
 
 pub use discovery::{DiscoveryEngine, DiscoveryOutcome, Lead};
-/// Re-export of the wire layer (needed by deployments for [`federation::Federation::add_orb`]).
-pub use webfindit_wire as wire;
 pub use docs::{DocFormat, DocStore, Document};
 pub use federation::{Federation, SiteHandle, SiteSpec};
 pub use processor::{Processor, Response};
 pub use session::BrowserSession;
 pub use trace::{Layer, Trace, TraceEvent};
+/// Re-export of the wire layer (needed by deployments for [`federation::Federation::add_orb`]).
+pub use webfindit_wire as wire;
 
 use std::fmt;
 

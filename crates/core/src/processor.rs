@@ -16,9 +16,7 @@ use crate::{WebfinditError, WfResult};
 use std::sync::Arc;
 use webfindit_codb::{InformationSource, LinkEnd, ServiceLink};
 use webfindit_relstore::exec::ResultSet;
-use webfindit_tassili::{
-    parse, translate_invoke_to_sql, Statement,
-};
+use webfindit_tassili::{parse, translate_invoke_to_sql, Statement};
 use webfindit_wire::{Ior, Value};
 
 /// What the processor hands back to the browser.
@@ -204,11 +202,10 @@ impl Processor {
                 for lead in &outcome.leads {
                     if let Lead::Coalition { name, via_site, .. } = lead {
                         let ior = self.codb_ior_of(via_site)?;
-                        if let Ok(v) = self.fed.client_orb().invoke(
-                            &ior,
-                            "members",
-                            &[Value::string(name.clone())],
-                        ) {
+                        if let Ok(v) =
+                            self.fed
+                                .invoke(&ior, "members", &[Value::string(name.clone())])
+                        {
                             names.extend(value_to_strings(&v)?);
                         }
                     }
@@ -220,9 +217,9 @@ impl Processor {
             Statement::ConnectToCoalition { name } => {
                 let via_site = self.locate_coalition(session, name)?;
                 if let Some(t) = trace.as_deref_mut() {
-                    t.event(
-                        Layer::Communication,
+                    t.channel_event(
                         format!("bound to co-database of {via_site}"),
+                        self.fed.client_orb().metrics(),
                     );
                 }
                 session.coalition = Some((name.clone(), via_site.clone()));
@@ -233,11 +230,9 @@ impl Processor {
             }
             Statement::DisplaySubclasses { class } => {
                 let ior = self.connected_codb(session)?;
-                let v = self.fed.client_orb().invoke(
-                    &ior,
-                    "subclasses",
-                    &[Value::string(class.clone())],
-                )?;
+                let v = self
+                    .fed
+                    .invoke(&ior, "subclasses", &[Value::string(class.clone())])?;
                 Response::Subclasses(value_to_strings(&v)?)
             }
             Statement::DisplayInstances { class } => {
@@ -245,11 +240,9 @@ impl Processor {
                 if let Some(t) = trace.as_deref_mut() {
                     t.event(Layer::Metadata, format!("listing instances of {class}"));
                 }
-                let v = self.fed.client_orb().invoke(
-                    &ior,
-                    "members",
-                    &[Value::string(class.clone())],
-                )?;
+                let v = self
+                    .fed
+                    .invoke(&ior, "members", &[Value::string(class.clone())])?;
                 Response::Instances(value_to_strings(&v)?)
             }
             Statement::DisplayDocument { instance, .. } => {
@@ -268,13 +261,7 @@ impl Processor {
             }
             Statement::DisplayInterface { instance } => {
                 let (descriptor, _) = self.find_descriptor(session, instance)?;
-                Response::Interface(
-                    descriptor
-                        .interface
-                        .iter()
-                        .map(|t| t.render())
-                        .collect(),
-                )
+                Response::Interface(descriptor.interface.iter().map(|t| t.render()).collect())
             }
             Statement::Invoke { instance, .. } => {
                 let (descriptor, _) = self.find_descriptor(session, instance)?;
@@ -304,12 +291,8 @@ impl Processor {
                     Some(p) => Value::string(p.clone()),
                     None => Value::Null,
                 });
-                args.push(Value::string(
-                    documentation.clone().unwrap_or_default(),
-                ));
-                self.fed
-                    .client_orb()
-                    .invoke(&site.codb_ior, "create_coalition", &args)?;
+                args.push(Value::string(documentation.clone().unwrap_or_default()));
+                self.fed.invoke(&site.codb_ior, "create_coalition", &args)?;
                 Response::Ack {
                     message: format!("coalition {name} created at {}", site.name),
                     calls: 1,
@@ -320,16 +303,17 @@ impl Processor {
                 for site_name in self.fed.site_names() {
                     let site = self.fed.site(&site_name)?;
                     calls += 1;
-                    match self.fed.client_orb().invoke(
+                    match self.fed.invoke(
                         &site.codb_ior,
                         "dissolve_coalition",
                         &[Value::string(name.clone())],
                     ) {
                         Ok(_) => {}
-                        Err(webfindit_orb::OrbError::RemoteException {
-                            system: false, ..
-                        }) => {}
-                        Err(e) => return Err(e.into()),
+                        Err(WebfinditError::Orb(webfindit_orb::OrbError::RemoteException {
+                            system: false,
+                            ..
+                        })) => {}
+                        Err(e) => return Err(e),
                     }
                 }
                 Response::Ack {
@@ -363,9 +347,7 @@ impl Processor {
                 description,
             } => {
                 let to_end = |t: &webfindit_tassili::LinkTarget| match t {
-                    webfindit_tassili::LinkTarget::Coalition(n) => {
-                        LinkEnd::Coalition(n.clone())
-                    }
+                    webfindit_tassili::LinkTarget::Coalition(n) => LinkEnd::Coalition(n.clone()),
                     webfindit_tassili::LinkTarget::Instance(n) => LinkEnd::Database(n.clone()),
                 };
                 let link = ServiceLink {
@@ -404,19 +386,10 @@ impl Processor {
     }
 
     /// Find which site's co-database can serve `coalition`.
-    fn locate_coalition(
-        &self,
-        session: &BrowserSession,
-        coalition: &str,
-    ) -> WfResult<String> {
+    fn locate_coalition(&self, session: &BrowserSession, coalition: &str) -> WfResult<String> {
         // Local first.
         let local = self.fed.site(&session.site)?;
-        if local
-            .codb
-            .read()
-            .subclasses(coalition)
-            .is_ok()
-        {
+        if local.codb.read().subclasses(coalition).is_ok() {
             return Ok(local.name);
         }
         // Then the most recent discovery leads.
@@ -458,11 +431,10 @@ impl Processor {
             let Ok(ior) = self.codb_ior_of(&site) else {
                 continue;
             };
-            if let Ok(v) = self.fed.client_orb().invoke(
-                &ior,
-                "descriptor",
-                &[Value::string(instance)],
-            ) {
+            if let Ok(v) = self
+                .fed
+                .invoke(&ior, "descriptor", &[Value::string(instance)])
+            {
                 return Ok((value_to_descriptor(&v)?, site));
             }
         }
@@ -479,15 +451,12 @@ impl Processor {
     ) -> WfResult<Response> {
         let ior = self.isi_ior_of(instance)?;
         if let Some(t) = trace.as_deref_mut() {
-            t.event(
-                Layer::Communication,
+            t.channel_event(
                 format!("GIOP request execute → isi/{instance}"),
+                self.fed.client_orb().metrics(),
             );
         }
-        let v = self
-            .fed
-            .client_orb()
-            .invoke(&ior, "execute", &[Value::string(query)])?;
+        let v = self.fed.invoke(&ior, "execute", &[Value::string(query)])?;
         if let Some(t) = trace {
             t.event(Layer::Data, "native query executed by the wrapper");
         }

@@ -10,8 +10,8 @@ use crate::value_map::{
     descriptor_to_value, ovalue_to_value, result_set_to_value, strings_to_value,
     value_to_descriptor,
 };
-use parking_lot::RwLock;
 use std::sync::Arc;
+use webfindit_base::sync::RwLock;
 use webfindit_codb::{CoDatabase, LinkEnd, ServiceLink};
 use webfindit_connect::{CompensatingConnection, Connection, DriverManager, QueryOutput};
 use webfindit_oostore::OValue;
@@ -107,7 +107,10 @@ impl Servant for CoDatabaseServant {
                 let topic = arg_str(args, 0, "an information type")?;
                 let codb = self.codb.read();
                 Ok(Value::Sequence(
-                    codb.find_links(&topic).into_iter().map(link_to_value).collect(),
+                    codb.find_links(&topic)
+                        .into_iter()
+                        .map(link_to_value)
+                        .collect(),
                 ))
             }
             "coalitions" => Ok(strings_to_value(self.codb.read().coalitions())),
@@ -458,7 +461,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let subs = s.invoke("subclasses", &[Value::string("Research")]).unwrap();
+        let subs = s
+            .invoke("subclasses", &[Value::string("Research")])
+            .unwrap();
         assert_eq!(
             subs,
             Value::Sequence(vec![Value::string("MedicalResearch")])
@@ -477,10 +482,7 @@ mod tests {
         let report = s
             .invoke("dissolve_coalition", &[Value::string("MedicalResearch")])
             .unwrap();
-        assert_eq!(
-            report.field("severed_links"),
-            Some(&Value::ULong(0))
-        );
+        assert_eq!(report.field("severed_links"), Some(&Value::ULong(0)));
     }
 
     #[test]
@@ -496,7 +498,10 @@ mod tests {
 
         let isi = IsiServant::new(manager, "jdbc:oracle://dba.icis.qut.edu.au/RBH");
         let out = isi
-            .invoke("execute", &[Value::string("select * from medical_students")])
+            .invoke(
+                "execute",
+                &[Value::string("select * from medical_students")],
+            )
             .unwrap();
         let rows = out.field("rows").and_then(Value::as_sequence).unwrap();
         assert_eq!(rows.len(), 2);
@@ -505,9 +510,14 @@ mod tests {
         assert_eq!(bridge.as_str(), Some("JDBC"));
 
         let iface = isi.invoke("interface_of", &[]).unwrap();
-        assert_eq!(iface.field("product").and_then(Value::as_str), Some("Oracle"));
+        assert_eq!(
+            iface.field("product").and_then(Value::as_str),
+            Some("Oracle")
+        );
 
         // Errors surface as application exceptions, not panics.
-        assert!(isi.invoke("execute", &[Value::string("garbage !")]).is_err());
+        assert!(isi
+            .invoke("execute", &[Value::string("garbage !")])
+            .is_err());
     }
 }

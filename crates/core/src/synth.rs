@@ -10,9 +10,8 @@
 
 use crate::federation::{Federation, SiteSpec, SiteVendor};
 use crate::WfResult;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use webfindit_base::rng::StdRng;
 use webfindit_codb::{LinkEnd, ServiceLink};
 use webfindit_relstore::{Database, Dialect};
 use webfindit_wire::cdr::ByteOrder;

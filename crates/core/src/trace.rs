@@ -74,6 +74,29 @@ impl Trace {
         });
     }
 
+    /// Record a Communication-layer event annotated with the live state
+    /// of the IIOP channel layer — the in-flight gauge and the timeout,
+    /// retry, and eviction counters — so a rendered trace shows what
+    /// the multiplexed channels were doing at that moment.
+    pub fn channel_event(
+        &mut self,
+        message: impl Into<String>,
+        metrics: &webfindit_orb::OrbMetrics,
+    ) {
+        let m = metrics.snapshot();
+        self.event(
+            Layer::Communication,
+            format!(
+                "{} [in-flight {}, timeouts {}, retries {}, evictions {}]",
+                message.into(),
+                m.in_flight,
+                m.timeouts,
+                m.retries,
+                m.evictions
+            ),
+        );
+    }
+
     /// The collected events.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events

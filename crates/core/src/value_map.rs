@@ -20,9 +20,7 @@ pub fn datum_to_value(d: &Datum) -> Value {
         Datum::Double(v) => Value::Double(*v),
         Datum::Text(s) => Value::Str(s.clone()),
         Datum::Bool(b) => Value::Bool(*b),
-        Datum::Date(days) => Value::record([
-            ("date", Value::string(format_date(*days))),
-        ]),
+        Datum::Date(days) => Value::record([("date", Value::string(format_date(*days)))]),
     }
 }
 
@@ -74,7 +72,12 @@ pub fn result_set_to_value(rs: &ResultSet) -> Value {
     Value::record([
         (
             "columns",
-            Value::Sequence(rs.columns.iter().map(|c| Value::string(c.clone())).collect()),
+            Value::Sequence(
+                rs.columns
+                    .iter()
+                    .map(|c| Value::string(c.clone()))
+                    .collect(),
+            ),
         ),
         (
             "rows",
@@ -124,7 +127,10 @@ pub fn value_to_result_set(v: &Value) -> WfResult<ResultSet> {
 pub fn descriptor_to_value(d: &InformationSource) -> Value {
     Value::record([
         ("name", Value::string(d.name.clone())),
-        ("information_type", Value::string(d.information_type.clone())),
+        (
+            "information_type",
+            Value::string(d.information_type.clone()),
+        ),
         ("documentation", Value::string(d.documentation_url.clone())),
         ("location", Value::string(d.location.clone())),
         ("wrapper", Value::string(d.wrapper.clone())),

@@ -133,7 +133,9 @@ fn webfindit_and_broadcast_agree_on_answerability() {
         );
     }
     // A topic nobody advertises is found by neither.
-    let wf = engine.find(synth.member_of(0), "nonexistent-subject").unwrap();
+    let wf = engine
+        .find(synth.member_of(0), "nonexistent-subject")
+        .unwrap();
     let bc = flat.find("nonexistent-subject").unwrap();
     assert!(!wf.found() && !bc.found());
     synth.fed.shutdown();
@@ -147,11 +149,17 @@ fn webtassili_session_over_the_synthetic_federation() {
 
     // Find, connect, browse, query — the §2.3 interaction pattern.
     let resp = processor
-        .submit(&mut session, "Find Coalitions With Information topic_000;", None)
+        .submit(
+            &mut session,
+            "Find Coalitions With Information topic_000;",
+            None,
+        )
         .unwrap();
     match &resp {
         Response::Leads { leads, .. } => {
-            assert!(leads.iter().any(|l| l.coalition_name() == Some("Coalition_000")))
+            assert!(leads
+                .iter()
+                .any(|l| l.coalition_name() == Some("Coalition_000")))
         }
         other => panic!("{other:?}"),
     }
@@ -162,7 +170,11 @@ fn webtassili_session_over_the_synthetic_federation() {
     assert!(matches!(resp, Response::Connected { .. }));
 
     let resp = processor
-        .submit(&mut session, "Display Instances of Class Coalition_000;", None)
+        .submit(
+            &mut session,
+            "Display Instances of Class Coalition_000;",
+            None,
+        )
         .unwrap();
     match &resp {
         Response::Instances(names) => assert_eq!(names.len(), 3),
@@ -195,7 +207,11 @@ fn dead_site_degrades_gracefully() {
     // co-database from naming: discovery should still find topic_001 via
     // the remaining members, not error out.
     let victim = synth.coalitions[1].2[1].clone();
-    synth.fed.naming_client().unbind(&format!("codb/{victim}")).unwrap();
+    synth
+        .fed
+        .naming_client()
+        .unbind(&format!("codb/{victim}"))
+        .unwrap();
     let engine = DiscoveryEngine::new(synth.fed.clone());
     let outcome = engine
         .find(synth.member_of(0), &SynthFederation::topic(1))
@@ -213,12 +229,7 @@ fn churn_join_leave_reflects_in_discovery() {
     let newcomer = synth.sites[0].clone();
     synth
         .fed
-        .form_coalition(
-            "PopUp",
-            None,
-            "information about popup-topic",
-            &[&newcomer],
-        )
+        .form_coalition("PopUp", None, "information about popup-topic", &[&newcomer])
         .unwrap();
     let outcome = engine.find(synth.member_of(1), "popup-topic").unwrap();
     assert!(outcome.found(), "{outcome:?}");

@@ -8,27 +8,20 @@
 //! * **Locality** — a site's own coalition topic always resolves at
 //!   level 0 with zero network round-trips.
 //!
-//! Federations carry real ORBs and TCP listeners, so the strategy keeps
+//! Federations carry real ORBs and TCP listeners, so the generator keeps
 //! sizes small and case counts low.
 
-use proptest::prelude::*;
 use webfindit::discovery::DiscoveryEngine;
 use webfindit::synth::{build, SynthConfig, SynthFederation};
+use webfindit_base::prop;
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 8,
-        max_shrink_iters: 16,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn discovery_is_complete_sound_and_local(
-        databases in 4usize..14,
-        coalition_size in 1usize..4,
-        extra_links in 0usize..3,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn discovery_is_complete_sound_and_local() {
+    prop::cases(8, |rng| {
+        let databases = rng.gen_range(4usize..14);
+        let coalition_size = rng.gen_range(1usize..4);
+        let extra_links = rng.gen_range(0usize..3);
+        let seed = rng.gen_range(0u64..1000);
         let synth = build(&SynthConfig {
             databases,
             coalition_size,
@@ -46,9 +39,9 @@ proptest! {
             let outcome = engine
                 .find(synth.member_of(c), &SynthFederation::topic(c))
                 .unwrap();
-            prop_assert!(outcome.found());
-            prop_assert_eq!(outcome.stats.found_at_level, Some(0));
-            prop_assert_eq!(outcome.stats.total_round_trips(), 0);
+            assert!(outcome.found());
+            assert_eq!(outcome.stats.found_at_level, Some(0));
+            assert_eq!(outcome.stats.total_round_trips(), 0);
         }
 
         // Completeness: every topic from every coalition's first member.
@@ -57,7 +50,7 @@ proptest! {
                 let outcome = engine
                     .find(synth.member_of(start), &SynthFederation::topic(target))
                     .unwrap();
-                prop_assert!(
+                assert!(
                     outcome.found(),
                     "topic {target} unreachable from coalition {start}: {:?}",
                     outcome.stats
@@ -70,9 +63,9 @@ proptest! {
             let outcome = engine
                 .find(synth.member_of(start), "subject nobody advertises")
                 .unwrap();
-            prop_assert!(!outcome.found(), "phantom lead: {:?}", outcome.leads);
+            assert!(!outcome.found(), "phantom lead: {:?}", outcome.leads);
         }
 
         synth.fed.shutdown();
-    }
+    });
 }

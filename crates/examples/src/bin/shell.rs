@@ -50,7 +50,10 @@ fn main() {
     let mut session = BrowserSession::new("QUT Research");
     let mut tracing = false;
 
-    eprintln!("ready. You are a user of: {}. Type :help for help.", session.site);
+    eprintln!(
+        "ready. You are a user of: {}. Type :help for help.",
+        session.site
+    );
     let stdin = io::stdin();
     loop {
         print!("WebTassili> ");

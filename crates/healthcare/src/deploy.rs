@@ -5,8 +5,8 @@ use crate::topology::{coalitions, databases, service_links, OrbName};
 use std::sync::Arc;
 use webfindit::docs::{DocFormat, Document};
 use webfindit::federation::{Federation, SiteSpec, SiteVendor};
-use webfindit::WfResult;
 use webfindit::wire::cdr::ByteOrder;
+use webfindit::WfResult;
 use webfindit_relstore::Dialect;
 
 /// A running healthcare deployment.
@@ -30,7 +30,12 @@ pub fn build_healthcare(seed: u64) -> WfResult<HealthcareDeployment> {
     // Figure 2's three ORBs. Byte orders differ so cross-ORB calls are
     // genuinely cross-endian.
     fed.add_orb("Orbix", "orbix.qut.edu.au", 9000, ByteOrder::BigEndian)?;
-    fed.add_orb("OrbixWeb", "orbixweb.qut.edu.au", 9001, ByteOrder::LittleEndian)?;
+    fed.add_orb(
+        "OrbixWeb",
+        "orbixweb.qut.edu.au",
+        9001,
+        ByteOrder::LittleEndian,
+    )?;
     fed.add_orb(
         "VisiBroker",
         "visibroker.qut.edu.au",
@@ -108,7 +113,7 @@ pub fn build_healthcare(seed: u64) -> WfResult<HealthcareDeployment> {
             .unwrap_or_default();
         for member in research_members {
             let site = fed.site(member)?;
-            fed.client_orb().invoke(
+            fed.invoke(
                 &site.codb_ior,
                 "create_coalition",
                 &[
@@ -117,7 +122,7 @@ pub fn build_healthcare(seed: u64) -> WfResult<HealthcareDeployment> {
                     Value::string("cancer-specific medical research"),
                 ],
             )?;
-            fed.client_orb().invoke(
+            fed.invoke(
                 &site.codb_ior,
                 "advertise",
                 &[
@@ -172,8 +177,7 @@ fn publish_documentation(fed: &Arc<Federation>, info: &crate::topology::Database
             info.documentation_url,
             Document {
                 format: DocFormat::Applet,
-                content: "applet: RBHVirtualTour.class (video clip of the campus)"
-                    .to_owned(),
+                content: "applet: RBHVirtualTour.class (video clip of the campus)".to_owned(),
             },
         );
     }
@@ -205,8 +209,14 @@ mod tests {
         let rbh = dep.fed.site("Royal Brisbane Hospital").unwrap();
         let codb = rbh.codb.read();
         let memberships = codb.memberships("Royal Brisbane Hospital");
-        assert!(memberships.contains(&"Research".to_string()), "{memberships:?}");
-        assert!(memberships.contains(&"Medical".to_string()), "{memberships:?}");
+        assert!(
+            memberships.contains(&"Research".to_string()),
+            "{memberships:?}"
+        );
+        assert!(
+            memberships.contains(&"Medical".to_string()),
+            "{memberships:?}"
+        );
         // Links involving Medical are known at RBH (a Medical member).
         assert!(!codb.links_involving("Medical").is_empty());
         drop(codb);

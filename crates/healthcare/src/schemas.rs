@@ -7,8 +7,7 @@
 //! paper's `Funding()` example retrieves. Every generator is seeded, so
 //! the deployment is identical on every run.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use webfindit_base::rng::StdRng;
 use webfindit_codb::{ExportedFunction, ExportedType};
 use webfindit_oostore::method::MethodTable;
 use webfindit_oostore::model::{ClassDef, OType, OValue};
@@ -34,8 +33,14 @@ const LAST_NAMES: &[&str] = &[
     "Tanaka", "Novak", "Jones", "Khan", "Larsen",
 ];
 const SUBURBS: &[&str] = &[
-    "Herston", "Kelvin Grove", "Chermside", "Toowong", "Woolloongabba", "Spring Hill",
-    "Fortitude Valley", "Indooroopilly",
+    "Herston",
+    "Kelvin Grove",
+    "Chermside",
+    "Toowong",
+    "Woolloongabba",
+    "Spring Hill",
+    "Fortitude Valley",
+    "Indooroopilly",
 ];
 
 fn person_name(rng: &mut StdRng) -> String {
@@ -63,18 +68,13 @@ fn sql_escape(s: &str) -> String {
 pub fn build_database(info: &DatabaseInfo, seed: u64) -> BuiltSource {
     let mut rng = StdRng::seed_from_u64(seed ^ hash_name(info.name));
     match info.dbms {
-        Dbms::Oracle => BuiltSource::Relational(
-            build_oracle(info, &mut rng),
-            relational_interface(info),
-        ),
-        Dbms::MSql => BuiltSource::Relational(
-            build_msql(info, &mut rng),
-            relational_interface(info),
-        ),
-        Dbms::Db2 => BuiltSource::Relational(
-            build_db2(info, &mut rng),
-            relational_interface(info),
-        ),
+        Dbms::Oracle => {
+            BuiltSource::Relational(build_oracle(info, &mut rng), relational_interface(info))
+        }
+        Dbms::MSql => {
+            BuiltSource::Relational(build_msql(info, &mut rng), relational_interface(info))
+        }
+        Dbms::Db2 => BuiltSource::Relational(build_db2(info, &mut rng), relational_interface(info)),
         Dbms::ObjectStore | Dbms::Ontos => {
             let (store, methods) = build_object(info, &mut rng);
             BuiltSource::Object(store, methods, object_interface(info))
@@ -83,9 +83,8 @@ pub fn build_database(info: &DatabaseInfo, seed: u64) -> BuiltSource {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0u64, |h, b| {
-        h.wrapping_mul(31).wrapping_add(b as u64)
-    })
+    name.bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64))
 }
 
 // ---- Oracle sites --------------------------------------------------------
@@ -119,7 +118,10 @@ fn build_oracle(info: &DatabaseInfo, rng: &mut StdRng) -> Database {
         }
         "Medicare" => {
             exec(&mut db, "CREATE TABLE claims (claim_id INT PRIMARY KEY, patient_name TEXT, item INT, amount DOUBLE, claim_date DATE)");
-            exec(&mut db, "CREATE TABLE providers (provider_id INT PRIMARY KEY, name TEXT, specialty TEXT)");
+            exec(
+                &mut db,
+                "CREATE TABLE providers (provider_id INT PRIMARY KEY, name TEXT, specialty TEXT)",
+            );
             for i in 0..40 {
                 exec(
                     &mut db,
@@ -170,12 +172,18 @@ fn build_rbh(db: &mut Database, rng: &mut StdRng) {
     exec(db, "CREATE TABLE beds (bed_id INT PRIMARY KEY, location TEXT NOT NULL, default_patient_type TEXT)");
     exec(db, "CREATE TABLE occupancy (bed_id INT, patient_id INT, date_from DATE, date_to DATE, PRIMARY KEY (bed_id, patient_id))");
     exec(db, "CREATE TABLE history (patient_id INT, date_recorded DATE, description TEXT, description_notes TEXT, doctor_id INT)");
-    exec(db, "CREATE TABLE doctors (employee_id INT PRIMARY KEY, qualification TEXT, position TEXT)");
+    exec(
+        db,
+        "CREATE TABLE doctors (employee_id INT PRIMARY KEY, qualification TEXT, position TEXT)",
+    );
     exec(db, "CREATE TABLE researchprojects (project_id INT PRIMARY KEY, title TEXT NOT NULL, keywords TEXT, supervising_doctor INT, begin_date DATE, completed_date DATE, funding DOUBLE)");
     exec(db, "CREATE TABLE medical_students (student_id INT PRIMARY KEY, name TEXT NOT NULL, course TEXT, year INT)");
     exec(db, "CREATE TABLE researchprojectattendants (project_id INT, student_id INT, task TEXT, date_started DATE, date_completed DATE, results TEXT, PRIMARY KEY (project_id, student_id))");
     exec(db, "CREATE INDEX history_patient ON history (patient_id)");
-    exec(db, "CREATE INDEX projects_title ON researchprojects (title)");
+    exec(
+        db,
+        "CREATE INDEX projects_title ON researchprojects (title)",
+    );
 
     let n_patients = 60;
     for i in 0..n_patients {
@@ -198,7 +206,11 @@ fn build_rbh(db: &mut Database, rng: &mut StdRng) {
             &format!(
                 "INSERT INTO beds VALUES ({i}, '{}', '{}')",
                 wards[rng.gen_range(0..wards.len())],
-                if rng.gen_bool(0.3) { "acute" } else { "general" },
+                if rng.gen_bool(0.3) {
+                    "acute"
+                } else {
+                    "general"
+                },
             ),
         );
     }
@@ -262,7 +274,10 @@ fn build_rbh(db: &mut Database, rng: &mut StdRng) {
             &format!(
                 "INSERT INTO researchprojects VALUES ({i}, '{}', '{}', {}, '{}', NULL, {})",
                 titles[(i - 1) % titles.len()],
-                titles[(i - 1) % titles.len()].split(' ').next().unwrap_or("x"),
+                titles[(i - 1) % titles.len()]
+                    .split(' ')
+                    .next()
+                    .unwrap_or("x"),
                 rng.gen_range(0..12),
                 date(rng, 1994, 1998),
                 rng.gen_range(30_000..500_000),
@@ -361,7 +376,10 @@ fn build_db2(info: &DatabaseInfo, rng: &mut StdRng) -> Database {
     let mut db = Database::new(info.name, Dialect::Db2);
     match info.name {
         "Australian Taxation Office" => {
-            exec(&mut db, "CREATE TABLE taxpayers (tfn INT PRIMARY KEY, name TEXT, bracket TEXT)");
+            exec(
+                &mut db,
+                "CREATE TABLE taxpayers (tfn INT PRIMARY KEY, name TEXT, bracket TEXT)",
+            );
             exec(&mut db, "CREATE TABLE levies (tfn INT, year INT, medicare_levy DOUBLE, PRIMARY KEY (tfn, year))");
             for i in 0..30 {
                 let brackets = ["low", "middle", "high"];
@@ -427,7 +445,11 @@ fn build_object(info: &DatabaseInfo, rng: &mut StdRng) -> (ObjectStore, MethodTa
             let topics = ["gene therapy", "oncology screening", "vaccine response"];
             for i in 0..15 {
                 let t = topics[rng.gen_range(0..topics.len())];
-                let class = if i % 3 == 0 { "ClinicalTrial" } else { "ResearchProject" };
+                let class = if i % 3 == 0 {
+                    "ClinicalTrial"
+                } else {
+                    "ResearchProject"
+                };
                 let mut attrs = vec![
                     ("title".to_string(), OValue::Text(format!("{t} {i}"))),
                     ("keywords".to_string(), OValue::Text(t.into())),
@@ -437,7 +459,7 @@ fn build_object(info: &DatabaseInfo, rng: &mut StdRng) -> (ObjectStore, MethodTa
                     ),
                 ];
                 if class == "ClinicalTrial" {
-                    attrs.push(("phase".to_string(), OValue::Int(rng.gen_range(1..4))));
+                    attrs.push(("phase".to_string(), OValue::Int(rng.gen_range(1i64..4))));
                 }
                 store.create(class, attrs).expect("valid object");
             }
@@ -465,15 +487,15 @@ fn build_object(info: &DatabaseInfo, rng: &mut StdRng) -> (ObjectStore, MethodTa
                     .create(
                         "Grant",
                         [
-                            (
-                                "recipient".to_string(),
-                                OValue::Text(person_name(rng)),
-                            ),
+                            ("recipient".to_string(), OValue::Text(person_name(rng))),
                             (
                                 "amount".to_string(),
                                 OValue::Double(rng.gen_range(10_000.0..200_000.0)),
                             ),
-                            ("year".to_string(), OValue::Int(rng.gen_range(1994..1999))),
+                            (
+                                "year".to_string(),
+                                OValue::Int(rng.gen_range(1994i64..1999)),
+                            ),
                         ],
                     )
                     .expect("valid object");
@@ -497,8 +519,8 @@ fn build_object(info: &DatabaseInfo, rng: &mut StdRng) -> (ObjectStore, MethodTa
                                 "suburb".to_string(),
                                 OValue::Text(SUBURBS[rng.gen_range(0..SUBURBS.len())].into()),
                             ),
-                            ("priority".to_string(), OValue::Int(rng.gen_range(1..4))),
-                            ("minutes".to_string(), OValue::Int(rng.gen_range(4..45))),
+                            ("priority".to_string(), OValue::Int(rng.gen_range(1i64..4))),
+                            ("minutes".to_string(), OValue::Int(rng.gen_range(4i64..45))),
                         ],
                     )
                     .expect("valid object");
@@ -605,10 +627,7 @@ fn relational_interface(info: &DatabaseInfo) -> Vec<ExportedType> {
                 ],
                 functions: vec![ExportedFunction {
                     name: "Funding".into(),
-                    params: vec![
-                        "ResearchProjects.Title x".into(),
-                        "Predicate(x)".into(),
-                    ],
+                    params: vec!["ResearchProjects.Title x".into(), "Predicate(x)".into()],
                     returns: "real".into(),
                     description: "returns the budget of a given research project".into(),
                 }],
@@ -627,8 +646,7 @@ fn relational_interface(info: &DatabaseInfo) -> Vec<ExportedType> {
                         "int Date History.DateRecorded".into(),
                     ],
                     returns: "string".into(),
-                    description: "the description of a patient sickness at a given date"
-                        .into(),
+                    description: "the description of a patient sickness at a given date".into(),
                 }],
                 description: "patient medical histories".into(),
             },
@@ -770,7 +788,9 @@ mod tests {
             panic!("Centre Link is relational");
         };
         assert!(db.execute("SELECT COUNT(*) FROM payments").is_err());
-        assert!(db.execute("SELECT amount FROM payments WHERE client_id = 1").is_ok());
+        assert!(db
+            .execute("SELECT amount FROM payments WHERE client_id = 1")
+            .is_ok());
     }
 
     #[test]

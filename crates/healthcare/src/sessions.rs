@@ -66,8 +66,10 @@ mod tests {
         }
 
         // Connect To Coalition Research.
-        assert!(matches!(&responses[1], Response::Connected { coalition, .. }
-            if coalition == "Research"));
+        assert!(
+            matches!(&responses[1], Response::Connected { coalition, .. }
+            if coalition == "Research")
+        );
 
         // Display SubClasses of Class Research → the refinement level.
         match &responses[2] {
@@ -97,7 +99,9 @@ mod tests {
         match &responses[4] {
             Response::Document { formats, document } => {
                 assert_eq!(formats.len(), 3, "text, HTML, applet (Figure 4 buttons)");
-                assert!(document.content.contains("<h1>Royal Brisbane Hospital</h1>"));
+                assert!(document
+                    .content
+                    .contains("<h1>Royal Brisbane Hospital</h1>"));
             }
             other => panic!("{other:?}"),
         }
@@ -106,7 +110,10 @@ mod tests {
         match &responses[5] {
             Response::AccessInfo(d) => {
                 assert_eq!(d.location, "dba.icis.qut.edu.au");
-                assert_eq!(d.interface_names(), vec!["ResearchProjects", "PatientHistory"]);
+                assert_eq!(
+                    d.interface_names(),
+                    vec!["ResearchProjects", "PatientHistory"]
+                );
             }
             other => panic!("{other:?}"),
         }

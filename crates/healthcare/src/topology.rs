@@ -202,7 +202,11 @@ pub fn coalitions() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
         (
             "Medical",
             "hospitals and medical service providers",
-            vec!["Royal Brisbane Hospital", "Prince Charles Hospital", "Medicare"],
+            vec![
+                "Royal Brisbane Hospital",
+                "Prince Charles Hospital",
+                "Medicare",
+            ],
         ),
         (
             "Medical Insurance",
@@ -287,7 +291,10 @@ mod tests {
         let mut products: Vec<&str> = databases().iter().map(|d| d.dbms.name()).collect();
         products.sort();
         products.dedup();
-        assert_eq!(products, vec!["DB2", "ObjectStore", "Ontos", "Oracle", "mSQL"]);
+        assert_eq!(
+            products,
+            vec!["DB2", "ObjectStore", "Ontos", "Oracle", "mSQL"]
+        );
     }
 
     #[test]

@@ -210,8 +210,10 @@ fn bad_sql_returns_a_user_visible_error_not_a_crash() {
             None,
         )
         .unwrap_err();
-    assert!(err.to_string().contains("exception") || err.to_string().contains("parse"),
-        "{err}");
+    assert!(
+        err.to_string().contains("exception") || err.to_string().contains("parse"),
+        "{err}"
+    );
     // The session is still usable afterwards.
     let ok = processor
         .submit(
@@ -235,10 +237,18 @@ fn two_deployments_coexist_in_one_process() {
     let mut sa = BrowserSession::new("QUT Research");
     let mut sb = BrowserSession::new("QUT Research");
     let ra = pa
-        .submit(&mut sa, "Find Coalitions With Information Medical Research;", None)
+        .submit(
+            &mut sa,
+            "Find Coalitions With Information Medical Research;",
+            None,
+        )
         .unwrap();
     let rb = pb
-        .submit(&mut sb, "Find Coalitions With Information Medical Research;", None)
+        .submit(
+            &mut sb,
+            "Find Coalitions With Information Medical Research;",
+            None,
+        )
         .unwrap();
     assert!(matches!(ra, Response::Leads { .. }));
     assert!(matches!(rb, Response::Leads { .. }));
@@ -294,11 +304,18 @@ fn find_databases_statement_lists_members() {
     let processor = Processor::new(dep.fed.clone());
     let mut session = BrowserSession::new("QUT Research");
     let resp = processor
-        .submit(&mut session, "Find Databases With Information Medical Research;", None)
+        .submit(
+            &mut session,
+            "Find Databases With Information Medical Research;",
+            None,
+        )
         .unwrap();
     match resp {
         Response::Databases(names) => {
-            assert!(names.contains(&"Royal Brisbane Hospital".to_string()), "{names:?}");
+            assert!(
+                names.contains(&"Royal Brisbane Hospital".to_string()),
+                "{names:?}"
+            );
             assert!(names.contains(&"QUT Research".to_string()), "{names:?}");
         }
         other => panic!("{other:?}"),
@@ -320,7 +337,11 @@ fn subclass_refinement_from_the_connected_coalition() {
     assert_eq!(resp, Response::Subclasses(vec!["Cancer Research".into()]));
     // Instances of the subclass.
     let resp = processor
-        .submit(&mut session, "Display Instances of Class Cancer Research;", None)
+        .submit(
+            &mut session,
+            "Display Instances of Class Cancer Research;",
+            None,
+        )
         .unwrap();
     assert_eq!(
         resp,

@@ -42,10 +42,7 @@ impl MethodTable {
         f: impl Fn(&ObjectStore, Option<Oid>, &[OValue]) -> OoResult<OValue> + Send + Sync + 'static,
     ) {
         self.routines.insert(
-            (
-                class.to_ascii_lowercase(),
-                method.to_ascii_lowercase(),
-            ),
+            (class.to_ascii_lowercase(), method.to_ascii_lowercase()),
             Arc::new(f),
         );
     }
@@ -137,10 +134,7 @@ mod tests {
         });
         mt.register("Research", "describe", |store, recv, args| {
             let oid = recv.ok_or_else(|| OoError::MethodFailed("needs receiver".into()))?;
-            let prefix = args
-                .first()
-                .and_then(OValue::as_text)
-                .unwrap_or("project");
+            let prefix = args.first().and_then(OValue::as_text).unwrap_or("project");
             Ok(OValue::Text(format!(
                 "{prefix}: {}",
                 store.object(oid)?.get("name")

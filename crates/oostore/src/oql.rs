@@ -17,9 +17,9 @@
 //! "all databases under Research" one-liners in the co-database.
 
 use crate::model::OValue;
+use crate::model::Oid;
 use crate::store::ObjectStore;
 use crate::{OoError, OoResult};
-use crate::model::Oid;
 use std::cmp::Ordering;
 
 /// A parsed OQL query.
@@ -125,7 +125,10 @@ impl OqlQuery {
             let mut keyed: Vec<(OValue, (Oid, Vec<OValue>))> = rows
                 .into_iter()
                 .map(|(oid, values)| {
-                    let key = store.object(oid).map(|o| o.get(attr)).unwrap_or(OValue::Null);
+                    let key = store
+                        .object(oid)
+                        .map(|o| o.get(attr))
+                        .unwrap_or(OValue::Null);
                     (key, (oid, values))
                 })
                 .collect();
@@ -191,9 +194,7 @@ fn like(text: &str, pattern: &str) -> bool {
         match p.split_first() {
             None => t.is_empty(),
             Some(('%', rest)) => (0..=t.len()).any(|i| rec(&t[i..], rest)),
-            Some(('_', rest)) => t
-                .split_first()
-                .is_some_and(|(_, tr)| rec(tr, rest)),
+            Some(('_', rest)) => t.split_first().is_some_and(|(_, tr)| rec(tr, rest)),
             Some((c, rest)) => t
                 .split_first()
                 .is_some_and(|(tc, tr)| tc == c && rec(tr, rest)),
@@ -453,10 +454,7 @@ fn lex(text: &str) -> Vec<(Tok, usize)> {
                 while i < b.len() && (b[i] as char).is_ascii_digit() {
                     i += 1;
                 }
-                out.push((
-                    Tok::Float(text[start..i].parse().unwrap_or(0.0)),
-                    start,
-                ));
+                out.push((Tok::Float(text[start..i].parse().unwrap_or(0.0)), start));
             } else {
                 out.push((Tok::Int(text[start..i].parse().unwrap_or(0)), start));
             }
@@ -474,20 +472,23 @@ fn lex(text: &str) -> Vec<(Tok, usize)> {
         let mut matched = false;
         for sym in ["<>", "<=", ">=", "=", "<", ">", "(", ")", ",", "*", "-"] {
             if rest.starts_with(sym) {
-                out.push((Tok::Sym(match sym {
-                    "<>" => "<>",
-                    "<=" => "<=",
-                    ">=" => ">=",
-                    "=" => "=",
-                    "<" => "<",
-                    ">" => ">",
-                    "(" => "(",
-                    ")" => ")",
-                    "," => ",",
-                    "*" => "*",
-                    "-" => "-",
-                    _ => unreachable!(),
-                }), i));
+                out.push((
+                    Tok::Sym(match sym {
+                        "<>" => "<>",
+                        "<=" => "<=",
+                        ">=" => ">=",
+                        "=" => "=",
+                        "<" => "<",
+                        ">" => ">",
+                        "(" => "(",
+                        ")" => ")",
+                        "," => ",",
+                        "*" => "*",
+                        "-" => "-",
+                        _ => unreachable!(),
+                    }),
+                    i,
+                ));
                 i += sym.len();
                 matched = true;
                 break;
@@ -558,8 +559,10 @@ mod tests {
 
     #[test]
     fn like_and_boolean_literals() {
-        let q = OqlQuery::parse("select name from Research where name like '%Medical%' and active = false")
-            .unwrap();
+        let q = OqlQuery::parse(
+            "select name from Research where name like '%Medical%' and active = false",
+        )
+        .unwrap();
         let r = q.execute(&store()).unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0].1[0].as_text(), Some("RMIT Medical Research"));
@@ -578,8 +581,11 @@ mod tests {
     #[test]
     fn is_null_checks() {
         let mut s = store();
-        s.create("Research", [("name".to_string(), OValue::from("NoFunding"))])
-            .unwrap();
+        s.create(
+            "Research",
+            [("name".to_string(), OValue::from("NoFunding"))],
+        )
+        .unwrap();
         let q = OqlQuery::parse("select name from Research where funding is null").unwrap();
         let r = q.execute(&s).unwrap();
         assert_eq!(r.rows.len(), 1);
@@ -590,8 +596,11 @@ mod tests {
     #[test]
     fn null_comparisons_filter_out() {
         let mut s = store();
-        s.create("Research", [("name".to_string(), OValue::from("NoFunding"))])
-            .unwrap();
+        s.create(
+            "Research",
+            [("name".to_string(), OValue::from("NoFunding"))],
+        )
+        .unwrap();
         // funding > 0 is unknown for the null row → excluded.
         let q = OqlQuery::parse("select name from Research where funding > 0").unwrap();
         assert_eq!(q.execute(&s).unwrap().rows.len(), 2);
@@ -609,10 +618,7 @@ mod tests {
     #[test]
     fn unknown_class_errors_at_execute() {
         let q = OqlQuery::parse("select * from Ghost").unwrap();
-        assert!(matches!(
-            q.execute(&store()),
-            Err(OoError::NoSuchClass(_))
-        ));
+        assert!(matches!(q.execute(&store()), Err(OoError::NoSuchClass(_))));
     }
 
     #[test]
@@ -646,7 +652,8 @@ mod order_limit_tests {
             .unwrap();
         }
         // One row with a NULL sort key.
-        s.create("G", [("name".to_string(), OValue::from("d"))]).unwrap();
+        s.create("G", [("name".to_string(), OValue::from("d"))])
+            .unwrap();
         s
     }
 

@@ -101,10 +101,7 @@ impl ObjectStore {
             self.classes.remove(&ck);
         }
         // Remove dangling parent references from remaining classes.
-        let doomed_keys: BTreeSet<String> = doomed
-            .iter()
-            .map(|c| c.to_ascii_lowercase())
-            .collect();
+        let doomed_keys: BTreeSet<String> = doomed.iter().map(|c| c.to_ascii_lowercase()).collect();
         for def in self.classes.values_mut() {
             def.parents
                 .retain(|p| !doomed_keys.contains(&p.to_ascii_lowercase()));
@@ -131,11 +128,7 @@ impl ObjectStore {
         Ok(self
             .classes
             .values()
-            .filter(|c| {
-                c.parents
-                    .iter()
-                    .any(|p| p.to_ascii_lowercase() == key)
-            })
+            .filter(|c| c.parents.iter().any(|p| p.to_ascii_lowercase() == key))
             .map(|c| c.name.clone())
             .collect())
     }
@@ -223,18 +216,16 @@ impl ObjectStore {
         let mut map = BTreeMap::new();
         for (name, value) in attrs {
             let lname = name.to_ascii_lowercase();
-            let decl = visible
-                .iter()
-                .find(|a| a.name == lname)
-                .ok_or_else(|| OoError::NoSuchAttribute {
+            let decl = visible.iter().find(|a| a.name == lname).ok_or_else(|| {
+                OoError::NoSuchAttribute {
                     class: canonical.clone(),
                     attribute: name.clone(),
-                })?;
+                }
+            })?;
             if let Some(t) = value.otype() {
                 // Int is accepted where Double is declared.
                 let ok = t == decl.otype
-                    || (decl.otype == crate::model::OType::Double
-                        && t == crate::model::OType::Int);
+                    || (decl.otype == crate::model::OType::Double && t == crate::model::OType::Int);
                 if !ok {
                     return Err(OoError::TypeMismatch {
                         attribute: lname,
@@ -280,17 +271,17 @@ impl ObjectStore {
         let class = self.object(oid)?.class.clone();
         let visible = self.all_attributes(&class)?;
         let lname = name.to_ascii_lowercase();
-        let decl = visible
-            .iter()
-            .find(|a| a.name == lname)
-            .ok_or_else(|| OoError::NoSuchAttribute {
-                class: class.clone(),
-                attribute: name.to_owned(),
-            })?;
+        let decl =
+            visible
+                .iter()
+                .find(|a| a.name == lname)
+                .ok_or_else(|| OoError::NoSuchAttribute {
+                    class: class.clone(),
+                    attribute: name.to_owned(),
+                })?;
         if let Some(t) = value.otype() {
             let ok = t == decl.otype
-                || (decl.otype == crate::model::OType::Double
-                    && t == crate::model::OType::Int);
+                || (decl.otype == crate::model::OType::Double && t == crate::model::OType::Int);
             if !ok {
                 return Err(OoError::TypeMismatch {
                     attribute: lname,
@@ -364,9 +355,14 @@ mod tests {
         );
         let subs = s.subclasses_transitive("InformationType").unwrap();
         assert_eq!(subs.len(), 3);
-        assert!(s.is_subclass_of("CancerResearch", "InformationType").unwrap());
+        assert!(s
+            .is_subclass_of("CancerResearch", "InformationType")
+            .unwrap());
         assert!(!s.is_subclass_of("Research", "CancerResearch").unwrap());
-        assert_eq!(s.superclasses("CancerResearch").unwrap(), vec!["MedicalResearch"]);
+        assert_eq!(
+            s.superclasses("CancerResearch").unwrap(),
+            vec!["MedicalResearch"]
+        );
     }
 
     #[test]
@@ -427,7 +423,10 @@ mod tests {
         assert_eq!(s.instances_of("Research", false).unwrap(), vec![a]);
         assert_eq!(s.instances_of("Research", true).unwrap(), vec![a, b]);
         assert_eq!(s.instances_of("InformationType", true).unwrap(), vec![a, b]);
-        assert_eq!(s.object(b).unwrap().get("name").as_text(), Some("Qld Cancer Fund"));
+        assert_eq!(
+            s.object(b).unwrap().get("name").as_text(),
+            Some("Qld Cancer Fund")
+        );
     }
 
     #[test]
@@ -453,8 +452,12 @@ mod tests {
         let o = s
             .create("Research", [("name".to_string(), OValue::from("X"))])
             .unwrap();
-        s.set_attr(o, "description", OValue::from("about X")).unwrap();
-        assert_eq!(s.object(o).unwrap().get("description").as_text(), Some("about X"));
+        s.set_attr(o, "description", OValue::from("about X"))
+            .unwrap();
+        assert_eq!(
+            s.object(o).unwrap().get("description").as_text(),
+            Some("about X")
+        );
         assert!(s.set_attr(o, "nope", OValue::Null).is_err());
         s.delete(o).unwrap();
         assert!(matches!(s.object(o), Err(OoError::NoSuchObject(_))));
@@ -478,9 +481,12 @@ mod tests {
     #[test]
     fn multiple_inheritance() {
         let mut s = ObjectStore::new("x");
-        s.define_class(ClassDef::root("A").attr("a", OType::Int)).unwrap();
-        s.define_class(ClassDef::root("B").attr("b", OType::Int)).unwrap();
-        s.define_class(ClassDef::root("C").extends("A").extends("B")).unwrap();
+        s.define_class(ClassDef::root("A").attr("a", OType::Int))
+            .unwrap();
+        s.define_class(ClassDef::root("B").attr("b", OType::Int))
+            .unwrap();
+        s.define_class(ClassDef::root("C").extends("A").extends("B"))
+            .unwrap();
         let names: Vec<String> = s
             .all_attributes("C")
             .unwrap()

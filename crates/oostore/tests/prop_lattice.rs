@@ -9,7 +9,8 @@
 //!   attribute name;
 //! * delete removes exactly the deleted object from every view.
 
-use proptest::prelude::*;
+use webfindit_base::prop::{self, vec_of};
+use webfindit_base::rng::StdRng;
 use webfindit_oostore::model::{ClassDef, OType, OValue};
 use webfindit_oostore::ObjectStore;
 
@@ -24,20 +25,19 @@ struct LatticeSpec {
     objects: Vec<(usize, i64)>,
 }
 
-fn arb_lattice() -> impl Strategy<Value = LatticeSpec> {
-    (2usize..10).prop_flat_map(|n| {
-        let parents = (0..n)
-            .map(|i| {
-                if i == 0 {
-                    Just(Vec::new()).boxed()
-                } else {
-                    proptest::collection::vec(0..i, 0..=i.min(2)).boxed()
-                }
-            })
-            .collect::<Vec<_>>();
-        let objects = proptest::collection::vec((0..n, any::<i64>()), 0..30);
-        (parents, objects).prop_map(|(parents, objects)| LatticeSpec { parents, objects })
-    })
+fn arb_lattice(rng: &mut StdRng) -> LatticeSpec {
+    let n = rng.gen_range(2usize..10);
+    let parents = (0..n)
+        .map(|i| {
+            if i == 0 {
+                Vec::new()
+            } else {
+                vec_of(rng, 0..i.min(2) + 1, |r| r.gen_range(0..i))
+            }
+        })
+        .collect();
+    let objects = vec_of(rng, 0..30, |r| (r.gen_range(0..n), r.next_u64() as i64));
+    LatticeSpec { parents, objects }
 }
 
 fn class_name(i: usize) -> String {
@@ -58,31 +58,42 @@ fn build(spec: &LatticeSpec) -> ObjectStore {
     }
     for (class, v) in &spec.objects {
         store
-            .create(&class_name(*class), [(format!("a{class}"), OValue::Int(*v))])
+            .create(
+                &class_name(*class),
+                [(format!("a{class}"), OValue::Int(*v))],
+            )
             .expect("valid attr");
     }
     store
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lattice_is_acyclic(spec in arb_lattice()) {
+#[test]
+fn lattice_is_acyclic() {
+    prop::cases(64, |rng| {
+        let spec = arb_lattice(rng);
         let store = build(&spec);
         let n = spec.parents.len();
         for i in 0..n {
             for j in 0..n {
-                if i == j { continue; }
-                let ij = store.is_subclass_of(&class_name(i), &class_name(j)).unwrap();
-                let ji = store.is_subclass_of(&class_name(j), &class_name(i)).unwrap();
-                prop_assert!(!(ij && ji), "cycle between C{i} and C{j}");
+                if i == j {
+                    continue;
+                }
+                let ij = store
+                    .is_subclass_of(&class_name(i), &class_name(j))
+                    .unwrap();
+                let ji = store
+                    .is_subclass_of(&class_name(j), &class_name(i))
+                    .unwrap();
+                assert!(!(ij && ji), "cycle between C{i} and C{j}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn extent_closure_matches_subclass_union(spec in arb_lattice()) {
+#[test]
+fn extent_closure_matches_subclass_union() {
+    prop::cases(64, |rng| {
+        let spec = arb_lattice(rng);
         let store = build(&spec);
         for i in 0..spec.parents.len() {
             let name = class_name(i);
@@ -93,12 +104,15 @@ proptest! {
             expected.sort();
             expected.dedup();
             let closure = store.instances_of(&name, true).unwrap();
-            prop_assert_eq!(closure, expected);
+            assert_eq!(closure, expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn subclass_sees_ancestor_attributes(spec in arb_lattice()) {
+#[test]
+fn subclass_sees_ancestor_attributes() {
+    prop::cases(64, |rng| {
+        let spec = arb_lattice(rng);
         let store = build(&spec);
         let n = spec.parents.len();
         for i in 0..n {
@@ -109,41 +123,52 @@ proptest! {
                 .map(|a| a.name)
                 .collect();
             for j in 0..n {
-                if store.is_subclass_of(&class_name(i), &class_name(j)).unwrap() {
-                    prop_assert!(
-                        attrs.contains(&format!("a{j}")),
-                        "C{i} must see a{j}"
-                    );
+                if store
+                    .is_subclass_of(&class_name(i), &class_name(j))
+                    .unwrap()
+                {
+                    assert!(attrs.contains(&format!("a{j}")), "C{i} must see a{j}");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn delete_removes_exactly_one(spec in arb_lattice()) {
+#[test]
+fn delete_removes_exactly_one() {
+    prop::cases(64, |rng| {
+        let spec = arb_lattice(rng);
         let mut store = build(&spec);
         let total = store.object_count();
-        if let Some(oid) = store.instances_of(&class_name(0), true).unwrap().first().copied() {
+        if let Some(oid) = store
+            .instances_of(&class_name(0), true)
+            .unwrap()
+            .first()
+            .copied()
+        {
             let class = store.object(oid).unwrap().class.clone();
             store.delete(oid).unwrap();
-            prop_assert_eq!(store.object_count(), total - 1);
-            prop_assert!(!store.instances_of(&class, false).unwrap().contains(&oid));
-            prop_assert!(store.object(oid).is_err());
+            assert_eq!(store.object_count(), total - 1);
+            assert!(!store.instances_of(&class, false).unwrap().contains(&oid));
+            assert!(store.object(oid).is_err());
         }
-    }
+    });
+}
 
-    #[test]
-    fn drop_class_is_exhaustive(spec in arb_lattice()) {
+#[test]
+fn drop_class_is_exhaustive() {
+    prop::cases(64, |rng| {
+        let spec = arb_lattice(rng);
         let mut store = build(&spec);
         // Drop class 1 (if it exists) and verify nothing references it.
         if spec.parents.len() > 1 {
             let doomed = store.drop_class(&class_name(1)).unwrap();
-            prop_assert!(doomed.contains(&class_name(1)));
-            prop_assert!(store.class(&class_name(1)).is_err());
+            assert!(doomed.contains(&class_name(1)));
+            assert!(store.class(&class_name(1)).is_err());
             // No surviving class lists a doomed parent.
             for name in store.class_names() {
                 for parent in store.superclasses(&name).unwrap() {
-                    prop_assert!(
+                    assert!(
                         store.class(&parent).is_ok(),
                         "{name} references dropped parent {parent}"
                     );
@@ -152,9 +177,9 @@ proptest! {
             // No orphaned objects.
             for c in store.class_names() {
                 for oid in store.instances_of(&c, false).unwrap() {
-                    prop_assert!(store.object(oid).is_ok());
+                    assert!(store.object(oid).is_ok());
                 }
             }
         }
-    }
+    });
 }

@@ -7,9 +7,9 @@
 //! `isi/Medicare`, which makes traces and experiments legible.
 
 use crate::servant::{InvokeResult, Servant, ServantError};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use webfindit_base::sync::RwLock;
 
 /// A shared, thread-safe servant registry.
 #[derive(Default)]

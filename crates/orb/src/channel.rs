@@ -1,0 +1,440 @@
+//! Multiplexed, deadline-aware IIOP channels.
+//!
+//! The seed ORB pooled one TCP connection per endpoint and locked it
+//! across the whole send-and-wait of every call, so concurrent callers
+//! to the same endpoint serialized on the connection mutex. This module
+//! replaces that with the channel architecture real ORBs use:
+//!
+//! * an [`IiopChannel`] per advertised endpoint owns a small bounded
+//!   pool of multiplexed connections ([`MuxConn`]); callers are spread
+//!   round-robin and *share* each connection concurrently;
+//! * each `MuxConn` runs a dedicated reader thread that demultiplexes
+//!   GIOP `Reply`/`LocateReply` frames by `request_id` and hands each to
+//!   the parked caller that registered it — the writer mutex is held
+//!   only for the microseconds of `send_frame`, never across the wait;
+//! * deadlines: a caller waits at most its [`CallOptions::deadline`];
+//!   on expiry it unregisters, fires a best-effort GIOP `CancelRequest`
+//!   at the server, and surfaces `DeadlineExpired`;
+//! * retry safety: the channel classifies every failure by whether the
+//!   request *provably never reached the peer's dispatcher* (connect
+//!   failure, dead-at-acquire, incomplete send, or an orderly GIOP
+//!   `CloseConnection` — which the spec defines as "pending requests
+//!   were not processed"). Only those are retried; an ambiguous drop
+//!   after a complete send is surfaced instead of resent, because a
+//!   blind resend can execute a non-idempotent operation twice.
+
+use crate::metrics::OrbMetrics;
+use crate::OrbError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use webfindit_base::sync::Mutex;
+use webfindit_wire::cdr::ByteOrder;
+use webfindit_wire::giop::GiopMessage;
+use webfindit_wire::transport::{FramedTcp, Transport};
+use webfindit_wire::WireError;
+
+/// Per-call policy knobs, threaded from the application layers down to
+/// the wire.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallOptions {
+    /// Maximum time to wait for the reply. `None` waits indefinitely
+    /// (bounded only by connection failure).
+    pub deadline: Option<Duration>,
+    /// When to transparently retry a failed call.
+    pub retry: RetryPolicy,
+}
+
+impl CallOptions {
+    /// Options with a deadline and the default retry policy.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        CallOptions {
+            deadline: Some(deadline),
+            ..CallOptions::default()
+        }
+    }
+}
+
+/// Governs transparent retries of remote calls.
+///
+/// A retry is only ever attempted when the failure proves the request
+/// never reached the peer's dispatcher; `attempts` bounds how many
+/// times the whole call may be tried (first try included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (1 = never retry).
+    pub attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry, even when provably safe.
+    pub fn never() -> Self {
+        RetryPolicy { attempts: 1 }
+    }
+}
+
+/// How a failed call relates to the peer: decides retry safety.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FailureClass {
+    /// The request never left this process (resolve/connect failure,
+    /// connection already dead, or the frame was not fully written).
+    /// Retrying — or falling over to an alternate profile — is safe.
+    NeverSent,
+    /// The peer closed the connection in an orderly way (GIOP
+    /// `CloseConnection`), which guarantees outstanding requests were
+    /// not processed. Retrying is safe.
+    NotProcessed,
+    /// The connection died after a complete send with no such
+    /// guarantee; the peer may have executed the operation. Retrying
+    /// is NOT safe.
+    Ambiguous,
+}
+
+/// A call failure with its retry-safety classification.
+#[derive(Debug)]
+pub(crate) struct CallFailure {
+    pub(crate) class: FailureClass,
+    pub(crate) error: OrbError,
+}
+
+impl CallFailure {
+    fn never_sent(error: OrbError) -> Self {
+        CallFailure {
+            class: FailureClass::NeverSent,
+            error,
+        }
+    }
+}
+
+/// What the reader thread hands to a parked caller.
+enum ReplyOutcome {
+    /// The routed `Reply`/`LocateReply` for this caller's request id.
+    Message(GiopMessage),
+    /// Orderly `CloseConnection`: provably not processed.
+    ClosedUnprocessed,
+    /// Connection failure or protocol desync: outcome unknowable.
+    Dropped(String),
+}
+
+/// One multiplexed connection: a shared writer plus a reader thread
+/// that routes replies by request id.
+struct MuxConn {
+    writer: Mutex<FramedTcp>,
+    /// Callers parked for a reply, by request id.
+    pending: Mutex<HashMap<u32, SyncSender<ReplyOutcome>>>,
+    /// Set once the connection can no longer carry new calls.
+    dead: AtomicBool,
+    /// Set when death came via orderly `CloseConnection`.
+    closed_by_peer: AtomicBool,
+}
+
+impl MuxConn {
+    /// Mark dead and fail every parked caller with `outcome`.
+    fn poison(&self, mk_outcome: impl Fn() -> ReplyOutcome) {
+        self.dead.store(true, Ordering::SeqCst);
+        let waiters: Vec<_> = self.pending.lock().drain().collect();
+        for (_, tx) in waiters {
+            let _ = tx.send(mk_outcome());
+        }
+    }
+
+    /// Sever the socket (unblocks the reader thread).
+    fn sever(&self) {
+        self.writer.lock().shutdown();
+    }
+}
+
+/// The reader loop: demultiplex frames until the connection dies.
+fn reader_loop(conn: Arc<MuxConn>, mut reader: FramedTcp, metrics: Arc<OrbMetrics>) {
+    loop {
+        let frame = match reader.recv_frame() {
+            Ok(f) => f,
+            Err(WireError::Closed) => {
+                conn.poison(|| ReplyOutcome::Dropped("connection closed by peer".into()));
+                return;
+            }
+            Err(e) => {
+                let text = e.to_string();
+                conn.poison(|| ReplyOutcome::Dropped(text.clone()));
+                return;
+            }
+        };
+        metrics.add(&metrics.bytes_received, frame.len() as u64);
+        let msg = match GiopMessage::decode_frame(&frame) {
+            Ok(m) => m,
+            Err(e) => {
+                // Undecodable bytes mean the stream is desynchronized;
+                // evict the connection rather than corrupt later calls.
+                metrics.add(&metrics.evictions, 1);
+                let text = format!("protocol desync: {e}");
+                conn.poison(|| ReplyOutcome::Dropped(text.clone()));
+                return;
+            }
+        };
+        match msg {
+            GiopMessage::Reply { request_id, .. } | GiopMessage::LocateReply { request_id, .. } => {
+                let waiter = conn.pending.lock().remove(&request_id);
+                match waiter {
+                    Some(tx) => {
+                        let _ = tx.send(ReplyOutcome::Message(msg));
+                    }
+                    None => {
+                        // The caller gave up (deadline) before the reply
+                        // arrived; drop it, the stream itself is fine.
+                        metrics.add(&metrics.late_replies, 1);
+                    }
+                }
+            }
+            GiopMessage::CloseConnection => {
+                // GIOP: outstanding requests were not processed.
+                conn.closed_by_peer.store(true, Ordering::SeqCst);
+                conn.poison(|| ReplyOutcome::ClosedUnprocessed);
+                return;
+            }
+            other => {
+                // A server must only send replies on this connection; a
+                // Request/Fragment/MessageError here means the framing
+                // is corrupt or the peer is broken. Evict, so the next
+                // call gets a fresh connection instead of inheriting a
+                // desynchronized stream.
+                metrics.add(&metrics.evictions, 1);
+                let text = format!("unexpected message kind {:?}", other.kind());
+                conn.poison(|| ReplyOutcome::Dropped(text.clone()));
+                return;
+            }
+        }
+    }
+}
+
+/// A multiplexed channel to one advertised endpoint.
+///
+/// Holds up to `max_conns` live [`MuxConn`]s; callers are assigned
+/// round-robin and share connections concurrently. Connections are
+/// created lazily and replaced when they die.
+pub struct IiopChannel {
+    endpoint: (String, u16),
+    order: ByteOrder,
+    metrics: Arc<OrbMetrics>,
+    conns: Mutex<Vec<Arc<MuxConn>>>,
+    max_conns: usize,
+    /// Resolver from advertised endpoint to a connectable socket addr.
+    resolve: Box<dyn Fn() -> Option<std::net::SocketAddr> + Send + Sync>,
+}
+
+impl IiopChannel {
+    pub(crate) fn new(
+        endpoint: (String, u16),
+        order: ByteOrder,
+        metrics: Arc<OrbMetrics>,
+        max_conns: usize,
+        resolve: Box<dyn Fn() -> Option<std::net::SocketAddr> + Send + Sync>,
+    ) -> Self {
+        IiopChannel {
+            endpoint,
+            order,
+            metrics,
+            conns: Mutex::new(Vec::new()),
+            max_conns: max_conns.max(1),
+            resolve,
+        }
+    }
+
+    /// Number of currently live multiplexed connections.
+    pub fn live_connections(&self) -> usize {
+        self.conns
+            .lock()
+            .iter()
+            .filter(|c| !c.dead.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Pick the least-loaded live connection, pruning dead ones. The
+    /// pool grows (up to `max_conns`) only while every existing
+    /// connection has calls in flight; at the cap, callers multiplex.
+    fn acquire(&self) -> Result<Arc<MuxConn>, CallFailure> {
+        let mut conns = self.conns.lock();
+        let before = conns.len();
+        conns.retain(|c| !c.dead.load(Ordering::SeqCst));
+        let pruned = before - conns.len();
+        if pruned > 0 {
+            self.metrics.add(&self.metrics.evictions, pruned as u64);
+        }
+        let mut best: Option<(usize, usize)> = None; // (load, index)
+        for (i, c) in conns.iter().enumerate() {
+            let load = c.pending.lock().len();
+            if best.is_none_or(|(b, _)| load < b) {
+                best = Some((load, i));
+            }
+        }
+        match best {
+            Some((0, i)) => Ok(Arc::clone(&conns[i])),
+            Some((_, i)) if conns.len() >= self.max_conns => Ok(Arc::clone(&conns[i])),
+            _ => {
+                let conn = self.dial()?;
+                conns.push(Arc::clone(&conn));
+                Ok(conn)
+            }
+        }
+    }
+
+    fn dial(&self) -> Result<Arc<MuxConn>, CallFailure> {
+        let (host, port) = &self.endpoint;
+        let addr = (self.resolve)().ok_or_else(|| {
+            CallFailure::never_sent(OrbError::UnknownHost {
+                host: host.clone(),
+                port: *port,
+            })
+        })?;
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| CallFailure::never_sent(OrbError::Wire(WireError::Io(e))))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| CallFailure::never_sent(OrbError::Wire(WireError::Io(e))))?;
+        let writer = FramedTcp::new(stream);
+        let reader = writer
+            .try_clone()
+            .map_err(|e| CallFailure::never_sent(OrbError::Wire(e)))?;
+        let conn = Arc::new(MuxConn {
+            writer: Mutex::new(writer),
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            closed_by_peer: AtomicBool::new(false),
+        });
+        let reader_conn = Arc::clone(&conn);
+        let metrics = Arc::clone(&self.metrics);
+        std::thread::Builder::new()
+            .name(format!("iiop-mux-{}:{}", self.endpoint.0, self.endpoint.1))
+            .spawn(move || reader_loop(reader_conn, reader, metrics))
+            .expect("spawning channel reader thread");
+        Ok(conn)
+    }
+
+    /// Send `frame` (already carrying `request_id`) and wait for the
+    /// routed reply, respecting `deadline`.
+    pub(crate) fn call(
+        &self,
+        request_id: u32,
+        frame: &[u8],
+        deadline: Option<Duration>,
+    ) -> Result<GiopMessage, CallFailure> {
+        let conn = self.acquire()?;
+        if conn.dead.load(Ordering::SeqCst) {
+            return Err(CallFailure::never_sent(OrbError::Wire(WireError::Closed)));
+        }
+        // Bound 1: rendezvous buffer so the reader never blocks on a
+        // slow caller. Register BEFORE sending: the reply can arrive on
+        // the reader thread before we would otherwise get back here.
+        let (tx, rx) = sync_channel::<ReplyOutcome>(1);
+        conn.pending.lock().insert(request_id, tx);
+        self.metrics.gauge_add(&self.metrics.in_flight, 1);
+        let started = Instant::now();
+
+        let sent = {
+            let mut w = conn.writer.lock();
+            w.send_frame(frame)
+        };
+        if let Err(e) = sent {
+            // An incomplete frame is unparsable by the peer, so the
+            // request was provably never dispatched.
+            conn.pending.lock().remove(&request_id);
+            self.metrics.gauge_sub(&self.metrics.in_flight, 1);
+            conn.poison(|| ReplyOutcome::Dropped("send failed".into()));
+            return Err(CallFailure::never_sent(OrbError::Wire(e)));
+        }
+        self.metrics
+            .add(&self.metrics.bytes_sent, frame.len() as u64);
+
+        let outcome = match deadline {
+            Some(d) => rx.recv_timeout(d),
+            // "No deadline" still needs the reader's failure signal, so
+            // block on the channel rather than the socket.
+            None => rx
+                .recv()
+                .map_err(|_| std::sync::mpsc::RecvTimeoutError::Disconnected),
+        };
+        self.metrics.gauge_sub(&self.metrics.in_flight, 1);
+
+        match outcome {
+            Ok(ReplyOutcome::Message(msg)) => {
+                self.metrics
+                    .record_latency(&self.endpoint, started.elapsed());
+                Ok(msg)
+            }
+            Ok(ReplyOutcome::ClosedUnprocessed) => Err(CallFailure {
+                class: FailureClass::NotProcessed,
+                error: OrbError::Wire(WireError::Closed),
+            }),
+            Ok(ReplyOutcome::Dropped(reason)) => Err(CallFailure {
+                class: FailureClass::Ambiguous,
+                error: OrbError::RemoteException {
+                    system: true,
+                    description: format!("connection lost awaiting reply: {reason}"),
+                },
+            }),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Unregister; if the reader routed the reply in this
+                // instant, the rendezvous buffer holds it — take it.
+                let raced = conn.pending.lock().remove(&request_id).is_none();
+                if raced {
+                    if let Ok(ReplyOutcome::Message(msg)) = rx.try_recv() {
+                        self.metrics
+                            .record_latency(&self.endpoint, started.elapsed());
+                        return Ok(msg);
+                    }
+                }
+                // Tell the server to abandon the work if it still can.
+                let cancel = GiopMessage::CancelRequest { request_id };
+                if let Ok(cancel_frame) = cancel.encode(self.order) {
+                    let _ = conn.writer.lock().send_frame(&cancel_frame);
+                }
+                self.metrics.add(&self.metrics.timeouts, 1);
+                Err(CallFailure {
+                    class: FailureClass::Ambiguous,
+                    error: OrbError::DeadlineExpired {
+                        operation_deadline: deadline.unwrap_or_default(),
+                    },
+                })
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // Reader dropped our sender without an outcome; treat
+                // like an orderly close only if the peer said so.
+                let class = if conn.closed_by_peer.load(Ordering::SeqCst) {
+                    FailureClass::NotProcessed
+                } else {
+                    FailureClass::Ambiguous
+                };
+                Err(CallFailure {
+                    class,
+                    error: OrbError::Wire(WireError::Closed),
+                })
+            }
+        }
+    }
+
+    /// Sever every connection and fail all parked callers; used at ORB
+    /// shutdown.
+    pub(crate) fn close(&self) {
+        for conn in self.conns.lock().drain(..) {
+            conn.poison(|| ReplyOutcome::Dropped("ORB shut down".into()));
+            conn.sever();
+        }
+    }
+}
+
+impl std::fmt::Debug for IiopChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IiopChannel")
+            .field("endpoint", &self.endpoint)
+            .field("max_conns", &self.max_conns)
+            .field("live", &self.live_connections())
+            .finish()
+    }
+}

@@ -10,10 +10,10 @@
 //! which ORB instances exist, which is what the Figure-2 regeneration
 //! binary walks to print the implementation map.
 
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use webfindit_base::sync::RwLock;
 
 /// Shared registry of advertised endpoints within one federation.
 #[derive(Default)]

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod adapter;
+pub mod channel;
 pub mod domain;
 pub mod metrics;
 pub mod naming;
@@ -32,8 +33,9 @@ pub mod orb;
 pub mod servant;
 
 pub use adapter::ObjectAdapter;
+pub use channel::{CallOptions, IiopChannel, RetryPolicy};
 pub use domain::OrbDomain;
-pub use metrics::OrbMetrics;
+pub use metrics::{EndpointLatency, OrbMetrics};
 pub use naming::{NamingClient, NamingService};
 pub use orb::{Orb, OrbConfig};
 pub use servant::{Servant, ServantError};
@@ -71,6 +73,12 @@ pub enum OrbError {
     },
     /// The ORB has been shut down.
     ShutDown,
+    /// The call's deadline expired before a reply arrived; a GIOP
+    /// CancelRequest was sent to the server on a best-effort basis.
+    DeadlineExpired {
+        /// The deadline the caller set.
+        operation_deadline: std::time::Duration,
+    },
     /// A name was not found in the naming service.
     NameNotFound {
         /// The unresolved name.
@@ -95,6 +103,9 @@ impl fmt::Display for OrbError {
                 write!(f, "cannot resolve endpoint {host}:{port}")
             }
             OrbError::ShutDown => write!(f, "ORB has been shut down"),
+            OrbError::DeadlineExpired { operation_deadline } => {
+                write!(f, "deadline of {operation_deadline:?} expired before reply")
+            }
             OrbError::NameNotFound { name } => write!(f, "name not bound: {name}"),
         }
     }

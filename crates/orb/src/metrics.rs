@@ -4,8 +4,16 @@
 //! *IIOP round-trips* and *bytes marshalled* — the same units the paper
 //! argues about qualitatively. Counters are lock-free atomics so that
 //! the measurement does not perturb the measured path.
+//!
+//! The multiplexed channel layer adds liveness metrics: an in-flight
+//! gauge, deadline/retry/eviction counters, and per-endpoint latency
+//! accumulators (updated under a mutex, off the reader thread's
+//! demultiplexing path).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use webfindit_base::sync::Mutex;
 
 /// Monotonic traffic counters for one ORB instance.
 #[derive(Default, Debug)]
@@ -24,6 +32,44 @@ pub struct OrbMetrics {
     pub exceptions_sent: AtomicU64,
     /// LocateRequest probes served.
     pub locates_served: AtomicU64,
+    /// Gauge: remote requests currently awaiting a reply.
+    pub in_flight: AtomicU64,
+    /// Calls that hit their deadline before the reply arrived.
+    pub timeouts: AtomicU64,
+    /// Transparent retries of provably-unprocessed requests.
+    pub retries: AtomicU64,
+    /// Multiplexed connections evicted (desync, unexpected message
+    /// kind, or pruned after death).
+    pub evictions: AtomicU64,
+    /// Replies that arrived after their caller had given up.
+    pub late_replies: AtomicU64,
+    /// Per-endpoint reply latency accumulators.
+    latencies: Mutex<HashMap<(String, u16), EndpointLatency>>,
+}
+
+/// Accumulated reply-latency statistics for one remote endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EndpointLatency {
+    /// Completed round-trips measured.
+    pub calls: u64,
+    /// Sum of round-trip times, in nanoseconds.
+    pub total_nanos: u64,
+    /// Slowest observed round-trip, in nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl EndpointLatency {
+    /// Mean round-trip time, or zero when nothing was measured.
+    pub fn mean(&self) -> Duration {
+        self.total_nanos
+            .checked_div(self.calls)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    /// Slowest observed round-trip.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
 }
 
 /// A point-in-time copy of the counters, for before/after deltas.
@@ -43,6 +89,16 @@ pub struct MetricsSnapshot {
     pub exceptions_sent: u64,
     /// See [`OrbMetrics::locates_served`].
     pub locates_served: u64,
+    /// See [`OrbMetrics::in_flight`] (a gauge — `since` saturates).
+    pub in_flight: u64,
+    /// See [`OrbMetrics::timeouts`].
+    pub timeouts: u64,
+    /// See [`OrbMetrics::retries`].
+    pub retries: u64,
+    /// See [`OrbMetrics::evictions`].
+    pub evictions: u64,
+    /// See [`OrbMetrics::late_replies`].
+    pub late_replies: u64,
 }
 
 impl MetricsSnapshot {
@@ -56,6 +112,12 @@ impl MetricsSnapshot {
             bytes_received: self.bytes_received - earlier.bytes_received,
             exceptions_sent: self.exceptions_sent - earlier.exceptions_sent,
             locates_served: self.locates_served - earlier.locates_served,
+            // The gauge moves both ways; a delta can be "negative".
+            in_flight: self.in_flight.saturating_sub(earlier.in_flight),
+            timeouts: self.timeouts - earlier.timeouts,
+            retries: self.retries - earlier.retries,
+            evictions: self.evictions - earlier.evictions,
+            late_replies: self.late_replies - earlier.late_replies,
         }
     }
 
@@ -76,11 +138,53 @@ impl OrbMetrics {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             exceptions_sent: self.exceptions_sent.load(Ordering::Relaxed),
             locates_served: self.locates_served.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            late_replies: self.late_replies.load(Ordering::Relaxed),
         }
+    }
+
+    /// Reply-latency statistics per remote endpoint, sorted by endpoint.
+    pub fn endpoint_latencies(&self) -> Vec<((String, u16), EndpointLatency)> {
+        let mut stats: Vec<_> = self
+            .latencies
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        stats.sort_by(|a, b| a.0.cmp(&b.0));
+        stats
+    }
+
+    /// Latency statistics for one endpoint, if any call completed.
+    pub fn endpoint_latency(&self, host: &str, port: u16) -> Option<EndpointLatency> {
+        self.latencies
+            .lock()
+            .get(&(host.to_string(), port))
+            .copied()
     }
 
     pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn gauge_add(&self, gauge: &AtomicU64, n: u64) {
+        gauge.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn gauge_sub(&self, gauge: &AtomicU64, n: u64) {
+        gauge.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_latency(&self, endpoint: &(String, u16), elapsed: Duration) {
+        let nanos = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        let mut map = self.latencies.lock();
+        let entry = map.entry(endpoint.clone()).or_default();
+        entry.calls += 1;
+        entry.total_nanos = entry.total_nanos.saturating_add(nanos);
+        entry.max_nanos = entry.max_nanos.max(nanos);
     }
 }
 
@@ -100,5 +204,31 @@ mod tests {
         assert_eq!(d.requests_sent, 2);
         assert_eq!(d.bytes_sent, 0);
         assert_eq!(s2.total_invocations(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let m = OrbMetrics::default();
+        m.gauge_add(&m.in_flight, 3);
+        m.gauge_sub(&m.in_flight, 2);
+        assert_eq!(m.snapshot().in_flight, 1);
+        // A falling gauge saturates in `since` instead of underflowing.
+        let high = m.snapshot();
+        m.gauge_sub(&m.in_flight, 1);
+        assert_eq!(m.snapshot().since(&high).in_flight, 0);
+    }
+
+    #[test]
+    fn latency_accumulates_per_endpoint() {
+        let m = OrbMetrics::default();
+        let ep = ("db.example".to_string(), 9000);
+        m.record_latency(&ep, Duration::from_millis(2));
+        m.record_latency(&ep, Duration::from_millis(4));
+        let stats = m.endpoint_latency("db.example", 9000).unwrap();
+        assert_eq!(stats.calls, 2);
+        assert_eq!(stats.mean(), Duration::from_millis(3));
+        assert_eq!(stats.max(), Duration::from_millis(4));
+        assert!(m.endpoint_latency("other", 1).is_none());
+        assert_eq!(m.endpoint_latencies().len(), 1);
     }
 }

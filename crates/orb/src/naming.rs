@@ -10,9 +10,9 @@
 
 use crate::servant::{InvokeResult, Servant, ServantError};
 use crate::{Orb, OrbError, OrbResult};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use webfindit_base::sync::RwLock;
 use webfindit_wire::{Ior, Value};
 
 /// Interface repository id of the naming service.
@@ -70,9 +70,8 @@ impl Servant for NamingService {
                     .get(1)
                     .and_then(Value::as_str)
                     .ok_or_else(|| ServantError::BadArguments("bind(name, ior)".into()))?;
-                let ior = Ior::from_stringified(ior_str).map_err(|e| {
-                    ServantError::BadArguments(format!("unparseable IOR: {e}"))
-                })?;
+                let ior = Ior::from_stringified(ior_str)
+                    .map_err(|e| ServantError::BadArguments(format!("unparseable IOR: {e}")))?;
                 self.bindings.write().insert(name.to_owned(), ior);
                 Ok(Value::Void)
             }
@@ -140,7 +139,10 @@ impl NamingClient {
 
     /// Resolve `name` to an IOR.
     pub fn resolve(&self, name: &str) -> OrbResult<Ior> {
-        match self.orb.invoke(&self.naming_ior, "resolve", &[Value::string(name)]) {
+        match self
+            .orb
+            .invoke(&self.naming_ior, "resolve", &[Value::string(name)])
+        {
             Ok(v) => {
                 let s = v.as_str().ok_or_else(|| OrbError::RemoteException {
                     system: true,
@@ -237,7 +239,9 @@ mod tests {
     fn bad_arguments_rejected() {
         let ns = NamingService::new();
         assert!(ns.invoke("bind", &[]).is_err());
-        assert!(ns.invoke("bind", &[Value::string("x"), Value::string("junk")]).is_err());
+        assert!(ns
+            .invoke("bind", &[Value::string("x"), Value::string("junk")])
+            .is_err());
         assert!(ns.invoke("resolve", &[Value::Long(1)]).is_err());
         assert!(ns.invoke("nonsense", &[]).is_err());
     }

@@ -1,4 +1,4 @@
-//! The ORB runtime: listener, dispatcher, client stubs, connection pool.
+//! The ORB runtime: listener, dispatcher, client stubs, channel pool.
 //!
 //! Each [`Orb`] models one vendor ORB instance from the paper's Figure 2
 //! (`Orbix`, `OrbixWeb`, `VisiBroker`). An ORB:
@@ -6,12 +6,17 @@
 //! * binds a loopback TCP listener (its IIOP endpoint) and registers its
 //!   advertised `(host, port)` with the shared [`OrbDomain`];
 //! * serves GIOP Requests arriving on that endpoint by dispatching into
-//!   its [`ObjectAdapter`];
-//! * acts as a client: [`Orb::invoke`] marshals a Request, ships it over
-//!   a pooled connection, and unmarshals the Reply. Invocations whose
-//!   target lives on this same ORB short-circuit through the adapter
-//!   (counted separately — collocated calls were a selling point of
-//!   1990s ORBs too);
+//!   its [`ObjectAdapter`] — one worker thread per request, replies
+//!   multiplexed back over the connection through a shared writer, so a
+//!   slow servant never holds up other requests on the same connection;
+//! * acts as a client: [`Orb::invoke`] marshals a Request and ships it
+//!   over a multiplexed [`IiopChannel`] (see [`crate::channel`]); many
+//!   concurrent callers share each connection instead of serializing on
+//!   a per-connection mutex. [`Orb::invoke_with`] additionally threads
+//!   [`CallOptions`] — a deadline and a retry policy — down to the wire.
+//!   Invocations whose target lives on this same ORB short-circuit
+//!   through the adapter (counted separately — collocated calls were a
+//!   selling point of 1990s ORBs too);
 //! * keeps [`OrbMetrics`] so experiments can count round-trips and bytes.
 //!
 //! Vendor flavor: each ORB is configured with a preferred byte order, so
@@ -20,20 +25,29 @@
 //! flag, which is the CORBA 2.0 interoperability story in miniature.
 
 use crate::adapter::ObjectAdapter;
+use crate::channel::{CallFailure, CallOptions, FailureClass, IiopChannel};
 use crate::domain::OrbDomain;
 use crate::metrics::OrbMetrics;
 use crate::servant::Servant;
 use crate::{OrbError, OrbResult};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use webfindit_base::sync::Mutex;
 use webfindit_wire::cdr::ByteOrder;
 use webfindit_wire::giop::{self, GiopMessage, LocateStatus, ReplyStatus};
+use webfindit_wire::ior::IiopProfile;
 use webfindit_wire::transport::{FramedTcp, Transport};
 use webfindit_wire::{Ior, Value, WireError};
+
+/// Upper bound on multiplexed connections per remote endpoint.
+const MAX_CONNS_PER_ENDPOINT: usize = 4;
+
+/// Ids a server remembers from CancelRequests whose dispatch is still
+/// running; bounded so a hostile client cannot grow it without limit.
+const MAX_REMEMBERED_CANCELS: usize = 1024;
 
 /// Static configuration of an ORB instance.
 #[derive(Debug, Clone)]
@@ -66,8 +80,12 @@ impl OrbConfig {
     }
 }
 
-/// Client connection pool: advertised endpoint → shared framed stream.
-type ConnectionPool = HashMap<(String, u16), Arc<Mutex<FramedTcp>>>;
+/// One accepted server-side connection: the shared reply writer (worker
+/// threads interleave replies through it) plus a raw handle for severing.
+struct ServerConn {
+    writer: Arc<Mutex<FramedTcp>>,
+    raw: TcpStream,
+}
 
 /// A running ORB instance.
 pub struct Orb {
@@ -77,11 +95,11 @@ pub struct Orb {
     metrics: Arc<OrbMetrics>,
     listener_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    /// Streams of accepted server-side connections, kept so `shutdown`
-    /// can force blocked reader threads to exit.
-    server_streams: Arc<Mutex<Vec<TcpStream>>>,
-    /// Client connection pool keyed by advertised endpoint.
-    pool: Mutex<ConnectionPool>,
+    /// Accepted server-side connections, kept so `shutdown` can send an
+    /// orderly GIOP CloseConnection and then sever blocked readers.
+    server_conns: Arc<Mutex<Vec<ServerConn>>>,
+    /// Client channel pool: advertised endpoint → multiplexed channel.
+    channels: Mutex<HashMap<(String, u16), Arc<IiopChannel>>>,
     next_request_id: AtomicU32,
     listener_handle: Mutex<Option<JoinHandle<()>>>,
 }
@@ -106,8 +124,8 @@ impl Orb {
             metrics: Arc::new(OrbMetrics::default()),
             listener_addr,
             shutdown: Arc::new(AtomicBool::new(false)),
-            server_streams: Arc::new(Mutex::new(Vec::new())),
-            pool: Mutex::new(HashMap::new()),
+            server_conns: Arc::new(Mutex::new(Vec::new())),
+            channels: Mutex::new(HashMap::new()),
             next_request_id: AtomicU32::new(1),
             listener_handle: Mutex::new(None),
         });
@@ -155,11 +173,7 @@ impl Orb {
     }
 
     /// Activate `servant` under `key` and mint an IOR for it.
-    pub fn activate(
-        &self,
-        key: impl Into<Vec<u8>>,
-        servant: Arc<dyn Servant>,
-    ) -> Ior {
+    pub fn activate(&self, key: impl Into<Vec<u8>>, servant: Arc<dyn Servant>) -> Ior {
         let key = key.into();
         let type_id = servant.interface_id().to_owned();
         self.adapter.activate(key.clone(), servant);
@@ -185,160 +199,219 @@ impl Orb {
         host == self.config.advertised_host && port == self.config.advertised_port
     }
 
-    /// Invoke `operation(args)` on the object `ior` refers to.
+    /// Invoke `operation(args)` on the object `ior` refers to, with
+    /// default [`CallOptions`] (no deadline, safe retries allowed).
+    pub fn invoke(&self, ior: &Ior, operation: &str, args: &[Value]) -> OrbResult<Value> {
+        self.invoke_with(ior, operation, args, &CallOptions::default())
+    }
+
+    /// Invoke `operation(args)` under explicit per-call `options`.
     ///
     /// Collocated targets dispatch directly through the adapter; remote
-    /// targets marshal through GIOP over pooled TCP connections.
-    pub fn invoke(&self, ior: &Ior, operation: &str, args: &[Value]) -> OrbResult<Value> {
+    /// targets marshal through GIOP over a multiplexed [`IiopChannel`].
+    /// Every IIOP profile in the IOR is tried in order; the call falls
+    /// through to the next profile only when the request provably never
+    /// reached the previous endpoint.
+    pub fn invoke_with(
+        &self,
+        ior: &Ior,
+        operation: &str,
+        args: &[Value],
+        options: &CallOptions,
+    ) -> OrbResult<Value> {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(OrbError::ShutDown);
         }
-        let profile = ior.iiop_profile().ok_or(OrbError::NoEndpoint)?;
-        if self.is_local(&profile.host, profile.port) {
-            self.metrics
-                .add(&self.metrics.local_dispatches, 1);
-            return self
-                .adapter
-                .dispatch(&profile.object_key, operation, args)
-                .map_err(|e| OrbError::RemoteException {
-                    system: e.is_system(),
-                    description: e.description(),
-                });
+        let profiles = ior.iiop_profiles();
+        if profiles.is_empty() {
+            return Err(OrbError::NoEndpoint);
         }
-        self.invoke_remote(&profile.host, profile.port, &profile.object_key, operation, args)
+        let mut last_err = None;
+        for profile in &profiles {
+            if self.is_local(&profile.host, profile.port) {
+                self.metrics.add(&self.metrics.local_dispatches, 1);
+                return self
+                    .adapter
+                    .dispatch(&profile.object_key, operation, args)
+                    .map_err(|e| OrbError::RemoteException {
+                        system: e.is_system(),
+                        description: e.description(),
+                    });
+            }
+            match self.invoke_remote(profile, operation, args, options) {
+                Ok(v) => return Ok(v),
+                // The request never reached this endpoint, so an
+                // alternate profile is a safe fallback, not a duplicate.
+                Err(f) if f.class == FailureClass::NeverSent => {
+                    last_err = Some(f.error);
+                }
+                Err(f) => return Err(f.error),
+            }
+        }
+        Err(last_err.expect("profile loop ran at least once"))
     }
 
     fn invoke_remote(
         &self,
-        host: &str,
-        port: u16,
-        object_key: &[u8],
+        profile: &IiopProfile,
         operation: &str,
         args: &[Value],
-    ) -> OrbResult<Value> {
-        let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
-        let msg = giop::request(request_id, object_key.to_vec(), operation, args.to_vec());
-        let frame = msg.encode(self.config.byte_order)?;
-
-        // One retry with a fresh connection if a pooled one went stale.
+        options: &CallOptions,
+    ) -> Result<Value, CallFailure> {
+        let channel = self.channel_to(&profile.host, profile.port);
         let mut attempt = 0;
         loop {
             attempt += 1;
-            let conn = self.pooled_connection(host, port)?;
-            let mut guard = conn.lock();
-            let result = (|| -> OrbResult<Value> {
-                guard.send_frame(&frame)?;
-                self.metrics.add(&self.metrics.bytes_sent, frame.len() as u64);
+            // A fresh id per attempt, so a late reply to an abandoned
+            // attempt can never be routed to its retry.
+            let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+            let msg = giop::request(
+                request_id,
+                profile.object_key.clone(),
+                operation,
+                args.to_vec(),
+            );
+            let frame = msg
+                .encode(self.config.byte_order)
+                .map_err(|e| CallFailure {
+                    class: FailureClass::NeverSent,
+                    error: OrbError::Wire(e),
+                })?;
+            let result = channel.call(request_id, &frame, options.deadline);
+            if !matches!(
+                &result,
+                Err(CallFailure {
+                    class: FailureClass::NeverSent,
+                    ..
+                })
+            ) {
                 self.metrics.add(&self.metrics.requests_sent, 1);
-                let reply_frame = guard.recv_frame()?;
-                self.metrics
-                    .add(&self.metrics.bytes_received, reply_frame.len() as u64);
-                match GiopMessage::decode_frame(&reply_frame)? {
-                    GiopMessage::Reply {
-                        request_id: rid,
-                        status,
-                        body,
-                        ..
-                    } => {
-                        if rid != request_id {
-                            return Err(OrbError::RemoteException {
-                                system: true,
-                                description: format!(
-                                    "reply id {rid} does not match request id {request_id}"
-                                ),
-                            });
-                        }
-                        match status {
-                            ReplyStatus::NoException => Ok(body),
-                            ReplyStatus::UserException | ReplyStatus::SystemException => {
-                                let description = body
-                                    .field("exception")
-                                    .and_then(Value::as_str)
-                                    .unwrap_or("unknown exception")
-                                    .to_owned();
-                                Err(OrbError::RemoteException {
-                                    system: status == ReplyStatus::SystemException,
-                                    description,
-                                })
-                            }
-                            ReplyStatus::LocationForward => match body {
-                                Value::ObjectRef(fwd) => self.invoke(&fwd, operation, args),
-                                _ => Err(OrbError::RemoteException {
-                                    system: true,
-                                    description: "malformed LocationForward body".into(),
-                                }),
-                            },
-                        }
-                    }
-                    GiopMessage::CloseConnection => Err(OrbError::Wire(WireError::Closed)),
-                    other => Err(OrbError::RemoteException {
-                        system: true,
-                        description: format!("unexpected message kind {:?}", other.kind()),
-                    }),
-                }
-            })();
-            drop(guard);
-            match &result {
-                Err(OrbError::Wire(WireError::Closed)) | Err(OrbError::Wire(WireError::Io(_)))
-                    if attempt == 1 =>
-                {
-                    // Stale pooled connection: evict and retry once.
-                    self.pool.lock().remove(&(host.to_owned(), port));
-                    continue;
-                }
-                _ => return result,
             }
+            match result {
+                Ok(reply) => return self.interpret_reply(reply, operation, args, options),
+                Err(f) => {
+                    // Retry only failures that prove the request was
+                    // never dispatched by the peer; resending after an
+                    // ambiguous drop could execute the operation twice.
+                    let safe = f.class != FailureClass::Ambiguous;
+                    if safe && attempt < options.retry.attempts {
+                        self.metrics.add(&self.metrics.retries, 1);
+                        continue;
+                    }
+                    return Err(f);
+                }
+            }
+        }
+    }
+
+    /// Turn a routed GIOP Reply into the invocation outcome.
+    fn interpret_reply(
+        &self,
+        reply: GiopMessage,
+        operation: &str,
+        args: &[Value],
+        options: &CallOptions,
+    ) -> Result<Value, CallFailure> {
+        // The reply already completed on the wire: none of these
+        // outcomes may be retried, so failures classify as Ambiguous.
+        let completed = |error| CallFailure {
+            class: FailureClass::Ambiguous,
+            error,
+        };
+        match reply {
+            GiopMessage::Reply { status, body, .. } => match status {
+                ReplyStatus::NoException => Ok(body),
+                ReplyStatus::UserException | ReplyStatus::SystemException => {
+                    let description = body
+                        .field("exception")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown exception")
+                        .to_owned();
+                    Err(completed(OrbError::RemoteException {
+                        system: status == ReplyStatus::SystemException,
+                        description,
+                    }))
+                }
+                ReplyStatus::LocationForward => match body {
+                    Value::ObjectRef(fwd) => self
+                        .invoke_with(&fwd, operation, args, options)
+                        .map_err(completed),
+                    _ => Err(completed(OrbError::RemoteException {
+                        system: true,
+                        description: "malformed LocationForward body".into(),
+                    })),
+                },
+            },
+            other => Err(completed(OrbError::RemoteException {
+                system: true,
+                description: format!("unexpected message kind {:?}", other.kind()),
+            })),
         }
     }
 
     /// Probe where an object lives (GIOP LocateRequest).
     pub fn locate(&self, ior: &Ior) -> OrbResult<LocateStatus> {
-        let profile = ior.iiop_profile().ok_or(OrbError::NoEndpoint)?;
-        if self.is_local(&profile.host, profile.port) {
-            return Ok(if self.adapter.contains(&profile.object_key) {
-                LocateStatus::ObjectHere
-            } else {
-                LocateStatus::UnknownObject
-            });
+        let profiles = ior.iiop_profiles();
+        if profiles.is_empty() {
+            return Err(OrbError::NoEndpoint);
         }
-        let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
-        let msg = GiopMessage::LocateRequest {
-            request_id,
-            object_key: profile.object_key.clone(),
-        };
-        let conn = self.pooled_connection(&profile.host, profile.port)?;
-        let mut guard = conn.lock();
-        guard.send_message(&msg, self.config.byte_order)?;
-        match guard.recv_message()? {
-            GiopMessage::LocateReply { status, .. } => Ok(status),
-            other => Err(OrbError::RemoteException {
-                system: true,
-                description: format!("unexpected locate reply {:?}", other.kind()),
-            }),
+        let mut last_err = None;
+        for profile in &profiles {
+            if self.is_local(&profile.host, profile.port) {
+                return Ok(if self.adapter.contains(&profile.object_key) {
+                    LocateStatus::ObjectHere
+                } else {
+                    LocateStatus::UnknownObject
+                });
+            }
+            let channel = self.channel_to(&profile.host, profile.port);
+            let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+            let msg = GiopMessage::LocateRequest {
+                request_id,
+                object_key: profile.object_key.clone(),
+            };
+            let frame = msg.encode(self.config.byte_order)?;
+            match channel.call(request_id, &frame, None) {
+                Ok(GiopMessage::LocateReply { status, .. }) => return Ok(status),
+                Ok(other) => {
+                    return Err(OrbError::RemoteException {
+                        system: true,
+                        description: format!("unexpected locate reply {:?}", other.kind()),
+                    })
+                }
+                Err(f) if f.class == FailureClass::NeverSent => {
+                    last_err = Some(f.error);
+                }
+                Err(f) => return Err(f.error),
+            }
         }
+        Err(last_err.expect("profile loop ran at least once"))
     }
 
-    fn pooled_connection(&self, host: &str, port: u16) -> OrbResult<Arc<Mutex<FramedTcp>>> {
+    /// The multiplexed channel for `host:port`, creating it on first use.
+    fn channel_to(&self, host: &str, port: u16) -> Arc<IiopChannel> {
         let key = (host.to_owned(), port);
-        if let Some(conn) = self.pool.lock().get(&key) {
-            return Ok(Arc::clone(conn));
+        let mut channels = self.channels.lock();
+        if let Some(ch) = channels.get(&key) {
+            return Arc::clone(ch);
         }
-        let addr = self
-            .domain
-            .resolve(host, port)
-            .ok_or_else(|| OrbError::UnknownHost {
-                host: host.to_owned(),
-                port,
-            })?;
-        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
-        stream.set_nodelay(true).map_err(WireError::Io)?;
-        let conn = Arc::new(Mutex::new(FramedTcp::new(stream)));
-        self.pool.lock().insert(key, Arc::clone(&conn));
-        Ok(conn)
+        let domain = Arc::clone(&self.domain);
+        let (rhost, rport) = key.clone();
+        let channel = Arc::new(IiopChannel::new(
+            key.clone(),
+            self.config.byte_order,
+            Arc::clone(&self.metrics),
+            MAX_CONNS_PER_ENDPOINT,
+            Box::new(move || domain.resolve(&rhost, rport)),
+        ));
+        channels.insert(key, Arc::clone(&channel));
+        channel
     }
 
-    /// Shut the ORB down: stop accepting, sever server connections,
-    /// unregister the endpoint, and drop pooled client connections.
+    /// Shut the ORB down: stop accepting, close server connections in
+    /// an orderly way (GIOP CloseConnection tells clients outstanding
+    /// requests were not processed, so their retries are safe), sever
+    /// them, unregister the endpoint, and drop client channels.
     pub fn shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return; // already down
@@ -348,12 +421,19 @@ impl Orb {
         if let Some(handle) = self.listener_handle.lock().take() {
             let _ = handle.join();
         }
-        for stream in self.server_streams.lock().drain(..) {
-            let _ = stream.shutdown(Shutdown::Both);
+        for conn in self.server_conns.lock().drain(..) {
+            // try_lock: a worker mid-send must not wedge shutdown; the
+            // sever below unblocks its peer regardless.
+            if let Some(mut w) = conn.writer.try_lock() {
+                let _ = w.send_message(&GiopMessage::CloseConnection, self.config.byte_order);
+            }
+            let _ = conn.raw.shutdown(Shutdown::Both);
         }
         self.domain
             .unregister_endpoint(&self.config.advertised_host, self.config.advertised_port);
-        self.pool.lock().clear();
+        for (_, channel) in self.channels.lock().drain() {
+            channel.close();
+        }
     }
 }
 
@@ -377,8 +457,16 @@ fn accept_loop(orb: Arc<Orb>, listener: TcpListener) {
         if orb.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        if let Ok(clone) = stream.try_clone() {
-            orb.server_streams.lock().push(clone);
+        let _ = stream.set_nodelay(true);
+        let writer = match stream.try_clone() {
+            Ok(clone) => Arc::new(Mutex::new(FramedTcp::new(clone))),
+            Err(_) => continue,
+        };
+        if let Ok(raw) = stream.try_clone() {
+            orb.server_conns.lock().push(ServerConn {
+                writer: Arc::clone(&writer),
+                raw,
+            });
         }
         let adapter = Arc::clone(&orb.adapter);
         let metrics = Arc::clone(&orb.metrics);
@@ -386,19 +474,26 @@ fn accept_loop(orb: Arc<Orb>, listener: TcpListener) {
         let name = orb.config.name.clone();
         let _ = std::thread::Builder::new()
             .name(format!("orb-{name}-conn"))
-            .spawn(move || serve_connection(stream, adapter, metrics, order));
+            .spawn(move || serve_connection(stream, writer, adapter, metrics, order, name));
     }
 }
 
 /// Serve one inbound IIOP connection until it closes or errors.
+///
+/// Requests dispatch on worker threads so a stalled servant cannot
+/// block other requests multiplexed on the same connection; all workers
+/// funnel replies through the shared `writer`. A CancelRequest for a
+/// request whose dispatch is still running suppresses its reply.
 fn serve_connection(
     stream: TcpStream,
+    writer: Arc<Mutex<FramedTcp>>,
     adapter: Arc<ObjectAdapter>,
     metrics: Arc<OrbMetrics>,
     order: ByteOrder,
+    orb_name: String,
 ) {
-    let _ = stream.set_nodelay(true);
     let mut transport = FramedTcp::new(stream);
+    let canceled: Arc<Mutex<HashSet<u32>>> = Arc::new(Mutex::new(HashSet::new()));
     loop {
         let frame = match transport.recv_frame() {
             Ok(f) => f,
@@ -406,7 +501,9 @@ fn serve_connection(
             Err(_) => {
                 // Protocol garbage: tell the peer and drop the connection,
                 // as GIOP requires.
-                let _ = transport.send_message(&GiopMessage::MessageError, order);
+                let _ = writer
+                    .lock()
+                    .send_message(&GiopMessage::MessageError, order);
                 break;
             }
         };
@@ -414,48 +511,28 @@ fn serve_connection(
         let msg = match GiopMessage::decode_frame(&frame) {
             Ok(m) => m,
             Err(_) => {
-                let _ = transport.send_message(&GiopMessage::MessageError, order);
+                let _ = writer
+                    .lock()
+                    .send_message(&GiopMessage::MessageError, order);
                 break;
             }
         };
         match msg {
             GiopMessage::Request { header, args } => {
                 metrics.add(&metrics.requests_served, 1);
-                // A servant bug must become a system exception for this
-                // one request, not a dead connection: isolate panics.
-                let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                    || adapter.dispatch(&header.object_key, &header.operation, &args),
-                ));
-                let reply = match dispatched {
-                    Ok(Ok(value)) => giop::reply_ok(header.request_id, value),
-                    Ok(Err(e)) => {
-                        metrics.add(&metrics.exceptions_sent, 1);
-                        giop::reply_exception(header.request_id, e.is_system(), &e.description())
-                    }
-                    Err(panic) => {
-                        metrics.add(&metrics.exceptions_sent, 1);
-                        let what = panic
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| panic.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "unknown panic".into());
-                        giop::reply_exception(
-                            header.request_id,
-                            true,
-                            &format!("UNKNOWN: servant panicked: {what}"),
-                        )
-                    }
-                };
-                if header.response_expected {
-                    match reply.encode(order) {
-                        Ok(frame) => {
-                            metrics.add(&metrics.bytes_sent, frame.len() as u64);
-                            if transport.send_frame(&frame).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => break,
-                    }
+                let adapter = Arc::clone(&adapter);
+                let metrics = Arc::clone(&metrics);
+                let writer = Arc::clone(&writer);
+                let canceled = Arc::clone(&canceled);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("orb-{orb_name}-req-{}", header.request_id))
+                    .spawn(move || {
+                        serve_request(header, args, &adapter, &metrics, &writer, &canceled, order)
+                    });
+                if spawned.is_err() {
+                    // Out of threads: better to close than to hang the
+                    // client waiting for a reply that cannot come.
+                    break;
                 }
             }
             GiopMessage::LocateRequest {
@@ -473,26 +550,83 @@ fn serve_connection(
                     status,
                     forward: None,
                 };
-                if transport.send_message(&reply, order).is_err() {
+                if writer.lock().send_message(&reply, order).is_err() {
                     break;
                 }
             }
-            GiopMessage::CancelRequest { .. } => {
-                // Dispatch here is synchronous; by the time a cancel
-                // arrives the request has already been answered. Ignore.
+            GiopMessage::CancelRequest { request_id } => {
+                // Dispatch may still be running on a worker thread;
+                // remember the id so its reply is suppressed.
+                let mut set = canceled.lock();
+                if set.len() >= MAX_REMEMBERED_CANCELS {
+                    set.clear();
+                }
+                set.insert(request_id);
             }
             GiopMessage::CloseConnection => break,
             GiopMessage::MessageError => break,
             GiopMessage::Reply { .. } | GiopMessage::LocateReply { .. } => {
                 // Clients do not send replies; protocol violation.
-                let _ = transport.send_message(&GiopMessage::MessageError, order);
+                let _ = writer
+                    .lock()
+                    .send_message(&GiopMessage::MessageError, order);
                 break;
             }
             GiopMessage::Fragment { .. } => {
                 // Fragmentation is not negotiated by this implementation.
-                let _ = transport.send_message(&GiopMessage::MessageError, order);
+                let _ = writer
+                    .lock()
+                    .send_message(&GiopMessage::MessageError, order);
                 break;
             }
+        }
+    }
+}
+
+/// Dispatch one request on its worker thread and send the reply.
+fn serve_request(
+    header: webfindit_wire::giop::RequestHeader,
+    args: Vec<Value>,
+    adapter: &ObjectAdapter,
+    metrics: &OrbMetrics,
+    writer: &Mutex<FramedTcp>,
+    canceled: &Mutex<HashSet<u32>>,
+    order: ByteOrder,
+) {
+    // A servant bug must become a system exception for this one
+    // request, not a dead connection: isolate panics.
+    let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        adapter.dispatch(&header.object_key, &header.operation, &args)
+    }));
+    let reply = match dispatched {
+        Ok(Ok(value)) => giop::reply_ok(header.request_id, value),
+        Ok(Err(e)) => {
+            metrics.add(&metrics.exceptions_sent, 1);
+            giop::reply_exception(header.request_id, e.is_system(), &e.description())
+        }
+        Err(panic) => {
+            metrics.add(&metrics.exceptions_sent, 1);
+            let what = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".into());
+            giop::reply_exception(
+                header.request_id,
+                true,
+                &format!("UNKNOWN: servant panicked: {what}"),
+            )
+        }
+    };
+    if canceled.lock().remove(&header.request_id) {
+        // The client gave up on this request (deadline expired there);
+        // a reply now would be bytes it will only discard.
+        return;
+    }
+    if header.response_expected {
+        if let Ok(frame) = reply.encode(order) {
+            metrics.add(&metrics.bytes_sent, frame.len() as u64);
+            let _ = writer.lock().send_frame(&frame);
         }
     }
 }
@@ -500,7 +634,9 @@ fn serve_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::servant::EchoServant;
+    use crate::channel::RetryPolicy;
+    use crate::servant::{EchoServant, ServantError};
+    use std::time::Duration;
 
     fn two_orbs() -> (Arc<Orb>, Arc<Orb>, Arc<OrbDomain>) {
         let domain = OrbDomain::new();
@@ -543,6 +679,13 @@ mod tests {
         assert_eq!(visi_m.local_dispatches, 0);
         assert_eq!(orbix_m.requests_served, 1);
         assert!(visi_m.bytes_sent > 12);
+        assert_eq!(visi_m.in_flight, 0);
+        let lat = visi
+            .metrics()
+            .endpoint_latency("orbix.qut.edu.au", 9000)
+            .unwrap();
+        assert_eq!(lat.calls, 1);
+        assert!(lat.max() > Duration::ZERO);
 
         orbix.shutdown();
         visi.shutdown();
@@ -647,13 +790,21 @@ mod tests {
     }
 
     #[test]
-    fn pool_reuses_connections() {
+    fn sequential_calls_share_one_connection() {
         let (orbix, visi, _domain) = two_orbs();
         let ior = orbix.activate("echo/1", Arc::new(EchoServant));
         for _ in 0..10 {
             visi.invoke(&ior, "ping", &[]).unwrap();
         }
-        assert_eq!(visi.pool.lock().len(), 1);
+        let channels = visi.channels.lock();
+        assert_eq!(channels.len(), 1);
+        let channel = channels
+            .get(&("orbix.qut.edu.au".to_string(), 9000))
+            .unwrap();
+        // Never more than one caller in flight, so the channel never
+        // had a reason to open a second connection.
+        assert_eq!(channel.live_connections(), 1);
+        drop(channels);
         orbix.shutdown();
         visi.shutdown();
     }
@@ -679,6 +830,111 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(visi.metrics().snapshot().requests_sent, 200);
+        // Eight callers, at most MAX_CONNS_PER_ENDPOINT connections:
+        // the channel multiplexed rather than opening one per caller.
+        let channels = visi.channels.lock();
+        let channel = channels
+            .get(&("orbix.qut.edu.au".to_string(), 9000))
+            .unwrap();
+        assert!(channel.live_connections() <= MAX_CONNS_PER_ENDPOINT);
+        drop(channels);
+        orbix.shutdown();
+        visi.shutdown();
+    }
+
+    /// A servant that stalls until told to finish, for deadline tests.
+    struct StallServant {
+        release: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    }
+
+    impl Servant for StallServant {
+        fn interface_id(&self) -> &str {
+            "IDL:webfindit/Stall:1.0"
+        }
+
+        fn invoke(&self, operation: &str, _args: &[Value]) -> Result<Value, ServantError> {
+            match operation {
+                "stall" => {
+                    let (lock, cvar) = &*self.release;
+                    let mut done = lock.lock().unwrap();
+                    while !*done {
+                        done = cvar.wait(done).unwrap();
+                    }
+                    Ok(Value::string("released"))
+                }
+                other => Err(ServantError::UnknownOperation(other.to_owned())),
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_expires_and_other_calls_proceed() {
+        let (orbix, visi, _domain) = two_orbs();
+        let release = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let stall_ior = orbix.activate(
+            "stall/1",
+            Arc::new(StallServant {
+                release: Arc::clone(&release),
+            }),
+        );
+        let echo_ior = orbix.activate("echo/1", Arc::new(EchoServant));
+
+        // Fire the stalling call with a short deadline on its own thread.
+        let stalled = {
+            let visi = Arc::clone(&visi);
+            let ior = stall_ior.clone();
+            std::thread::spawn(move || {
+                visi.invoke_with(
+                    &ior,
+                    "stall",
+                    &[],
+                    &CallOptions {
+                        deadline: Some(Duration::from_millis(100)),
+                        retry: RetryPolicy::never(),
+                    },
+                )
+            })
+        };
+
+        // While the stalling request occupies the server, other calls
+        // multiplexed over the same endpoint must still complete.
+        for _ in 0..5 {
+            visi.invoke(&echo_ior, "ping", &[]).unwrap();
+        }
+
+        match stalled.join().unwrap() {
+            Err(OrbError::DeadlineExpired { operation_deadline }) => {
+                assert_eq!(operation_deadline, Duration::from_millis(100));
+            }
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        assert_eq!(visi.metrics().snapshot().timeouts, 1);
+
+        // Release the servant so its worker thread can exit.
+        {
+            let (lock, cvar) = &*release;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+        }
+        orbix.shutdown();
+        visi.shutdown();
+    }
+
+    #[test]
+    fn invoke_falls_back_to_alternate_profile() {
+        let (orbix, visi, _domain) = two_orbs();
+        orbix.activate("echo/1", Arc::new(EchoServant));
+        // First profile points at an unresolvable host; the second is
+        // the live endpoint. The call must fall through, not fail.
+        let mut ior = Ior::new_iiop(
+            "IDL:webfindit/Echo:1.0",
+            "dead.example",
+            1,
+            b"echo/1".to_vec(),
+        );
+        ior.push_iiop_profile("orbix.qut.edu.au", 9000, b"echo/1".to_vec());
+        let out = visi.invoke(&ior, "ping", &[]).unwrap();
+        assert_eq!(out, Value::string("pong"));
         orbix.shutdown();
         visi.shutdown();
     }

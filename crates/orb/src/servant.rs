@@ -109,7 +109,9 @@ mod tests {
     #[test]
     fn echo_round() {
         let s = EchoServant;
-        let out = s.invoke("echo", &[Value::Long(1), Value::string("x")]).unwrap();
+        let out = s
+            .invoke("echo", &[Value::Long(1), Value::string("x")])
+            .unwrap();
         assert_eq!(
             out,
             Value::Sequence(vec![Value::Long(1), Value::string("x")])

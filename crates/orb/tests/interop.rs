@@ -2,8 +2,9 @@
 //! across mixed byte orders, many-ORB meshes, and location probing
 //! under churn.
 
-use proptest::prelude::*;
 use std::sync::Arc;
+use webfindit_base::prop::{self, string_of, vec_of};
+use webfindit_base::rng::StdRng;
 use webfindit_orb::servant::{InvokeResult, Servant, ServantError};
 use webfindit_orb::{Orb, OrbConfig, OrbDomain, OrbError};
 use webfindit_wire::cdr::ByteOrder;
@@ -69,7 +70,12 @@ fn three_orb_mesh_full_interop() {
     let orbs: Vec<Arc<Orb>> = (0..3)
         .map(|i| {
             Orb::start(
-                OrbConfig::new(format!("O{i}"), format!("o{i}.net"), 10 + i as u16, orders[i]),
+                OrbConfig::new(
+                    format!("O{i}"),
+                    format!("o{i}.net"),
+                    10 + i as u16,
+                    orders[i],
+                ),
                 Arc::clone(&domain),
             )
             .unwrap()
@@ -101,27 +107,32 @@ fn three_orb_mesh_full_interop() {
     }
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::LongLong),
-        (-1e9f64..1e9).prop_map(Value::Double),
-        "[a-zA-Z0-9 ]{0,24}".prop_map(Value::Str),
-    ];
-    leaf.prop_recursive(2, 12, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Sequence),
-            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(Value::Struct),
-        ]
-    })
+const ALNUM_SPACE: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+
+fn arb_value(rng: &mut StdRng, depth: u32) -> Value {
+    let pick = if depth == 0 {
+        rng.gen_range(0..5)
+    } else {
+        rng.gen_range(0..8)
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::LongLong(rng.next_u64() as i64),
+        3 => Value::Double(rng.gen_range(-1e9f64..1e9)),
+        4 => Value::Str(string_of(rng, ALNUM_SPACE, 0..25)),
+        n if n < 7 => Value::Sequence(vec_of(rng, 0..4, |r| arb_value(r, depth - 1))),
+        _ => Value::Struct(vec_of(rng, 0..4, |r| {
+            (string_of(r, LOWER, 1..7), arb_value(r, depth - 1))
+        })),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn values_cross_the_wire_unchanged(values in proptest::collection::vec(arb_value(), 0..4)) {
+#[test]
+fn values_cross_the_wire_unchanged() {
+    prop::cases(24, |rng| {
+        let values = vec_of(rng, 0..4, |r| arb_value(r, 2));
         let domain = OrbDomain::new();
         let server = Orb::start(
             OrbConfig::new("S", "sp.net", 1, ByteOrder::BigEndian),
@@ -135,10 +146,10 @@ proptest! {
         .unwrap();
         let ior = server.activate("echo", Arc::new(webfindit_orb::servant::EchoServant));
         let out = client.invoke(&ior, "echo", &values).unwrap();
-        prop_assert_eq!(out, Value::Sequence(values));
+        assert_eq!(out, Value::Sequence(values));
         server.shutdown();
         client.shutdown();
-    }
+    });
 }
 
 #[test]

@@ -84,11 +84,9 @@ impl Dialect {
     pub fn check(&self, stmt: &Statement) -> RelResult<()> {
         if let Statement::Select(s) = stmt {
             if !self.supports_aggregates() {
-                let uses_agg = s
-                    .items
-                    .iter()
-                    .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
-                    || !s.group_by.is_empty()
+                let uses_agg = s.items.iter().any(
+                    |i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()),
+                ) || !s.group_by.is_empty()
                     || s.having.is_some();
                 if uses_agg {
                     return Err(RelError::Unsupported(format!(
@@ -97,9 +95,7 @@ impl Dialect {
                     )));
                 }
             }
-            if !self.supports_outer_join()
-                && s.joins.iter().any(|j| j.kind == JoinKind::Left)
-            {
+            if !self.supports_outer_join() && s.joins.iter().any(|j| j.kind == JoinKind::Left) {
                 return Err(RelError::Unsupported(format!(
                     "{} does not support OUTER JOIN",
                     self.name()
@@ -357,7 +353,12 @@ mod tests {
     #[test]
     fn other_vendors_accept_aggregates() {
         let agg = parse_statement("SELECT COUNT(*) FROM t GROUP BY x").unwrap();
-        for d in [Dialect::Oracle, Dialect::Db2, Dialect::Sybase, Dialect::Canonical] {
+        for d in [
+            Dialect::Oracle,
+            Dialect::Db2,
+            Dialect::Sybase,
+            Dialect::Canonical,
+        ] {
             assert!(d.check(&agg).is_ok(), "{d} should accept aggregates");
         }
     }
@@ -366,6 +367,9 @@ mod tests {
     fn join_rendering() {
         let s = select("SELECT * FROM a x JOIN b y ON x.i = y.i WHERE x.v > 1");
         let r = Dialect::Db2.render_select(&s);
-        assert_eq!(r, "SELECT * FROM a x JOIN b y ON (x.i = y.i) WHERE (x.v > 1)");
+        assert_eq!(
+            r,
+            "SELECT * FROM a x JOIN b y ON (x.i = y.i) WHERE (x.v > 1)"
+        );
     }
 }

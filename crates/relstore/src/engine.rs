@@ -250,9 +250,7 @@ impl Database {
                 assignments,
                 filter,
             } => self.run_update(table, assignments, filter.as_ref())?,
-            Statement::Delete { table, filter } => {
-                self.run_delete(table, filter.as_ref())?
-            }
+            Statement::Delete { table, filter } => self.run_delete(table, filter.as_ref())?,
             Statement::Begin => {
                 if self.txn.is_some() {
                     return Err(RelError::TransactionState(
@@ -269,9 +267,10 @@ impl Database {
                 ExecOutcome::Done
             }
             Statement::Rollback => {
-                let log = self.txn.take().ok_or(RelError::TransactionState(
-                    "no open transaction".into(),
-                ))?;
+                let log = self
+                    .txn
+                    .take()
+                    .ok_or(RelError::TransactionState("no open transaction".into()))?;
                 self.apply_undo(log);
                 ExecOutcome::Done
             }
@@ -440,11 +439,7 @@ impl Database {
         Ok(ExecOutcome::Count(n))
     }
 
-    fn run_delete(
-        &mut self,
-        table: &str,
-        filter: Option<&Expr>,
-    ) -> RelResult<ExecOutcome> {
+    fn run_delete(&mut self, table: &str, filter: Option<&Expr>) -> RelResult<ExecOutcome> {
         let lower = table.to_ascii_lowercase();
         let t = self
             .tables

@@ -168,9 +168,7 @@ impl EvalContext for GroupRow<'_> {
 /// Look up a table in the catalog map (names are lowercase).
 fn table<'a>(tables: &'a HashMap<String, Table>, name: &str) -> RelResult<&'a Table> {
     let lower = name.to_ascii_lowercase();
-    tables
-        .get(&lower)
-        .ok_or(RelError::NoSuchTable(lower))
+    tables.get(&lower).ok_or(RelError::NoSuchTable(lower))
 }
 
 /// Split a conjunction into its AND-ed parts.
@@ -207,10 +205,7 @@ fn eq_col_literal(expr: &Expr) -> Option<(&str, &Datum)> {
 }
 
 /// Execute a SELECT against the given tables.
-pub fn execute_select(
-    stmt: &SelectStmt,
-    tables: &HashMap<String, Table>,
-) -> RelResult<ResultSet> {
+pub fn execute_select(stmt: &SelectStmt, tables: &HashMap<String, Table>) -> RelResult<ResultSet> {
     // ---- FROM + JOIN -------------------------------------------------
     let base = table(tables, &stmt.from.name)?;
     let mut layout = Layout::new();
@@ -277,10 +272,7 @@ pub fn execute_select(
             .as_ref()
             .map(Expr::contains_aggregate)
             .unwrap_or(false)
-        || stmt
-            .order_by
-            .iter()
-            .any(|k| k.expr.contains_aggregate());
+        || stmt.order_by.iter().any(|k| k.expr.contains_aggregate());
 
     let columns: Vec<String> = select_exprs.iter().map(|(_, n)| n.clone()).collect();
 
@@ -290,12 +282,8 @@ pub fn execute_select(
     if has_aggregates || !stmt.group_by.is_empty() {
         let groups = build_groups(&rows, &stmt.group_by, &layout)?;
         for group in groups {
-            let aggregates =
-                compute_aggregates(&group, &select_exprs, stmt, &layout)?;
-            let representative: &[Datum] = group
-                .first()
-                .map(|r| r.as_slice())
-                .unwrap_or(&[]);
+            let aggregates = compute_aggregates(&group, &select_exprs, stmt, &layout)?;
+            let representative: &[Datum] = group.first().map(|r| r.as_slice()).unwrap_or(&[]);
             // An empty representative only happens for zero-row ungrouped
             // aggregates; column references would error there, which is
             // the correct SQL behaviour for e.g. `SELECT x, COUNT(*)`.
@@ -534,10 +522,7 @@ fn order_key_value(
 }
 
 /// Expand the select list into `(expression, output name)` pairs.
-fn expand_items(
-    items: &[SelectItem],
-    layout: &Layout,
-) -> RelResult<Vec<(Expr, String)>> {
+fn expand_items(items: &[SelectItem], layout: &Layout) -> RelResult<Vec<(Expr, String)>> {
     let mut out = Vec::new();
     for item in items {
         match item {
@@ -640,10 +625,7 @@ fn apply_join(
                     for r in &right_rows {
                         let mut row = l.clone();
                         row.extend(r.iter().cloned());
-                        let ctx = LayoutRow {
-                            layout,
-                            row: &row,
-                        };
+                        let ctx = LayoutRow { layout, row: &row };
                         if matches!(eval(on, &ctx)?, Datum::Bool(true)) {
                             out.push(row);
                         }
@@ -658,10 +640,7 @@ fn apply_join(
                 for r in &right_rows {
                     let mut row = l.clone();
                     row.extend(r.iter().cloned());
-                    let ctx = LayoutRow {
-                        layout,
-                        row: &row,
-                    };
+                    let ctx = LayoutRow { layout, row: &row };
                     if matches!(eval(on, &ctx)?, Datum::Bool(true)) {
                         matched = true;
                         out.push(row);
@@ -711,9 +690,8 @@ fn equi_join_offsets(
             None => right.schema.column_index(n),
         }
     };
-    let left_off = |t: &Option<String>, n: &str| -> Option<usize> {
-        layout.resolve(t.as_deref(), n).ok()
-    };
+    let left_off =
+        |t: &Option<String>, n: &str| -> Option<usize> { layout.resolve(t.as_deref(), n).ok() };
     // a on left, b on right?
     if let (Some(lo), Some(rc)) = (left_off(&at, &an), right_col(&bt, &bn)) {
         // ensure b genuinely refers to the right table when unqualified:
@@ -733,11 +711,7 @@ fn equi_join_offsets(
 
 /// Partition rows into groups by the GROUP BY keys (one all-encompassing
 /// group when the key list is empty).
-fn build_groups(
-    rows: &[Row],
-    group_by: &[Expr],
-    layout: &Layout,
-) -> RelResult<Vec<Vec<Row>>> {
+fn build_groups(rows: &[Row], group_by: &[Expr], layout: &Layout) -> RelResult<Vec<Vec<Row>>> {
     if group_by.is_empty() {
         return Ok(vec![rows.to_vec()]);
     }
@@ -895,8 +869,8 @@ fn run_aggregate(
 mod tests {
     use super::*;
     use crate::schema::{Column, TableSchema};
-    use crate::sql::parse_statement;
     use crate::sql::ast::Statement;
+    use crate::sql::parse_statement;
     use crate::types::DataType;
 
     fn catalog() -> HashMap<String, Table> {
@@ -999,21 +973,17 @@ mod tests {
 
     #[test]
     fn inner_join_hash_path() {
-        let rs = run(
-            "SELECT p.name, h.description FROM patient p \
-             JOIN history h ON p.patient_id = h.patient_id ORDER BY p.name, h.description",
-        );
+        let rs = run("SELECT p.name, h.description FROM patient p \
+             JOIN history h ON p.patient_id = h.patient_id ORDER BY p.name, h.description");
         assert_eq!(rs.rows.len(), 4);
         assert_eq!(rs.rows[0][0], Datum::Text("Alice".into()));
     }
 
     #[test]
     fn left_join_pads_nulls() {
-        let rs = run(
-            "SELECT p.name, h.description FROM patient p \
+        let rs = run("SELECT p.name, h.description FROM patient p \
              LEFT JOIN history h ON p.patient_id = h.patient_id \
-             WHERE h.description IS NULL",
-        );
+             WHERE h.description IS NULL");
         assert_eq!(rs.rows, vec![vec![Datum::Text("Dan".into()), Datum::Null]]);
     }
 
@@ -1071,10 +1041,7 @@ mod tests {
         let rs = run("SELECT DISTINCT gender FROM patient ORDER BY gender");
         assert_eq!(
             rs.rows,
-            vec![
-                vec![Datum::Text("F".into())],
-                vec![Datum::Text("M".into())]
-            ]
+            vec![vec![Datum::Text("F".into())], vec![Datum::Text("M".into())]]
         );
     }
 
@@ -1098,7 +1065,9 @@ mod tests {
     #[test]
     fn ambiguous_column_detected() {
         assert!(matches!(
-            run_err("SELECT patient_id FROM patient p JOIN history h ON p.patient_id = h.patient_id"),
+            run_err(
+                "SELECT patient_id FROM patient p JOIN history h ON p.patient_id = h.patient_id"
+            ),
             RelError::AmbiguousColumn(_)
         ));
     }
@@ -1140,9 +1109,8 @@ mod tests {
 
     #[test]
     fn qualified_wildcard() {
-        let rs = run(
-            "SELECT h.* FROM patient p JOIN history h ON p.patient_id = h.patient_id LIMIT 1",
-        );
+        let rs =
+            run("SELECT h.* FROM patient p JOIN history h ON p.patient_id = h.patient_id LIMIT 1");
         assert_eq!(rs.columns, vec!["patient_id", "description", "cost"]);
     }
 }

@@ -216,11 +216,7 @@ impl Expr {
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
         }
     }
 
@@ -234,9 +230,7 @@ impl Expr {
                 }
             }
             Expr::Literal(_) | Expr::Column { .. } => {}
-            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
-                expr.collect_aggregates(out)
-            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.collect_aggregates(out),
             Expr::Binary { left, right, .. } => {
                 left.collect_aggregates(out);
                 right.collect_aggregates(out);
@@ -379,9 +373,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
     fn rec(t: &[char], p: &[char]) -> bool {
         match p.split_first() {
             None => t.is_empty(),
-            Some(('%', rest)) => {
-                (0..=t.len()).any(|i| rec(&t[i..], rest))
-            }
+            Some(('%', rest)) => (0..=t.len()).any(|i| rec(&t[i..], rest)),
             Some(('_', rest)) => match t.split_first() {
                 Some((_, t_rest)) => rec(t_rest, rest),
                 None => false,
@@ -632,16 +624,28 @@ mod tests {
         let e = Expr::bin(
             BinOp::Add,
             Expr::lit(Datum::Int(2)),
-            Expr::bin(BinOp::Mul, Expr::lit(Datum::Int(3)), Expr::lit(Datum::Int(4))),
+            Expr::bin(
+                BinOp::Mul,
+                Expr::lit(Datum::Int(3)),
+                Expr::lit(Datum::Int(4)),
+            ),
         );
         assert_eq!(ev(&e), Datum::Int(14));
-        let d = Expr::bin(BinOp::Div, Expr::lit(Datum::Int(7)), Expr::lit(Datum::Int(2)));
+        let d = Expr::bin(
+            BinOp::Div,
+            Expr::lit(Datum::Int(7)),
+            Expr::lit(Datum::Int(2)),
+        );
         assert_eq!(ev(&d), Datum::Double(3.5));
     }
 
     #[test]
     fn division_by_zero_errors() {
-        let e = Expr::bin(BinOp::Div, Expr::lit(Datum::Int(1)), Expr::lit(Datum::Int(0)));
+        let e = Expr::bin(
+            BinOp::Div,
+            Expr::lit(Datum::Int(1)),
+            Expr::lit(Datum::Int(0)),
+        );
         assert_eq!(eval(&e, &NoRows), Err(RelError::DivisionByZero));
     }
 
@@ -750,7 +754,10 @@ mod tests {
             Expr::lit(Datum::Date(d)),
             Expr::lit(Datum::Int(31)),
         );
-        assert_eq!(ev(&plus), Datum::Date(crate::types::parse_date("1999-02-01").unwrap()));
+        assert_eq!(
+            ev(&plus),
+            Datum::Date(crate::types::parse_date("1999-02-01").unwrap())
+        );
         let diff = Expr::bin(
             BinOp::Sub,
             Expr::lit(Datum::Date(d + 10)),

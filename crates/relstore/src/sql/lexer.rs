@@ -36,8 +36,7 @@ pub struct Token {
 pub struct Lexer;
 
 const SYMBOLS: &[&str] = &[
-    "<>", "!=", "<=", ">=", "||", "(", ")", ",", ".", "*", "+", "-", "/", "%", "=", "<", ">",
-    ";",
+    "<>", "!=", "<=", ">=", "||", "(", ")", ",", ".", "*", "+", "-", "/", "%", "=", "<", ">", ";",
 ];
 
 impl Lexer {
@@ -224,7 +223,11 @@ mod tests {
     use super::*;
 
     fn kinds(sql: &str) -> Vec<TokenKind> {
-        Lexer::tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::tokenize(sql)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

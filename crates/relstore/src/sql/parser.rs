@@ -6,9 +6,7 @@
 
 use crate::expr::{AggFunc, BinOp, Expr, UnaryOp};
 use crate::schema::{Column, TableSchema};
-use crate::sql::ast::{
-    Join, JoinKind, OrderKey, SelectItem, SelectStmt, Statement, TableRef,
-};
+use crate::sql::ast::{Join, JoinKind, OrderKey, SelectItem, SelectStmt, Statement, TableRef};
 use crate::sql::lexer::{Lexer, Token, TokenKind};
 use crate::types::{DataType, Datum};
 use crate::{RelError, RelResult};
@@ -447,8 +445,7 @@ impl Parser {
         // alias.* form requires two-token lookahead.
         if let TokenKind::Ident(name) = self.peek().clone() {
             if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Symbol("."))
-                && self.tokens.get(self.pos + 2).map(|t| &t.kind)
-                    == Some(&TokenKind::Symbol("*"))
+                && self.tokens.get(self.pos + 2).map(|t| &t.kind) == Some(&TokenKind::Symbol("*"))
             {
                 self.advance();
                 self.advance();
@@ -482,8 +479,8 @@ impl Parser {
             Some(self.ident()?)
         } else if let TokenKind::Ident(s) = self.peek() {
             const CLAUSE_KEYWORDS: &[&str] = &[
-                "where", "group", "having", "order", "limit", "join", "inner", "left", "on",
-                "set", "union",
+                "where", "group", "having", "order", "limit", "join", "inner", "left", "on", "set",
+                "union",
             ];
             if CLAUSE_KEYWORDS.contains(&s.as_str()) {
                 None
@@ -769,7 +766,8 @@ mod tests {
     #[test]
     fn parses_the_papers_funding_query() {
         // The exact query WebTassili generates in Section 2.3.
-        let stmt = parse("Select a.Funding From ResearchProjects a Where a.Title = 'AIDS and drugs'");
+        let stmt =
+            parse("Select a.Funding From ResearchProjects a Where a.Title = 'AIDS and drugs'");
         match stmt {
             Statement::Select(s) => {
                 assert_eq!(s.from.name, "researchprojects");
@@ -843,7 +841,11 @@ mod tests {
     fn insert_multi_row() {
         let stmt = parse("INSERT INTO beds (bed_id, location) VALUES (1, 'A'), (2, 'B')");
         match stmt {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "beds");
                 assert_eq!(columns.unwrap(), vec!["bed_id", "location"]);
                 assert_eq!(rows.len(), 2);
@@ -855,7 +857,11 @@ mod tests {
     #[test]
     fn update_and_delete() {
         match parse("UPDATE beds SET location = 'C' WHERE bed_id = 1") {
-            Statement::Update { assignments, filter, .. } => {
+            Statement::Update {
+                assignments,
+                filter,
+                ..
+            } => {
                 assert_eq!(assignments.len(), 1);
                 assert!(filter.is_some());
             }

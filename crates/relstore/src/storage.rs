@@ -284,15 +284,12 @@ impl Table {
             let key = vec![KeyDatum(value.clone())];
             return Some(self.lookup_pk(&key).into_iter().collect());
         }
-        self.secondary
-            .iter()
-            .find(|s| s.column == column)
-            .map(|s| {
-                s.map
-                    .get(&vec![KeyDatum(value.clone())])
-                    .cloned()
-                    .unwrap_or_default()
-            })
+        self.secondary.iter().find(|s| s.column == column).map(|s| {
+            s.map
+                .get(&vec![KeyDatum(value.clone())])
+                .cloned()
+                .unwrap_or_default()
+        })
     }
 }
 
@@ -314,11 +311,7 @@ mod tests {
     }
 
     fn row(id: i64, loc: &str) -> Row {
-        vec![
-            Datum::Int(id),
-            Datum::Text(loc.into()),
-            Datum::Null,
-        ]
+        vec![Datum::Int(id), Datum::Text(loc.into()), Datum::Null]
     }
 
     #[test]
@@ -359,10 +352,7 @@ mod tests {
     fn not_null_enforced() {
         let mut t = beds();
         let r = vec![Datum::Int(1), Datum::Null, Datum::Null];
-        assert!(matches!(
-            t.insert(r),
-            Err(RelError::ConstraintViolation(_))
-        ));
+        assert!(matches!(t.insert(r), Err(RelError::ConstraintViolation(_))));
     }
 
     #[test]

@@ -154,9 +154,7 @@ impl Datum {
                     } else {
                         // NaN vs number lands here: order NaN last.
                         match (self, other) {
-                            (Datum::Double(a), Datum::Double(b)) => {
-                                a.is_nan().cmp(&b.is_nan())
-                            }
+                            (Datum::Double(a), Datum::Double(b)) => a.is_nan().cmp(&b.is_nan()),
                             _ => Ordering::Equal,
                         }
                     }

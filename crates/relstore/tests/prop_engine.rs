@@ -9,108 +9,174 @@
 //! * `ORDER BY` output is actually sorted under the engine's total order;
 //! * date parse/format round-trips across a wide range.
 
-use proptest::prelude::*;
+use webfindit_base::prop::{self, string_from, vec_of};
+use webfindit_base::rng::StdRng;
 use webfindit_relstore::expr::{BinOp, Expr};
 use webfindit_relstore::sql::ast::Statement;
 use webfindit_relstore::sql::parse_statement;
 use webfindit_relstore::types::{format_date, parse_date, Datum};
 use webfindit_relstore::{Database, Dialect};
 
-fn arb_datum() -> impl Strategy<Value = Datum> {
-    prop_oneof![
-        Just(Datum::Null),
+const ALNUM_SPACE: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+const IDENT_TAIL: &str = "abcdefghijklmnopqrstuvwxyz0123456789_";
+
+fn arb_datum(rng: &mut StdRng) -> Datum {
+    match rng.gen_range(0..5) {
+        0 => Datum::Null,
         // Non-negative only: `-1` prints as a unary-negation expression,
         // which is a different (equivalent) AST after reparsing.
-        (0i32..i32::MAX).prop_map(|v| Datum::Int(v as i64)),
-        (0.0f64..1.0e6).prop_map(Datum::Double),
-        "[a-zA-Z0-9 ]{0,12}".prop_map(Datum::Text),
-        any::<bool>().prop_map(Datum::Bool),
-    ]
+        1 => Datum::Int(rng.gen_range(0i32..i32::MAX) as i64),
+        2 => Datum::Double(rng.gen_range(0.0f64..1.0e6)),
+        3 => {
+            let len = rng.gen_range(0usize..13);
+            Datum::Text(string_from(rng, ALNUM_SPACE, len))
+        }
+        _ => Datum::Bool(rng.gen_bool(0.5)),
+    }
 }
 
-fn arb_cmp_op() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-    ]
+fn arb_cmp_op(rng: &mut StdRng) -> BinOp {
+    [
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+    ][rng.gen_range(0..6usize)]
 }
 
-/// A small strategy of printable-and-parsable expressions.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_datum().prop_map(Expr::lit),
-        "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| !is_keyword(s))
-            .prop_map(Expr::col),
-        (
-            "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| !is_keyword(s)),
-            "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| !is_keyword(s))
-        )
-            .prop_map(|(t, c)| Expr::qcol(t, c)),
-    ];
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        prop_oneof![
-            (arb_cmp_op(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::bin(BinOp::Add, l, r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::bin(BinOp::And, l, r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::bin(BinOp::Or, l, r)),
-            (inner.clone(), any::<bool>()).prop_map(|(e, n)| Expr::IsNull {
-                expr: Box::new(e),
-                negated: n
-            }),
-        ]
-    })
+fn arb_ident(rng: &mut StdRng, max_tail: usize) -> String {
+    loop {
+        let mut s = string_from(rng, LOWER, 1);
+        let tail = rng.gen_range(0..=max_tail);
+        s.push_str(&string_from(rng, IDENT_TAIL, tail));
+        if !is_keyword(&s) {
+            return s;
+        }
+    }
+}
+
+/// A small generator of printable-and-parsable expressions.
+fn arb_expr(rng: &mut StdRng, depth: u32) -> Expr {
+    let pick = if depth == 0 {
+        rng.gen_range(0..3)
+    } else {
+        rng.gen_range(0..8)
+    };
+    match pick {
+        0 => Expr::lit(arb_datum(rng)),
+        1 => Expr::col(arb_ident(rng, 8)),
+        2 => Expr::qcol(arb_ident(rng, 6), arb_ident(rng, 6)),
+        3 => {
+            let op = arb_cmp_op(rng);
+            Expr::bin(op, arb_expr(rng, depth - 1), arb_expr(rng, depth - 1))
+        }
+        4 => Expr::bin(
+            BinOp::Add,
+            arb_expr(rng, depth - 1),
+            arb_expr(rng, depth - 1),
+        ),
+        5 => Expr::bin(
+            BinOp::And,
+            arb_expr(rng, depth - 1),
+            arb_expr(rng, depth - 1),
+        ),
+        6 => Expr::bin(
+            BinOp::Or,
+            arb_expr(rng, depth - 1),
+            arb_expr(rng, depth - 1),
+        ),
+        _ => Expr::IsNull {
+            expr: Box::new(arb_expr(rng, depth - 1)),
+            negated: rng.gen_bool(0.5),
+        },
+    }
 }
 
 fn is_keyword(s: &str) -> bool {
     matches!(
         s,
-        "select" | "from" | "where" | "group" | "having" | "order" | "limit" | "and" | "or"
-            | "not" | "in" | "between" | "like" | "is" | "null" | "true" | "false" | "join"
-            | "inner" | "left" | "on" | "as" | "by" | "desc" | "asc" | "date" | "count"
-            | "sum" | "avg" | "min" | "max" | "distinct" | "union" | "set" | "outer" | "all"
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "having"
+            | "order"
+            | "limit"
+            | "and"
+            | "or"
+            | "not"
+            | "in"
+            | "between"
+            | "like"
+            | "is"
+            | "null"
+            | "true"
+            | "false"
+            | "join"
+            | "inner"
+            | "left"
+            | "on"
+            | "as"
+            | "by"
+            | "desc"
+            | "asc"
+            | "date"
+            | "count"
+            | "sum"
+            | "avg"
+            | "min"
+            | "max"
+            | "distinct"
+            | "union"
+            | "set"
+            | "outer"
+            | "all"
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn expr_print_parse_roundtrip(e in arb_expr()) {
+#[test]
+fn expr_print_parse_roundtrip() {
+    prop::cases(128, |rng| {
+        let e = arb_expr(rng, 3);
         // NaN-free and keyword-free by construction, so printing then
         // parsing inside a SELECT must reproduce the AST.
         let sql = format!("SELECT {} FROM dual_t", e.to_sql());
         let stmt = parse_statement(&sql).unwrap();
         match stmt {
-            Statement::Select(s) => {
-                match &s.items[0] {
-                    webfindit_relstore::sql::ast::SelectItem::Expr { expr, .. } => {
-                        prop_assert_eq!(expr, &e);
-                    }
-                    other => prop_assert!(false, "unexpected item {:?}", other),
+            Statement::Select(s) => match &s.items[0] {
+                webfindit_relstore::sql::ast::SelectItem::Expr { expr, .. } => {
+                    assert_eq!(expr, &e);
                 }
-            }
-            other => prop_assert!(false, "unexpected stmt {:?}", other),
+                other => panic!("unexpected item {other:?}"),
+            },
+            other => panic!("unexpected stmt {other:?}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn date_roundtrip(days in -40_000i32..80_000) {
+#[test]
+fn date_roundtrip() {
+    prop::cases(128, |rng| {
+        let days = rng.gen_range(-40_000i32..80_000);
         let s = format_date(days);
-        prop_assert_eq!(parse_date(&s), Some(days));
-    }
+        assert_eq!(parse_date(&s), Some(days));
+    });
+}
 
-    #[test]
-    fn index_agrees_with_scan(
-        keys in proptest::collection::btree_set(0i64..500, 1..60),
-        probe in 0i64..500,
-    ) {
+#[test]
+fn index_agrees_with_scan() {
+    prop::cases(128, |rng| {
+        let keys: std::collections::BTreeSet<i64> = vec_of(rng, 1..60, |r| r.gen_range(0i64..500))
+            .into_iter()
+            .collect();
+        let probe = rng.gen_range(0i64..500);
         let mut indexed = Database::new("i", Dialect::Canonical);
-        indexed.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)").unwrap();
+        indexed
+            .execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+            .unwrap();
         let mut unindexed = Database::new("u", Dialect::Canonical);
         unindexed.execute("CREATE TABLE t (k INT, v INT)").unwrap();
         for k in &keys {
@@ -121,11 +187,14 @@ proptest! {
         let q = format!("SELECT v FROM t WHERE k = {probe}");
         let a = indexed.execute(&q).unwrap();
         let b = unindexed.execute(&q).unwrap();
-        prop_assert_eq!(a.rows().unwrap().rows.clone(), b.rows().unwrap().rows.clone());
-    }
+        assert_eq!(a.rows().unwrap().rows, b.rows().unwrap().rows);
+    });
+}
 
-    #[test]
-    fn order_by_is_sorted(values in proptest::collection::vec(-1000i64..1000, 0..50)) {
+#[test]
+fn order_by_is_sorted() {
+    prop::cases(128, |rng| {
+        let values = vec_of(rng, 0..50, |r| r.gen_range(-1000i64..1000));
         let mut db = Database::new("s", Dialect::Canonical);
         db.execute("CREATE TABLE t (v INT)").unwrap();
         for v in &values {
@@ -133,43 +202,60 @@ proptest! {
         }
         let rs = db.execute("SELECT v FROM t ORDER BY v").unwrap();
         let rows = &rs.rows().unwrap().rows;
-        prop_assert_eq!(rows.len(), values.len());
+        assert_eq!(rows.len(), values.len());
         for w in rows.windows(2) {
-            let a = match &w[0][0] { Datum::Int(v) => *v, _ => unreachable!() };
-            let b = match &w[1][0] { Datum::Int(v) => *v, _ => unreachable!() };
-            prop_assert!(a <= b);
+            let a = match &w[0][0] {
+                Datum::Int(v) => *v,
+                _ => unreachable!(),
+            };
+            let b = match &w[1][0] {
+                Datum::Int(v) => *v,
+                _ => unreachable!(),
+            };
+            assert!(a <= b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn duplicate_keys_keep_count_consistent(
-        inserts in proptest::collection::vec(0i64..20, 1..40),
-    ) {
+#[test]
+fn duplicate_keys_keep_count_consistent() {
+    prop::cases(128, |rng| {
+        let inserts = vec_of(rng, 1..40, |r| r.gen_range(0i64..20));
         let mut db = Database::new("d", Dialect::Canonical);
         db.execute("CREATE TABLE t (k INT PRIMARY KEY)").unwrap();
         let mut expected = std::collections::BTreeSet::new();
         for k in &inserts {
             let res = db.execute(&format!("INSERT INTO t VALUES ({k})"));
             if expected.insert(*k) {
-                prop_assert!(res.is_ok());
+                assert!(res.is_ok());
             } else {
-                prop_assert!(res.is_err());
+                assert!(res.is_err());
             }
         }
         let rs = db.execute("SELECT COUNT(*) FROM t").unwrap();
-        prop_assert_eq!(
-            rs.rows().unwrap().rows[0][0].clone(),
+        assert_eq!(
+            rs.rows().unwrap().rows[0][0],
             Datum::Int(expected.len() as i64)
         );
-    }
+    });
+}
 
-    #[test]
-    fn rollback_is_exact_inverse(
-        seed in proptest::collection::vec((0i64..50, -100i64..100), 1..20),
-        txn_ops in proptest::collection::vec((0u8..3, 0i64..50, -100i64..100), 0..15),
-    ) {
+#[test]
+fn rollback_is_exact_inverse() {
+    prop::cases(128, |rng| {
+        let seed = vec_of(rng, 1..20, |r| {
+            (r.gen_range(0i64..50), r.gen_range(-100i64..100))
+        });
+        let txn_ops = vec_of(rng, 0..15, |r| {
+            (
+                r.gen_range(0u8..3),
+                r.gen_range(0i64..50),
+                r.gen_range(-100i64..100),
+            )
+        });
         let mut db = Database::new("r", Dialect::Canonical);
-        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)").unwrap();
+        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+            .unwrap();
         for (k, v) in &seed {
             let _ = db.execute(&format!("INSERT INTO t VALUES ({k}, {v})"));
         }
@@ -185,9 +271,6 @@ proptest! {
         }
         db.execute("ROLLBACK").unwrap();
         let after = db.execute("SELECT * FROM t ORDER BY k").unwrap();
-        prop_assert_eq!(
-            before.rows().unwrap().rows.clone(),
-            after.rows().unwrap().rows.clone()
-        );
-    }
+        assert_eq!(before.rows().unwrap().rows, after.rows().unwrap().rows);
+    });
 }

@@ -8,10 +8,8 @@ use webfindit_relstore::{Database, Datum, Dialect};
 
 fn db() -> Database {
     let mut db = Database::new("corpus", Dialect::Canonical);
-    db.execute(
-        "CREATE TABLE dept (dept_id INT PRIMARY KEY, name TEXT NOT NULL, budget DOUBLE)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE dept (dept_id INT PRIMARY KEY, name TEXT NOT NULL, budget DOUBLE)")
+        .unwrap();
     db.execute(
         "CREATE TABLE emp (emp_id INT PRIMARY KEY, name TEXT NOT NULL, dept_id INT, \
          salary DOUBLE, hired DATE)",
@@ -152,7 +150,8 @@ fn transaction_spanning_multiple_tables() {
     db.execute("BEGIN").unwrap();
     db.execute("DELETE FROM emp").unwrap();
     db.execute("UPDATE dept SET budget = 0").unwrap();
-    db.execute("INSERT INTO dept VALUES (9, 'ghost', 1)").unwrap();
+    db.execute("INSERT INTO dept VALUES (9, 'ghost', 1)")
+        .unwrap();
     db.execute("ROLLBACK").unwrap();
     assert_eq!(db.table("emp").unwrap().len(), 5);
     let got = rows(&mut db, "SELECT COUNT(*) FROM dept WHERE budget > 0");
@@ -225,7 +224,9 @@ fn error_paths_are_clean() {
     let mut db = db();
     assert!(db.execute("SELECT missing FROM emp").is_err());
     assert!(db.execute("SELECT * FROM nonexistent").is_err());
-    assert!(db.execute("INSERT INTO emp VALUES (1, 'dup', 1, 1, NULL)").is_err()); // pk
+    assert!(db
+        .execute("INSERT INTO emp VALUES (1, 'dup', 1, 1, NULL)")
+        .is_err()); // pk
     assert!(db.execute("INSERT INTO emp (emp_id) VALUES (99)").is_err()); // NOT NULL name
     assert!(db.execute("SELECT 1/0 FROM emp").is_err());
     // The engine is still fine afterwards.
@@ -235,7 +236,8 @@ fn error_paths_are_clean() {
 #[test]
 fn explain_reflects_executor_decisions() {
     let mut db = db();
-    db.execute("CREATE INDEX emp_dept ON emp (dept_id)").unwrap();
+    db.execute("CREATE INDEX emp_dept ON emp (dept_id)")
+        .unwrap();
 
     let plan_text = |db: &mut Database, sql: &str| -> String {
         let rs = db.execute(sql).unwrap();
@@ -250,7 +252,10 @@ fn explain_reflects_executor_decisions() {
 
     // Primary-key point lookup.
     let p = plan_text(&mut db, "EXPLAIN SELECT name FROM emp WHERE emp_id = 3");
-    assert!(p.contains("index lookup emp.emp_id = 3 via PRIMARY KEY"), "{p}");
+    assert!(
+        p.contains("index lookup emp.emp_id = 3 via PRIMARY KEY"),
+        "{p}"
+    );
 
     // Secondary index.
     let p = plan_text(&mut db, "EXPLAIN SELECT name FROM emp WHERE dept_id = 1");

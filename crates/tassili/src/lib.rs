@@ -32,7 +32,7 @@ pub mod lexer;
 pub mod parser;
 pub mod translate;
 
-pub use ast::{Arg, LinkTarget, Literal, Predicate, PredOp, Statement};
+pub use ast::{Arg, LinkTarget, Literal, PredOp, Predicate, Statement};
 pub use parser::parse;
 pub use translate::{predicate_to_sql, translate_invoke_to_sql};
 

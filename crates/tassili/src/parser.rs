@@ -101,9 +101,7 @@ impl Parser {
         let mut words = Vec::new();
         loop {
             match self.peek() {
-                Tok::Word(w)
-                    if !stops.iter().any(|s| w.eq_ignore_ascii_case(s)) =>
-                {
+                Tok::Word(w) if !stops.iter().any(|s| w.eq_ignore_ascii_case(s)) => {
                     words.push(self.word()?);
                 }
                 _ => break,
@@ -232,9 +230,7 @@ impl Parser {
             let documentation = if self.eat_kw("documentation") {
                 match self.bump() {
                     Tok::Str(s) => Some(s),
-                    other => {
-                        return self.err(format!("expected a quoted string, found {other:?}"))
-                    }
+                    other => return self.err(format!("expected a quoted string, found {other:?}")),
                 }
             } else {
                 None
@@ -279,9 +275,7 @@ impl Parser {
             let description = if self.eat_kw("description") {
                 match self.bump() {
                     Tok::Str(s) => Some(s),
-                    other => {
-                        return self.err(format!("expected a quoted string, found {other:?}"))
-                    }
+                    other => return self.err(format!("expected a quoted string, found {other:?}")),
                 }
             } else {
                 None
@@ -560,10 +554,9 @@ mod tests {
 
     #[test]
     fn complex_predicates() {
-        let stmt = parse(
-            "Invoke T.F((A.x > 3 And A.y Like 'z%') Or Not (A.w = true)) On Instance D;",
-        )
-        .unwrap();
+        let stmt =
+            parse("Invoke T.F((A.x > 3 And A.y Like 'z%') Or Not (A.w = true)) On Instance D;")
+                .unwrap();
         match stmt {
             Statement::Invoke { args, .. } => {
                 assert!(matches!(args[0], Arg::Predicate(Predicate::Or(_, _))));

@@ -178,15 +178,16 @@ mod tests {
     #[test]
     fn no_predicate_means_no_where() {
         let stmt = parse("Invoke T.F() On Instance D;").unwrap();
-        assert_eq!(translate_invoke_to_sql(&stmt).unwrap(), "SELECT a.f FROM t a");
+        assert_eq!(
+            translate_invoke_to_sql(&stmt).unwrap(),
+            "SELECT a.f FROM t a"
+        );
     }
 
     #[test]
     fn compound_predicates() {
-        let stmt = parse(
-            "Invoke T.F((T.x > 3 And T.y Like 'z%') Or Not (T.w = 1)) On Instance D;",
-        )
-        .unwrap();
+        let stmt = parse("Invoke T.F((T.x > 3 And T.y Like 'z%') Or Not (T.w = 1)) On Instance D;")
+            .unwrap();
         let sql = translate_invoke_to_sql(&stmt).unwrap();
         assert_eq!(
             sql,

@@ -4,106 +4,209 @@
 //! structurally: balanced quoting via re-parse of the rendered
 //! predicate inside a WebTassili statement).
 
-use proptest::prelude::*;
+use webfindit_base::prop::{self, string_from, vec_of};
+use webfindit_base::rng::StdRng;
 use webfindit_tassili::ast::{render_pred, Arg, LinkTarget, Literal, PredOp, Predicate};
 use webfindit_tassili::{parse, Statement};
 
-fn arb_name() -> impl Strategy<Value = String> {
-    // Multi-word names like the paper's ("Royal Brisbane Hospital"),
-    // avoiding WebTassili keywords as words.
-    proptest::collection::vec("[A-Z][a-z]{1,8}", 1..4).prop_map(|ws| ws.join(" "))
-        .prop_filter("no keywords", |s| {
-            !s.split(' ').any(|w| {
-                matches!(
-                    w.to_ascii_lowercase().as_str(),
-                    "of" | "to" | "from" | "under" | "on" | "with" | "and" | "or" | "not"
-                        | "class" | "instance" | "coalition" | "description" | "documentation"
-                        | "find" | "display" | "connect" | "join" | "leave" | "link" | "invoke"
-                        | "submit" | "native" | "create" | "dissolve" | "is" | "null" | "like"
-                        | "information" | "true" | "false" | "access" | "interface" | "document"
-                        | "instances" | "subclasses" | "coalitions" | "databases"
-                )
-            })
-        })
+const UPPER: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+const IDENT_TAIL: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_";
+const STR_CHARS: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 '%_.-";
+const NATIVE_CHARS: &str =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 =*<>_.,-";
+const DOC_CHARS: &str = "abcdefghijklmnopqrstuvwxyz ";
+
+fn name_word_is_keyword(w: &str) -> bool {
+    matches!(
+        w.to_ascii_lowercase().as_str(),
+        "of" | "to"
+            | "from"
+            | "under"
+            | "on"
+            | "with"
+            | "and"
+            | "or"
+            | "not"
+            | "class"
+            | "instance"
+            | "coalition"
+            | "description"
+            | "documentation"
+            | "find"
+            | "display"
+            | "connect"
+            | "join"
+            | "leave"
+            | "link"
+            | "invoke"
+            | "submit"
+            | "native"
+            | "create"
+            | "dissolve"
+            | "is"
+            | "null"
+            | "like"
+            | "information"
+            | "true"
+            | "false"
+            | "access"
+            | "interface"
+            | "document"
+            | "instances"
+            | "subclasses"
+            | "coalitions"
+            | "databases"
+    )
 }
 
-fn arb_ident() -> impl Strategy<Value = String> {
-    "[A-Z][A-Za-z0-9_]{0,10}".prop_filter("no keywords", |s| {
-        !matches!(
+/// Multi-word names like the paper's ("Royal Brisbane Hospital"),
+/// avoiding WebTassili keywords as words.
+fn arb_name(rng: &mut StdRng) -> String {
+    loop {
+        let n_words = rng.gen_range(1..4usize);
+        let words: Vec<String> = (0..n_words)
+            .map(|_| {
+                let mut w = string_from(rng, UPPER, 1);
+                let tail = rng.gen_range(1usize..9);
+                w.push_str(&string_from(rng, LOWER, tail));
+                w
+            })
+            .collect();
+        if !words.iter().any(|w| name_word_is_keyword(w)) {
+            return words.join(" ");
+        }
+    }
+}
+
+fn arb_ident(rng: &mut StdRng) -> String {
+    loop {
+        let mut s = string_from(rng, UPPER, 1);
+        let tail = rng.gen_range(0usize..11);
+        s.push_str(&string_from(rng, IDENT_TAIL, tail));
+        if !matches!(
             s.to_ascii_lowercase().as_str(),
             "on" | "and" | "or" | "not" | "is" | "null" | "like" | "true" | "false"
-        )
-    })
+        ) {
+            return s;
+        }
+    }
 }
 
-fn arb_literal() -> impl Strategy<Value = Literal> {
-    prop_oneof![
-        (0i64..1_000_000).prop_map(Literal::Int),
-        "[a-zA-Z0-9 '%_.-]{0,16}".prop_map(Literal::Str),
-        any::<bool>().prop_map(Literal::Bool),
-    ]
+fn arb_literal(rng: &mut StdRng) -> Literal {
+    match rng.gen_range(0..3) {
+        0 => Literal::Int(rng.gen_range(0i64..1_000_000)),
+        1 => {
+            let len = rng.gen_range(0usize..17);
+            Literal::Str(string_from(rng, STR_CHARS, len))
+        }
+        _ => Literal::Bool(rng.gen_bool(0.5)),
+    }
 }
 
-fn arb_op() -> impl Strategy<Value = PredOp> {
-    prop_oneof![
-        Just(PredOp::Eq),
-        Just(PredOp::Ne),
-        Just(PredOp::Lt),
-        Just(PredOp::Le),
-        Just(PredOp::Gt),
-        Just(PredOp::Ge),
-    ]
+fn arb_op(rng: &mut StdRng) -> PredOp {
+    [
+        PredOp::Eq,
+        PredOp::Ne,
+        PredOp::Lt,
+        PredOp::Le,
+        PredOp::Gt,
+        PredOp::Ge,
+    ][rng.gen_range(0..6usize)]
 }
 
-fn arb_pred() -> impl Strategy<Value = Predicate> {
-    let leaf = (arb_ident(), arb_ident(), arb_op(), arb_literal()).prop_map(
-        |(t, a, op, value)| Predicate::Cmp {
-            path: format!("{t}.{a}"),
-            op,
-            value,
+fn arb_pred(rng: &mut StdRng, depth: u32) -> Predicate {
+    let pick = if depth == 0 { 0 } else { rng.gen_range(0..6) };
+    match pick {
+        1 => Predicate::And(
+            Box::new(arb_pred(rng, depth - 1)),
+            Box::new(arb_pred(rng, depth - 1)),
+        ),
+        2 => Predicate::Or(
+            Box::new(arb_pred(rng, depth - 1)),
+            Box::new(arb_pred(rng, depth - 1)),
+        ),
+        3 => Predicate::Not(Box::new(arb_pred(rng, depth - 1))),
+        _ => {
+            let (t, a) = (arb_ident(rng), arb_ident(rng));
+            Predicate::Cmp {
+                path: format!("{t}.{a}"),
+                op: arb_op(rng),
+                value: arb_literal(rng),
+            }
+        }
+    }
+}
+
+fn arb_statement(rng: &mut StdRng) -> Statement {
+    match rng.gen_range(0..15) {
+        0 => Statement::FindCoalitions {
+            topic: arb_name(rng),
         },
-    );
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Predicate::Not(Box::new(a))),
-        ]
-    })
-}
-
-fn arb_statement() -> impl Strategy<Value = Statement> {
-    prop_oneof![
-        arb_name().prop_map(|topic| Statement::FindCoalitions { topic }),
-        arb_name().prop_map(|topic| Statement::FindDatabases { topic }),
-        arb_name().prop_map(|name| Statement::ConnectToCoalition { name }),
-        arb_name().prop_map(|class| Statement::DisplaySubclasses { class }),
-        arb_name().prop_map(|class| Statement::DisplayInstances { class }),
-        (arb_name(), proptest::option::of(arb_name()))
-            .prop_map(|(instance, class)| Statement::DisplayDocument { instance, class }),
-        arb_name().prop_map(|instance| Statement::DisplayAccessInfo { instance }),
-        arb_name().prop_map(|instance| Statement::DisplayInterface { instance }),
-        (arb_name(), "[a-zA-Z0-9 =*<>_.,-]{1,40}")
-            .prop_map(|(instance, query)| Statement::Native { instance, query }),
-        (arb_name(), proptest::option::of(arb_name()), proptest::option::of("[a-z ]{1,20}".prop_map(String::from)))
-            .prop_map(|(name, parent, documentation)| Statement::CreateCoalition {
-                name,
-                parent,
-                documentation
-            }),
-        arb_name().prop_map(|name| Statement::DissolveCoalition { name }),
-        (arb_name(), arb_name()).prop_map(|(instance, coalition)| Statement::Join {
-            instance,
-            coalition
-        }),
-        (arb_name(), arb_name()).prop_map(|(instance, coalition)| Statement::Leave {
-            instance,
-            coalition
-        }),
-        (arb_name(), arb_name(), any::<bool>(), any::<bool>())
-            .prop_map(|(a, b, ca, cb)| Statement::AddLink {
+        1 => Statement::FindDatabases {
+            topic: arb_name(rng),
+        },
+        2 => Statement::ConnectToCoalition {
+            name: arb_name(rng),
+        },
+        3 => Statement::DisplaySubclasses {
+            class: arb_name(rng),
+        },
+        4 => Statement::DisplayInstances {
+            class: arb_name(rng),
+        },
+        5 => Statement::DisplayDocument {
+            instance: arb_name(rng),
+            class: if rng.gen_bool(0.5) {
+                Some(arb_name(rng))
+            } else {
+                None
+            },
+        },
+        6 => Statement::DisplayAccessInfo {
+            instance: arb_name(rng),
+        },
+        7 => Statement::DisplayInterface {
+            instance: arb_name(rng),
+        },
+        8 => Statement::Native {
+            instance: arb_name(rng),
+            query: {
+                let len = rng.gen_range(1usize..41);
+                string_from(rng, NATIVE_CHARS, len)
+            },
+        },
+        9 => Statement::CreateCoalition {
+            name: arb_name(rng),
+            parent: if rng.gen_bool(0.5) {
+                Some(arb_name(rng))
+            } else {
+                None
+            },
+            documentation: if rng.gen_bool(0.5) {
+                Some({
+                    let len = rng.gen_range(1usize..21);
+                    string_from(rng, DOC_CHARS, len)
+                })
+            } else {
+                None
+            },
+        },
+        10 => Statement::DissolveCoalition {
+            name: arb_name(rng),
+        },
+        11 => Statement::Join {
+            instance: arb_name(rng),
+            coalition: arb_name(rng),
+        },
+        12 => Statement::Leave {
+            instance: arb_name(rng),
+            coalition: arb_name(rng),
+        },
+        13 => {
+            let (a, b) = (arb_name(rng), arb_name(rng));
+            let (ca, cb) = (rng.gen_bool(0.5), rng.gen_bool(0.5));
+            Statement::AddLink {
                 from: if ca {
                     LinkTarget::Coalition(a)
                 } else {
@@ -115,43 +218,53 @@ fn arb_statement() -> impl Strategy<Value = Statement> {
                     LinkTarget::Instance(b)
                 },
                 description: None,
+            }
+        }
+        _ => Statement::Invoke {
+            instance: arb_name(rng),
+            type_name: arb_ident(rng),
+            function: arb_ident(rng),
+            args: vec_of(rng, 0..3, |r| {
+                if r.gen_bool(0.5) {
+                    Arg::Predicate(arb_pred(r, 3))
+                } else {
+                    let (t, a) = (arb_ident(r), arb_ident(r));
+                    Arg::AttrRef(format!("{t}.{a}"))
+                }
             }),
-        (arb_name(), arb_ident(), arb_ident(), proptest::collection::vec(
-            prop_oneof![
-                arb_pred().prop_map(Arg::Predicate),
-                (arb_ident(), arb_ident()).prop_map(|(t, a)| Arg::AttrRef(format!("{t}.{a}"))),
-            ],
-            0..3
-        ))
-            .prop_map(|(instance, type_name, function, args)| Statement::Invoke {
-                instance,
-                type_name,
-                function,
-                args
-            }),
-    ]
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn display_parse_roundtrip(stmt in arb_statement()) {
+#[test]
+fn display_parse_roundtrip() {
+    prop::cases(256, |rng| {
+        let stmt = arb_statement(rng);
         let text = stmt.to_string();
         let reparsed = parse(&text);
-        prop_assert!(reparsed.is_ok(), "failed to reparse {text:?}: {reparsed:?}");
-        prop_assert_eq!(reparsed.unwrap(), stmt, "roundtrip of {}", text);
-    }
+        assert!(reparsed.is_ok(), "failed to reparse {text:?}: {reparsed:?}");
+        assert_eq!(reparsed.unwrap(), stmt, "roundtrip of {text}");
+    });
+}
 
-    #[test]
-    fn rendered_predicates_reparse(p in arb_pred()) {
+#[test]
+fn rendered_predicates_reparse() {
+    prop::cases(256, |rng| {
+        let p = arb_pred(rng, 3);
         let text = format!("Invoke T.F(({})) On Instance D;", render_pred(&p));
         let stmt = parse(&text);
-        prop_assert!(stmt.is_ok(), "predicate rendering unparseable: {text}");
-    }
+        assert!(stmt.is_ok(), "predicate rendering unparseable: {text}");
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_noise(s in "[ -~]{0,80}") {
+#[test]
+fn parser_never_panics_on_noise() {
+    prop::cases(256, |rng| {
+        // Printable ASCII noise (space through tilde).
+        let len = rng.gen_range(0..80usize);
+        let s: String = (0..len)
+            .map(|_| rng.gen_range(0x20u8..0x7f) as char)
+            .collect();
         let _ = parse(&s);
-    }
+    });
 }

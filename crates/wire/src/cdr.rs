@@ -17,7 +17,6 @@
 //! sequences, and nested encapsulations (used by tagged IOR profiles).
 
 use crate::{WireError, WireResult, MAX_MESSAGE_SIZE};
-use bytes::{BufMut, BytesMut};
 
 /// Byte order used by an encoder or found in an encapsulation flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,7 +56,7 @@ impl ByteOrder {
 /// body or encapsulation being produced.
 #[derive(Debug)]
 pub struct CdrWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
     order: ByteOrder,
 }
 
@@ -65,7 +64,7 @@ impl CdrWriter {
     /// Create a writer producing bytes in the given order.
     pub fn new(order: ByteOrder) -> Self {
         CdrWriter {
-            buf: BytesMut::with_capacity(128),
+            buf: Vec::with_capacity(128),
             order,
         }
     }
@@ -87,7 +86,7 @@ impl CdrWriter {
 
     /// Consume the writer, returning the encoded bytes.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 
     /// Pad with zero octets until the cursor is aligned to `align` bytes.
@@ -96,14 +95,14 @@ impl CdrWriter {
         let misalign = self.buf.len() % align;
         if misalign != 0 {
             for _ in 0..(align - misalign) {
-                self.buf.put_u8(0);
+                self.buf.push(0);
             }
         }
     }
 
     /// Write a single octet (no alignment needed).
     pub fn write_octet(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Write a boolean as a single octet (1 = true, 0 = false).
@@ -115,8 +114,8 @@ impl CdrWriter {
     pub fn write_short(&mut self, v: i16) {
         self.align(2);
         match self.order {
-            ByteOrder::BigEndian => self.buf.put_i16(v),
-            ByteOrder::LittleEndian => self.buf.put_i16_le(v),
+            ByteOrder::BigEndian => self.buf.extend_from_slice(&v.to_be_bytes()),
+            ByteOrder::LittleEndian => self.buf.extend_from_slice(&v.to_le_bytes()),
         }
     }
 
@@ -124,8 +123,8 @@ impl CdrWriter {
     pub fn write_ushort(&mut self, v: u16) {
         self.align(2);
         match self.order {
-            ByteOrder::BigEndian => self.buf.put_u16(v),
-            ByteOrder::LittleEndian => self.buf.put_u16_le(v),
+            ByteOrder::BigEndian => self.buf.extend_from_slice(&v.to_be_bytes()),
+            ByteOrder::LittleEndian => self.buf.extend_from_slice(&v.to_le_bytes()),
         }
     }
 
@@ -133,8 +132,8 @@ impl CdrWriter {
     pub fn write_long(&mut self, v: i32) {
         self.align(4);
         match self.order {
-            ByteOrder::BigEndian => self.buf.put_i32(v),
-            ByteOrder::LittleEndian => self.buf.put_i32_le(v),
+            ByteOrder::BigEndian => self.buf.extend_from_slice(&v.to_be_bytes()),
+            ByteOrder::LittleEndian => self.buf.extend_from_slice(&v.to_le_bytes()),
         }
     }
 
@@ -142,8 +141,8 @@ impl CdrWriter {
     pub fn write_ulong(&mut self, v: u32) {
         self.align(4);
         match self.order {
-            ByteOrder::BigEndian => self.buf.put_u32(v),
-            ByteOrder::LittleEndian => self.buf.put_u32_le(v),
+            ByteOrder::BigEndian => self.buf.extend_from_slice(&v.to_be_bytes()),
+            ByteOrder::LittleEndian => self.buf.extend_from_slice(&v.to_le_bytes()),
         }
     }
 
@@ -151,8 +150,8 @@ impl CdrWriter {
     pub fn write_longlong(&mut self, v: i64) {
         self.align(8);
         match self.order {
-            ByteOrder::BigEndian => self.buf.put_i64(v),
-            ByteOrder::LittleEndian => self.buf.put_i64_le(v),
+            ByteOrder::BigEndian => self.buf.extend_from_slice(&v.to_be_bytes()),
+            ByteOrder::LittleEndian => self.buf.extend_from_slice(&v.to_le_bytes()),
         }
     }
 
@@ -160,8 +159,8 @@ impl CdrWriter {
     pub fn write_ulonglong(&mut self, v: u64) {
         self.align(8);
         match self.order {
-            ByteOrder::BigEndian => self.buf.put_u64(v),
-            ByteOrder::LittleEndian => self.buf.put_u64_le(v),
+            ByteOrder::BigEndian => self.buf.extend_from_slice(&v.to_be_bytes()),
+            ByteOrder::LittleEndian => self.buf.extend_from_slice(&v.to_le_bytes()),
         }
     }
 
@@ -169,8 +168,8 @@ impl CdrWriter {
     pub fn write_float(&mut self, v: f32) {
         self.align(4);
         match self.order {
-            ByteOrder::BigEndian => self.buf.put_f32(v),
-            ByteOrder::LittleEndian => self.buf.put_f32_le(v),
+            ByteOrder::BigEndian => self.buf.extend_from_slice(&v.to_be_bytes()),
+            ByteOrder::LittleEndian => self.buf.extend_from_slice(&v.to_le_bytes()),
         }
     }
 
@@ -178,8 +177,8 @@ impl CdrWriter {
     pub fn write_double(&mut self, v: f64) {
         self.align(8);
         match self.order {
-            ByteOrder::BigEndian => self.buf.put_f64(v),
-            ByteOrder::LittleEndian => self.buf.put_f64_le(v),
+            ByteOrder::BigEndian => self.buf.extend_from_slice(&v.to_be_bytes()),
+            ByteOrder::LittleEndian => self.buf.extend_from_slice(&v.to_le_bytes()),
         }
     }
 
@@ -193,20 +192,20 @@ impl CdrWriter {
             return Err(WireError::EmbeddedNul);
         }
         self.write_ulong(s.len() as u32 + 1);
-        self.buf.put_slice(s.as_bytes());
-        self.buf.put_u8(0);
+        self.buf.extend_from_slice(s.as_bytes());
+        self.buf.push(0);
         Ok(())
     }
 
     /// Write a `sequence<octet>`: ulong length then raw bytes.
     pub fn write_octets(&mut self, bytes: &[u8]) {
         self.write_ulong(bytes.len() as u32);
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Write raw bytes with no length prefix (caller manages framing).
     pub fn write_raw(&mut self, bytes: &[u8]) {
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Write a nested encapsulation: a `sequence<octet>` whose first octet
@@ -253,11 +252,7 @@ impl<'a> CdrReader<'a> {
             });
         }
         let order = ByteOrder::from_flag(buf[0])?;
-        Ok(CdrReader {
-            buf,
-            pos: 1,
-            order,
-        })
+        Ok(CdrReader { buf, pos: 1, order })
     }
 
     /// The byte order this reader decodes with.

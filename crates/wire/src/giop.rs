@@ -580,10 +580,7 @@ mod tests {
     fn reply_roundtrip() {
         let msg = reply_ok(
             7,
-            Value::Sequence(vec![
-                Value::string("Research"),
-                Value::string("Medical"),
-            ]),
+            Value::Sequence(vec![Value::string("Research"), Value::string("Medical")]),
         );
         assert_eq!(roundtrip(&msg, ByteOrder::LittleEndian), msg);
     }

@@ -70,6 +70,18 @@ impl FramedTcp {
             stream: self.stream.try_clone()?,
         })
     }
+
+    /// Set or clear the read timeout on the underlying stream.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> WireResult<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sever both directions of the underlying stream, unblocking any
+    /// thread parked in `recv_frame` on a clone of this transport.
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
 }
 
 impl Transport for FramedTcp {
@@ -119,9 +131,7 @@ pub fn duplex() -> (PipeTransport, PipeTransport) {
 
 impl Transport for PipeTransport {
     fn send_frame(&mut self, frame: &[u8]) -> WireResult<()> {
-        self.tx
-            .send(frame.to_vec())
-            .map_err(|_| WireError::Closed)
+        self.tx.send(frame.to_vec()).map_err(|_| WireError::Closed)
     }
 
     fn recv_frame(&mut self) -> WireResult<Vec<u8>> {
@@ -234,10 +244,7 @@ mod tests {
     fn pipe_close_detected() {
         let (mut a, b) = duplex();
         drop(b);
-        assert!(matches!(
-            a.send_frame(&[0u8; 12]),
-            Err(WireError::Closed)
-        ));
+        assert!(matches!(a.send_frame(&[0u8; 12]), Err(WireError::Closed)));
         assert!(matches!(a.recv_frame(), Err(WireError::Closed)));
     }
 
@@ -290,10 +297,7 @@ mod tests {
                 ByteOrder::BigEndian,
             )
             .unwrap();
-        assert!(matches!(
-            b.recv_message(),
-            Err(WireError::BadMagic(_))
-        ));
+        assert!(matches!(b.recv_message(), Err(WireError::BadMagic(_))));
     }
 
     #[test]
@@ -321,10 +325,7 @@ mod tests {
                 ByteOrder::BigEndian,
             )
             .unwrap();
-        assert!(matches!(
-            b.recv_message(),
-            Err(WireError::TooLarge { .. })
-        ));
+        assert!(matches!(b.recv_message(), Err(WireError::TooLarge { .. })));
     }
 
     #[test]

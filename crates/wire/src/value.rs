@@ -74,12 +74,7 @@ impl Value {
         I: IntoIterator<Item = (S, Value)>,
         S: Into<String>,
     {
-        Value::Struct(
-            fields
-                .into_iter()
-                .map(|(n, v)| (n.into(), v))
-                .collect(),
-        )
+        Value::Struct(fields.into_iter().map(|(n, v)| (n.into(), v)).collect())
     }
 
     /// Shorthand for a string value.

@@ -4,108 +4,159 @@
 //! message, `decode(encode(x)) == x` in both byte orders, and hostile
 //! inputs never panic the decoder.
 
-use proptest::prelude::*;
+use webfindit_base::prop::{self, string_of, vec_of};
+use webfindit_base::rng::StdRng;
 use webfindit_wire::cdr::{ByteOrder, CdrReader, CdrWriter};
 use webfindit_wire::giop::{self, GiopMessage};
 use webfindit_wire::ior::Ior;
 use webfindit_wire::value::Value;
 
-/// Strategy producing arbitrary `Value` trees of bounded depth.
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Void),
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<u8>().prop_map(Value::Octet),
-        any::<i16>().prop_map(Value::Short),
-        any::<i32>().prop_map(Value::Long),
-        any::<i64>().prop_map(Value::LongLong),
-        any::<u32>().prop_map(Value::ULong),
-        any::<f32>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan())
-            .prop_map(Value::Float),
-        any::<f64>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan())
-            .prop_map(Value::Double),
-        "[a-zA-Z0-9 _.-]{0,40}".prop_map(Value::Str),
-        ("[a-zA-Z:/.0-9]{1,30}", "[a-z]{1,12}", any::<u16>(), proptest::collection::vec(any::<u8>(), 0..16))
-            .prop_map(|(tid, host, port, key)| Value::ObjectRef(Ior::new_iiop(tid, host, port, key))),
-    ];
-    leaf.prop_recursive(3, 24, 6, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Sequence),
-            proptest::collection::vec(("[a-z_]{1,10}", inner), 0..6).prop_map(Value::Struct),
-        ]
-    })
+const IDENT: &str = "abcdefghijklmnopqrstuvwxyz";
+const TEXT: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _.-";
+const HOSTY: &str = "abcdefghijklmnopqrstuvwxyz.0123456789";
+const TIDY: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ:/.0123456789";
+
+fn arb_f32(rng: &mut StdRng) -> f32 {
+    // Arbitrary bit patterns, excluding NaN (breaks PartialEq).
+    loop {
+        let f = f32::from_bits(rng.next_u64() as u32);
+        if !f.is_nan() {
+            return f;
+        }
+    }
 }
 
-fn arb_order() -> impl Strategy<Value = ByteOrder> {
-    prop_oneof![Just(ByteOrder::BigEndian), Just(ByteOrder::LittleEndian)]
+fn arb_f64(rng: &mut StdRng) -> f64 {
+    loop {
+        let f = f64::from_bits(rng.next_u64());
+        if !f.is_nan() {
+            return f;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_ior(rng: &mut StdRng) -> Ior {
+    Ior::new_iiop(
+        string_of(rng, TIDY, 1..30),
+        string_of(rng, IDENT, 1..12),
+        rng.next_u64() as u16,
+        vec_of(rng, 0..16, |r| r.next_u64() as u8),
+    )
+}
 
-    #[test]
-    fn value_roundtrips(v in arb_value(), order in arb_order()) {
+/// An arbitrary `Value` tree of bounded depth.
+fn arb_value(rng: &mut StdRng, depth: u32) -> Value {
+    // At depth 0 only leaves; otherwise leaves 2/3 of the time.
+    let n_leaf = 12;
+    let pick = if depth == 0 {
+        rng.gen_range(0..n_leaf)
+    } else {
+        rng.gen_range(0..n_leaf + 6)
+    };
+    match pick {
+        0 => Value::Void,
+        1 => Value::Null,
+        2 => Value::Bool(rng.gen_bool(0.5)),
+        3 => Value::Octet(rng.next_u64() as u8),
+        4 => Value::Short(rng.next_u64() as i16),
+        5 => Value::Long(rng.next_u64() as i32),
+        6 => Value::LongLong(rng.next_u64() as i64),
+        7 => Value::ULong(rng.next_u64() as u32),
+        8 => Value::Float(arb_f32(rng)),
+        9 => Value::Double(arb_f64(rng)),
+        10 => Value::Str(string_of(rng, TEXT, 0..40)),
+        11 => Value::ObjectRef(arb_ior(rng)),
+        n if n < n_leaf + 3 => Value::Sequence(vec_of(rng, 0..6, |r| arb_value(r, depth - 1))),
+        _ => Value::Struct(vec_of(rng, 0..6, |r| {
+            (string_of(r, IDENT, 1..10), arb_value(r, depth - 1))
+        })),
+    }
+}
+
+fn arb_order(rng: &mut StdRng) -> ByteOrder {
+    if rng.gen_bool(0.5) {
+        ByteOrder::BigEndian
+    } else {
+        ByteOrder::LittleEndian
+    }
+}
+
+#[test]
+fn value_roundtrips() {
+    prop::cases(256, |rng| {
+        let v = arb_value(rng, 3);
+        let order = arb_order(rng);
         let mut w = CdrWriter::new(order);
         v.encode(&mut w).unwrap();
         let bytes = w.into_bytes();
         let mut r = CdrReader::new(&bytes, order);
         let back = Value::decode(&mut r).unwrap();
-        prop_assert_eq!(back, v);
-        prop_assert!(r.is_exhausted());
-    }
+        assert_eq!(back, v);
+        assert!(r.is_exhausted());
+    });
+}
 
-    #[test]
-    fn request_roundtrips(
-        id in any::<u32>(),
-        key in proptest::collection::vec(any::<u8>(), 0..32),
-        op in "[a-z_]{1,24}",
-        args in proptest::collection::vec(arb_value(), 0..4),
-        order in arb_order(),
-    ) {
+#[test]
+fn request_roundtrips() {
+    prop::cases(256, |rng| {
+        let id = rng.next_u64() as u32;
+        let key = vec_of(rng, 0..32, |r| r.next_u64() as u8);
+        let op = string_of(rng, IDENT, 1..24);
+        let args = vec_of(rng, 0..4, |r| arb_value(r, 2));
+        let order = arb_order(rng);
         let msg = giop::request(id, key, op, args);
         let frame = msg.encode(order).unwrap();
-        prop_assert_eq!(GiopMessage::decode_frame(&frame).unwrap(), msg);
-    }
+        assert_eq!(GiopMessage::decode_frame(&frame).unwrap(), msg);
+    });
+}
 
-    #[test]
-    fn reply_roundtrips(id in any::<u32>(), body in arb_value(), order in arb_order()) {
+#[test]
+fn reply_roundtrips() {
+    prop::cases(256, |rng| {
+        let id = rng.next_u64() as u32;
+        let body = arb_value(rng, 3);
+        let order = arb_order(rng);
         let msg = giop::reply_ok(id, body);
         let frame = msg.encode(order).unwrap();
-        prop_assert_eq!(GiopMessage::decode_frame(&frame).unwrap(), msg);
-    }
+        assert_eq!(GiopMessage::decode_frame(&frame).unwrap(), msg);
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn decoder_never_panics_on_noise() {
+    prop::cases(256, |rng| {
         // Any byte soup must produce Ok or Err — never a panic.
+        let bytes = vec_of(rng, 0..256, |r| r.next_u64() as u8);
         let _ = GiopMessage::decode_frame(&bytes);
         let mut r = CdrReader::new(&bytes, ByteOrder::BigEndian);
         let _ = Value::decode(&mut r);
-    }
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_bitflipped_frames(
-        v in arb_value(),
-        order in arb_order(),
-        flip_at in any::<prop::sample::Index>(),
-        flip_mask in 1u8..=255,
-    ) {
+#[test]
+fn decoder_never_panics_on_bitflipped_frames() {
+    prop::cases(256, |rng| {
+        let v = arb_value(rng, 3);
+        let order = arb_order(rng);
         let msg = giop::reply_ok(1, v);
         let mut frame = msg.encode(order).unwrap();
-        let i = flip_at.index(frame.len());
+        let i = rng.gen_range(0..frame.len());
+        let flip_mask = rng.gen_range(1u8..=255);
         frame[i] ^= flip_mask;
         let _ = GiopMessage::decode_frame(&frame);
-    }
+    });
+}
 
-    #[test]
-    fn ior_stringified_roundtrips(
-        tid in "[A-Za-z:/.0-9]{1,40}",
-        host in "[a-z.0-9]{1,20}",
-        port in any::<u16>(),
-        key in proptest::collection::vec(any::<u8>(), 0..24),
-    ) {
-        let ior = Ior::new_iiop(tid, host, port, key);
+#[test]
+fn ior_stringified_roundtrips() {
+    prop::cases(256, |rng| {
+        let ior = Ior::new_iiop(
+            string_of(rng, TIDY, 1..40),
+            string_of(rng, HOSTY, 1..20),
+            rng.next_u64() as u16,
+            vec_of(rng, 0..24, |r| r.next_u64() as u8),
+        );
         let s = ior.to_stringified();
-        prop_assert_eq!(Ior::from_stringified(&s).unwrap(), ior);
-    }
+        assert_eq!(Ior::from_stringified(&s).unwrap(), ior);
+    });
 }

@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run -p webfindit-examples --example healthcare_tour`
 
-use webfindit::trace::Trace;
 use webfindit::processor::Processor;
 use webfindit::session::BrowserSession;
+use webfindit::trace::Trace;
 use webfindit_examples::{banner, block};
 use webfindit_healthcare::sessions::SECTION5_SCRIPT;
 use webfindit_healthcare::{build_healthcare, coalitions, databases, service_links};

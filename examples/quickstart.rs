@@ -17,8 +17,10 @@ fn site(fed: &Arc<Federation>, name: &str, orb: &str, dialect: Dialect, topic: &
     db.execute("CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)")
         .expect("create");
     for i in 0..3 {
-        db.execute(&format!("INSERT INTO notes VALUES ({i}, 'note {i} at {name}')"))
-            .expect("insert");
+        db.execute(&format!(
+            "INSERT INTO notes VALUES ({i}, 'note {i} at {name}')"
+        ))
+        .expect("insert");
     }
     fed.add_relational_site(
         SiteSpec {
@@ -40,16 +42,32 @@ fn main() {
     let fed = Federation::new().expect("federation");
     fed.add_orb("Orbix", "orbix.example.net", 9000, ByteOrder::BigEndian)
         .expect("orb");
-    fed.add_orb("VisiBroker", "visi.example.net", 9001, ByteOrder::LittleEndian)
-        .expect("orb");
+    fed.add_orb(
+        "VisiBroker",
+        "visi.example.net",
+        9001,
+        ByteOrder::LittleEndian,
+    )
+    .expect("orb");
     site(&fed, "ClinicA", "Orbix", Dialect::Oracle, "patient care");
     site(&fed, "ClinicB", "VisiBroker", Dialect::Db2, "patient care");
-    site(&fed, "LabC", "VisiBroker", Dialect::MSql, "pathology results");
+    site(
+        &fed,
+        "LabC",
+        "VisiBroker",
+        Dialect::MSql,
+        "pathology results",
+    );
     println!("sites: {:?}", fed.site_names());
 
     banner("2. Organize: a coalition and a service link");
     let calls = fed
-        .form_coalition("PatientCare", None, "patient care providers", &["ClinicA", "ClinicB"])
+        .form_coalition(
+            "PatientCare",
+            None,
+            "patient care providers",
+            &["ClinicA", "ClinicB"],
+        )
         .expect("coalition");
     println!("formed coalition PatientCare ({calls} ORB calls)");
     let calls = fed

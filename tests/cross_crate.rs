@@ -74,16 +74,16 @@ fn the_three_organizations_agree_on_answerability() {
         let bc = flat.find(topic).unwrap();
         let cx = central.find(topic).unwrap();
         // Broadcast and central see the whole world identically.
-        assert_eq!(
-            bc.found(),
-            cx.found(),
-            "broadcast vs central on {topic:?}"
-        );
+        assert_eq!(bc.found(), cx.found(), "broadcast vs central on {topic:?}");
         // WebFINDIT from QUT must find everything the world contains
         // that is reachable through its relationships; on the healthcare
         // topology everything is connected, so answerability matches.
         let wf = engine.find("QUT Research", topic).unwrap();
-        assert_eq!(wf.found(), bc.found(), "webfindit vs broadcast on {topic:?}");
+        assert_eq!(
+            wf.found(),
+            bc.found(),
+            "webfindit vs broadcast on {topic:?}"
+        );
     }
     dep.fed.shutdown();
 }
