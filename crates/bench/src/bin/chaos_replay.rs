@@ -1,0 +1,81 @@
+//! Seeded chaos replay over the healthcare federation.
+//!
+//! Builds the 14-site deployment, generates a `ChaosPlan` from the seed
+//! given on the command line (default 1999), executes it step by step,
+//! and interleaves discovery queries, printing a fully deterministic
+//! transcript: the plan digest, every applied event, and for each query
+//! whether it found leads and which sites were degraded. The CI `chaos`
+//! job runs this twice per seed and diffs the transcripts — any
+//! nondeterminism in the schedule or in degradation behaviour shows up
+//! as a diff.
+
+use std::thread;
+use std::time::Duration;
+use webfindit::discovery::DiscoveryEngine;
+use webfindit::orb::CallOptions;
+use webfindit_bench::header;
+use webfindit_healthcare::build_healthcare;
+
+/// Queries issued after every plan step: a start site and a topic whose
+/// answer crosses ORB boundaries.
+const QUERIES: &[(&str, &str)] = &[
+    ("QUT Research", "Medical Insurance"),
+    ("Medicare", "Medical Research"),
+];
+
+fn main() {
+    let plan_seed: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("seed must be a u64"))
+        .unwrap_or(1999);
+
+    header("Chaos replay", "seeded fault schedule against healthcare");
+    let dep = build_healthcare(1999).expect("healthcare deployment");
+    // Bound every remote hop: a site whose replies are being dropped
+    // must cost a deadline, not an indefinite hang.
+    dep.fed
+        .set_call_options(CallOptions::with_deadline(Duration::from_millis(80)));
+    let engine = DiscoveryEngine::new(dep.fed.clone());
+
+    let plan = dep.chaos_plan(plan_seed, 16);
+    println!("plan seed: {plan_seed}");
+    println!("plan digest: {:#018x}", plan.digest());
+    println!("events: {}", plan.events().len());
+
+    for step in 1..=plan.last_step() {
+        for line in plan.apply_step(step, &*dep.fed) {
+            println!("{line}");
+        }
+        // Let any breaker opened by a previous step finish its cooldown
+        // so probe admission depends on endpoint health, not timing.
+        thread::sleep(Duration::from_millis(60));
+        for (start, topic) in QUERIES {
+            let out = engine
+                .find(start, topic)
+                .expect("discovery itself never errors");
+            let mut lost = out.degraded_sites();
+            lost.sort_unstable();
+            lost.dedup();
+            println!(
+                "  find {topic:?} from {start:?}: found={} complete={} degraded={lost:?}",
+                out.found(),
+                out.complete(),
+            );
+        }
+    }
+
+    // The generated schedule heals everything it inflicts, so the
+    // closing state must be a whole federation again.
+    thread::sleep(Duration::from_millis(60));
+    for (start, topic) in QUERIES {
+        let out = engine.find(start, topic).expect("final discovery");
+        println!(
+            "final {topic:?} from {start:?}: found={} complete={}",
+            out.found(),
+            out.complete(),
+        );
+        assert!(out.complete(), "healed federation must answer completely");
+    }
+    println!("replay of seed {plan_seed} complete");
+    dep.fed.shutdown();
+}

@@ -1,5 +1,5 @@
 //! Shared helpers for the benchmark harness and the figure/experiment
-//! regeneration binaries. See DESIGN.md §5 for the experiment index and
+//! regeneration binaries. See DESIGN.md §6 for the experiment index and
 //! EXPERIMENTS.md for recorded results.
 
 #![warn(missing_docs)]

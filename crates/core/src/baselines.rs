@@ -82,7 +82,11 @@ impl FlatBroadcast {
         if !leads.is_empty() {
             stats.found_at_level = Some(1);
         }
-        Ok(DiscoveryOutcome { leads, stats })
+        Ok(DiscoveryOutcome {
+            leads,
+            degraded: Vec::new(),
+            stats,
+        })
     }
 }
 
@@ -207,6 +211,10 @@ impl CentralIndex {
         if !leads.is_empty() {
             stats.found_at_level = Some(1);
         }
-        Ok(DiscoveryOutcome { leads, stats })
+        Ok(DiscoveryOutcome {
+            leads,
+            degraded: Vec::new(),
+            stats,
+        })
     }
 }

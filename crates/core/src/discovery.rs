@@ -91,11 +91,30 @@ impl DiscoveryStats {
     }
 }
 
+/// A site whose co-database could not be consulted during discovery.
+///
+/// Sites are autonomous: they crash and leave without telling anyone.
+/// Discovery degrades gracefully — it keeps the answer it can compute
+/// from the reachable subtree and reports what it had to skip, so the
+/// user knows the answer may be partial and which repository to blame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteFailure {
+    /// The unreachable site.
+    pub site: String,
+    /// BFS distance at which the probe failed.
+    pub distance: usize,
+    /// Rendered cause (naming failure, connect refusal, deadline, …).
+    pub reason: String,
+}
+
 /// The outcome of one discovery.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiscoveryOutcome {
     /// All leads found at the first productive level.
     pub leads: Vec<Lead>,
+    /// Sites the traversal could not reach; non-empty means `leads`
+    /// covers only the surviving subtree of the federation.
+    pub degraded: Vec<SiteFailure>,
     /// Cost accounting.
     pub stats: DiscoveryStats,
 }
@@ -104,6 +123,16 @@ impl DiscoveryOutcome {
     /// True if anything was found.
     pub fn found(&self) -> bool {
         !self.leads.is_empty()
+    }
+
+    /// True if every consulted site answered (the result is complete).
+    pub fn complete(&self) -> bool {
+        self.degraded.is_empty()
+    }
+
+    /// Names of the sites that could not be consulted.
+    pub fn degraded_sites(&self) -> Vec<&str> {
+        self.degraded.iter().map(|f| f.site.as_str()).collect()
     }
 }
 
@@ -187,8 +216,13 @@ impl DiscoveryEngine {
     }
 
     /// Run discovery for `topic`, starting at `start_site`.
+    ///
+    /// A dead or unreachable site never aborts the traversal: it is
+    /// recorded in [`DiscoveryOutcome::degraded`] and the search keeps
+    /// walking the surviving subtree of coalitions and service links.
     pub fn find(&self, start_site: &str, topic: &str) -> WfResult<DiscoveryOutcome> {
         let mut stats = DiscoveryStats::default();
+        let mut degraded: Vec<SiteFailure> = Vec::new();
         let start = self.fed.site(start_site)?;
         let mut visited: BTreeSet<String> = BTreeSet::new();
         visited.insert(start.name.to_ascii_lowercase());
@@ -239,7 +273,11 @@ impl DiscoveryEngine {
         }
         if !leads.is_empty() {
             stats.found_at_level = Some(0);
-            return Ok(DiscoveryOutcome { leads, stats });
+            return Ok(DiscoveryOutcome {
+                leads,
+                degraded,
+                stats,
+            });
         }
 
         // ---- levels 1..max_depth: remote co-databases ----
@@ -259,7 +297,15 @@ impl DiscoveryEngine {
                 stats.sites_visited += 1;
                 let ior = match self.resolve_codb(&site, &mut stats) {
                     Ok(ior) => ior,
-                    Err(_) => continue, // site down / unknown — degrade gracefully
+                    Err(e) => {
+                        // Site unknown to naming — degrade gracefully.
+                        degraded.push(SiteFailure {
+                            site: site.clone(),
+                            distance: depth,
+                            reason: e.to_string(),
+                        });
+                        continue;
+                    }
                 };
                 // Probe for both coalition and link leads — the paper's
                 // browser shows the user every kind of lead a repository
@@ -281,7 +327,16 @@ impl DiscoveryEngine {
                             });
                         }
                     }
-                    Err(_) => continue,
+                    Err(e) => {
+                        // The co-database is down or unreachable: record
+                        // it and keep walking the reachable subtree.
+                        degraded.push(SiteFailure {
+                            site: site.clone(),
+                            distance: depth,
+                            reason: e.to_string(),
+                        });
+                        continue;
+                    }
                 }
                 match self.remote_links(&ior, "find_links", &[Value::string(topic)], &mut stats) {
                     Ok(links) => {
@@ -294,7 +349,14 @@ impl DiscoveryEngine {
                             });
                         }
                     }
-                    Err(_) => continue,
+                    Err(e) => {
+                        degraded.push(SiteFailure {
+                            site: site.clone(),
+                            distance: depth,
+                            reason: e.to_string(),
+                        });
+                        continue;
+                    }
                 }
                 if found_here {
                     continue;
@@ -315,10 +377,18 @@ impl DiscoveryEngine {
             }
             if !leads.is_empty() {
                 stats.found_at_level = Some(depth);
-                return Ok(DiscoveryOutcome { leads, stats });
+                return Ok(DiscoveryOutcome {
+                    leads,
+                    degraded,
+                    stats,
+                });
             }
             frontier = next;
         }
-        Ok(DiscoveryOutcome { leads, stats })
+        Ok(DiscoveryOutcome {
+            leads,
+            degraded,
+            stats,
+        })
     }
 }

@@ -16,10 +16,10 @@
 //! experiments can count its cost in IIOP round-trips.
 
 use crate::docs::DocStore;
-use crate::servants::{link_to_value, CoDatabaseServant, IsiServant};
+use crate::servants::{link_to_value, CoDatabaseServant, IsiServant, StallGate};
 use crate::value_map::descriptor_to_value;
 use crate::{WebfinditError, WfResult};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use webfindit_base::sync::RwLock;
 use webfindit_codb::{CoDatabase, InformationSource, ServiceLink};
@@ -27,6 +27,7 @@ use webfindit_connect::manager::standard_manager;
 use webfindit_connect::{BridgeKind, DataSourceRegistry, DriverManager};
 use webfindit_oostore::method::MethodTable;
 use webfindit_oostore::ObjectStore;
+use webfindit_orb::chaos::{ChaosHost, ChaosRegistry, ChaosTargets};
 use webfindit_orb::naming::{NamingClient, NamingService, NAMING_OBJECT_KEY};
 use webfindit_orb::{CallOptions, Orb, OrbConfig, OrbDomain};
 use webfindit_relstore::{Database, Dialect};
@@ -133,6 +134,8 @@ pub struct SiteHandle {
     pub isi_ior: Ior,
     /// The full advertisement descriptor.
     pub descriptor: InformationSource,
+    /// Shared stall gate of the co-database servant (chaos hook).
+    pub stall: StallGate,
 }
 
 /// One WebFINDIT deployment.
@@ -149,6 +152,9 @@ pub struct Federation {
     /// Per-call policy (deadline, retry) applied to every outgoing
     /// invocation made on this federation's behalf.
     call_options: RwLock<CallOptions>,
+    /// ORBs currently killed by a chaos plan (kill is idempotent;
+    /// restart only brings back what kill took down).
+    downed_orbs: RwLock<BTreeSet<String>>,
 }
 
 impl Federation {
@@ -180,6 +186,7 @@ impl Federation {
             naming,
             naming_ior,
             call_options: RwLock::new(CallOptions::default()),
+            downed_orbs: RwLock::new(BTreeSet::new()),
         }))
     }
 
@@ -316,10 +323,14 @@ impl Federation {
         };
 
         let codb = Arc::new(RwLock::new(CoDatabase::new(spec.name.clone())));
+        let stall = StallGate::new();
         let codb_key = format!("codb/{}", spec.name);
         let codb_ior = orb.activate(
             codb_key.as_bytes().to_vec(),
-            Arc::new(CoDatabaseServant::new(Arc::clone(&codb))),
+            Arc::new(CoDatabaseServant::with_gate(
+                Arc::clone(&codb),
+                stall.clone(),
+            )),
         );
         let isi_key = format!("isi/{}", spec.name);
         let isi_ior = orb.activate(
@@ -342,6 +353,7 @@ impl Federation {
             codb_ior,
             isi_ior,
             descriptor,
+            stall,
         };
         self.sites
             .write()
@@ -578,6 +590,81 @@ impl Federation {
         Ok(calls)
     }
 
+    // ---- chaos: killing, restarting, degrading ------------------------
+
+    /// The fault-control plane shared with every IIOP channel.
+    pub fn chaos_registry(&self) -> Arc<ChaosRegistry> {
+        self.domain.chaos_registry()
+    }
+
+    /// What a generated [`webfindit_orb::ChaosPlan`] may target in this
+    /// deployment: every site, and every ORB's advertised endpoint.
+    pub fn chaos_targets(&self) -> ChaosTargets {
+        ChaosTargets {
+            sites: self.site_names(),
+            endpoints: self
+                .orbs
+                .read()
+                .values()
+                .map(|orb| orb.advertised_endpoint())
+                .collect(),
+        }
+    }
+
+    /// Kill an ORB: its server loop stops, its endpoint leaves the
+    /// domain, every site it hosts goes dark. Returns `false` when the
+    /// ORB is already down (kill is idempotent).
+    pub fn kill_orb(&self, name: &str) -> WfResult<bool> {
+        let orb = self.orb(name)?;
+        if !self.downed_orbs.write().insert(name.to_owned()) {
+            return Ok(false);
+        }
+        orb.shutdown();
+        Ok(true)
+    }
+
+    /// Restart a killed ORB on its original advertised endpoint and
+    /// re-activate the servants of every site it hosts. Existing IORs
+    /// stay valid: they carry the advertised `(host, port)`, which now
+    /// resolves to the new listener. Returns `false` when the ORB was
+    /// not down.
+    pub fn restart_orb(&self, name: &str) -> WfResult<bool> {
+        let old = self.orb(name)?;
+        if !self.downed_orbs.write().remove(name) {
+            return Ok(false);
+        }
+        let (host, port) = old.advertised_endpoint();
+        let orb = Orb::start(
+            OrbConfig::new(name, host, port, old.byte_order()),
+            Arc::clone(&self.domain),
+        )?;
+        for site in self.sites.read().values() {
+            if site.orb_name != name {
+                continue;
+            }
+            let codb_key = format!("codb/{}", site.name);
+            orb.activate(
+                codb_key.as_bytes().to_vec(),
+                Arc::new(CoDatabaseServant::with_gate(
+                    Arc::clone(&site.codb),
+                    site.stall.clone(),
+                )),
+            );
+            let isi_key = format!("isi/{}", site.name);
+            orb.activate(
+                isi_key.as_bytes().to_vec(),
+                Arc::new(IsiServant::new(Arc::clone(&self.manager), site.url.clone())),
+            );
+        }
+        self.orbs.write().insert(name.to_owned(), orb);
+        Ok(true)
+    }
+
+    /// ORB names currently killed by [`Federation::kill_orb`].
+    pub fn downed_orbs(&self) -> Vec<String> {
+        self.downed_orbs.read().iter().cloned().collect()
+    }
+
     /// Shut down every ORB (bootstrap last).
     pub fn shutdown(&self) {
         for orb in self.orbs.read().values() {
@@ -590,6 +677,49 @@ impl Federation {
 impl Drop for Federation {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Lets a [`webfindit_orb::ChaosPlan`] drive a live federation.
+///
+/// "Site" actions resolve through the site's hosting ORB: killing a
+/// site kills its ORB's server loop (taking sibling sites down with it,
+/// exactly as a machine crash would in the paper's deployment), and
+/// stalls flip the site's servant-level [`StallGate`]. Unknown sites
+/// and redundant kills report `false` so plans can log no-ops.
+impl ChaosHost for Federation {
+    fn kill_site(&self, site: &str) -> bool {
+        let Ok(handle) = self.site(site) else {
+            return false;
+        };
+        self.kill_orb(&handle.orb_name).unwrap_or(false)
+    }
+
+    fn restart_site(&self, site: &str) -> bool {
+        let Ok(handle) = self.site(site) else {
+            return false;
+        };
+        self.restart_orb(&handle.orb_name).unwrap_or(false)
+    }
+
+    fn stall_site(&self, site: &str, millis: u64) -> bool {
+        let Ok(handle) = self.site(site) else {
+            return false;
+        };
+        handle.stall.stall(millis);
+        true
+    }
+
+    fn unstall_site(&self, site: &str) -> bool {
+        let Ok(handle) = self.site(site) else {
+            return false;
+        };
+        handle.stall.clear();
+        true
+    }
+
+    fn chaos_registry(&self) -> Arc<ChaosRegistry> {
+        self.domain.chaos_registry()
     }
 }
 

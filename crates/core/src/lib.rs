@@ -42,12 +42,16 @@ pub mod synth;
 pub mod trace;
 pub mod value_map;
 
-pub use discovery::{DiscoveryEngine, DiscoveryOutcome, Lead};
+pub use discovery::{DiscoveryEngine, DiscoveryOutcome, Lead, SiteFailure};
 pub use docs::{DocFormat, DocStore, Document};
 pub use federation::{Federation, SiteHandle, SiteSpec};
 pub use processor::{Processor, Response};
+pub use servants::StallGate;
 pub use session::BrowserSession;
 pub use trace::{Layer, Trace, TraceEvent};
+/// Re-export of the communication layer (needed by deployments for
+/// chaos plans and breaker configuration).
+pub use webfindit_orb as orb;
 /// Re-export of the wire layer (needed by deployments for [`federation::Federation::add_orb`]).
 pub use webfindit_wire as wire;
 

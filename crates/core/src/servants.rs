@@ -75,15 +75,66 @@ pub fn value_to_link(v: &Value) -> Result<ServiceLink, ServantError> {
     })
 }
 
+/// A shared stall gate: while set, the owning servant holds every
+/// request for the configured number of milliseconds before serving it.
+///
+/// This is the chaos hook for "stall a servant" — the handle lives in
+/// the deployment's [`SiteHandle`](crate::federation::SiteHandle), so a
+/// chaos plan can slow a live site without restarting anything. Cloning
+/// shares the gate.
+#[derive(Debug, Clone, Default)]
+pub struct StallGate(Arc<std::sync::atomic::AtomicU64>);
+
+impl StallGate {
+    /// A gate that starts open (no stall).
+    pub fn new() -> StallGate {
+        StallGate::default()
+    }
+
+    /// Hold each subsequent request for `millis` before serving it.
+    pub fn stall(&self, millis: u64) {
+        self.0.store(millis, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Lift the stall.
+    pub fn clear(&self) {
+        self.stall(0);
+    }
+
+    /// The currently configured hold, in milliseconds (0 = none).
+    pub fn millis(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Serve-side: wait out the configured hold, if any.
+    fn wait(&self) {
+        let ms = self.millis();
+        if ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+}
+
 /// The co-database server object.
 pub struct CoDatabaseServant {
     codb: Arc<RwLock<CoDatabase>>,
+    stall: StallGate,
 }
 
 impl CoDatabaseServant {
     /// Wrap a shared co-database.
     pub fn new(codb: Arc<RwLock<CoDatabase>>) -> CoDatabaseServant {
-        CoDatabaseServant { codb }
+        Self::with_gate(codb, StallGate::new())
+    }
+
+    /// Wrap a shared co-database around an externally held stall gate.
+    pub fn with_gate(codb: Arc<RwLock<CoDatabase>>, stall: StallGate) -> CoDatabaseServant {
+        CoDatabaseServant { codb, stall }
+    }
+
+    /// The servant's stall gate (shared; chaos plans flip it live).
+    pub fn stall_gate(&self) -> StallGate {
+        self.stall.clone()
     }
 }
 
@@ -97,6 +148,7 @@ impl Servant for CoDatabaseServant {
     }
 
     fn invoke(&self, operation: &str, args: &[Value]) -> InvokeResult {
+        self.stall.wait();
         match operation {
             "owner" => Ok(Value::string(self.codb.read().owner().to_owned())),
             "find_coalitions" => {

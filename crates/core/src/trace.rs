@@ -75,9 +75,11 @@ impl Trace {
     }
 
     /// Record a Communication-layer event annotated with the live state
-    /// of the IIOP channel layer — the in-flight gauge and the timeout,
-    /// retry, and eviction counters — so a rendered trace shows what
-    /// the multiplexed channels were doing at that moment.
+    /// of the IIOP channel layer — the in-flight gauge, the timeout,
+    /// retry, and eviction counters, and the circuit-breaker transition
+    /// counters — so a rendered trace shows what the multiplexed
+    /// channels were doing (and which endpoints were being shed) at
+    /// that moment.
     pub fn channel_event(
         &mut self,
         message: impl Into<String>,
@@ -87,12 +89,17 @@ impl Trace {
         self.event(
             Layer::Communication,
             format!(
-                "{} [in-flight {}, timeouts {}, retries {}, evictions {}]",
+                "{} [in-flight {}, timeouts {}, retries {}, evictions {}, \
+                 breaker opened {}/probes {}/closed {}/rejected {}]",
                 message.into(),
                 m.in_flight,
                 m.timeouts,
                 m.retries,
-                m.evictions
+                m.evictions,
+                m.breaker_opened,
+                m.breaker_probes,
+                m.breaker_closed,
+                m.breaker_rejections
             ),
         );
     }

@@ -1,5 +1,5 @@
 //! Property-based tests on the discovery algorithm over randomized
-//! synthetic federations (DESIGN.md §6):
+//! synthetic federations (DESIGN.md §7):
 //!
 //! * **Completeness** — every advertised topic is findable from every
 //!   start site (the ring topology keeps the federation connected).

@@ -5,6 +5,7 @@ use crate::topology::{coalitions, databases, service_links, OrbName};
 use std::sync::Arc;
 use webfindit::docs::{DocFormat, Document};
 use webfindit::federation::{Federation, SiteSpec, SiteVendor};
+use webfindit::orb::chaos::{ChaosPlan, ChaosRegistry, ChaosTargets};
 use webfindit::wire::cdr::ByteOrder;
 use webfindit::WfResult;
 use webfindit_relstore::Dialect;
@@ -17,6 +18,28 @@ pub struct HealthcareDeployment {
     pub wiring_calls: u64,
     /// The seed used for data generation.
     pub seed: u64,
+}
+
+impl HealthcareDeployment {
+    /// The sites and advertised ORB endpoints a chaos plan may target
+    /// in this deployment.
+    pub fn chaos_targets(&self) -> ChaosTargets {
+        self.fed.chaos_targets()
+    }
+
+    /// Generate a seeded, replayable fault schedule of `events` events
+    /// against this deployment's sites and endpoints. The same seed over
+    /// the same topology yields the identical schedule, so a chaos run
+    /// can be reproduced exactly from its seed alone.
+    pub fn chaos_plan(&self, seed: u64, events: usize) -> ChaosPlan {
+        ChaosPlan::generate(seed, &self.chaos_targets(), events)
+    }
+
+    /// The fault-control plane shared by every channel in the
+    /// federation's ORB domain.
+    pub fn chaos_registry(&self) -> Arc<ChaosRegistry> {
+        self.fed.chaos_registry()
+    }
 }
 
 /// Build the full 14-database healthcare federation: three ORBs
@@ -200,6 +223,20 @@ mod tests {
         }
         assert_eq!(servants, 28, "14 co-databases + 14 ISIs");
         assert!(dep.wiring_calls > 0);
+        dep.fed.shutdown();
+    }
+
+    #[test]
+    fn chaos_plans_replay_over_the_real_topology() {
+        let dep = build_healthcare(1999).unwrap();
+        let targets = dep.chaos_targets();
+        assert_eq!(targets.sites.len(), 14);
+        assert_eq!(targets.endpoints.len(), 3, "one endpoint per named ORB");
+        let a = dep.chaos_plan(7, 10);
+        let b = dep.chaos_plan(7, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), dep.chaos_plan(8, 10).digest());
         dep.fed.shutdown();
     }
 

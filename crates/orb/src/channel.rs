@@ -23,6 +23,7 @@
 //!   after a complete send is surfaced instead of resent, because a
 //!   blind resend can execute a non-idempotent operation twice.
 
+use crate::chaos::ChaosRegistry;
 use crate::metrics::OrbMetrics;
 use crate::OrbError;
 use std::collections::HashMap;
@@ -78,6 +79,158 @@ impl RetryPolicy {
     /// Never retry, even when provably safe.
     pub fn never() -> Self {
         RetryPolicy { attempts: 1 }
+    }
+}
+
+/// Configuration of the per-endpoint circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects calls before admitting one
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Observable circuit-breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally; failures are being counted.
+    Closed,
+    /// Too many consecutive failures: calls are rejected without
+    /// touching the wire until the cooldown elapses.
+    Open,
+    /// One probe call is in flight; its outcome decides Open vs Closed.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+}
+
+/// A per-endpoint circuit breaker: closed → open after
+/// `failure_threshold` consecutive failures → half-open after
+/// `cooldown` (one probe admitted) → closed again on probe success.
+///
+/// The survival rationale is the paper's autonomy story: sites leave
+/// the federation without coordination, and a discovery traversal that
+/// re-pays a connect timeout for every probe of a dead site never
+/// finishes educating the user. An open breaker converts those repeated
+/// waits into immediate, retriable-elsewhere rejections.
+struct Breaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl Breaker {
+    fn new(config: BreakerConfig) -> Breaker {
+        Breaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_in_flight: false,
+            }),
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        let inner = self.inner.lock();
+        // An open breaker past its cooldown is *about to* admit a probe;
+        // report it as open until a call actually transitions it.
+        inner.state
+    }
+
+    /// Admission decision for one call. `Ok(is_probe)` lets the call
+    /// through; `Err(())` means the breaker is open and the call must
+    /// fail fast without touching the wire.
+    fn admit(&self, metrics: &OrbMetrics) -> Result<bool, ()> {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => Ok(false),
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .is_some_and(|at| at.elapsed() >= self.config.cooldown);
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_in_flight = true;
+                    metrics.add(&metrics.breaker_probes, 1);
+                    Ok(true)
+                } else {
+                    metrics.add(&metrics.breaker_rejections, 1);
+                    Err(())
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_in_flight {
+                    metrics.add(&metrics.breaker_rejections, 1);
+                    Err(())
+                } else {
+                    inner.probe_in_flight = true;
+                    metrics.add(&metrics.breaker_probes, 1);
+                    Ok(true)
+                }
+            }
+        }
+    }
+
+    fn on_success(&self, metrics: &OrbMetrics) {
+        let mut inner = self.inner.lock();
+        if inner.state != BreakerState::Closed {
+            metrics.add(&metrics.breaker_closed, 1);
+        }
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+        inner.probe_in_flight = false;
+    }
+
+    fn on_failure(&self, was_probe: bool, metrics: &OrbMetrics) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::HalfOpen if was_probe => {
+                // The probe failed: back to open, restart the cooldown.
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.probe_in_flight = false;
+                metrics.add(&metrics.breaker_opened, 1);
+            }
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    metrics.add(&metrics.breaker_opened, 1);
+                }
+            }
+            // Already open (a straggler from before the trip), or a
+            // non-probe failure racing a half-open probe: no transition.
+            _ => {}
+        }
     }
 }
 
@@ -225,6 +378,10 @@ pub struct IiopChannel {
     metrics: Arc<OrbMetrics>,
     conns: Mutex<Vec<Arc<MuxConn>>>,
     max_conns: usize,
+    breaker: Breaker,
+    /// Shared chaos registry: connection refusals and per-endpoint
+    /// fault slots installed on every dialed connection.
+    chaos: Arc<ChaosRegistry>,
     /// Resolver from advertised endpoint to a connectable socket addr.
     resolve: Box<dyn Fn() -> Option<std::net::SocketAddr> + Send + Sync>,
 }
@@ -235,6 +392,8 @@ impl IiopChannel {
         order: ByteOrder,
         metrics: Arc<OrbMetrics>,
         max_conns: usize,
+        breaker: BreakerConfig,
+        chaos: Arc<ChaosRegistry>,
         resolve: Box<dyn Fn() -> Option<std::net::SocketAddr> + Send + Sync>,
     ) -> Self {
         IiopChannel {
@@ -243,8 +402,15 @@ impl IiopChannel {
             metrics,
             conns: Mutex::new(Vec::new()),
             max_conns: max_conns.max(1),
+            breaker: Breaker::new(breaker),
+            chaos,
             resolve,
         }
+    }
+
+    /// Current state of this endpoint's circuit breaker.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
     }
 
     /// Number of currently live multiplexed connections.
@@ -287,6 +453,16 @@ impl IiopChannel {
 
     fn dial(&self) -> Result<Arc<MuxConn>, CallFailure> {
         let (host, port) = &self.endpoint;
+        if self.chaos.refuses(host, *port) {
+            // The chaos plan says this co-database refuses connections:
+            // fail exactly like a connect error (provably never sent).
+            return Err(CallFailure::never_sent(OrbError::Wire(WireError::Io(
+                std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    format!("chaos: {host}:{port} refuses connections"),
+                ),
+            ))));
+        }
         let addr = (self.resolve)().ok_or_else(|| {
             CallFailure::never_sent(OrbError::UnknownHost {
                 host: host.clone(),
@@ -298,7 +474,11 @@ impl IiopChannel {
         stream
             .set_nodelay(true)
             .map_err(|e| CallFailure::never_sent(OrbError::Wire(WireError::Io(e))))?;
-        let writer = FramedTcp::new(stream);
+        let mut writer = FramedTcp::new(stream);
+        // Share the registry's per-endpoint slot so a chaos plan can
+        // flip faults on this connection after it is live. The reader
+        // clone below inherits the same slot.
+        writer.install_fault_slot(self.chaos.fault_slot(host, *port));
         let reader = writer
             .try_clone()
             .map_err(|e| CallFailure::never_sent(OrbError::Wire(e)))?;
@@ -318,8 +498,37 @@ impl IiopChannel {
     }
 
     /// Send `frame` (already carrying `request_id`) and wait for the
-    /// routed reply, respecting `deadline`.
+    /// routed reply, respecting `deadline`. The endpoint's circuit
+    /// breaker gates admission: an open breaker rejects instantly
+    /// (classified `NeverSent`, so the caller may fail over to another
+    /// profile), and the outcome of every admitted call feeds back into
+    /// the breaker.
     pub(crate) fn call(
+        &self,
+        request_id: u32,
+        frame: &[u8],
+        deadline: Option<Duration>,
+    ) -> Result<GiopMessage, CallFailure> {
+        let Ok(is_probe) = self.breaker.admit(&self.metrics) else {
+            let (host, port) = &self.endpoint;
+            return Err(CallFailure::never_sent(OrbError::CircuitOpen {
+                host: host.clone(),
+                port: *port,
+            }));
+        };
+        match self.call_inner(request_id, frame, deadline) {
+            Ok(msg) => {
+                self.breaker.on_success(&self.metrics);
+                Ok(msg)
+            }
+            Err(failure) => {
+                self.breaker.on_failure(is_probe, &self.metrics);
+                Err(failure)
+            }
+        }
+    }
+
+    fn call_inner(
         &self,
         request_id: u32,
         frame: &[u8],

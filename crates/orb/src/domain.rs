@@ -10,6 +10,7 @@
 //! which ORB instances exist, which is what the Figure-2 regeneration
 //! binary walks to print the implementation map.
 
+use crate::chaos::ChaosRegistry;
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -20,6 +21,9 @@ use webfindit_base::sync::RwLock;
 pub struct OrbDomain {
     endpoints: RwLock<BTreeMap<(String, u16), SocketAddr>>,
     orb_names: RwLock<Vec<String>>,
+    /// Fault-control plane shared by every channel in the domain; a
+    /// [`crate::chaos::ChaosPlan`] mutates it to degrade endpoints.
+    chaos: Arc<ChaosRegistry>,
 }
 
 impl OrbDomain {
@@ -44,9 +48,19 @@ impl OrbDomain {
         self.endpoints.read().get(&(host.to_owned(), port)).copied()
     }
 
-    /// Record an ORB instance name for deployment listings.
+    /// The fault-control plane shared by every channel in this domain.
+    pub fn chaos_registry(&self) -> Arc<ChaosRegistry> {
+        Arc::clone(&self.chaos)
+    }
+
+    /// Record an ORB instance name for deployment listings. A restart
+    /// re-registers the same name; the listing keeps one entry.
     pub fn register_orb(&self, name: impl Into<String>) {
-        self.orb_names.write().push(name.into());
+        let name = name.into();
+        let mut names = self.orb_names.write();
+        if !names.contains(&name) {
+            names.push(name);
+        }
     }
 
     /// Names of all ORB instances registered in this domain.

@@ -26,6 +26,7 @@
 
 pub mod adapter;
 pub mod channel;
+pub mod chaos;
 pub mod domain;
 pub mod metrics;
 pub mod naming;
@@ -33,7 +34,8 @@ pub mod orb;
 pub mod servant;
 
 pub use adapter::ObjectAdapter;
-pub use channel::{CallOptions, IiopChannel, RetryPolicy};
+pub use channel::{BreakerConfig, BreakerState, CallOptions, IiopChannel, RetryPolicy};
+pub use chaos::{ChaosAction, ChaosEvent, ChaosHost, ChaosPlan, ChaosRegistry, ChaosTargets};
 pub use domain::OrbDomain;
 pub use metrics::{EndpointLatency, OrbMetrics};
 pub use naming::{NamingClient, NamingService};
@@ -84,6 +86,15 @@ pub enum OrbError {
         /// The unresolved name.
         name: String,
     },
+    /// The endpoint's circuit breaker is open: recent calls failed
+    /// consecutively and the cooldown has not elapsed, so the call was
+    /// rejected without touching the wire. Safe to retry elsewhere.
+    CircuitOpen {
+        /// Advertised host of the tripped endpoint.
+        host: String,
+        /// Advertised port of the tripped endpoint.
+        port: u16,
+    },
 }
 
 impl fmt::Display for OrbError {
@@ -107,6 +118,9 @@ impl fmt::Display for OrbError {
                 write!(f, "deadline of {operation_deadline:?} expired before reply")
             }
             OrbError::NameNotFound { name } => write!(f, "name not bound: {name}"),
+            OrbError::CircuitOpen { host, port } => {
+                write!(f, "circuit breaker open for endpoint {host}:{port}")
+            }
         }
     }
 }

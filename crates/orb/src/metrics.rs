@@ -43,6 +43,14 @@ pub struct OrbMetrics {
     pub evictions: AtomicU64,
     /// Replies that arrived after their caller had given up.
     pub late_replies: AtomicU64,
+    /// Circuit breakers tripped open (too many consecutive failures).
+    pub breaker_opened: AtomicU64,
+    /// Half-open probe invocations admitted through an open breaker.
+    pub breaker_probes: AtomicU64,
+    /// Breakers re-closed after a successful half-open probe.
+    pub breaker_closed: AtomicU64,
+    /// Calls rejected immediately because the endpoint's breaker was open.
+    pub breaker_rejections: AtomicU64,
     /// Per-endpoint reply latency accumulators.
     latencies: Mutex<HashMap<(String, u16), EndpointLatency>>,
 }
@@ -99,6 +107,14 @@ pub struct MetricsSnapshot {
     pub evictions: u64,
     /// See [`OrbMetrics::late_replies`].
     pub late_replies: u64,
+    /// See [`OrbMetrics::breaker_opened`].
+    pub breaker_opened: u64,
+    /// See [`OrbMetrics::breaker_probes`].
+    pub breaker_probes: u64,
+    /// See [`OrbMetrics::breaker_closed`].
+    pub breaker_closed: u64,
+    /// See [`OrbMetrics::breaker_rejections`].
+    pub breaker_rejections: u64,
 }
 
 impl MetricsSnapshot {
@@ -118,6 +134,10 @@ impl MetricsSnapshot {
             retries: self.retries - earlier.retries,
             evictions: self.evictions - earlier.evictions,
             late_replies: self.late_replies - earlier.late_replies,
+            breaker_opened: self.breaker_opened - earlier.breaker_opened,
+            breaker_probes: self.breaker_probes - earlier.breaker_probes,
+            breaker_closed: self.breaker_closed - earlier.breaker_closed,
+            breaker_rejections: self.breaker_rejections - earlier.breaker_rejections,
         }
     }
 
@@ -143,6 +163,10 @@ impl OrbMetrics {
             retries: self.retries.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             late_replies: self.late_replies.load(Ordering::Relaxed),
+            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
+            breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
+            breaker_closed: self.breaker_closed.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
         }
     }
 

@@ -25,7 +25,9 @@
 //! flag, which is the CORBA 2.0 interoperability story in miniature.
 
 use crate::adapter::ObjectAdapter;
-use crate::channel::{CallFailure, CallOptions, FailureClass, IiopChannel};
+use crate::channel::{
+    BreakerConfig, BreakerState, CallFailure, CallOptions, FailureClass, IiopChannel,
+};
 use crate::domain::OrbDomain;
 use crate::metrics::OrbMetrics;
 use crate::servant::Servant;
@@ -61,10 +63,12 @@ pub struct OrbConfig {
     /// Byte order this ORB marshals with (receivers adapt via the GIOP
     /// header flag).
     pub byte_order: ByteOrder,
+    /// Circuit-breaker policy applied to every client channel.
+    pub breaker: BreakerConfig,
 }
 
 impl OrbConfig {
-    /// Convenience constructor.
+    /// Convenience constructor (default breaker policy).
     pub fn new(
         name: impl Into<String>,
         advertised_host: impl Into<String>,
@@ -76,7 +80,14 @@ impl OrbConfig {
             advertised_host: advertised_host.into(),
             advertised_port,
             byte_order,
+            breaker: BreakerConfig::default(),
         }
+    }
+
+    /// Override the circuit-breaker policy.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
     }
 }
 
@@ -222,9 +233,15 @@ impl Orb {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(OrbError::ShutDown);
         }
-        let profiles = ior.iiop_profiles();
+        let mut profiles = ior.iiop_profiles();
         if profiles.is_empty() {
             return Err(OrbError::NoEndpoint);
+        }
+        // Health-scored profile selection: endpoints whose breaker is
+        // open go last, half-open after healthy ones. The sort is
+        // stable, so the IOR's own preference order breaks ties.
+        if profiles.len() > 1 {
+            profiles.sort_by_key(|p| self.profile_health(&p.host, p.port));
         }
         let mut last_err = None;
         for profile in &profiles {
@@ -388,6 +405,31 @@ impl Orb {
         Err(last_err.expect("profile loop ran at least once"))
     }
 
+    /// Health score for ordering an IOR's profiles: local collocation
+    /// is best, then endpoints with a closed (or not-yet-dialed)
+    /// breaker, then half-open, with tripped-open endpoints last.
+    fn profile_health(&self, host: &str, port: u16) -> u8 {
+        if self.is_local(host, port) {
+            return 0;
+        }
+        match self.channels.lock().get(&(host.to_owned(), port)) {
+            None => 1,
+            Some(ch) => match ch.breaker_state() {
+                BreakerState::Closed => 1,
+                BreakerState::HalfOpen => 2,
+                BreakerState::Open => 3,
+            },
+        }
+    }
+
+    /// The breaker state of the channel to `host:port`, if one exists.
+    pub fn breaker_state(&self, host: &str, port: u16) -> Option<BreakerState> {
+        self.channels
+            .lock()
+            .get(&(host.to_owned(), port))
+            .map(|ch| ch.breaker_state())
+    }
+
     /// The multiplexed channel for `host:port`, creating it on first use.
     fn channel_to(&self, host: &str, port: u16) -> Arc<IiopChannel> {
         let key = (host.to_owned(), port);
@@ -402,6 +444,8 @@ impl Orb {
             self.config.byte_order,
             Arc::clone(&self.metrics),
             MAX_CONNS_PER_ENDPOINT,
+            self.config.breaker,
+            self.domain.chaos_registry(),
             Box::new(move || domain.resolve(&rhost, rport)),
         ));
         channels.insert(key, Arc::clone(&channel));

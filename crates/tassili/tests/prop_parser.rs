@@ -1,0 +1,152 @@
+//! Fuzz-by-mutation for the WebTassili lexer and parser.
+//!
+//! Start from the real corpus — the §5 session script plus one of each
+//! remaining statement form — and apply seeded random mutations: byte
+//! flips, splices, truncations, duplications, case changes, token
+//! shuffles. Whatever comes out, `tokenize` and `parse` must return
+//! `Ok` or `Err`; a panic fails the property and prints the seed that
+//! reproduces it.
+
+use webfindit_base::prop::{self, pick, string_of};
+use webfindit_base::rng::StdRng;
+use webfindit_tassili::lexer::tokenize;
+use webfindit_tassili::parse;
+
+/// The paper's §5 session script plus an exemplar of every other
+/// statement form the grammar accepts.
+const CORPUS: &[&str] = &[
+    "Find Coalitions With Information Medical Research;",
+    "Find Databases With Information Medical Insurance;",
+    "Connect To Coalition Research;",
+    "Display SubClasses of Class Research;",
+    "Display Instances of Class Research;",
+    "Display Document of Instance Royal Brisbane Hospital Of Class Research;",
+    "Display Access Information of Instance Royal Brisbane Hospital;",
+    "Display Interface of Instance Royal Brisbane Hospital;",
+    "Invoke ResearchProjects.Funding(ResearchProjects.Title, \
+     (ResearchProjects.Title = 'AIDS and drugs')) On Instance Royal Brisbane Hospital;",
+    "Submit Native 'select * from medical_students' To Instance Royal Brisbane Hospital;",
+    "Create Coalition Medical Insurance Under Medical Documentation 'insurers';",
+    "Dissolve Coalition Superannuation;",
+    "Join Instance Prince Charles Hospital To Coalition Medical;",
+    "Leave Instance AMP From Coalition Superannuation;",
+    "Link Coalition Medical To Coalition Medical Insurance Description 'medical cover';",
+    "Invoke T.F((A.x > 3 And A.y Like 'z%') Or Not (A.w = true)) On Instance D;",
+];
+
+const NOISE: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 '();.,=<>*_-%";
+
+/// Apply one random mutation to `s`.
+fn mutate(rng: &mut StdRng, s: &str) -> String {
+    let mut bytes: Vec<u8> = s.bytes().collect();
+    match rng.gen_range(0..7) {
+        // Replace one byte with printable noise.
+        0 if !bytes.is_empty() => {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] = rng.gen_range(0x20u8..0x7f);
+        }
+        // Delete a random span.
+        1 if !bytes.is_empty() => {
+            let start = rng.gen_range(0..bytes.len());
+            let len = rng.gen_range(1..=8.min(bytes.len() - start));
+            bytes.drain(start..start + len);
+        }
+        // Insert a random printable string.
+        2 => {
+            let at = rng.gen_range(0..=bytes.len());
+            let ins = string_of(rng, NOISE, 1..9);
+            bytes.splice(at..at, ins.bytes());
+        }
+        // Truncate.
+        3 if !bytes.is_empty() => {
+            let keep = rng.gen_range(0..bytes.len());
+            bytes.truncate(keep);
+        }
+        // Duplicate a span in place (repeated keywords, doubled quotes).
+        4 if !bytes.is_empty() => {
+            let start = rng.gen_range(0..bytes.len());
+            let len = rng.gen_range(1..=6.min(bytes.len() - start));
+            let span: Vec<u8> = bytes[start..start + len].to_vec();
+            bytes.splice(start..start, span);
+        }
+        // Flip ASCII case across a span (keyword matching is
+        // case-insensitive; identifiers are not).
+        5 => {
+            for b in bytes.iter_mut() {
+                if rng.gen_bool(0.3) {
+                    if b.is_ascii_lowercase() {
+                        *b = b.to_ascii_uppercase();
+                    } else if b.is_ascii_uppercase() {
+                        *b = b.to_ascii_lowercase();
+                    }
+                }
+            }
+        }
+        // Swap two whitespace-delimited tokens.
+        _ => {
+            let mut words: Vec<&[u8]> = Vec::new();
+            let text = bytes.clone();
+            for w in text.split(|b| b.is_ascii_whitespace()) {
+                if !w.is_empty() {
+                    words.push(w);
+                }
+            }
+            if words.len() >= 2 {
+                let i = rng.gen_range(0..words.len());
+                let j = rng.gen_range(0..words.len());
+                words.swap(i, j);
+                bytes = words.join(&b' ');
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn prop_mutated_corpus_never_panics() {
+    prop::cases(512, |rng| {
+        let mut text = (*pick(rng, CORPUS)).to_owned();
+        let rounds = rng.gen_range(1..6usize);
+        for _ in 0..rounds {
+            text = mutate(rng, &text);
+        }
+        // Both layers must return, never unwind.
+        let toks = tokenize(&text);
+        let parsed = parse(&text);
+        // Coherence: if the lexer rejects the text, the parser (which
+        // lexes internally) must reject it too.
+        if toks.is_err() {
+            assert!(
+                parsed.is_err(),
+                "lexer rejected but parser accepted {text:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn prop_corpus_crossover_never_panics() {
+    // Splice the head of one corpus statement onto the tail of another
+    // — grammatical fragments in ungrammatical orders.
+    prop::cases(256, |rng| {
+        let a = *pick(rng, CORPUS);
+        let b = *pick(rng, CORPUS);
+        let cut_a = rng.gen_range(0..=a.len());
+        let cut_b = rng.gen_range(0..=b.len());
+        let mut text = String::new();
+        text.push_str(&a[..cut_a]);
+        text.push_str(&b[cut_b..]);
+        let _ = tokenize(&text);
+        let _ = parse(&text);
+    });
+}
+
+#[test]
+fn unmutated_corpus_parses() {
+    // Anchor: every corpus statement is genuinely grammatical, so the
+    // mutation tests start from accepted inputs.
+    for stmt in CORPUS {
+        tokenize(stmt).unwrap_or_else(|e| panic!("lexing {stmt:?}: {e}"));
+        parse(stmt).unwrap_or_else(|e| panic!("parsing {stmt:?}: {e}"));
+    }
+}

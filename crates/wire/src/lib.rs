@@ -35,7 +35,9 @@ pub mod value;
 pub use cdr::{ByteOrder, CdrReader, CdrWriter};
 pub use giop::{GiopHeader, GiopMessage, MessageKind, ReplyStatus, RequestHeader};
 pub use ior::{IiopProfile, Ior, TaggedProfile};
-pub use transport::{duplex, FramedTcp, PipeTransport, Transport};
+pub use transport::{
+    duplex, Fault, FaultSlot, FaultyTransport, FramedTcp, PipeTransport, Transport,
+};
 pub use value::Value;
 
 use std::fmt;

@@ -19,6 +19,7 @@ use crate::{WireError, WireResult};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A bidirectional, message-framed byte channel.
@@ -42,16 +43,190 @@ pub trait Transport: Send {
     }
 }
 
+/// Kinds of injected transport faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// Deliver frames untouched.
+    #[default]
+    None,
+    /// Cut each outgoing frame to at most this many bytes.
+    Truncate(usize),
+    /// Overwrite the GIOP magic of outgoing frames.
+    CorruptMagic,
+    /// Flip the declared body size to a huge value.
+    InflateSize,
+    /// Drop outgoing frames entirely (the receiver sees `Closed` when the
+    /// wrapper is later dropped, or blocks — callers pair this with
+    /// timeouts).
+    DropFrames,
+    /// Hold every frame for this many milliseconds before letting it
+    /// through (both directions) — simulated link latency.
+    DelayMs(u64),
+    /// Let this many frames through, then drop every later one (each
+    /// direction counts its own frames). Simulates a link that silently
+    /// starts losing traffic mid-conversation.
+    DropAfter(u64),
+    /// Sever the connection in the middle of the next frame: the send
+    /// path writes only half the frame before closing, so the peer sees
+    /// a genuine mid-frame connection loss; the receive path reports
+    /// `Closed` without delivering.
+    CloseMidFrame,
+}
+
+/// An [`Arc`]-shared, mutable fault setting.
+///
+/// The slot is shared between a transport and the chaos controller (and
+/// between the reader/writer clones of one TCP connection), so a test
+/// can flip the active fault on a *live* connection while traffic is in
+/// flight. Cloning shares the underlying slot.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSlot(Arc<Mutex<Fault>>);
+
+impl FaultSlot {
+    /// A slot pre-loaded with `fault`.
+    pub fn new(fault: Fault) -> Self {
+        FaultSlot(Arc::new(Mutex::new(fault)))
+    }
+
+    /// Replace the active fault.
+    pub fn set(&self, fault: Fault) {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = fault;
+    }
+
+    /// Back to faultless delivery.
+    pub fn clear(&self) {
+        self.set(Fault::None);
+    }
+
+    /// The currently active fault.
+    pub fn get(&self) -> Fault {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// What the fault logic decided to do with an outgoing frame.
+enum SendPlan {
+    /// Send these bytes.
+    Send(Vec<u8>),
+    /// Pretend success without sending anything.
+    Swallow,
+    /// Send these (partial) bytes, then sever the connection.
+    SendPartThenClose(Vec<u8>),
+}
+
+/// What the fault logic decided to do with a received frame.
+enum RecvPlan {
+    /// Hand the frame to the caller.
+    Deliver(Vec<u8>),
+    /// Silently discard it and wait for the next one.
+    Discard,
+    /// Sever the connection instead of delivering.
+    Close,
+}
+
+/// Per-transport fault bookkeeping around a shared [`FaultSlot`].
+///
+/// The slot is shared; the frame counters and the severed flag are per
+/// transport instance, so the writer and reader halves of one TCP
+/// connection count their own directions.
+#[derive(Debug, Default)]
+struct FaultState {
+    slot: FaultSlot,
+    sent: u64,
+    received: u64,
+    severed: bool,
+}
+
+impl FaultState {
+    fn plan_send(&mut self, frame: &[u8]) -> WireResult<SendPlan> {
+        if self.severed {
+            return Err(WireError::Closed);
+        }
+        Ok(match self.slot.get() {
+            Fault::None => SendPlan::Send(frame.to_vec()),
+            Fault::Truncate(n) => SendPlan::Send(frame[..frame.len().min(n)].to_vec()),
+            Fault::CorruptMagic => {
+                let mut f = frame.to_vec();
+                if f.len() >= 4 {
+                    f[..4].copy_from_slice(b"POIG");
+                }
+                SendPlan::Send(f)
+            }
+            Fault::InflateSize => {
+                let mut f = frame.to_vec();
+                if f.len() >= 12 {
+                    // Body size field at offset 8; write an absurd size in
+                    // the frame's own byte order (bit 0 of flags octet).
+                    let huge = (crate::MAX_MESSAGE_SIZE + 17).to_be_bytes();
+                    let huge_le = (crate::MAX_MESSAGE_SIZE + 17).to_le_bytes();
+                    if f[6] & 1 == 0 {
+                        f[8..12].copy_from_slice(&huge);
+                    } else {
+                        f[8..12].copy_from_slice(&huge_le);
+                    }
+                }
+                SendPlan::Send(f)
+            }
+            Fault::DropFrames => SendPlan::Swallow,
+            Fault::DelayMs(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                SendPlan::Send(frame.to_vec())
+            }
+            Fault::DropAfter(n) => {
+                self.sent += 1;
+                if self.sent <= n {
+                    SendPlan::Send(frame.to_vec())
+                } else {
+                    SendPlan::Swallow
+                }
+            }
+            Fault::CloseMidFrame => {
+                self.severed = true;
+                SendPlan::SendPartThenClose(frame[..frame.len() / 2].to_vec())
+            }
+        })
+    }
+
+    fn plan_recv(&mut self, frame: Vec<u8>) -> WireResult<RecvPlan> {
+        if self.severed {
+            return Err(WireError::Closed);
+        }
+        Ok(match self.slot.get() {
+            Fault::DelayMs(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                RecvPlan::Deliver(frame)
+            }
+            Fault::DropAfter(n) => {
+                self.received += 1;
+                if self.received <= n {
+                    RecvPlan::Deliver(frame)
+                } else {
+                    RecvPlan::Discard
+                }
+            }
+            Fault::CloseMidFrame => {
+                self.severed = true;
+                RecvPlan::Close
+            }
+            _ => RecvPlan::Deliver(frame),
+        })
+    }
+}
+
 /// GIOP framing over a TCP stream — the literal IIOP of the paper.
 #[derive(Debug)]
 pub struct FramedTcp {
     stream: TcpStream,
+    fault: FaultState,
 }
 
 impl FramedTcp {
     /// Wrap a connected stream.
     pub fn new(stream: TcpStream) -> Self {
-        FramedTcp { stream }
+        FramedTcp {
+            stream,
+            fault: FaultState::default(),
+        }
     }
 
     /// Connect to `host:port` with a bounded timeout so a dead endpoint
@@ -61,13 +236,19 @@ impl FramedTcp {
         let stream = TcpStream::connect(&addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        Ok(FramedTcp { stream })
+        Ok(FramedTcp::new(stream))
     }
 
     /// Clone the underlying stream (TCP streams are duplicable handles).
+    /// The fault slot is shared with the clone; frame counters are not,
+    /// so each direction of a split connection counts its own traffic.
     pub fn try_clone(&self) -> WireResult<Self> {
         Ok(FramedTcp {
             stream: self.stream.try_clone()?,
+            fault: FaultState {
+                slot: self.fault.slot.clone(),
+                ..FaultState::default()
+            },
         })
     }
 
@@ -82,30 +263,65 @@ impl FramedTcp {
     pub fn shutdown(&self) {
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
+
+    /// The fault slot governing this connection (shared with clones).
+    pub fn fault_slot(&self) -> FaultSlot {
+        self.fault.slot.clone()
+    }
+
+    /// Replace the fault slot, wiring this connection to an externally
+    /// controlled slot — the chaos hook: a [`crate::transport::FaultSlot`]
+    /// held by a chaos controller lets faults be flipped on the live
+    /// connection at any time.
+    pub fn install_fault_slot(&mut self, slot: FaultSlot) {
+        self.fault.slot = slot;
+    }
 }
 
 impl Transport for FramedTcp {
     fn send_frame(&mut self, frame: &[u8]) -> WireResult<()> {
-        self.stream.write_all(frame)?;
-        Ok(())
+        match self.fault.plan_send(frame)? {
+            SendPlan::Send(bytes) => {
+                self.stream.write_all(&bytes)?;
+                Ok(())
+            }
+            SendPlan::Swallow => Ok(()),
+            SendPlan::SendPartThenClose(bytes) => {
+                let _ = self.stream.write_all(&bytes);
+                self.shutdown();
+                Err(WireError::Closed)
+            }
+        }
     }
 
     fn recv_frame(&mut self) -> WireResult<Vec<u8>> {
-        let mut hdr = [0u8; 12];
-        if let Err(e) = self.stream.read_exact(&mut hdr) {
-            return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                WireError::Closed
-            } else {
-                WireError::Io(e)
-            });
+        loop {
+            if self.fault.severed {
+                return Err(WireError::Closed);
+            }
+            let mut hdr = [0u8; 12];
+            if let Err(e) = self.stream.read_exact(&mut hdr) {
+                return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    WireError::Closed
+                } else {
+                    WireError::Io(e)
+                });
+            }
+            let header = GiopHeader::from_bytes(&hdr)?;
+            let mut body = vec![0u8; header.body_size as usize];
+            self.stream.read_exact(&mut body)?;
+            let mut frame = Vec::with_capacity(12 + body.len());
+            frame.extend_from_slice(&hdr);
+            frame.extend_from_slice(&body);
+            match self.fault.plan_recv(frame)? {
+                RecvPlan::Deliver(f) => return Ok(f),
+                RecvPlan::Discard => continue,
+                RecvPlan::Close => {
+                    self.shutdown();
+                    return Err(WireError::Closed);
+                }
+            }
         }
-        let header = GiopHeader::from_bytes(&hdr)?;
-        let mut body = vec![0u8; header.body_size as usize];
-        self.stream.read_exact(&mut body)?;
-        let mut frame = Vec::with_capacity(12 + body.len());
-        frame.extend_from_slice(&hdr);
-        frame.extend_from_slice(&body);
-        Ok(frame)
     }
 }
 
@@ -139,83 +355,73 @@ impl Transport for PipeTransport {
     }
 }
 
-/// Kinds of injected transport faults.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Fault {
-    /// Deliver frames untouched.
-    None,
-    /// Cut each outgoing frame to at most this many bytes.
-    Truncate(usize),
-    /// Overwrite the GIOP magic of outgoing frames.
-    CorruptMagic,
-    /// Flip the declared body size to a huge value.
-    InflateSize,
-    /// Drop outgoing frames entirely (the receiver sees `Closed` when the
-    /// wrapper is later dropped, or blocks — callers pair this with
-    /// timeouts).
-    DropFrames,
-}
-
-/// A transport wrapper that injects faults on the send path.
+/// A transport wrapper that injects faults on both paths.
 ///
 /// Used by failure-injection tests to prove the decoder and the ORB's
-/// error handling survive hostile or broken peers.
+/// error handling survive hostile or broken peers. The active fault
+/// lives in an [`Arc`]-shared [`FaultSlot`], so a test can keep a handle
+/// (via [`FaultyTransport::slot`]) and flip faults while the transport
+/// is live on another thread.
 pub struct FaultyTransport<T: Transport> {
     inner: T,
-    fault: Fault,
+    fault: FaultState,
 }
 
 impl<T: Transport> FaultyTransport<T> {
-    /// Wrap `inner`, applying `fault` to every sent frame.
+    /// Wrap `inner`, applying `fault` to every frame.
     pub fn new(inner: T, fault: Fault) -> Self {
-        FaultyTransport { inner, fault }
+        Self::with_slot(inner, FaultSlot::new(fault))
     }
 
-    /// Change the active fault.
+    /// Wrap `inner` around an externally shared fault slot.
+    pub fn with_slot(inner: T, slot: FaultSlot) -> Self {
+        FaultyTransport {
+            inner,
+            fault: FaultState {
+                slot,
+                ..FaultState::default()
+            },
+        }
+    }
+
+    /// Change the active fault (also visible through shared slots).
     pub fn set_fault(&mut self, fault: Fault) {
-        self.fault = fault;
+        self.fault.slot.set(fault);
+    }
+
+    /// A shared handle to the active fault, for live flipping.
+    pub fn slot(&self) -> FaultSlot {
+        self.fault.slot.clone()
     }
 }
 
 impl<T: Transport> Transport for FaultyTransport<T> {
     fn send_frame(&mut self, frame: &[u8]) -> WireResult<()> {
-        match self.fault {
-            Fault::None => self.inner.send_frame(frame),
-            Fault::Truncate(n) => {
-                let cut = frame.len().min(n);
-                self.inner.send_frame(&frame[..cut])
+        match self.fault.plan_send(frame)? {
+            SendPlan::Send(bytes) => self.inner.send_frame(&bytes),
+            SendPlan::Swallow => Ok(()),
+            SendPlan::SendPartThenClose(bytes) => {
+                let _ = self.inner.send_frame(&bytes);
+                Err(WireError::Closed)
             }
-            Fault::CorruptMagic => {
-                let mut f = frame.to_vec();
-                if f.len() >= 4 {
-                    f[0] = b'P';
-                    f[1] = b'O';
-                    f[2] = b'I';
-                    f[3] = b'G';
-                }
-                self.inner.send_frame(&f)
-            }
-            Fault::InflateSize => {
-                let mut f = frame.to_vec();
-                if f.len() >= 12 {
-                    // Body size field at offset 8; write an absurd size in
-                    // the frame's own byte order (bit 0 of flags octet).
-                    let huge = (crate::MAX_MESSAGE_SIZE + 17).to_be_bytes();
-                    let huge_le = (crate::MAX_MESSAGE_SIZE + 17).to_le_bytes();
-                    if f[6] & 1 == 0 {
-                        f[8..12].copy_from_slice(&huge);
-                    } else {
-                        f[8..12].copy_from_slice(&huge_le);
-                    }
-                }
-                self.inner.send_frame(&f)
-            }
-            Fault::DropFrames => Ok(()),
         }
     }
 
     fn recv_frame(&mut self) -> WireResult<Vec<u8>> {
-        self.inner.recv_frame()
+        loop {
+            // A severed transport must fail before blocking on the
+            // inner receive — the pipe variant has no socket to close,
+            // so waiting for bytes that cannot arrive would hang.
+            if self.fault.severed {
+                return Err(WireError::Closed);
+            }
+            let frame = self.inner.recv_frame()?;
+            match self.fault.plan_recv(frame)? {
+                RecvPlan::Deliver(f) => return Ok(f),
+                RecvPlan::Discard => continue,
+                RecvPlan::Close => return Err(WireError::Closed),
+            }
+        }
     }
 }
 
@@ -326,6 +532,158 @@ mod tests {
             )
             .unwrap();
         assert!(matches!(b.recv_message(), Err(WireError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn delay_fault_holds_frames() {
+        let (a, mut b) = duplex();
+        let mut faulty = FaultyTransport::new(a, Fault::DelayMs(20));
+        let started = std::time::Instant::now();
+        faulty
+            .send_message(
+                &request(1, b"k".to_vec(), "op", vec![]),
+                ByteOrder::BigEndian,
+            )
+            .unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(20));
+        assert!(b.recv_message().is_ok());
+    }
+
+    #[test]
+    fn drop_after_passes_then_loses_on_send() {
+        let (a, mut b) = duplex();
+        let mut faulty = FaultyTransport::new(a, Fault::DropAfter(2));
+        for id in 0..4 {
+            faulty
+                .send_message(
+                    &request(id, b"k".to_vec(), "op", vec![]),
+                    ByteOrder::BigEndian,
+                )
+                .unwrap();
+        }
+        // Only the first two frames arrive; the pipe then closes.
+        assert!(b.recv_message().is_ok());
+        assert!(b.recv_message().is_ok());
+        drop(faulty);
+        assert!(matches!(b.recv_frame(), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn drop_after_discards_on_receive_path() {
+        let (mut a, b) = duplex();
+        let mut faulty = FaultyTransport::new(b, Fault::DropAfter(1));
+        for id in 0..3 {
+            a.send_message(
+                &request(id, b"k".to_vec(), "op", vec![]),
+                ByteOrder::BigEndian,
+            )
+            .unwrap();
+        }
+        // First frame delivered; the rest are swallowed, so the close of
+        // the sender surfaces next.
+        assert!(faulty.recv_message().is_ok());
+        drop(a);
+        assert!(matches!(faulty.recv_frame(), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn close_mid_frame_truncates_then_closes() {
+        let (a, mut b) = duplex();
+        let mut faulty = FaultyTransport::new(a, Fault::CloseMidFrame);
+        let send = faulty.send_message(
+            &request(1, b"key".to_vec(), "operation", vec![Value::Long(7)]),
+            ByteOrder::BigEndian,
+        );
+        assert!(matches!(send, Err(WireError::Closed)));
+        // The peer got half a frame: decodable never, panicking never.
+        assert!(b.recv_message().is_err());
+        // The faulty side is severed for good.
+        assert!(matches!(
+            faulty.send_frame(&[0u8; 12]),
+            Err(WireError::Closed)
+        ));
+        assert!(matches!(faulty.recv_frame(), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn close_mid_frame_on_receive_path_reports_closed() {
+        let (mut a, b) = duplex();
+        let mut faulty = FaultyTransport::new(b, Fault::CloseMidFrame);
+        a.send_message(
+            &request(1, b"k".to_vec(), "op", vec![]),
+            ByteOrder::BigEndian,
+        )
+        .unwrap();
+        assert!(matches!(faulty.recv_frame(), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn shared_slot_flips_faults_on_a_live_transport() {
+        let (a, mut b) = duplex();
+        let mut faulty = FaultyTransport::new(a, Fault::None);
+        let slot = faulty.slot();
+        faulty
+            .send_message(
+                &request(1, b"k".to_vec(), "op", vec![]),
+                ByteOrder::BigEndian,
+            )
+            .unwrap();
+        assert!(b.recv_message().is_ok());
+        // Flip the fault through the shared handle — no &mut needed.
+        slot.set(Fault::DropFrames);
+        faulty
+            .send_message(
+                &request(2, b"k".to_vec(), "op", vec![]),
+                ByteOrder::BigEndian,
+            )
+            .unwrap();
+        slot.clear();
+        faulty
+            .send_message(
+                &request(3, b"k".to_vec(), "op", vec![]),
+                ByteOrder::BigEndian,
+            )
+            .unwrap();
+        // Frame 2 was dropped; frame 3 arrives right behind frame 1.
+        match b.recv_message().unwrap() {
+            GiopMessage::Request { header, .. } => assert_eq!(header.request_id, 3),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn framed_tcp_honors_installed_fault_slot() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = FramedTcp::new(stream);
+            let mut got = Vec::new();
+            while let Ok(GiopMessage::Request { header, .. }) = t.recv_message() {
+                got.push(header.request_id);
+            }
+            got
+        });
+        let mut client = FramedTcp::connect("127.0.0.1", addr.port()).unwrap();
+        let slot = FaultSlot::default();
+        client.install_fault_slot(slot.clone());
+        for id in 0..2 {
+            client
+                .send_message(
+                    &request(id, b"k".to_vec(), "op", vec![]),
+                    ByteOrder::BigEndian,
+                )
+                .unwrap();
+        }
+        slot.set(Fault::DropFrames);
+        client
+            .send_message(
+                &request(2, b"k".to_vec(), "op", vec![]),
+                ByteOrder::BigEndian,
+            )
+            .unwrap();
+        client.shutdown();
+        assert_eq!(server.join().unwrap(), vec![0, 1]);
     }
 
     #[test]

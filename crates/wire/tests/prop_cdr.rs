@@ -1,0 +1,187 @@
+//! CDR round-trip coverage for *every* `Value` variant, including
+//! deeply nested sequences and structs.
+//!
+//! `prop_roundtrip.rs` drives random shallow trees; this suite instead
+//! guarantees variant coverage (an exemplar list checked exhaustively
+//! against the enum) and pushes nesting depth far beyond what random
+//! generation reaches, so recursion in the encoder/decoder is exercised
+//! on purpose rather than by luck.
+
+use webfindit_base::prop::{self, string_of, vec_of};
+use webfindit_base::rng::StdRng;
+use webfindit_wire::cdr::{ByteOrder, CdrReader, CdrWriter};
+use webfindit_wire::ior::Ior;
+use webfindit_wire::value::Value;
+
+const IDENT: &str = "abcdefghijklmnopqrstuvwxyz";
+const TEXT: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _.-";
+
+fn roundtrip(v: &Value, order: ByteOrder) -> Value {
+    let mut w = CdrWriter::new(order);
+    v.encode(&mut w).expect("encodes");
+    let bytes = w.into_bytes();
+    let mut r = CdrReader::new(&bytes, order);
+    let back = Value::decode(&mut r).expect("decodes");
+    assert!(r.is_exhausted(), "decoder left trailing bytes for {v:?}");
+    back
+}
+
+fn assert_roundtrips(v: &Value) {
+    for order in [ByteOrder::BigEndian, ByteOrder::LittleEndian] {
+        assert_eq!(&roundtrip(v, order), v, "byte order {order:?}");
+    }
+}
+
+/// One or more exemplars per `Value` variant, edge values included.
+fn exemplars() -> Vec<Value> {
+    let ior = Ior::new_iiop(
+        "IDL:test/Exemplar:1.0",
+        "dba.icis.qut.edu.au",
+        9000,
+        b"codb/RBH".to_vec(),
+    );
+    vec![
+        Value::Void,
+        Value::Null,
+        Value::Bool(false),
+        Value::Bool(true),
+        Value::Octet(0),
+        Value::Octet(u8::MAX),
+        Value::Short(i16::MIN),
+        Value::Short(i16::MAX),
+        Value::Long(i32::MIN),
+        Value::Long(i32::MAX),
+        Value::LongLong(i64::MIN),
+        Value::LongLong(i64::MAX),
+        Value::ULong(0),
+        Value::ULong(u32::MAX),
+        Value::Float(0.0),
+        Value::Float(-0.0),
+        Value::Float(f32::MIN_POSITIVE),
+        Value::Float(f32::INFINITY),
+        Value::Float(f32::NEG_INFINITY),
+        Value::Double(0.0),
+        Value::Double(f64::MAX),
+        Value::Double(f64::NEG_INFINITY),
+        Value::Str(String::new()),
+        Value::Str("Royal Brisbane Hospital — PatientHistory".into()),
+        Value::Sequence(Vec::new()),
+        Value::Sequence(vec![Value::Long(1), Value::Str("two".into()), Value::Null]),
+        Value::Struct(Vec::new()),
+        Value::Struct(vec![
+            ("name".into(), Value::Str("Research".into())),
+            ("members".into(), Value::Sequence(vec![Value::Octet(3)])),
+        ]),
+        Value::ObjectRef(ior),
+    ]
+}
+
+#[test]
+fn every_variant_roundtrips_in_both_byte_orders() {
+    let cases = exemplars();
+    for v in &cases {
+        assert_roundtrips(v);
+    }
+    // Exhaustiveness guard: adding a `Value` variant breaks this match,
+    // pointing here to extend the exemplar list.
+    let mut covered = std::collections::BTreeSet::new();
+    for v in &cases {
+        covered.insert(match v {
+            Value::Void => "Void",
+            Value::Null => "Null",
+            Value::Bool(_) => "Bool",
+            Value::Octet(_) => "Octet",
+            Value::Short(_) => "Short",
+            Value::Long(_) => "Long",
+            Value::LongLong(_) => "LongLong",
+            Value::ULong(_) => "ULong",
+            Value::Float(_) => "Float",
+            Value::Double(_) => "Double",
+            Value::Str(_) => "Str",
+            Value::Sequence(_) => "Sequence",
+            Value::Struct(_) => "Struct",
+            Value::ObjectRef(_) => "ObjectRef",
+        });
+    }
+    assert_eq!(covered.len(), 14, "exemplar list must cover all variants");
+}
+
+/// A leaf drawn uniformly from the non-recursive variants.
+fn arb_leaf(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..12) {
+        0 => Value::Void,
+        1 => Value::Null,
+        2 => Value::Bool(rng.gen_bool(0.5)),
+        3 => Value::Octet(rng.next_u64() as u8),
+        4 => Value::Short(rng.next_u64() as i16),
+        5 => Value::Long(rng.next_u64() as i32),
+        6 => Value::LongLong(rng.next_u64() as i64),
+        7 => Value::ULong(rng.next_u64() as u32),
+        8 => Value::Float(rng.next_u64() as u32 as f32),
+        9 => Value::Double(rng.next_u64() as f64),
+        10 => Value::Str(string_of(rng, TEXT, 0..24)),
+        _ => Value::ObjectRef(Ior::new_iiop(
+            string_of(rng, IDENT, 1..16),
+            string_of(rng, IDENT, 1..12),
+            rng.next_u64() as u16,
+            vec_of(rng, 0..8, |r| r.next_u64() as u8),
+        )),
+    }
+}
+
+/// A tree that is *guaranteed* `depth` levels deep: a spine of
+/// alternating sequences and structs, each level carrying a few extra
+/// random leaves alongside the recursive child.
+fn nested(rng: &mut StdRng, depth: usize) -> Value {
+    let mut v = arb_leaf(rng);
+    for level in 0..depth {
+        v = if level % 2 == 0 {
+            let mut items = vec![v];
+            items.extend((0..rng.gen_range(0..3usize)).map(|_| arb_leaf(rng)));
+            Value::Sequence(items)
+        } else {
+            let mut fields = vec![(string_of(rng, IDENT, 1..8), v)];
+            fields.extend(
+                (0..rng.gen_range(0..3usize)).map(|_| (string_of(rng, IDENT, 1..8), arb_leaf(rng))),
+            );
+            Value::Struct(fields)
+        };
+    }
+    v
+}
+
+#[test]
+fn prop_deeply_nested_trees_roundtrip() {
+    prop::cases(64, |rng| {
+        let depth = rng.gen_range(8..48usize);
+        let v = nested(rng, depth);
+        assert_roundtrips(&v);
+    });
+}
+
+#[test]
+fn sixty_four_levels_of_nesting_roundtrip() {
+    // A deterministic worst case well past anything discovery marshals.
+    let mut rng = StdRng::seed_from_u64(1999);
+    let v = nested(&mut rng, 64);
+    assert_roundtrips(&v);
+}
+
+#[test]
+fn prop_wide_and_deep_mixtures_roundtrip() {
+    // Wide collections of independently nested children, so sibling
+    // decoding state (alignment, element counts) is stressed too.
+    prop::cases(32, |rng| {
+        let children = vec_of(rng, 1..8, |r| {
+            let depth = r.gen_range(0..10usize);
+            nested(r, depth)
+        });
+        assert_roundtrips(&Value::Sequence(children.clone()));
+        let fields = children
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (format!("f{i}"), c))
+            .collect();
+        assert_roundtrips(&Value::Struct(fields));
+    });
+}

@@ -3,8 +3,11 @@
 //! ground truth read directly from the engines, and the three discovery
 //! organizations must agree on answerability over the healthcare world.
 
+use std::time::{Duration, Instant};
 use webfindit::baselines::{CentralIndex, FlatBroadcast};
 use webfindit::discovery::DiscoveryEngine;
+use webfindit::orb::chaos::{ChaosAction, ChaosPlan};
+use webfindit::orb::BreakerState;
 use webfindit::processor::{Processor, Response};
 use webfindit::session::BrowserSession;
 use webfindit_healthcare::schemas::{build_database, BuiltSource};
@@ -116,6 +119,90 @@ fn invoke_and_native_paths_agree() {
         (Response::Table(a), Response::Table(b)) => assert_eq!(a.rows, b.rows),
         other => panic!("{other:?}"),
     }
+    dep.fed.shutdown();
+}
+
+/// Kill one ORB's sites mid-session and prove discovery degrades
+/// instead of dying: it still completes promptly, still returns leads
+/// from the surviving subtree, and names every site of the lost
+/// Research-coalition wing in `degraded`. After the scripted restart
+/// (and the breaker's half-open probe) the federation is whole again.
+#[test]
+fn killing_one_orb_yields_partial_discovery_naming_the_lost_sites() {
+    let dep = build_healthcare(1999).unwrap();
+    let engine = DiscoveryEngine::new(dep.fed.clone());
+
+    // "Medical Insurance" seen from QUT Research crosses the federation:
+    // the level-1 frontier is the rest of the Research coalition, two of
+    // whose members (RMIT Medical Research, Queensland Cancer Fund) live
+    // on the Orbix ORB; the answer itself lies further out, reachable
+    // only through the surviving Royal Brisbane Hospital branch.
+    let healthy = engine.find("QUT Research", "Medical Insurance").unwrap();
+    assert!(healthy.found() && healthy.complete(), "{healthy:?}");
+
+    // Killing any Orbix-hosted site takes down that whole ORB — all
+    // four ObjectStore sites go dark at once. The plan restarts it at
+    // step 2, so the schedule itself returns the world to health.
+    let mut plan = ChaosPlan::new(2026);
+    plan.push(1, ChaosAction::KillSite("RMIT Medical Research".into()))
+        .push(2, ChaosAction::RestartSite("RMIT Medical Research".into()));
+
+    let fed = dep.fed.clone();
+    let engine_ref = &engine;
+    plan.run(&*fed, |step| match step {
+        1 => {
+            assert_eq!(fed.downed_orbs(), vec!["Orbix".to_owned()]);
+            let started = Instant::now();
+            let out = engine_ref
+                .find("QUT Research", "Medical Insurance")
+                .unwrap();
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "degraded discovery must not hang: took {:?}",
+                started.elapsed()
+            );
+            // Partial, not empty: the surviving subtree still answers.
+            assert!(out.found(), "surviving sites must still produce leads");
+            assert!(!out.complete(), "the dead wing must be reported");
+            let lost = out.degraded_sites();
+            for site in ["RMIT Medical Research", "Queensland Cancer Fund"] {
+                assert!(lost.contains(&site), "{site} missing from {lost:?}");
+            }
+            // No lead may claim to come from a dead site.
+            for lead in &out.leads {
+                let via = match lead {
+                    webfindit::Lead::Coalition { via_site, .. } => via_site,
+                    webfindit::Lead::Link { via_site, .. } => via_site,
+                };
+                assert!(!lost.contains(&via.as_str()), "lead via dead site {via}");
+            }
+        }
+        2 => {
+            assert!(fed.downed_orbs().is_empty());
+            // Give the client's breaker its cooldown, then query: the
+            // half-open probe hits the restarted Orbix and closes it.
+            std::thread::sleep(Duration::from_millis(60));
+            let out = engine_ref
+                .find("QUT Research", "Medical Insurance")
+                .unwrap();
+            assert!(out.found(), "{out:?}");
+            assert!(out.complete(), "restarted sites answer again: {out:?}");
+            assert_eq!(
+                fed.client_orb().breaker_state("orbix.qut.edu.au", 9000),
+                Some(BreakerState::Closed),
+                "probe against the restarted ORB closes the breaker"
+            );
+        }
+        _ => unreachable!("plan has two steps"),
+    });
+
+    // Determinism: the same scripted schedule fingerprints identically.
+    let mut replay = ChaosPlan::new(2026);
+    replay
+        .push(1, ChaosAction::KillSite("RMIT Medical Research".into()))
+        .push(2, ChaosAction::RestartSite("RMIT Medical Research".into()));
+    assert_eq!(plan.digest(), replay.digest());
+
     dep.fed.shutdown();
 }
 
