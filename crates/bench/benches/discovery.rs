@@ -1,12 +1,20 @@
 //! E1 (latency view) — wall-clock cost of discovery over real loopback
 //! IIOP: WebFINDIT incremental search (near and far targets) vs flat
-//! broadcast vs the central index, on a 32-site federation.
+//! broadcast vs the central index, on a 32-site federation. A second
+//! group covers the E8 engine configurations (serial/parallel ×
+//! cold/warm caches) on a distant topic.
 
 use webfindit::baselines::{CentralIndex, FlatBroadcast};
 use webfindit::discovery::DiscoveryEngine;
 use webfindit::synth::{build, SynthConfig, SynthFederation};
+use webfindit::Federation;
 use webfindit_base::bench::Criterion;
 use webfindit_base::{criterion_group, criterion_main};
+
+fn clear_caches(fed: &Federation, engine: &DiscoveryEngine) {
+    fed.ior_cache().clear();
+    engine.codb_cache().clear();
+}
 
 fn bench_discovery(c: &mut Criterion) {
     let synth = build(&SynthConfig {
@@ -65,5 +73,49 @@ fn bench_discovery(c: &mut Criterion) {
     synth.fed.shutdown();
 }
 
-criterion_group!(benches, bench_discovery);
+/// E8 view: the four engine configurations on one distant topic. Cold
+/// variants clear both the IOR cache and the co-database answer cache
+/// inside the timed loop; warm variants let them persist across finds.
+fn bench_discovery_parallel(c: &mut Criterion) {
+    let synth = build(&SynthConfig {
+        databases: 32,
+        coalition_size: 4,
+        orbs: 4,
+        extra_links: 2,
+        ring_links: true,
+        seed: 1999,
+    })
+    .expect("synthetic federation");
+    let mut serial = DiscoveryEngine::new(synth.fed.clone());
+    serial.max_workers = 1;
+    let mut parallel = DiscoveryEngine::new(synth.fed.clone());
+    parallel.max_workers = 8;
+    let start = synth.member_of(0).to_owned();
+    let topic = SynthFederation::topic(4);
+
+    let mut group = c.benchmark_group("discovery_parallel");
+    group.sample_size(30);
+
+    for (name, engine, cold) in [
+        ("serial_cold", &serial, true),
+        ("serial_warm", &serial, false),
+        ("parallel_cold", &parallel, true),
+        ("parallel_warm", &parallel, false),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                if cold {
+                    clear_caches(&synth.fed, engine);
+                }
+                let out = engine.find(&start, &topic).unwrap();
+                assert!(out.found());
+            });
+        });
+    }
+
+    group.finish();
+    synth.fed.shutdown();
+}
+
+criterion_group!(benches, bench_discovery, bench_discovery_parallel);
 criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! E8 — parallel wave-fanout discovery with co-database metadata
+//! caching, over the 14-site healthcare deployment.
+//!
+//! For every (start site, topic) pair the serial engine classifies the
+//! BFS depth at which the topic resolves; pairs are then bucketed by
+//! depth and each bucket is timed under four engine configurations:
+//!
+//! * **serial / cold**  — `max_workers = 1`, caches cleared before
+//!   every find (the pre-caching baseline),
+//! * **serial / warm**  — `max_workers = 1`, caches primed,
+//! * **parallel / cold** — `max_workers = 8`, caches cleared,
+//! * **parallel / warm** — `max_workers = 8`, caches primed.
+//!
+//! Every parallel outcome is checked lead-for-lead against the serial
+//! one (the determinism contract). Results (p50/p95 latency per depth
+//! and the parallel+warm vs serial+cold speedup) are printed and
+//! written to `BENCH_discovery.json`; EXPERIMENTS.md records them as
+//! E8. `--quick` shrinks the iteration count for the CI smoke job.
+
+use std::time::Instant;
+use webfindit::discovery::DiscoveryEngine;
+use webfindit::Federation;
+use webfindit_bench::{header, percentile};
+use webfindit_healthcare::build_healthcare;
+
+struct Pair {
+    start: String,
+    topic: String,
+}
+
+struct Timing {
+    p50_us: f64,
+    p95_us: f64,
+}
+
+fn clear_caches(fed: &Federation, engine: &DiscoveryEngine) {
+    fed.ior_cache().clear();
+    engine.codb_cache().clear();
+}
+
+/// Time `iterations` finds of every pair under one configuration,
+/// returning per-find latencies in microseconds.
+fn run_config(
+    fed: &Federation,
+    engine: &DiscoveryEngine,
+    pairs: &[Pair],
+    iterations: usize,
+    cold: bool,
+) -> Vec<f64> {
+    if !cold {
+        // Prime both caches once; primed answers stay valid because
+        // nothing mutates the co-databases during the measurement.
+        clear_caches(fed, engine);
+        for pair in pairs {
+            engine.find(&pair.start, &pair.topic).expect("prime find");
+        }
+    }
+    let mut samples = Vec::with_capacity(iterations * pairs.len());
+    for _ in 0..iterations {
+        for pair in pairs {
+            if cold {
+                clear_caches(fed, engine);
+            }
+            let started = Instant::now();
+            let out = engine.find(&pair.start, &pair.topic).expect("timed find");
+            samples.push(started.elapsed().as_micros() as f64);
+            assert!(out.found(), "{} / {}", pair.start, pair.topic);
+        }
+    }
+    samples
+}
+
+fn timing(samples: &[f64]) -> Timing {
+    Timing {
+        p50_us: percentile(samples, 50.0),
+        p95_us: percentile(samples, 95.0),
+    }
+}
+
+fn json_timing(name: &str, t: &Timing) -> String {
+    format!(
+        "\"{name}\": {{\"p50_us\": {:.1}, \"p95_us\": {:.1}}}",
+        t.p50_us, t.p95_us
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iterations = if quick { 5 } else { 40 };
+    header(
+        "Experiment E8",
+        "Parallel wave-fanout discovery with co-database metadata caching (healthcare, 14 sites)",
+    );
+
+    let dep = build_healthcare(1999).expect("healthcare deployment");
+    let fed = dep.fed.clone();
+
+    let mut serial = DiscoveryEngine::new(fed.clone());
+    serial.max_workers = 1;
+    let mut parallel = DiscoveryEngine::new(fed.clone());
+    parallel.max_workers = 8;
+
+    // Classify every (start, topic) pair by the depth the serial engine
+    // resolves it at; keep up to 4 pairs per depth.
+    let sites = fed.site_names();
+    let mut topics: Vec<String> = sites
+        .iter()
+        .map(|s| fed.site(s).unwrap().descriptor.information_type.clone())
+        .collect();
+    topics.sort();
+    topics.dedup();
+    let starts: Vec<&String> = if quick {
+        sites.iter().take(4).collect()
+    } else {
+        sites.iter().collect()
+    };
+    let mut by_depth: Vec<(usize, Vec<Pair>)> = Vec::new();
+    for start in starts {
+        for topic in &topics {
+            clear_caches(&fed, &serial);
+            let out = serial.find(start, topic).expect("classification find");
+            let Some(depth) = out.stats.found_at_level else {
+                continue;
+            };
+            if depth == 0 {
+                continue; // local lookups never touch the network
+            }
+            let bucket = match by_depth.iter_mut().find(|(d, _)| *d == depth) {
+                Some((_, b)) => b,
+                None => {
+                    by_depth.push((depth, Vec::new()));
+                    &mut by_depth.last_mut().unwrap().1
+                }
+            };
+            if bucket.len() < 4 {
+                bucket.push(Pair {
+                    start: start.clone(),
+                    topic: topic.clone(),
+                });
+            }
+        }
+    }
+    by_depth.sort_by_key(|(d, _)| *d);
+
+    println!(
+        "\n{:>5} {:>5} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>8}",
+        "depth",
+        "pairs",
+        "ser-cold50",
+        "ser-cold95",
+        "ser-warm50",
+        "ser-warm95",
+        "par-cold50",
+        "par-cold95",
+        "par-warm50",
+        "par-warm95",
+        "speedup"
+    );
+    println!("{}", "-".repeat(126));
+
+    let mut depth_objects = Vec::new();
+    for (depth, pairs) in &by_depth {
+        // Determinism check first: identical leads/degraded per pair.
+        let mut identical = true;
+        for pair in pairs {
+            let s = serial.find(&pair.start, &pair.topic).unwrap();
+            let p = parallel.find(&pair.start, &pair.topic).unwrap();
+            identical &= s.leads == p.leads && s.degraded == p.degraded;
+        }
+        assert!(identical, "parallel output diverged at depth {depth}");
+
+        let serial_cold = timing(&run_config(&fed, &serial, pairs, iterations, true));
+        let serial_warm = timing(&run_config(&fed, &serial, pairs, iterations, false));
+        let parallel_cold = timing(&run_config(&fed, &parallel, pairs, iterations, true));
+        let parallel_warm = timing(&run_config(&fed, &parallel, pairs, iterations, false));
+        let speedup = if parallel_warm.p50_us > 0.0 {
+            serial_cold.p50_us / parallel_warm.p50_us
+        } else {
+            f64::INFINITY
+        };
+
+        println!(
+            "{:>5} {:>5} | {:>10.0} {:>10.0} | {:>10.0} {:>10.0} | {:>10.0} {:>10.0} | {:>10.0} {:>10.0} | {:>7.2}x",
+            depth,
+            pairs.len(),
+            serial_cold.p50_us,
+            serial_cold.p95_us,
+            serial_warm.p50_us,
+            serial_warm.p95_us,
+            parallel_cold.p50_us,
+            parallel_cold.p95_us,
+            parallel_warm.p50_us,
+            parallel_warm.p95_us,
+            speedup
+        );
+
+        depth_objects.push(format!(
+            "    {{\"depth\": {depth}, \"pairs\": {}, {}, {}, {}, {}, \
+             \"speedup_parallel_warm_vs_serial_cold\": {:.2}, \"identical_outcomes\": true}}",
+            pairs.len(),
+            json_timing("serial_cold", &serial_cold),
+            json_timing("serial_warm", &serial_warm),
+            json_timing("parallel_cold", &parallel_cold),
+            json_timing("parallel_warm", &parallel_warm),
+            speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E8\",\n  \"topology\": \"healthcare-14\",\n  \
+         \"quick\": {quick},\n  \"iterations\": {iterations},\n  \"max_workers\": 8,\n  \
+         \"depths\": [\n{}\n  ]\n}}\n",
+        depth_objects.join(",\n")
+    );
+    std::fs::write("BENCH_discovery.json", &json).expect("write BENCH_discovery.json");
+    println!(
+        "\nwrote BENCH_discovery.json ({} depth buckets)",
+        by_depth.len()
+    );
+
+    fed.shutdown();
+}

@@ -144,6 +144,20 @@ mod tests {
     }
 
     #[test]
+    fn dissolution_bumps_the_version_stamp() {
+        let mut c = CoDatabase::new("RBH");
+        c.create_coalition("Research", None, "research").unwrap();
+        c.advertise("Research", src("QUT Research", "research"))
+            .unwrap();
+        let before = c.version();
+        c.dissolve_coalition("Research").unwrap();
+        assert!(
+            c.version() > before,
+            "dissolution must invalidate cached answers"
+        );
+    }
+
+    #[test]
     fn dissolving_missing_coalition_errors() {
         let mut c = CoDatabase::new("x");
         assert!(matches!(

@@ -75,6 +75,11 @@ pub struct CoDatabase {
     instances: BTreeMap<(String, String), Oid>,
     /// Known service links.
     links: Vec<ServiceLink>,
+    /// Metadata version stamp: bumped by every successful mutation
+    /// (coalition creation/dissolution, advertisement, withdrawal,
+    /// link changes). Remote readers key cached answers on this stamp,
+    /// so any registration or evolution invalidates their caches.
+    version: u64,
 }
 
 impl CoDatabase {
@@ -100,12 +105,25 @@ impl CoDatabase {
             descriptors: BTreeMap::new(),
             instances: BTreeMap::new(),
             links: Vec::new(),
+            version: 0,
         }
     }
 
     /// The owning database's name.
     pub fn owner(&self) -> &str {
         &self.owner
+    }
+
+    /// The current metadata version stamp. Strictly increases with
+    /// every successful mutation; equal stamps guarantee identical
+    /// metadata, so cached answers keyed on a stamp are never stale.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Record one successful mutation.
+    fn bump_version(&mut self) {
+        self.version += 1;
     }
 
     /// Read access to the underlying object store (for OQL etc.).
@@ -137,7 +155,9 @@ impl CoDatabase {
         self.store.define_class(def).map_err(|e| match e {
             webfindit_oostore::OoError::ClassExists(c) => CodbError::CoalitionExists(c),
             other => CodbError::Oo(other),
-        })
+        })?;
+        self.bump_version();
+        Ok(())
     }
 
     fn coalition_exists(&self, name: &str) -> CodbResult<()> {
@@ -216,6 +236,7 @@ impl CoDatabase {
         self.instances.insert(key, oid);
         self.descriptors
             .insert(source.name.to_ascii_lowercase(), source);
+        self.bump_version();
         Ok(())
     }
 
@@ -235,6 +256,7 @@ impl CoDatabase {
         if !still_member {
             self.descriptors.remove(&source.to_ascii_lowercase());
         }
+        self.bump_version();
         Ok(())
     }
 
@@ -319,6 +341,7 @@ impl CoDatabase {
         let removed_keys: std::collections::BTreeSet<String> =
             removed.iter().map(|c| c.to_ascii_lowercase()).collect();
         self.instances.retain(|(c, _), _| !removed_keys.contains(c));
+        self.bump_version();
         Ok(removed)
     }
 
@@ -334,6 +357,7 @@ impl CoDatabase {
             return Err(CodbError::DuplicateLink);
         }
         self.links.push(link);
+        self.bump_version();
         Ok(())
     }
 
@@ -341,7 +365,11 @@ impl CoDatabase {
     pub fn remove_service_link(&mut self, from: &LinkEnd, to: &LinkEnd) -> bool {
         let before = self.links.len();
         self.links.retain(|l| !(&l.from == from && &l.to == to));
-        self.links.len() != before
+        if self.links.len() != before {
+            self.bump_version();
+            return true;
+        }
+        false
     }
 
     /// All known service links.
@@ -571,6 +599,41 @@ mod tests {
             .contains(&"Medical".to_string()));
         // Miss.
         assert!(c.find_coalitions("astrophysics").is_empty());
+    }
+
+    #[test]
+    fn version_stamp_tracks_every_mutation() {
+        let mut c = CoDatabase::new("RBH");
+        assert_eq!(c.version(), 0);
+        c.create_coalition("Research", None, "research").unwrap();
+        let v1 = c.version();
+        assert!(v1 > 0);
+        // Failed mutations leave the stamp unchanged.
+        assert!(c.create_coalition("Research", None, "").is_err());
+        assert_eq!(c.version(), v1);
+        c.advertise("Research", rbh_source()).unwrap();
+        let v2 = c.version();
+        assert!(v2 > v1);
+        // Reads never move the stamp.
+        let _ = c.members("Research").unwrap();
+        let _ = c.find_coalitions("research");
+        assert_eq!(c.version(), v2);
+        let link = ServiceLink {
+            from: LinkEnd::Coalition("Research".into()),
+            to: LinkEnd::Database("ATO".into()),
+            description: "grants".into(),
+        };
+        c.add_service_link(link.clone()).unwrap();
+        let v3 = c.version();
+        assert!(v3 > v2);
+        assert!(c.remove_service_link(&link.from, &link.to));
+        let v4 = c.version();
+        assert!(v4 > v3);
+        // A no-op removal does not bump.
+        assert!(!c.remove_service_link(&link.from, &link.to));
+        assert_eq!(c.version(), v4);
+        c.withdraw("Research", "Royal Brisbane Hospital").unwrap();
+        assert!(c.version() > v4);
     }
 
     #[test]

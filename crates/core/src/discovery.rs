@@ -1,4 +1,4 @@
-//! The incremental discovery algorithm of §2.
+//! The incremental discovery algorithm of §2, parallelized.
 //!
 //! "Initially, the user specifies the query in terms of relevant
 //! information […] The query is sent to a local metadata repository […]
@@ -21,14 +21,47 @@
 //! The search stops at the first level that produces leads (all leads
 //! of that level are returned, supporting the paper's "the system
 //! prompts the user to select the most interesting leads").
+//!
+//! # Parallel wave fanout
+//!
+//! The sites of one BFS wave are independent: each probe talks to a
+//! different co-database. [`DiscoveryEngine::find`] therefore dispatches
+//! every wave over a bounded pool of [`DiscoveryEngine::max_workers`]
+//! scoped threads, so naming resolution, the `find_coalitions` /
+//! `find_links` queries, and coalition-member expansion of several sites
+//! are in flight at once. Results are merged **in site-name order**, so
+//! the outcome (leads, degraded sites, visit counts) is byte-identical
+//! to a serial run (`max_workers = 1`); parallelism changes only the
+//! wall-clock. Chaos-killed sites surface in
+//! [`DiscoveryOutcome::degraded`] exactly as they do serially.
+//!
+//! # Metadata caching
+//!
+//! Two caches cut the per-probe round-trips:
+//!
+//! * the federation-wide [`webfindit_orb::naming::IorCache`] in front of
+//!   naming resolution (a hit skips the naming round-trip entirely;
+//!   entries are invalidated the moment an invocation on the cached
+//!   reference fails), and
+//! * a per-site [`CodbAnswerCache`] of co-database answers (topic →
+//!   coalitions/links, coalition → members, the coalition and link
+//!   lists), keyed by the co-database's **version stamp**. Every visit
+//!   makes exactly one live `version` call — the liveness probe and the
+//!   coherence check in one round-trip. Any registration or mutation
+//!   bumps the stamp, so stale answers are never served; a site that
+//!   cannot answer the version call is degraded, never served from
+//!   cache.
 
 use crate::federation::Federation;
 use crate::servants::value_to_link;
 use crate::value_map::value_to_strings;
 use crate::{WebfinditError, WfResult};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use webfindit_base::sync::Mutex;
 use webfindit_codb::{LinkEnd, ServiceLink};
+use webfindit_orb::OrbError;
 use webfindit_wire::{Ior, Value};
 
 /// What a discovery found.
@@ -74,9 +107,14 @@ impl Lead {
 /// Cost accounting for one discovery.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiscoveryStats {
-    /// GIOP invocations on remote co-database servants.
+    /// GIOP invocations on remote co-database servants. Answers served
+    /// from the metadata cache cost none; the per-visit `version` probe
+    /// always costs one.
     pub codb_queries: u64,
-    /// Naming-service resolutions performed.
+    /// Naming-service resolutions that went to the wire ([`IorCache`]
+    /// hits cost none).
+    ///
+    /// [`IorCache`]: webfindit_orb::naming::IorCache
     pub naming_lookups: u64,
     /// Distinct sites whose co-database was consulted (incl. local).
     pub sites_visited: usize,
@@ -136,47 +174,209 @@ impl DiscoveryOutcome {
     }
 }
 
+/// Render a probe failure deterministically.
+///
+/// Whether a dead endpoint surfaces as "cannot resolve" or "circuit
+/// breaker open" depends on how many probes hit it first — under
+/// parallel fanout that is a scheduling race. Both mean the same thing
+/// to discovery (the endpoint is unreachable), so they canonicalize to
+/// one string and parallel output stays byte-identical to serial. The
+/// breaker-vs-direct distinction is still observable in
+/// [`webfindit_orb::OrbMetrics`].
+fn degrade_reason(e: &WebfinditError) -> String {
+    match e {
+        WebfinditError::Orb(
+            OrbError::UnknownHost { host, port } | OrbError::CircuitOpen { host, port },
+        ) => format!("endpoint {host}:{port} unreachable"),
+        other => other.to_string(),
+    }
+}
+
+/// Cached answers of one co-database, valid for one version stamp.
+#[derive(Debug, Clone, Default)]
+struct SiteAnswers {
+    version: u64,
+    coalitions_by_topic: HashMap<String, Vec<String>>,
+    links_by_topic: HashMap<String, Vec<ServiceLink>>,
+    coalition_list: Option<Vec<String>>,
+    members: HashMap<String, Vec<String>>,
+    service_links: Option<Vec<ServiceLink>>,
+}
+
+/// A per-site cache of co-database answers, keyed by version stamp.
+///
+/// Every [`webfindit_codb::CoDatabase`] mutation bumps its version
+/// stamp; a cached answer is served only when a **live** `version` call
+/// on the site returns the stamp the answer was recorded under, so the
+/// cache can never hide a registration, a withdrawal, or a dead site.
+/// Hits and misses are counted in the client ORB's
+/// [`webfindit_orb::OrbMetrics`].
+#[derive(Debug, Default)]
+pub struct CodbAnswerCache {
+    sites: Mutex<HashMap<String, SiteAnswers>>,
+}
+
+impl CodbAnswerCache {
+    /// An empty cache.
+    pub fn new() -> CodbAnswerCache {
+        CodbAnswerCache::default()
+    }
+
+    /// Number of sites with cached answers.
+    pub fn len(&self) -> usize {
+        self.sites.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.sites.lock().is_empty()
+    }
+
+    /// Drop every cached answer.
+    pub fn clear(&self) {
+        self.sites.lock().clear();
+    }
+
+    /// Drop whatever is cached for `site` (its probe failed).
+    fn forget(&self, site: &str) {
+        self.sites.lock().remove(&site.to_ascii_lowercase());
+    }
+
+    fn with_current<T>(
+        &self,
+        site: &str,
+        version: u64,
+        read: impl FnOnce(&SiteAnswers) -> Option<T>,
+    ) -> Option<T> {
+        let guard = self.sites.lock();
+        guard
+            .get(site)
+            .filter(|e| e.version == version)
+            .and_then(read)
+    }
+
+    fn store(&self, site: &str, version: u64, write: impl FnOnce(&mut SiteAnswers)) {
+        let mut guard = self.sites.lock();
+        let entry = guard.entry(site.to_owned()).or_default();
+        if entry.version != version {
+            *entry = SiteAnswers {
+                version,
+                ..SiteAnswers::default()
+            };
+        }
+        write(entry);
+    }
+}
+
+/// Expand a co-database's inter-relationships into candidate sites:
+/// members of every known coalition, database link endpoints directly,
+/// and coalition link endpoints via the member lists. `members_of`
+/// answers `None` for unknown coalitions (or unreachable servants);
+/// those expand to nothing, matching the tolerant serial behaviour.
+fn expand_interrelationships(
+    coalitions: &[String],
+    links: &[ServiceLink],
+    members_of: &mut dyn FnMut(&str) -> Option<Vec<String>>,
+    out: &mut Vec<String>,
+) {
+    for c in coalitions {
+        if let Some(m) = members_of(c) {
+            out.extend(m);
+        }
+    }
+    for link in links {
+        for end in [&link.from, &link.to] {
+            match end {
+                LinkEnd::Database(name) => out.push(name.clone()),
+                LinkEnd::Coalition(c) => {
+                    if let Some(m) = members_of(c) {
+                        out.extend(m);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Case-normalized frontier insertion: one entry per site regardless of
+/// the case its name arrived in, keeping the first-seen spelling for
+/// the (case-sensitive) naming lookup.
+fn propose(frontier: &mut BTreeMap<String, String>, name: String) {
+    frontier.entry(name.to_ascii_lowercase()).or_insert(name);
+}
+
+/// Everything one site probe produced, merged serially after the wave.
+struct SiteProbe {
+    site: String,
+    leads: Vec<Lead>,
+    failure: Option<SiteFailure>,
+    expansion: Vec<String>,
+    naming_lookups: u64,
+    codb_queries: u64,
+    /// The failure was a circuit-breaker rejection — possibly a
+    /// half-open race against a wave-mate (see [`DiscoveryEngine::run_wave`]).
+    breaker_rejected: bool,
+}
+
+impl SiteProbe {
+    fn new(site: &str) -> SiteProbe {
+        SiteProbe {
+            site: site.to_owned(),
+            leads: Vec::new(),
+            failure: None,
+            expansion: Vec::new(),
+            naming_lookups: 0,
+            codb_queries: 0,
+            breaker_rejected: false,
+        }
+    }
+
+    fn fail(&mut self, distance: usize, e: &WebfinditError) {
+        self.breaker_rejected = matches!(e, WebfinditError::Orb(OrbError::CircuitOpen { .. }));
+        self.failure = Some(SiteFailure {
+            site: self.site.clone(),
+            distance,
+            reason: degrade_reason(e),
+        });
+    }
+}
+
 /// The §2 resolution engine.
 pub struct DiscoveryEngine {
     fed: Arc<Federation>,
     /// Maximum BFS depth (levels of remote expansion).
     pub max_depth: usize,
+    /// Worker-pool bound for one wave's concurrent site probes.
+    /// `1` reproduces the serial engine exactly; larger values change
+    /// only the wall-clock, never the outcome.
+    pub max_workers: usize,
+    codb_cache: Arc<CodbAnswerCache>,
 }
 
 impl DiscoveryEngine {
-    /// Create an engine over a federation with the default depth bound.
+    /// Create an engine over a federation with the default depth and
+    /// fanout bounds.
     pub fn new(fed: Arc<Federation>) -> DiscoveryEngine {
-        DiscoveryEngine { fed, max_depth: 8 }
+        DiscoveryEngine {
+            fed,
+            max_depth: 8,
+            max_workers: 8,
+            codb_cache: Arc::new(CodbAnswerCache::new()),
+        }
     }
 
-    fn resolve_codb(&self, site: &str, stats: &mut DiscoveryStats) -> WfResult<Ior> {
-        stats.naming_lookups += 1;
-        self.fed
-            .naming_client()
-            .resolve(&format!("codb/{site}"))
-            .map_err(WebfinditError::from)
+    /// The engine's co-database answer cache (kept across finds; a
+    /// benchmark clears it to measure cold-cache latency).
+    pub fn codb_cache(&self) -> &Arc<CodbAnswerCache> {
+        &self.codb_cache
     }
 
-    fn remote_strings(
-        &self,
-        ior: &Ior,
-        op: &str,
-        args: &[Value],
-        stats: &mut DiscoveryStats,
-    ) -> WfResult<Vec<String>> {
-        stats.codb_queries += 1;
+    fn fetch_strings(&self, ior: &Ior, op: &str, args: &[Value]) -> WfResult<Vec<String>> {
         let v = self.fed.invoke(ior, op, args)?;
         value_to_strings(&v)
     }
 
-    fn remote_links(
-        &self,
-        ior: &Ior,
-        op: &str,
-        args: &[Value],
-        stats: &mut DiscoveryStats,
-    ) -> WfResult<Vec<ServiceLink>> {
-        stats.codb_queries += 1;
+    fn fetch_links(&self, ior: &Ior, op: &str, args: &[Value]) -> WfResult<Vec<ServiceLink>> {
         let v = self.fed.invoke(ior, op, args)?;
         v.as_sequence()
             .ok_or_else(|| WebfinditError::Protocol("expected link sequence".into()))?
@@ -185,34 +385,236 @@ impl DiscoveryEngine {
             .collect()
     }
 
-    /// Sites reachable from a set of links: database endpoints directly;
-    /// coalition endpoints via the reporting co-database's member list.
-    fn expand_links(
-        &self,
-        links: &[ServiceLink],
-        via_ior: &Ior,
-        stats: &mut DiscoveryStats,
-        frontier: &mut BTreeSet<String>,
-    ) {
-        for link in links {
-            for end in [&link.from, &link.to] {
-                match end {
-                    LinkEnd::Database(name) => {
-                        frontier.insert(name.clone());
+    /// Probe one remote site: resolve its co-database, check liveness
+    /// and cache coherence with a single `version` call, collect leads,
+    /// and (when it has none) expand its inter-relationships. Runs on a
+    /// wave worker thread; everything it touches is `Sync`.
+    fn probe_site(&self, site: &str, topic: &str, depth: usize) -> SiteProbe {
+        let mut probe = SiteProbe::new(site);
+        let nc = self.fed.naming_client();
+        let binding = format!("codb/{site}");
+        let (ior, from_cache) = match nc.resolve_detailed(&binding) {
+            Ok(r) => r,
+            Err(e) => {
+                probe.fail(depth, &WebfinditError::Orb(e));
+                return probe;
+            }
+        };
+        if !from_cache {
+            probe.naming_lookups += 1;
+        }
+
+        // The one mandatory live call: liveness probe + coherence check.
+        probe.codb_queries += 1;
+        let version = match self.fed.invoke(&ior, "version", &[]) {
+            Ok(Value::LongLong(n)) => n as u64,
+            Ok(_) => 0,
+            Err(e) => {
+                // The cached reference (if any) is unusable and the
+                // site's cached answers are unverifiable: drop both.
+                nc.invalidate(&binding);
+                self.codb_cache.forget(site);
+                probe.fail(depth, &e);
+                return probe;
+            }
+        };
+
+        let key = site.to_ascii_lowercase();
+        let cache = &self.codb_cache;
+        let metrics = self.fed.client_orb().metrics();
+
+        // Leads: find_coalitions then find_links, cache-first.
+        let coalitions = match cache
+            .with_current(&key, version, |e| e.coalitions_by_topic.get(topic).cloned())
+        {
+            Some(hit) => {
+                metrics.record_codb_cache(true);
+                hit
+            }
+            None => {
+                metrics.record_codb_cache(false);
+                probe.codb_queries += 1;
+                match self.fetch_strings(&ior, "find_coalitions", &[Value::string(topic)]) {
+                    Ok(v) => {
+                        cache.store(&key, version, |e| {
+                            e.coalitions_by_topic.insert(topic.to_owned(), v.clone());
+                        });
+                        v
                     }
-                    LinkEnd::Coalition(coalition) => {
-                        if let Ok(members) = self.remote_strings(
-                            via_ior,
-                            "members",
-                            &[Value::string(coalition.clone())],
-                            stats,
-                        ) {
-                            frontier.extend(members);
-                        }
+                    Err(e) => {
+                        nc.invalidate(&binding);
+                        probe.fail(depth, &e);
+                        return probe;
                     }
                 }
             }
+        };
+        for name in coalitions {
+            probe.leads.push(Lead::Coalition {
+                name,
+                via_site: probe.site.clone(),
+                distance: depth,
+            });
         }
+        let links =
+            match cache.with_current(&key, version, |e| e.links_by_topic.get(topic).cloned()) {
+                Some(hit) => {
+                    metrics.record_codb_cache(true);
+                    hit
+                }
+                None => {
+                    metrics.record_codb_cache(false);
+                    probe.codb_queries += 1;
+                    match self.fetch_links(&ior, "find_links", &[Value::string(topic)]) {
+                        Ok(v) => {
+                            cache.store(&key, version, |e| {
+                                e.links_by_topic.insert(topic.to_owned(), v.clone());
+                            });
+                            v
+                        }
+                        Err(e) => {
+                            nc.invalidate(&binding);
+                            probe.fail(depth, &e);
+                            return probe;
+                        }
+                    }
+                }
+            };
+        for link in links {
+            probe.leads.push(Lead::Link {
+                link,
+                via_site: probe.site.clone(),
+                distance: depth,
+            });
+        }
+        if !probe.leads.is_empty() {
+            return probe;
+        }
+
+        // No leads here: expand its inter-relationships. Expansion
+        // failures are tolerated (the reachable part still expands).
+        let coalition_list = match cache.with_current(&key, version, |e| e.coalition_list.clone()) {
+            Some(hit) => {
+                metrics.record_codb_cache(true);
+                hit
+            }
+            None => {
+                metrics.record_codb_cache(false);
+                probe.codb_queries += 1;
+                match self.fetch_strings(&ior, "coalitions", &[]) {
+                    Ok(v) => {
+                        cache.store(&key, version, |e| e.coalition_list = Some(v.clone()));
+                        v
+                    }
+                    Err(_) => Vec::new(),
+                }
+            }
+        };
+        let service_links = match cache.with_current(&key, version, |e| e.service_links.clone()) {
+            Some(hit) => {
+                metrics.record_codb_cache(true);
+                hit
+            }
+            None => {
+                metrics.record_codb_cache(false);
+                probe.codb_queries += 1;
+                match self.fetch_links(&ior, "service_links", &[]) {
+                    Ok(v) => {
+                        cache.store(&key, version, |e| e.service_links = Some(v.clone()));
+                        v
+                    }
+                    Err(_) => Vec::new(),
+                }
+            }
+        };
+        let mut codb_queries = 0u64;
+        let mut expansion: Vec<String> = Vec::new();
+        let mut members_of = |c: &str| -> Option<Vec<String>> {
+            if let Some(hit) = cache.with_current(&key, version, |e| e.members.get(c).cloned()) {
+                metrics.record_codb_cache(true);
+                return Some(hit);
+            }
+            metrics.record_codb_cache(false);
+            codb_queries += 1;
+            match self.fetch_strings(&ior, "members", &[Value::string(c)]) {
+                Ok(v) => {
+                    cache.store(&key, version, |e| {
+                        e.members.insert(c.to_owned(), v.clone());
+                    });
+                    Some(v)
+                }
+                Err(_) => None,
+            }
+        };
+        expand_interrelationships(
+            &coalition_list,
+            &service_links,
+            &mut members_of,
+            &mut expansion,
+        );
+        probe.codb_queries += codb_queries;
+        probe.expansion = expansion;
+        probe
+    }
+
+    /// Probe every site of one wave, concurrently on up to
+    /// `max_workers` scoped threads, returning the probes **in wave
+    /// (site-name) order** regardless of completion order.
+    fn run_wave(&self, wave: &[String], topic: &str, depth: usize) -> Vec<SiteProbe> {
+        let workers = self.max_workers.max(1).min(wave.len());
+        let mut probes: Vec<SiteProbe> = if workers <= 1 {
+            wave.iter()
+                .map(|site| self.probe_site(site, topic, depth))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let mut slots: Vec<Option<SiteProbe>> = Vec::new();
+            slots.resize_with(wave.len(), || None);
+            std::thread::scope(|scope| {
+                let next = &next;
+                let run = move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= wave.len() {
+                            break;
+                        }
+                        mine.push((i, self.probe_site(&wave[i], topic, depth)));
+                    }
+                    mine
+                };
+                // The dispatching thread doubles as a worker, so a wave
+                // of width N costs N - 1 spawns, not N — warm-cache
+                // probes are cheap enough that the spawn itself would
+                // otherwise show up in the wave latency.
+                let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run)).collect();
+                for (i, probe) in run() {
+                    slots[i] = Some(probe);
+                }
+                for handle in handles {
+                    for (i, probe) in handle.join().expect("discovery wave worker panicked") {
+                        slots[i] = Some(probe);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every wave slot probed"))
+                .collect()
+        };
+        // A half-open breaker admits exactly one call, so wave-mates
+        // probing the same endpoint concurrently can be rejected while
+        // the admitted probe goes on to close the breaker — a race a
+        // serial traversal never loses. Re-probe breaker rejections
+        // once, serially, after the wave settles: a breaker the wave
+        // healed now admits the probe, and one that is still open
+        // rejects instantly without touching the wire.
+        for probe in &mut probes {
+            if probe.breaker_rejected {
+                *probe = self.probe_site(&probe.site, topic, depth);
+            }
+        }
+        probes
     }
 
     /// Run discovery for `topic`, starting at `start_site`.
@@ -220,6 +622,9 @@ impl DiscoveryEngine {
     /// A dead or unreachable site never aborts the traversal: it is
     /// recorded in [`DiscoveryOutcome::degraded`] and the search keeps
     /// walking the surviving subtree of coalitions and service links.
+    /// Each wave's sites are probed concurrently (see
+    /// [`DiscoveryEngine::max_workers`]); the merge is in site-name
+    /// order, so the outcome is identical to a serial traversal.
     pub fn find(&self, start_site: &str, topic: &str) -> WfResult<DiscoveryOutcome> {
         let mut stats = DiscoveryStats::default();
         let mut degraded: Vec<SiteFailure> = Vec::new();
@@ -230,7 +635,7 @@ impl DiscoveryEngine {
 
         // ---- level 0: the local co-database, no network ----
         let mut leads: Vec<Lead> = Vec::new();
-        let mut frontier: BTreeSet<String> = BTreeSet::new();
+        let mut frontier: BTreeMap<String, String> = BTreeMap::new();
         {
             let codb = start.codb.read();
             for c in codb.find_coalitions(topic) {
@@ -249,25 +654,17 @@ impl DiscoveryEngine {
             }
             if leads.is_empty() {
                 // Expand through local inter-relationships.
-                for coalition in codb.coalitions() {
-                    if let Ok(members) = codb.members(&coalition) {
-                        frontier.extend(members);
-                    }
-                }
+                let coalitions = codb.coalitions();
                 let links: Vec<ServiceLink> = codb.service_links().to_vec();
-                for link in &links {
-                    for end in [&link.from, &link.to] {
-                        match end {
-                            LinkEnd::Database(name) => {
-                                frontier.insert(name.clone());
-                            }
-                            LinkEnd::Coalition(c) => {
-                                if let Ok(members) = codb.members(c) {
-                                    frontier.extend(members);
-                                }
-                            }
-                        }
-                    }
+                let mut proposals = Vec::new();
+                expand_interrelationships(
+                    &coalitions,
+                    &links,
+                    &mut |c| codb.members(c).ok(),
+                    &mut proposals,
+                );
+                for name in proposals {
+                    propose(&mut frontier, name);
                 }
             }
         }
@@ -280,99 +677,35 @@ impl DiscoveryEngine {
             });
         }
 
-        // ---- levels 1..max_depth: remote co-databases ----
+        // ---- levels 1..max_depth: remote co-databases, one wave each ----
+        let metrics = self.fed.client_orb().metrics();
         for depth in 1..=self.max_depth {
             let wave: Vec<String> = frontier
                 .iter()
-                .filter(|s| !visited.contains(&s.to_ascii_lowercase()))
-                .cloned()
+                .filter(|(key, _)| !visited.contains(key.as_str()))
+                .map(|(_, raw)| raw.clone())
                 .collect();
             frontier.clear();
             if wave.is_empty() {
                 break;
             }
-            let mut next: BTreeSet<String> = BTreeSet::new();
-            for site in wave {
+            for site in &wave {
                 visited.insert(site.to_ascii_lowercase());
-                stats.sites_visited += 1;
-                let ior = match self.resolve_codb(&site, &mut stats) {
-                    Ok(ior) => ior,
-                    Err(e) => {
-                        // Site unknown to naming — degrade gracefully.
-                        degraded.push(SiteFailure {
-                            site: site.clone(),
-                            distance: depth,
-                            reason: e.to_string(),
-                        });
-                        continue;
-                    }
-                };
-                // Probe for both coalition and link leads — the paper's
-                // browser shows the user every kind of lead a repository
-                // can offer before they pick one.
-                let mut found_here = false;
-                match self.remote_strings(
-                    &ior,
-                    "find_coalitions",
-                    &[Value::string(topic)],
-                    &mut stats,
-                ) {
-                    Ok(coalitions) => {
-                        for c in coalitions {
-                            found_here = true;
-                            leads.push(Lead::Coalition {
-                                name: c,
-                                via_site: site.clone(),
-                                distance: depth,
-                            });
-                        }
-                    }
-                    Err(e) => {
-                        // The co-database is down or unreachable: record
-                        // it and keep walking the reachable subtree.
-                        degraded.push(SiteFailure {
-                            site: site.clone(),
-                            distance: depth,
-                            reason: e.to_string(),
-                        });
-                        continue;
-                    }
+            }
+            stats.sites_visited += wave.len();
+            metrics.record_fanout_wave(wave.len() as u64);
+
+            // Merge in wave order — the probes ran concurrently, the
+            // outcome reads as if they ran one by one.
+            for probe in self.run_wave(&wave, topic, depth) {
+                stats.naming_lookups += probe.naming_lookups;
+                stats.codb_queries += probe.codb_queries;
+                leads.extend(probe.leads);
+                if let Some(failure) = probe.failure {
+                    degraded.push(failure);
                 }
-                match self.remote_links(&ior, "find_links", &[Value::string(topic)], &mut stats) {
-                    Ok(links) => {
-                        for l in links {
-                            found_here = true;
-                            leads.push(Lead::Link {
-                                link: l,
-                                via_site: site.clone(),
-                                distance: depth,
-                            });
-                        }
-                    }
-                    Err(e) => {
-                        degraded.push(SiteFailure {
-                            site: site.clone(),
-                            distance: depth,
-                            reason: e.to_string(),
-                        });
-                        continue;
-                    }
-                }
-                if found_here {
-                    continue;
-                }
-                // No leads here: expand its inter-relationships.
-                if let Ok(coalitions) = self.remote_strings(&ior, "coalitions", &[], &mut stats) {
-                    for c in coalitions {
-                        if let Ok(members) =
-                            self.remote_strings(&ior, "members", &[Value::string(c)], &mut stats)
-                        {
-                            next.extend(members);
-                        }
-                    }
-                }
-                if let Ok(links) = self.remote_links(&ior, "service_links", &[], &mut stats) {
-                    self.expand_links(&links, &ior, &mut stats, &mut next);
+                for name in probe.expansion {
+                    propose(&mut frontier, name);
                 }
             }
             if !leads.is_empty() {
@@ -383,12 +716,82 @@ impl DiscoveryEngine {
                     stats,
                 });
             }
-            frontier = next;
         }
         Ok(DiscoveryOutcome {
             leads,
             degraded,
             stats,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_cache_serves_only_matching_versions() {
+        let cache = CodbAnswerCache::new();
+        assert!(cache.is_empty());
+        cache.store("rbh", 3, |e| {
+            e.coalition_list = Some(vec!["Research".into()]);
+            e.members.insert("Research".into(), vec!["RBH".into()]);
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.with_current("rbh", 3, |e| e.coalition_list.clone()),
+            Some(vec!["Research".to_string()])
+        );
+        // A bumped version makes every cached answer invisible…
+        assert_eq!(
+            cache.with_current("rbh", 4, |e| e.coalition_list.clone()),
+            None
+        );
+        // …and the first store under the new version resets the entry.
+        cache.store("rbh", 4, |e| {
+            e.coalition_list = Some(vec!["Medical".into()])
+        });
+        assert_eq!(
+            cache.with_current("rbh", 4, |e| e.members.get("Research").cloned()),
+            None,
+            "stale members must not survive a version bump"
+        );
+        assert_eq!(
+            cache.with_current("rbh", 4, |e| e.coalition_list.clone()),
+            Some(vec!["Medical".to_string()])
+        );
+        cache.forget("rbh");
+        assert!(cache.is_empty());
+        cache.clear();
+    }
+
+    #[test]
+    fn frontier_proposals_normalize_case_keeping_first_spelling() {
+        let mut frontier = BTreeMap::new();
+        propose(&mut frontier, "Royal Brisbane Hospital".into());
+        propose(&mut frontier, "ROYAL BRISBANE HOSPITAL".into());
+        propose(&mut frontier, "royal brisbane hospital".into());
+        propose(&mut frontier, "Medicare".into());
+        assert_eq!(frontier.len(), 2, "one entry per site, not per spelling");
+        assert_eq!(
+            frontier.get("royal brisbane hospital").map(String::as_str),
+            Some("Royal Brisbane Hospital"),
+            "the first-seen spelling is kept for the naming lookup"
+        );
+    }
+
+    #[test]
+    fn unreachable_endpoints_degrade_to_one_canonical_reason() {
+        let unknown = WebfinditError::Orb(OrbError::UnknownHost {
+            host: "qut.orbix.net".into(),
+            port: 9000,
+        });
+        let open = WebfinditError::Orb(OrbError::CircuitOpen {
+            host: "qut.orbix.net".into(),
+            port: 9000,
+        });
+        assert_eq!(degrade_reason(&unknown), degrade_reason(&open));
+        let other = WebfinditError::Protocol("bad frame".into());
+        assert_eq!(degrade_reason(&other), other.to_string());
     }
 }

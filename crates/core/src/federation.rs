@@ -28,7 +28,7 @@ use webfindit_connect::{BridgeKind, DataSourceRegistry, DriverManager};
 use webfindit_oostore::method::MethodTable;
 use webfindit_oostore::ObjectStore;
 use webfindit_orb::chaos::{ChaosHost, ChaosRegistry, ChaosTargets};
-use webfindit_orb::naming::{NamingClient, NamingService, NAMING_OBJECT_KEY};
+use webfindit_orb::naming::{IorCache, NamingClient, NamingService, NAMING_OBJECT_KEY};
 use webfindit_orb::{CallOptions, Orb, OrbConfig, OrbDomain};
 use webfindit_relstore::{Database, Dialect};
 use webfindit_wire::cdr::ByteOrder;
@@ -149,6 +149,10 @@ pub struct Federation {
     bootstrap_orb: Arc<Orb>,
     naming: Arc<NamingService>,
     naming_ior: Ior,
+    /// Shared TTL'd cache of naming resolutions, consulted by every
+    /// [`Federation::naming_client`] stub. Entries are invalidated
+    /// eagerly when an invocation on a cached reference fails.
+    ior_cache: Arc<IorCache>,
     /// Per-call policy (deadline, retry) applied to every outgoing
     /// invocation made on this federation's behalf.
     call_options: RwLock<CallOptions>,
@@ -185,6 +189,7 @@ impl Federation {
             bootstrap_orb,
             naming,
             naming_ior,
+            ior_cache: IorCache::new(std::time::Duration::from_secs(30)),
             call_options: RwLock::new(CallOptions::default()),
             downed_orbs: RwLock::new(BTreeSet::new()),
         }))
@@ -236,9 +241,19 @@ impl Federation {
             .invoke_with(ior, operation, args, &self.call_options())?)
     }
 
-    /// A naming-service client over the wire.
+    /// A naming-service client over the wire, backed by the
+    /// federation's shared [`IorCache`].
     pub fn naming_client(&self) -> NamingClient {
-        NamingClient::new(Arc::clone(&self.bootstrap_orb), self.naming_ior.clone())
+        NamingClient::with_cache(
+            Arc::clone(&self.bootstrap_orb),
+            self.naming_ior.clone(),
+            Arc::clone(&self.ior_cache),
+        )
+    }
+
+    /// The shared client-side cache of naming resolutions.
+    pub fn ior_cache(&self) -> &Arc<IorCache> {
+        &self.ior_cache
     }
 
     /// Direct handle to the naming service (bootstrap only).

@@ -42,7 +42,7 @@ pub mod synth;
 pub mod trace;
 pub mod value_map;
 
-pub use discovery::{DiscoveryEngine, DiscoveryOutcome, Lead, SiteFailure};
+pub use discovery::{CodbAnswerCache, DiscoveryEngine, DiscoveryOutcome, Lead, SiteFailure};
 pub use docs::{DocFormat, DocStore, Document};
 pub use federation::{Federation, SiteHandle, SiteSpec};
 pub use processor::{Processor, Response};

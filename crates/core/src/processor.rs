@@ -180,13 +180,13 @@ impl Processor {
             Statement::FindCoalitions { topic } => {
                 let outcome = self.engine.find(&session.site, topic)?;
                 if let Some(t) = trace.as_deref_mut() {
-                    t.event(
-                        Layer::Metadata,
+                    t.discovery_event(
                         format!(
                             "discovery visited {} co-database(s), {} round-trips",
                             outcome.stats.sites_visited,
                             outcome.stats.total_round_trips()
                         ),
+                        self.fed.client_orb().metrics(),
                     );
                 }
                 session.last_leads = outcome.leads.clone();

@@ -151,6 +151,7 @@ impl Servant for CoDatabaseServant {
         self.stall.wait();
         match operation {
             "owner" => Ok(Value::string(self.codb.read().owner().to_owned())),
+            "version" => Ok(Value::LongLong(self.codb.read().version() as i64)),
             "find_coalitions" => {
                 let topic = arg_str(args, 0, "an information type")?;
                 Ok(strings_to_value(self.codb.read().find_coalitions(&topic)))
@@ -282,6 +283,7 @@ impl Servant for CoDatabaseServant {
     fn operations(&self) -> Vec<String> {
         [
             "owner",
+            "version",
             "find_coalitions",
             "find_links",
             "coalitions",

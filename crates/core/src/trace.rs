@@ -90,7 +90,8 @@ impl Trace {
             Layer::Communication,
             format!(
                 "{} [in-flight {}, timeouts {}, retries {}, evictions {}, \
-                 breaker opened {}/probes {}/closed {}/rejected {}]",
+                 breaker opened {}/probes {}/closed {}/rejected {}, \
+                 ior cache {}h/{}m/{}inv, codb cache {}h/{}m]",
                 message.into(),
                 m.in_flight,
                 m.timeouts,
@@ -99,7 +100,41 @@ impl Trace {
                 m.breaker_opened,
                 m.breaker_probes,
                 m.breaker_closed,
-                m.breaker_rejections
+                m.breaker_rejections,
+                m.ior_cache_hits,
+                m.ior_cache_misses,
+                m.ior_cache_invalidations,
+                m.codb_cache_hits,
+                m.codb_cache_misses
+            ),
+        );
+    }
+
+    /// Record a Query-layer event annotated with the discovery fanout
+    /// and metadata-cache state: how many parallel waves were
+    /// dispatched, over how many sites, the widest wave, and the
+    /// IOR/co-database cache hit ratios — the knobs behind the
+    /// parallel-discovery experiment (E8).
+    pub fn discovery_event(
+        &mut self,
+        message: impl Into<String>,
+        metrics: &webfindit_orb::OrbMetrics,
+    ) {
+        let m = metrics.snapshot();
+        self.event(
+            Layer::Query,
+            format!(
+                "{} [waves {}, fanout sites {}, peak width {}, \
+                 ior cache {}h/{}m/{}inv, codb cache {}h/{}m]",
+                message.into(),
+                m.fanout_waves,
+                m.fanout_sites,
+                m.fanout_peak_width,
+                m.ior_cache_hits,
+                m.ior_cache_misses,
+                m.ior_cache_invalidations,
+                m.codb_cache_hits,
+                m.codb_cache_misses
             ),
         );
     }

@@ -11,7 +11,8 @@
 //! Federations carry real ORBs and TCP listeners, so the generator keeps
 //! sizes small and case counts low.
 
-use webfindit::discovery::DiscoveryEngine;
+use webfindit::discovery::{DiscoveryEngine, DiscoveryOutcome};
+use webfindit::orb::chaos::{ChaosAction, ChaosPlan};
 use webfindit::synth::{build, SynthConfig, SynthFederation};
 use webfindit_base::prop;
 
@@ -68,4 +69,158 @@ fn discovery_is_complete_sound_and_local() {
 
         synth.fed.shutdown();
     });
+}
+
+/// The determinism contract of the parallel engine: leads, degraded
+/// sites, and visit counts must match a `max_workers = 1` run exactly.
+/// (Round-trip counters are *not* compared — caching legitimately
+/// changes them between cold and warm runs.)
+fn assert_same_outcome(context: &str, serial: &DiscoveryOutcome, parallel: &DiscoveryOutcome) {
+    assert_eq!(
+        serial.leads, parallel.leads,
+        "{context}: leads diverged\nserial:   {serial:?}\nparallel: {parallel:?}"
+    );
+    assert_eq!(
+        serial.degraded, parallel.degraded,
+        "{context}: degraded diverged\nserial:   {serial:?}\nparallel: {parallel:?}"
+    );
+    assert_eq!(
+        serial.stats.sites_visited, parallel.stats.sites_visited,
+        "{context}: visit counts diverged"
+    );
+    assert_eq!(
+        serial.stats.found_at_level, parallel.stats.found_at_level,
+        "{context}: found level diverged"
+    );
+}
+
+#[test]
+fn parallel_find_is_identical_to_serial_cold_and_warm() {
+    prop::cases(5, |rng| {
+        let synth = build(&SynthConfig {
+            databases: rng.gen_range(6usize..14),
+            coalition_size: rng.gen_range(2usize..4),
+            orbs: 3,
+            extra_links: rng.gen_range(0usize..3),
+            ring_links: true,
+            seed: rng.gen_range(0u64..1000),
+        })
+        .unwrap();
+        let mut serial = DiscoveryEngine::new(synth.fed.clone());
+        serial.max_depth = 32;
+        serial.max_workers = 1;
+        let mut parallel = DiscoveryEngine::new(synth.fed.clone());
+        parallel.max_depth = 32;
+        parallel.max_workers = 8;
+
+        for target in 0..synth.coalition_count() {
+            let topic = SynthFederation::topic(target);
+            let s = serial.find(synth.member_of(0), &topic).unwrap();
+            let cold = parallel.find(synth.member_of(0), &topic).unwrap();
+            let warm = parallel.find(synth.member_of(0), &topic).unwrap();
+            assert_same_outcome(&format!("{topic} cold"), &s, &cold);
+            assert_same_outcome(&format!("{topic} warm"), &s, &warm);
+        }
+        synth.fed.shutdown();
+    });
+}
+
+#[test]
+fn parallel_find_matches_serial_while_a_chaos_plan_kills_an_orb() {
+    prop::cases(4, |rng| {
+        let synth = build(&SynthConfig {
+            databases: rng.gen_range(8usize..14),
+            coalition_size: 2,
+            orbs: 3,
+            extra_links: rng.gen_range(0usize..3),
+            ring_links: true,
+            seed: rng.gen_range(0u64..1000),
+        })
+        .unwrap();
+        // Kill a site (taking its whole hosting ORB down) that is not
+        // the start site, then compare serial and parallel traversals
+        // of the degraded federation — both mid-plan and after the
+        // restart heals it.
+        let victim = synth.sites[rng.gen_range(1usize..synth.sites.len())].clone();
+        let target = rng.gen_range(0usize..synth.coalition_count());
+        let topic = SynthFederation::topic(target);
+        let mut plan = ChaosPlan::new(rng.gen_range(0u64..1000));
+        plan.push(1, ChaosAction::KillSite(victim.clone()))
+            .push(2, ChaosAction::RestartSite(victim.clone()));
+
+        let mut serial = DiscoveryEngine::new(synth.fed.clone());
+        serial.max_depth = 32;
+        serial.max_workers = 1;
+        let mut parallel = DiscoveryEngine::new(synth.fed.clone());
+        parallel.max_depth = 32;
+        parallel.max_workers = 8;
+
+        plan.run(&*synth.fed, |step| {
+            if step == 2 {
+                // Give the client breaker its cooldown so the half-open
+                // probe can reach the restarted ORB and close it.
+                std::thread::sleep(std::time::Duration::from_millis(60));
+            }
+            let s = serial.find(synth.member_of(0), &topic).unwrap();
+            let p = parallel.find(synth.member_of(0), &topic).unwrap();
+            assert_same_outcome(&format!("step {step} ({victim} chaos)"), &s, &p);
+            if step == 2 {
+                assert!(
+                    p.complete(),
+                    "restart must heal the traversal: {:?}",
+                    p.degraded
+                );
+            }
+        });
+        synth.fed.shutdown();
+    });
+}
+
+/// Killing an ORB *while* a parallel find is in flight is racy by
+/// nature — the outcome depends on which probes beat the kill — but it
+/// must never panic, never error, and never invent leads or degraded
+/// entries for sites outside the federation.
+#[test]
+fn mid_flight_orb_kill_keeps_parallel_discovery_sound() {
+    let synth = build(&SynthConfig {
+        databases: 12,
+        coalition_size: 2,
+        orbs: 3,
+        extra_links: 1,
+        ring_links: true,
+        seed: 41,
+    })
+    .unwrap();
+    let mut engine = DiscoveryEngine::new(synth.fed.clone());
+    engine.max_depth = 32;
+    engine.max_workers = 8;
+    let topic = SynthFederation::topic(synth.coalition_count() - 1);
+
+    let fed = synth.fed.clone();
+    let orb_name = fed
+        .orb_names()
+        .last()
+        .cloned()
+        .expect("synth federation has ORBs");
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let _ = fed.kill_orb(&orb_name);
+    });
+    let outcome = engine
+        .find(synth.member_of(0), &topic)
+        .expect("mid-flight kill must degrade, not error");
+    killer.join().unwrap();
+
+    let known: Vec<String> = synth.sites.iter().map(|s| s.to_ascii_lowercase()).collect();
+    for failure in &outcome.degraded {
+        assert!(
+            known.contains(&failure.site.to_ascii_lowercase()),
+            "degraded unknown site {:?}",
+            failure.site
+        );
+    }
+    if let Some(level) = outcome.stats.found_at_level {
+        assert!(outcome.leads.iter().all(|l| l.distance() == level));
+    }
+    synth.fed.shutdown();
 }

@@ -429,3 +429,70 @@ fn explain_travels_through_the_wrapper_too() {
     }
     dep.fed.shutdown();
 }
+
+#[test]
+fn parallel_discovery_matches_serial_across_the_topology() {
+    // The determinism contract on the real 14-site deployment: a
+    // parallel wave fanout must produce byte-identical leads and
+    // degraded sets to a serial traversal, cold cache and warm.
+    let dep = build_healthcare(1999).unwrap();
+    let mut serial = DiscoveryEngine::new(dep.fed.clone());
+    serial.max_workers = 1;
+    let mut parallel = DiscoveryEngine::new(dep.fed.clone());
+    parallel.max_workers = 8;
+
+    for topic in [
+        "Medical Research",
+        "Medical Insurance",
+        "cancer Research funding",
+        "taxation records",
+        "emergency transport",
+        "subject nobody advertises",
+    ] {
+        let s = serial.find("QUT Research", topic).unwrap();
+        let cold = parallel.find("QUT Research", topic).unwrap();
+        let warm = parallel.find("QUT Research", topic).unwrap();
+        for p in [&cold, &warm] {
+            assert_eq!(s.leads, p.leads, "{topic}");
+            assert_eq!(s.degraded, p.degraded, "{topic}");
+            assert_eq!(s.stats.sites_visited, p.stats.sites_visited, "{topic}");
+        }
+        assert!(
+            warm.stats.total_round_trips() <= cold.stats.total_round_trips(),
+            "{topic}: warm cache must not cost extra round-trips \
+             (cold {:?}, warm {:?})",
+            cold.stats,
+            warm.stats
+        );
+    }
+
+    // The fanout and cache counters behind E8 are live on the client ORB.
+    let m = dep.fed.client_orb().metrics().snapshot();
+    assert!(m.fanout_waves > 0, "remote waves were dispatched");
+    assert!(m.fanout_peak_width > 1, "waves actually fanned out");
+    assert!(m.codb_cache_hits > 0, "warm runs hit the metadata cache");
+    assert!(m.ior_cache_hits > 0, "repeat resolutions hit the IOR cache");
+    dep.fed.shutdown();
+}
+
+#[test]
+fn discovery_trace_reports_fanout_and_cache_counters() {
+    let dep = build_healthcare(1999).unwrap();
+    let processor = Processor::new(dep.fed.clone());
+    let mut session = BrowserSession::new("QUT Research");
+    let mut trace = webfindit::Trace::new();
+    let resp = processor
+        .submit(
+            &mut session,
+            "Find Coalitions With Information Medical Insurance;",
+            Some(&mut trace),
+        )
+        .unwrap();
+    assert!(matches!(resp, Response::Leads { .. }));
+    let rendered = trace.render();
+    assert!(rendered.contains("waves"), "{rendered}");
+    assert!(rendered.contains("peak width"), "{rendered}");
+    assert!(rendered.contains("ior cache"), "{rendered}");
+    assert!(rendered.contains("codb cache"), "{rendered}");
+    dep.fed.shutdown();
+}

@@ -38,7 +38,7 @@ pub use channel::{BreakerConfig, BreakerState, CallOptions, IiopChannel, RetryPo
 pub use chaos::{ChaosAction, ChaosEvent, ChaosHost, ChaosPlan, ChaosRegistry, ChaosTargets};
 pub use domain::OrbDomain;
 pub use metrics::{EndpointLatency, OrbMetrics};
-pub use naming::{NamingClient, NamingService};
+pub use naming::{IorCache, NamingClient, NamingService};
 pub use orb::{Orb, OrbConfig};
 pub use servant::{Servant, ServantError};
 

@@ -51,6 +51,28 @@ pub struct OrbMetrics {
     pub breaker_closed: AtomicU64,
     /// Calls rejected immediately because the endpoint's breaker was open.
     pub breaker_rejections: AtomicU64,
+    /// Naming resolutions answered from the client-side IOR cache
+    /// without touching the wire.
+    pub ior_cache_hits: AtomicU64,
+    /// Naming resolutions that missed the IOR cache (expired, absent,
+    /// or uncached) and went to the naming service.
+    pub ior_cache_misses: AtomicU64,
+    /// IOR cache entries dropped because an invocation on the cached
+    /// reference failed (or its endpoint's breaker opened).
+    pub ior_cache_invalidations: AtomicU64,
+    /// Co-database answer-cache hits (answer reused under a matching
+    /// metadata version stamp).
+    pub codb_cache_hits: AtomicU64,
+    /// Co-database answer-cache misses (no entry, or the remote
+    /// version stamp moved).
+    pub codb_cache_misses: AtomicU64,
+    /// Discovery waves dispatched concurrently (one per remote BFS
+    /// level actually fanned out).
+    pub fanout_waves: AtomicU64,
+    /// Sites dispatched across all fanned-out waves.
+    pub fanout_sites: AtomicU64,
+    /// Widest single wave observed (high-water mark, not a sum).
+    pub fanout_peak_width: AtomicU64,
     /// Per-endpoint reply latency accumulators.
     latencies: Mutex<HashMap<(String, u16), EndpointLatency>>,
 }
@@ -115,6 +137,23 @@ pub struct MetricsSnapshot {
     pub breaker_closed: u64,
     /// See [`OrbMetrics::breaker_rejections`].
     pub breaker_rejections: u64,
+    /// See [`OrbMetrics::ior_cache_hits`].
+    pub ior_cache_hits: u64,
+    /// See [`OrbMetrics::ior_cache_misses`].
+    pub ior_cache_misses: u64,
+    /// See [`OrbMetrics::ior_cache_invalidations`].
+    pub ior_cache_invalidations: u64,
+    /// See [`OrbMetrics::codb_cache_hits`].
+    pub codb_cache_hits: u64,
+    /// See [`OrbMetrics::codb_cache_misses`].
+    pub codb_cache_misses: u64,
+    /// See [`OrbMetrics::fanout_waves`].
+    pub fanout_waves: u64,
+    /// See [`OrbMetrics::fanout_sites`].
+    pub fanout_sites: u64,
+    /// See [`OrbMetrics::fanout_peak_width`] (a high-water mark —
+    /// `since` saturates).
+    pub fanout_peak_width: u64,
 }
 
 impl MetricsSnapshot {
@@ -138,6 +177,18 @@ impl MetricsSnapshot {
             breaker_probes: self.breaker_probes - earlier.breaker_probes,
             breaker_closed: self.breaker_closed - earlier.breaker_closed,
             breaker_rejections: self.breaker_rejections - earlier.breaker_rejections,
+            ior_cache_hits: self.ior_cache_hits - earlier.ior_cache_hits,
+            ior_cache_misses: self.ior_cache_misses - earlier.ior_cache_misses,
+            ior_cache_invalidations: self.ior_cache_invalidations - earlier.ior_cache_invalidations,
+            codb_cache_hits: self.codb_cache_hits - earlier.codb_cache_hits,
+            codb_cache_misses: self.codb_cache_misses - earlier.codb_cache_misses,
+            fanout_waves: self.fanout_waves - earlier.fanout_waves,
+            fanout_sites: self.fanout_sites - earlier.fanout_sites,
+            // A high-water mark only rises; against a later snapshot it
+            // saturates rather than underflowing.
+            fanout_peak_width: self
+                .fanout_peak_width
+                .saturating_sub(earlier.fanout_peak_width),
         }
     }
 
@@ -167,6 +218,14 @@ impl OrbMetrics {
             breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
             breaker_closed: self.breaker_closed.load(Ordering::Relaxed),
             breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+            ior_cache_hits: self.ior_cache_hits.load(Ordering::Relaxed),
+            ior_cache_misses: self.ior_cache_misses.load(Ordering::Relaxed),
+            ior_cache_invalidations: self.ior_cache_invalidations.load(Ordering::Relaxed),
+            codb_cache_hits: self.codb_cache_hits.load(Ordering::Relaxed),
+            codb_cache_misses: self.codb_cache_misses.load(Ordering::Relaxed),
+            fanout_waves: self.fanout_waves.load(Ordering::Relaxed),
+            fanout_sites: self.fanout_sites.load(Ordering::Relaxed),
+            fanout_peak_width: self.fanout_peak_width.load(Ordering::Relaxed),
         }
     }
 
@@ -192,6 +251,23 @@ impl OrbMetrics {
 
     pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one discovery wave fanned out over `width` sites.
+    pub fn record_fanout_wave(&self, width: u64) {
+        self.fanout_waves.fetch_add(1, Ordering::Relaxed);
+        self.fanout_sites.fetch_add(width, Ordering::Relaxed);
+        self.fanout_peak_width.fetch_max(width, Ordering::Relaxed);
+    }
+
+    /// Record a co-database answer-cache lookup.
+    pub fn record_codb_cache(&self, hit: bool) {
+        let counter = if hit {
+            &self.codb_cache_hits
+        } else {
+            &self.codb_cache_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn gauge_add(&self, gauge: &AtomicU64, n: u64) {
@@ -240,6 +316,23 @@ mod tests {
         let high = m.snapshot();
         m.gauge_sub(&m.in_flight, 1);
         assert_eq!(m.snapshot().since(&high).in_flight, 0);
+    }
+
+    #[test]
+    fn fanout_and_cache_counters() {
+        let m = OrbMetrics::default();
+        m.record_fanout_wave(3);
+        m.record_fanout_wave(7);
+        m.record_fanout_wave(2);
+        m.record_codb_cache(true);
+        m.record_codb_cache(false);
+        m.record_codb_cache(true);
+        let s = m.snapshot();
+        assert_eq!(s.fanout_waves, 3);
+        assert_eq!(s.fanout_sites, 12);
+        assert_eq!(s.fanout_peak_width, 7, "peak is a max, not a sum");
+        assert_eq!(s.codb_cache_hits, 2);
+        assert_eq!(s.codb_cache_misses, 1);
     }
 
     #[test]
