@@ -118,9 +118,27 @@ impl CentralIndex {
         let mut registration_calls = 0u64;
         for site in fed.site_names() {
             let handle = fed.site(&site)?;
-            let codb = handle.codb.read();
-            for coalition in codb.coalitions() {
-                let doc = codb.coalition_documentation(&coalition).unwrap_or_default();
+            // Snapshot the registrations under the read guard and release
+            // it before the IIOP calls: the guard must not span a GIOP
+            // round-trip (xlint: guard-across-blocking).
+            let (coalition_data, links) = {
+                let codb = handle.codb.read();
+                let coalition_data: Vec<_> = codb
+                    .coalitions()
+                    .into_iter()
+                    .map(|coalition| {
+                        let doc = codb.coalition_documentation(&coalition).unwrap_or_default();
+                        let descriptors: Vec<_> = codb
+                            .members_direct(&coalition)
+                            .into_iter()
+                            .filter_map(|member| codb.descriptor(&member).ok().cloned())
+                            .collect();
+                        (coalition, doc, descriptors)
+                    })
+                    .collect();
+                (coalition_data, codb.service_links().to_vec())
+            };
+            for (coalition, doc, descriptors) in coalition_data {
                 registration_calls += 1;
                 match fed.invoke(
                     &central_ior,
@@ -138,24 +156,23 @@ impl CentralIndex {
                     })) => {}
                     Err(e) => return Err(e),
                 }
-                for member in codb.members_direct(&coalition) {
-                    if let Ok(d) = codb.descriptor(&member) {
-                        registration_calls += 1;
-                        match fed.invoke(
-                            &central_ior,
-                            "advertise",
-                            &[Value::string(coalition.clone()), descriptor_to_value(d)],
-                        ) {
-                            Ok(_) => {}
-                            Err(WebfinditError::Orb(
-                                webfindit_orb::OrbError::RemoteException { system: false, .. },
-                            )) => {}
-                            Err(e) => return Err(e),
-                        }
+                for d in &descriptors {
+                    registration_calls += 1;
+                    match fed.invoke(
+                        &central_ior,
+                        "advertise",
+                        &[Value::string(coalition.clone()), descriptor_to_value(d)],
+                    ) {
+                        Ok(_) => {}
+                        Err(WebfinditError::Orb(webfindit_orb::OrbError::RemoteException {
+                            system: false,
+                            ..
+                        })) => {}
+                        Err(e) => return Err(e),
                     }
                 }
             }
-            for link in codb.service_links() {
+            for link in &links {
                 registration_calls += 1;
                 match fed.invoke(&central_ior, "add_link", &[link_to_value(link)]) {
                     Ok(_) => {}

@@ -475,7 +475,11 @@ impl Federation {
     pub fn leave_coalition(&self, site: &str, coalition: &str) -> WfResult<u64> {
         let leaver = self.site(site)?;
         let mut calls = 0;
-        for s in self.sites.read().values() {
+        // Snapshot the handles first: invoke_codb goes over IIOP, and
+        // iterating `values()` directly would hold the sites read guard
+        // across every one of those blocking calls.
+        let handles: Vec<SiteHandle> = self.sites.read().values().cloned().collect();
+        for s in &handles {
             calls += 1;
             match self.invoke_codb(
                 s,
@@ -501,7 +505,9 @@ impl Federation {
     /// every co-database that knows the coalition.
     fn coalition_members(&self, coalition: &str) -> WfResult<Vec<String>> {
         let mut union: Vec<String> = Vec::new();
-        for s in self.sites.read().values() {
+        // Same discipline as leave_coalition: no guard across invokes.
+        let handles: Vec<SiteHandle> = self.sites.read().values().cloned().collect();
+        for s in &handles {
             if let Ok(m) = self.invoke_codb(s, "members", &[Value::string(coalition)]) {
                 union.extend(crate::value_map::value_to_strings(&m)?);
             }
@@ -682,7 +688,10 @@ impl Federation {
 
     /// Shut down every ORB (bootstrap last).
     pub fn shutdown(&self) {
-        for orb in self.orbs.read().values() {
+        // Orb::shutdown pokes its own listener over TCP; collect the
+        // handles so the orbs read guard is not held across that.
+        let orbs: Vec<Arc<webfindit_orb::Orb>> = self.orbs.read().values().cloned().collect();
+        for orb in orbs {
             orb.shutdown();
         }
         self.bootstrap_orb.shutdown();

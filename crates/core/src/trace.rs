@@ -139,6 +139,36 @@ impl Trace {
         );
     }
 
+    /// Record a Communication-layer event annotated with the
+    /// concurrency-analysis state: the `deadlock-detect` detector's
+    /// report totals (after mirroring them into `metrics` via
+    /// [`webfindit_orb::OrbMetrics::sync_analysis`]) and whether the
+    /// detector is compiled in at all — so a rendered trace from an
+    /// instrumented run shows at a glance if the workload tripped any
+    /// lock-order or hold-across-blocking rule.
+    pub fn analysis_event(
+        &mut self,
+        message: impl Into<String>,
+        metrics: &webfindit_orb::OrbMetrics,
+    ) {
+        metrics.sync_analysis();
+        let m = metrics.snapshot();
+        self.event(
+            Layer::Communication,
+            format!(
+                "{} [detector {}, lock-order cycles {}, blocking violations {}]",
+                message.into(),
+                if webfindit_base::sync::detect::enabled() {
+                    "on"
+                } else {
+                    "off"
+                },
+                m.analysis_lock_cycles,
+                m.analysis_blocking_violations
+            ),
+        );
+    }
+
     /// The collected events.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -185,5 +215,19 @@ mod tests {
         // Monotonic timestamps.
         let times: Vec<u128> = t.events().iter().map(|e| e.at_micros).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn analysis_event_reports_detector_state() {
+        let metrics = webfindit_orb::OrbMetrics::default();
+        let mut t = Trace::new();
+        t.analysis_event("post-discovery check", &metrics);
+        let rendered = t.render();
+        assert!(rendered.contains("post-discovery check"));
+        assert!(rendered.contains("lock-order cycles"));
+        // Without the feature the detector reports "off" and zeros; an
+        // instrumented clean run reports "on" and still zeros.
+        assert!(rendered.contains("cycles 0"));
+        assert!(rendered.contains("violations 0"));
     }
 }

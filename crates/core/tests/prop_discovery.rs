@@ -1,5 +1,5 @@
 //! Property-based tests on the discovery algorithm over randomized
-//! synthetic federations (DESIGN.md §7):
+//! synthetic federations (DESIGN.md §8):
 //!
 //! * **Completeness** — every advertised topic is findable from every
 //!   start site (the ring topology keeps the federation connected).

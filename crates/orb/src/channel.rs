@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use webfindit_base::sync::Mutex;
+use webfindit_base::sync::{detect, Mutex};
 use webfindit_wire::cdr::ByteOrder;
 use webfindit_wire::giop::GiopMessage;
 use webfindit_wire::transport::{FramedTcp, Transport};
@@ -148,12 +148,15 @@ impl Breaker {
     fn new(config: BreakerConfig) -> Breaker {
         Breaker {
             config,
-            inner: Mutex::new(BreakerInner {
-                state: BreakerState::Closed,
-                consecutive_failures: 0,
-                opened_at: None,
-                probe_in_flight: false,
-            }),
+            inner: Mutex::new_labeled(
+                BreakerInner {
+                    state: BreakerState::Closed,
+                    consecutive_failures: 0,
+                    opened_at: None,
+                    probe_in_flight: false,
+                },
+                "orb::Breaker.inner",
+            ),
         }
     }
 
@@ -400,7 +403,7 @@ impl IiopChannel {
             endpoint,
             order,
             metrics,
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new_labeled(Vec::new(), "orb::IiopChannel.conns"),
             max_conns: max_conns.max(1),
             breaker: Breaker::new(breaker),
             chaos,
@@ -422,11 +425,10 @@ impl IiopChannel {
             .count()
     }
 
-    /// Pick the least-loaded live connection, pruning dead ones. The
-    /// pool grows (up to `max_conns`) only while every existing
-    /// connection has calls in flight; at the cap, callers multiplex.
-    fn acquire(&self) -> Result<Arc<MuxConn>, CallFailure> {
-        let mut conns = self.conns.lock();
+    /// Least-loaded live connection in the pool, if any; prunes dead
+    /// connections as a side effect. Must be called with the pool lock
+    /// held. Returns `(load, index)`.
+    fn pick_least_loaded(&self, conns: &mut Vec<Arc<MuxConn>>) -> Option<(usize, usize)> {
         let before = conns.len();
         conns.retain(|c| !c.dead.load(Ordering::SeqCst));
         let pruned = before - conns.len();
@@ -440,15 +442,48 @@ impl IiopChannel {
                 best = Some((load, i));
             }
         }
-        match best {
-            Some((0, i)) => Ok(Arc::clone(&conns[i])),
-            Some((_, i)) if conns.len() >= self.max_conns => Ok(Arc::clone(&conns[i])),
-            _ => {
-                let conn = self.dial()?;
-                conns.push(Arc::clone(&conn));
-                Ok(conn)
+        best
+    }
+
+    /// Pick the least-loaded live connection, pruning dead ones. The
+    /// pool grows (up to `max_conns`) only while every existing
+    /// connection has calls in flight; at the cap, callers multiplex.
+    ///
+    /// Dialing happens with the pool lock RELEASED: `dial` blocks in
+    /// `TcpStream::connect` (seconds against a dead endpoint), and
+    /// holding `conns` across it would stall every concurrent caller
+    /// to this endpoint — the exact hold-across-blocking hazard the
+    /// `deadlock-detect` feature exists to flag.
+    fn acquire(&self) -> Result<Arc<MuxConn>, CallFailure> {
+        {
+            let mut conns = self.conns.lock();
+            match self.pick_least_loaded(&mut conns) {
+                Some((0, i)) => return Ok(Arc::clone(&conns[i])),
+                Some((_, i)) if conns.len() >= self.max_conns => return Ok(Arc::clone(&conns[i])),
+                _ => {}
             }
         }
+        let conn = self.dial()?;
+        let mut conns = self.conns.lock();
+        // Concurrent callers may have filled the pool while we dialed;
+        // respect the cap by severing the surplus connection and
+        // multiplexing on an existing one instead.
+        if conns
+            .iter()
+            .filter(|c| !c.dead.load(Ordering::SeqCst))
+            .count()
+            >= self.max_conns
+        {
+            if let Some((_, i)) = self.pick_least_loaded(&mut conns) {
+                let existing = Arc::clone(&conns[i]);
+                drop(conns);
+                conn.poison(|| ReplyOutcome::Dropped("surplus connection severed".into()));
+                conn.sever();
+                return Ok(existing);
+            }
+        }
+        conns.push(Arc::clone(&conn));
+        Ok(conn)
     }
 
     fn dial(&self) -> Result<Arc<MuxConn>, CallFailure> {
@@ -469,8 +504,10 @@ impl IiopChannel {
                 port: *port,
             })
         })?;
-        let stream = std::net::TcpStream::connect(addr)
-            .map_err(|e| CallFailure::never_sent(OrbError::Wire(WireError::Io(e))))?;
+        let stream = detect::blocking_region("orb::IiopChannel::dial", || {
+            std::net::TcpStream::connect(addr)
+        })
+        .map_err(|e| CallFailure::never_sent(OrbError::Wire(WireError::Io(e))))?;
         stream
             .set_nodelay(true)
             .map_err(|e| CallFailure::never_sent(OrbError::Wire(WireError::Io(e))))?;
@@ -483,8 +520,13 @@ impl IiopChannel {
             .try_clone()
             .map_err(|e| CallFailure::never_sent(OrbError::Wire(e)))?;
         let conn = Arc::new(MuxConn {
-            writer: Mutex::new(writer),
-            pending: Mutex::new(HashMap::new()),
+            // The writer mutex deliberately spans send_frame: GIOP
+            // frames must hit the socket whole, so the hold IS the
+            // framing discipline. Declared exempt rather than fixed.
+            writer: Mutex::new_labeled(writer, "orb::MuxConn.writer").allow_hold_across_blocking(
+                "serializes whole-frame socket writes; held for one send_frame only",
+            ),
+            pending: Mutex::new_labeled(HashMap::new(), "orb::MuxConn.pending"),
             dead: AtomicBool::new(false),
             closed_by_peer: AtomicBool::new(false),
         });
@@ -561,14 +603,17 @@ impl IiopChannel {
         self.metrics
             .add(&self.metrics.bytes_sent, frame.len() as u64);
 
-        let outcome = match deadline {
+        // The reply wait is the blocking heart of Orb::invoke: every
+        // remote call parks here until the reader thread routes the
+        // reply (or the deadline fires). No lock may be held into it.
+        let outcome = detect::blocking_region("orb::IiopChannel::reply_wait", || match deadline {
             Some(d) => rx.recv_timeout(d),
             // "No deadline" still needs the reader's failure signal, so
             // block on the channel rather than the socket.
             None => rx
                 .recv()
                 .map_err(|_| std::sync::mpsc::RecvTimeoutError::Disconnected),
-        };
+        });
         self.metrics.gauge_sub(&self.metrics.in_flight, 1);
 
         match outcome {

@@ -73,6 +73,15 @@ pub struct OrbMetrics {
     pub fanout_sites: AtomicU64,
     /// Widest single wave observed (high-water mark, not a sum).
     pub fanout_peak_width: AtomicU64,
+    /// Lock-order (ABBA) cycles reported by the `deadlock-detect`
+    /// runtime detector. Process-global (the detector is a process
+    /// singleton), mirrored here by [`OrbMetrics::sync_analysis`];
+    /// always zero without the feature.
+    pub analysis_lock_cycles: AtomicU64,
+    /// Hold-across / acquire-in blocking-region violations reported by
+    /// the detector; same provenance as
+    /// [`OrbMetrics::analysis_lock_cycles`].
+    pub analysis_blocking_violations: AtomicU64,
     /// Per-endpoint reply latency accumulators.
     latencies: Mutex<HashMap<(String, u16), EndpointLatency>>,
 }
@@ -154,6 +163,12 @@ pub struct MetricsSnapshot {
     /// See [`OrbMetrics::fanout_peak_width`] (a high-water mark —
     /// `since` saturates).
     pub fanout_peak_width: u64,
+    /// See [`OrbMetrics::analysis_lock_cycles`] (process-global —
+    /// `since` saturates).
+    pub analysis_lock_cycles: u64,
+    /// See [`OrbMetrics::analysis_blocking_violations`] (process-global
+    /// — `since` saturates).
+    pub analysis_blocking_violations: u64,
 }
 
 impl MetricsSnapshot {
@@ -189,6 +204,12 @@ impl MetricsSnapshot {
             fanout_peak_width: self
                 .fanout_peak_width
                 .saturating_sub(earlier.fanout_peak_width),
+            analysis_lock_cycles: self
+                .analysis_lock_cycles
+                .saturating_sub(earlier.analysis_lock_cycles),
+            analysis_blocking_violations: self
+                .analysis_blocking_violations
+                .saturating_sub(earlier.analysis_blocking_violations),
         }
     }
 
@@ -226,7 +247,21 @@ impl OrbMetrics {
             fanout_waves: self.fanout_waves.load(Ordering::Relaxed),
             fanout_sites: self.fanout_sites.load(Ordering::Relaxed),
             fanout_peak_width: self.fanout_peak_width.load(Ordering::Relaxed),
+            analysis_lock_cycles: self.analysis_lock_cycles.load(Ordering::Relaxed),
+            analysis_blocking_violations: self.analysis_blocking_violations.load(Ordering::Relaxed),
         }
+    }
+
+    /// Mirror the `deadlock-detect` detector's process-global report
+    /// totals into this instance's analysis counters, so snapshots and
+    /// experiment reports carry them alongside the traffic counters.
+    /// A no-op (counters stay zero) when the feature is off.
+    pub fn sync_analysis(&self) {
+        let c = webfindit_base::sync::detect::counters();
+        self.analysis_lock_cycles
+            .store(c.lock_order_cycles, Ordering::Relaxed);
+        self.analysis_blocking_violations
+            .store(c.blocking_violations, Ordering::Relaxed);
     }
 
     /// Reply-latency statistics per remote endpoint, sorted by endpoint.

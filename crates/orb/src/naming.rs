@@ -136,7 +136,7 @@ impl IorCache {
     pub fn new(ttl: Duration) -> Arc<IorCache> {
         Arc::new(IorCache {
             ttl,
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new_labeled(HashMap::new(), "orb::IorCache.entries"),
         })
     }
 

@@ -465,7 +465,11 @@ impl Orb {
         if let Some(handle) = self.listener_handle.lock().take() {
             let _ = handle.join();
         }
-        for conn in self.server_conns.lock().drain(..) {
+        // Drain under the lock, send outside it: CloseConnection goes
+        // over the socket, and holding `server_conns` across those
+        // writes would block the accept path of a concurrent connection.
+        let drained: Vec<ServerConn> = self.server_conns.lock().drain(..).collect();
+        for conn in drained {
             // try_lock: a worker mid-send must not wedge shutdown; the
             // sever below unblocks its peer regardless.
             if let Some(mut w) = conn.writer.try_lock() {
@@ -503,7 +507,15 @@ fn accept_loop(orb: Arc<Orb>, listener: TcpListener) {
         }
         let _ = stream.set_nodelay(true);
         let writer = match stream.try_clone() {
-            Ok(clone) => Arc::new(Mutex::new(FramedTcp::new(clone))),
+            // Held across send_frame by design: replies must hit the
+            // socket as whole frames. Exempt, like the client-side
+            // MuxConn writer.
+            Ok(clone) => Arc::new(
+                Mutex::new_labeled(FramedTcp::new(clone), "orb::ServerConn.writer")
+                    .allow_hold_across_blocking(
+                        "serializes whole-frame reply writes; held for one send only",
+                    ),
+            ),
             Err(_) => continue,
         };
         if let Ok(raw) = stream.try_clone() {

@@ -19,8 +19,9 @@ use crate::{WireError, WireResult};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+use webfindit_base::sync::{detect, Mutex};
 
 /// A bidirectional, message-framed byte channel.
 pub trait Transport: Send {
@@ -85,12 +86,12 @@ pub struct FaultSlot(Arc<Mutex<Fault>>);
 impl FaultSlot {
     /// A slot pre-loaded with `fault`.
     pub fn new(fault: Fault) -> Self {
-        FaultSlot(Arc::new(Mutex::new(fault)))
+        FaultSlot(Arc::new(Mutex::new_labeled(fault, "wire::FaultSlot")))
     }
 
     /// Replace the active fault.
     pub fn set(&self, fault: Fault) {
-        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = fault;
+        *self.0.lock() = fault;
     }
 
     /// Back to faultless delivery.
@@ -100,7 +101,7 @@ impl FaultSlot {
 
     /// The currently active fault.
     pub fn get(&self) -> Fault {
-        *self.0.lock().unwrap_or_else(|e| e.into_inner())
+        *self.0.lock()
     }
 }
 
@@ -233,7 +234,8 @@ impl FramedTcp {
     /// fails fast instead of hanging a discovery traversal.
     pub fn connect(host: &str, port: u16) -> WireResult<Self> {
         let addr = format!("{host}:{port}");
-        let stream = TcpStream::connect(&addr)?;
+        let stream =
+            detect::blocking_region("wire::FramedTcp::connect", || TcpStream::connect(&addr))?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         Ok(FramedTcp::new(stream))
@@ -282,12 +284,18 @@ impl Transport for FramedTcp {
     fn send_frame(&mut self, frame: &[u8]) -> WireResult<()> {
         match self.fault.plan_send(frame)? {
             SendPlan::Send(bytes) => {
-                self.stream.write_all(&bytes)?;
+                let stream = &mut self.stream;
+                detect::blocking_region("wire::FramedTcp::send_frame", || {
+                    stream.write_all(&bytes)
+                })?;
                 Ok(())
             }
             SendPlan::Swallow => Ok(()),
             SendPlan::SendPartThenClose(bytes) => {
-                let _ = self.stream.write_all(&bytes);
+                let stream = &mut self.stream;
+                let _ = detect::blocking_region("wire::FramedTcp::send_frame", || {
+                    stream.write_all(&bytes)
+                });
                 self.shutdown();
                 Err(WireError::Closed)
             }
@@ -300,7 +308,10 @@ impl Transport for FramedTcp {
                 return Err(WireError::Closed);
             }
             let mut hdr = [0u8; 12];
-            if let Err(e) = self.stream.read_exact(&mut hdr) {
+            let stream = &mut self.stream;
+            if let Err(e) = detect::blocking_region("wire::FramedTcp::recv_frame", || {
+                stream.read_exact(&mut hdr)
+            }) {
                 return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
                     WireError::Closed
                 } else {
@@ -309,7 +320,9 @@ impl Transport for FramedTcp {
             }
             let header = GiopHeader::from_bytes(&hdr)?;
             let mut body = vec![0u8; header.body_size as usize];
-            self.stream.read_exact(&mut body)?;
+            detect::blocking_region("wire::FramedTcp::recv_frame", || {
+                stream.read_exact(&mut body)
+            })?;
             let mut frame = Vec::with_capacity(12 + body.len());
             frame.extend_from_slice(&hdr);
             frame.extend_from_slice(&body);
@@ -351,7 +364,8 @@ impl Transport for PipeTransport {
     }
 
     fn recv_frame(&mut self) -> WireResult<Vec<u8>> {
-        self.rx.recv().map_err(|_| WireError::Closed)
+        detect::blocking_region("wire::PipeTransport::recv_frame", || self.rx.recv())
+            .map_err(|_| WireError::Closed)
     }
 }
 

@@ -206,6 +206,95 @@ fn killing_one_orb_yields_partial_discovery_naming_the_lost_sites() {
     dep.fed.shutdown();
 }
 
+/// Cross-crate companion to `crates/orb/tests/lock_order.rs`: several
+/// threads run full discovery sweeps — frontier expansion, co-database
+/// invokes over IIOP, and the shared [`webfindit::CodbAnswerCache`] —
+/// while a seeded chaos schedule injects link latency on one ORB's
+/// endpoint. Under `deadlock-detect` the whole interleaving must
+/// produce zero lock-order or hold-across-blocking reports; without the
+/// feature the same interleaving still runs and the drain is trivially
+/// empty.
+#[test]
+fn concurrent_discovery_under_chaos_has_no_detector_violations() {
+    use webfindit_base::sync::detect;
+
+    let _ = detect::take_violations();
+    let dep = build_healthcare(1999).unwrap();
+    let engine = DiscoveryEngine::new(dep.fed.clone());
+
+    // Latency-only faults: calls still succeed, so discovery stays
+    // complete while every lock in the path is held under contention.
+    let mut plan = ChaosPlan::new(0x5EED);
+    plan.push(
+        0,
+        ChaosAction::EndpointFault {
+            host: "orbix.qut.edu.au".into(),
+            port: 9000,
+            fault: webfindit::wire::transport::Fault::DelayMs(1),
+        },
+    )
+    .push(
+        1,
+        ChaosAction::ClearEndpoint {
+            host: "orbix.qut.edu.au".into(),
+            port: 9000,
+        },
+    );
+
+    let topics = [
+        "Medical Research",
+        "Medical Insurance",
+        "Superannuation",
+        "cancer",
+    ];
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let engine = &engine;
+            s.spawn(move || {
+                for i in 0..6 {
+                    let topic = topics[(t + i) % topics.len()];
+                    let out = engine.find("QUT Research", topic).unwrap();
+                    assert!(out.found(), "{topic:?} must stay answerable: {out:?}");
+                    if i % 3 == t % 3 {
+                        // Race cold misses against warm hits.
+                        engine.codb_cache().clear();
+                    }
+                }
+            });
+        }
+        let registry = dep.fed.chaos_registry();
+        for step in 0..=plan.last_step() {
+            for event in plan.events_at(step) {
+                match &event.action {
+                    ChaosAction::EndpointFault { host, port, fault } => {
+                        registry.set_fault(host, *port, *fault)
+                    }
+                    ChaosAction::ClearEndpoint { host, port } => registry.clear_fault(host, *port),
+                    other => panic!("plan contains unexpected action {other:?}"),
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+
+    let violations = detect::take_violations();
+    assert!(
+        violations.is_empty(),
+        "detector reported violations:\n{violations:#?}"
+    );
+
+    // The rendered trace carries the verdict for the experiment logs.
+    let mut trace = webfindit::Trace::new();
+    trace.analysis_event(
+        "post-discovery concurrency check",
+        dep.fed.client_orb().metrics(),
+    );
+    let rendered = trace.render();
+    assert!(rendered.contains("lock-order cycles 0"), "{rendered}");
+    assert!(rendered.contains("blocking violations 0"), "{rendered}");
+    dep.fed.shutdown();
+}
+
 #[test]
 fn orb_metrics_account_for_every_layer() {
     let dep = build_healthcare(1999).unwrap();
