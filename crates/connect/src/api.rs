@@ -68,6 +68,22 @@ impl QueryOutput {
     }
 }
 
+/// Data-layer execution metrics from the most recent query on a
+/// connection, in a paradigm-neutral vocabulary: relational connections
+/// report `ExecMetrics` and object connections report `OoExecMetrics`,
+/// both mapped onto these four counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataMetrics {
+    /// Rows/objects read from storage.
+    pub rows_scanned: u64,
+    /// Approximate bytes of those rows (0 for object stores).
+    pub bytes_scanned: u64,
+    /// Index entries hit (0 for object stores).
+    pub index_hits: u64,
+    /// Rows materialized by blocking operators (sort, aggregation).
+    pub rows_spilled: u64,
+}
+
 /// Static description of a connected data source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SourceMetadata {
@@ -93,6 +109,12 @@ pub trait Connection: Send {
         Err(crate::ConnectError::WrongParadigm(
             "method invocation on a relational connection".into(),
         ))
+    }
+
+    /// Data-layer metrics from the most recent `execute`, when the
+    /// source's engine reports them.
+    fn last_data_metrics(&self) -> Option<DataMetrics> {
+        None
     }
 
     /// Metadata about the source.

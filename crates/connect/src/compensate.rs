@@ -16,7 +16,7 @@
 //! The staged path is visible in [`CompensatingConnection::compensations`],
 //! which experiment E3 reports.
 
-use crate::api::{BridgeKind, Connection, QueryOutput, SourceMetadata};
+use crate::api::{BridgeKind, Connection, DataMetrics, QueryOutput, SourceMetadata};
 use crate::{ConnectError, ConnectResult};
 use webfindit_relstore::sql::ast::Statement;
 use webfindit_relstore::sql::parse_statement;
@@ -107,6 +107,10 @@ impl Connection for CompensatingConnection {
         args: &[webfindit_oostore::OValue],
     ) -> ConnectResult<QueryOutput> {
         self.inner.invoke(method, args)
+    }
+
+    fn last_data_metrics(&self) -> Option<DataMetrics> {
+        self.inner.last_data_metrics()
     }
 
     fn metadata(&self) -> ConnectResult<SourceMetadata> {

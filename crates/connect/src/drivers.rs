@@ -1,6 +1,8 @@
 //! Concrete drivers: four relational vendors plus the two OO bridges.
 
-use crate::api::{parse_url, BridgeKind, Connection, Driver, QueryOutput, SourceMetadata};
+use crate::api::{
+    parse_url, BridgeKind, Connection, DataMetrics, Driver, QueryOutput, SourceMetadata,
+};
 use crate::registry::{DataSourceRegistry, OoInstance};
 use crate::{ConnectError, ConnectResult};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -93,6 +95,7 @@ impl Driver for RelationalDriver {
         Ok(Box::new(RelationalConnection {
             db: Some(db),
             stats: Arc::clone(&self.stats),
+            last_metrics: None,
         }))
     }
 }
@@ -101,6 +104,7 @@ impl Driver for RelationalDriver {
 pub struct RelationalConnection {
     db: Option<Arc<Mutex<Database>>>,
     stats: Arc<BridgeStats>,
+    last_metrics: Option<DataMetrics>,
 }
 
 impl RelationalConnection {
@@ -113,9 +117,22 @@ impl Connection for RelationalConnection {
     fn execute(&mut self, text: &str) -> ConnectResult<QueryOutput> {
         let db = self.live()?;
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
-        let outcome = db.lock().execute(text)?;
+        let (outcome, metrics) = {
+            let mut guard = db.lock();
+            let outcome = guard.execute(text)?;
+            // Capture under the same lock so a concurrent query on a
+            // sibling connection can't swap the metrics underneath us.
+            let metrics = guard.last_exec_metrics().map(|m| DataMetrics {
+                rows_scanned: m.rows_scanned,
+                bytes_scanned: m.bytes_scanned,
+                index_hits: m.index_hits,
+                rows_spilled: m.rows_spilled,
+            });
+            (outcome, metrics)
+        };
         Ok(match outcome {
             ExecOutcome::Rows(rs) => {
+                self.last_metrics = metrics;
                 self.stats
                     .rows
                     .fetch_add(rs.rows.len() as u64, Ordering::Relaxed);
@@ -124,6 +141,10 @@ impl Connection for RelationalConnection {
             ExecOutcome::Count(n) => QueryOutput::Count(n),
             ExecOutcome::Done => QueryOutput::Done,
         })
+    }
+
+    fn last_data_metrics(&self) -> Option<DataMetrics> {
+        self.last_metrics
     }
 
     fn metadata(&self) -> ConnectResult<SourceMetadata> {
@@ -214,6 +235,7 @@ impl Driver for ObjectDriver {
             bridge: self.bridge,
             vendor: self.vendor,
             stats: Arc::clone(&self.stats),
+            last_metrics: None,
         }))
     }
 }
@@ -224,6 +246,7 @@ pub struct ObjectConnection {
     bridge: BridgeKind,
     vendor: &'static str,
     stats: Arc<BridgeStats>,
+    last_metrics: Option<DataMetrics>,
 }
 
 impl ObjectConnection {
@@ -237,8 +260,15 @@ impl Connection for ObjectConnection {
         let inst = self.live()?;
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         let query = OqlQuery::parse(text)?;
+        let inst = Arc::clone(inst);
         let guard = inst.lock();
-        let result = query.execute(&guard.store)?;
+        let (result, m) = query.execute_with_metrics(&guard.store)?;
+        self.last_metrics = Some(DataMetrics {
+            rows_scanned: m.objects_scanned,
+            bytes_scanned: 0,
+            index_hits: 0,
+            rows_spilled: m.rows_spilled,
+        });
         self.stats
             .rows
             .fetch_add(result.rows.len() as u64, Ordering::Relaxed);
@@ -246,6 +276,10 @@ impl Connection for ObjectConnection {
             columns: result.columns,
             rows: result.rows,
         })
+    }
+
+    fn last_data_metrics(&self) -> Option<DataMetrics> {
+        self.last_metrics
     }
 
     fn invoke(&mut self, method: &str, args: &[OValue]) -> ConnectResult<QueryOutput> {

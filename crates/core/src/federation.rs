@@ -350,7 +350,11 @@ impl Federation {
         let isi_key = format!("isi/{}", spec.name);
         let isi_ior = orb.activate(
             isi_key.as_bytes().to_vec(),
-            Arc::new(IsiServant::new(Arc::clone(&self.manager), url.clone())),
+            Arc::new(IsiServant::with_metrics(
+                Arc::clone(&self.manager),
+                url.clone(),
+                orb.metrics_arc(),
+            )),
         );
 
         // Bind both servants in the naming service, over the wire.
@@ -674,7 +678,11 @@ impl Federation {
             let isi_key = format!("isi/{}", site.name);
             orb.activate(
                 isi_key.as_bytes().to_vec(),
-                Arc::new(IsiServant::new(Arc::clone(&self.manager), site.url.clone())),
+                Arc::new(IsiServant::with_metrics(
+                    Arc::clone(&self.manager),
+                    site.url.clone(),
+                    orb.metrics_arc(),
+                )),
             );
         }
         self.orbs.write().insert(name.to_owned(), orb);

@@ -458,7 +458,16 @@ impl Processor {
         }
         let v = self.fed.invoke(&ior, "execute", &[Value::string(query)])?;
         if let Some(t) = trace {
-            t.event(Layer::Data, "native query executed by the wrapper");
+            // The ISI reports its execution counters into the hosting
+            // ORB's metrics; annotate the Data-layer event with them.
+            let hosting_orb = self
+                .fed
+                .site(instance)
+                .and_then(|s| self.fed.orb(&s.orb_name));
+            match hosting_orb {
+                Ok(orb) => t.data_event("native query executed by the wrapper", orb.metrics()),
+                Err(_) => t.event(Layer::Data, "native query executed by the wrapper"),
+            }
         }
         self.decode_isi_output(&v)
     }

@@ -315,6 +315,7 @@ impl Servant for CoDatabaseServant {
 pub struct IsiServant {
     manager: Arc<DriverManager>,
     url: String,
+    metrics: Option<Arc<webfindit_orb::OrbMetrics>>,
 }
 
 impl IsiServant {
@@ -323,6 +324,21 @@ impl IsiServant {
         IsiServant {
             manager,
             url: url.into(),
+            metrics: None,
+        }
+    }
+
+    /// Create an ISI that reports data-layer execution counters into
+    /// the hosting ORB's metrics after each query.
+    pub fn with_metrics(
+        manager: Arc<DriverManager>,
+        url: impl Into<String>,
+        metrics: Arc<webfindit_orb::OrbMetrics>,
+    ) -> IsiServant {
+        IsiServant {
+            manager,
+            url: url.into(),
+            metrics: Some(metrics),
         }
     }
 
@@ -332,6 +348,17 @@ impl IsiServant {
             .get_connection(&self.url)
             .map_err(|e| ServantError::Resource(e.to_string()))?;
         Ok(CompensatingConnection::new(inner))
+    }
+
+    fn report_data_metrics(&self, conn: &CompensatingConnection) {
+        if let (Some(orb), Some(m)) = (&self.metrics, conn.last_data_metrics()) {
+            orb.record_query_exec(
+                m.rows_scanned,
+                m.bytes_scanned,
+                m.index_hits,
+                m.rows_spilled,
+            );
+        }
     }
 }
 
@@ -399,6 +426,7 @@ impl Servant for IsiServant {
                 let out = conn
                     .execute(&text)
                     .map_err(|e| ServantError::Application(e.to_string()))?;
+                self.report_data_metrics(&conn);
                 Ok(output_to_value(out))
             }
             "invoke_function" => {

@@ -139,6 +139,28 @@ impl Trace {
         );
     }
 
+    /// Record a Data-layer event annotated with the data-layer
+    /// execution counters the wrappers report through
+    /// [`webfindit_orb::OrbMetrics::record_query_exec`]: rows and bytes
+    /// scanned, index hits, and rows spilled to sorts/aggregation — so
+    /// a rendered trace shows how much storage work the member
+    /// databases did, the way it already shows channel and discovery
+    /// work.
+    pub fn data_event(&mut self, message: impl Into<String>, metrics: &webfindit_orb::OrbMetrics) {
+        let m = metrics.snapshot();
+        self.event(
+            Layer::Data,
+            format!(
+                "{} [rows scanned {}, bytes {}, index hits {}, spilled {}]",
+                message.into(),
+                m.data_rows_scanned,
+                m.data_bytes_scanned,
+                m.data_index_hits,
+                m.data_rows_spilled
+            ),
+        );
+    }
+
     /// Record a Communication-layer event annotated with the
     /// concurrency-analysis state: the `deadlock-detect` detector's
     /// report totals (after mirroring them into `metrics` via
@@ -215,6 +237,19 @@ mod tests {
         // Monotonic timestamps.
         let times: Vec<u128> = t.events().iter().map(|e| e.at_micros).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn data_event_reports_exec_counters() {
+        let metrics = webfindit_orb::OrbMetrics::default();
+        metrics.record_query_exec(40, 1024, 3, 5);
+        let mut t = Trace::new();
+        t.data_event("SQL executed by the wrapper", &metrics);
+        let rendered = t.render();
+        assert!(rendered.contains("[data] SQL executed by the wrapper"));
+        assert!(rendered.contains("rows scanned 40"));
+        assert!(rendered.contains("index hits 3"));
+        assert!(rendered.contains("spilled 5"));
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod oql;
 pub mod store;
 
 pub use model::{AttrDef, ClassDef, OType, OValue, Oid};
-pub use oql::OqlQuery;
+pub use oql::{OoExecMetrics, OqlPlan, OqlQuery};
 pub use store::{Object, ObjectStore};
 
 use std::fmt;

@@ -92,36 +92,261 @@ pub struct OqlResult {
     pub rows: Vec<(Oid, Vec<OValue>)>,
 }
 
+/// Execution counters for an OQL run, mirroring relstore's
+/// `ExecMetrics` vocabulary so Trace/OrbMetrics can observe data-layer
+/// work uniformly across both stores.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OoExecMetrics {
+    /// Objects loaded from the extent closure.
+    pub objects_scanned: u64,
+    /// Objects surviving the predicate.
+    pub objects_matched: u64,
+    /// Rows materialized for sorting.
+    pub rows_spilled: u64,
+    /// Operators that actually ran, leaf first. Guaranteed to equal
+    /// [`OqlPlan::operator_names`] of the plan [`OqlQuery::plan`]
+    /// returns for the same query.
+    pub operators: Vec<&'static str>,
+}
+
+/// Physical plan for an OQL query over a class-lattice extent.
+///
+/// Rendered by `EXPLAIN`-style callers *and* walked conceptually by
+/// [`OqlQuery::execute_with_metrics`]; there is no separate description
+/// path to drift.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OqlPlan {
+    /// Scan the extent closure (instances of the class and subclasses).
+    ExtentScan {
+        /// Class whose closure is scanned.
+        class: String,
+        /// Objects currently in the closure.
+        objects: usize,
+    },
+    /// Keep objects whose predicate is true.
+    Filter {
+        /// Upstream operator.
+        input: Box<OqlPlan>,
+        /// Rendered predicate.
+        pred: String,
+    },
+    /// Project the attribute list.
+    Project {
+        /// Upstream operator.
+        input: Box<OqlPlan>,
+        /// Output attribute names.
+        attrs: Vec<String>,
+    },
+    /// Sort on one attribute (NULLs first, OID tiebreak).
+    Sort {
+        /// Upstream operator.
+        input: Box<OqlPlan>,
+        /// Sort attribute.
+        attr: String,
+        /// Descending order.
+        desc: bool,
+    },
+    /// Stop after `n` rows; without a sort this stops the scan too.
+    Limit {
+        /// Upstream operator.
+        input: Box<OqlPlan>,
+        /// Row cap.
+        n: usize,
+    },
+}
+
+impl OqlPlan {
+    /// Operator display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OqlPlan::ExtentScan { .. } => "extent scan",
+            OqlPlan::Filter { .. } => "filter",
+            OqlPlan::Project { .. } => "project",
+            OqlPlan::Sort { .. } => "sort",
+            OqlPlan::Limit { .. } => "limit",
+        }
+    }
+
+    /// The upstream operator, if any.
+    pub fn input(&self) -> Option<&OqlPlan> {
+        match self {
+            OqlPlan::ExtentScan { .. } => None,
+            OqlPlan::Filter { input, .. }
+            | OqlPlan::Project { input, .. }
+            | OqlPlan::Sort { input, .. }
+            | OqlPlan::Limit { input, .. } => Some(input),
+        }
+    }
+
+    /// Operator names leaf-first (execution order).
+    pub fn operator_names(&self) -> Vec<&'static str> {
+        let mut out = match self.input() {
+            Some(i) => i.operator_names(),
+            None => Vec::new(),
+        };
+        out.push(self.name());
+        out
+    }
+
+    /// Render the plan root-first, indented two spaces per level.
+    pub fn render(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, out: &mut Vec<String>) {
+        let pad = "  ".repeat(depth);
+        let line = match self {
+            OqlPlan::ExtentScan { class, objects } => {
+                format!("{pad}extent scan {class} ({objects} objects, closure)")
+            }
+            OqlPlan::Filter { pred, .. } => format!("{pad}filter: {pred}"),
+            OqlPlan::Project { attrs, .. } => format!("{pad}project: {}", attrs.join(", ")),
+            OqlPlan::Sort { attr, desc, .. } => {
+                format!("{pad}sort: {attr}{}", if *desc { " DESC" } else { "" })
+            }
+            OqlPlan::Limit { n, .. } => format!("{pad}limit: {n}"),
+        };
+        out.push(line);
+        if let Some(i) = self.input() {
+            i.render_into(depth + 1, out);
+        }
+    }
+}
+
+fn value_to_text(v: &OValue) -> String {
+    match v {
+        OValue::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        other => other.to_string(),
+    }
+}
+
+fn pred_to_text(p: &Pred) -> String {
+    match p {
+        Pred::Cmp { attr, op, value } => {
+            let op = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "<>",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Like => "LIKE",
+            };
+            format!("{attr} {op} {}", value_to_text(value))
+        }
+        Pred::IsNull { attr, negated } => {
+            format!("{attr} IS {}NULL", if *negated { "NOT " } else { "" })
+        }
+        Pred::And(a, b) => format!("({} AND {})", pred_to_text(a), pred_to_text(b)),
+        Pred::Or(a, b) => format!("({} OR {})", pred_to_text(a), pred_to_text(b)),
+        Pred::Not(a) => format!("NOT {}", pred_to_text(a)),
+    }
+}
+
 impl OqlQuery {
     /// Parse OQL text.
     pub fn parse(text: &str) -> OoResult<OqlQuery> {
         Parser::new(text).query()
     }
 
-    /// Execute against a store.
-    pub fn execute(&self, store: &ObjectStore) -> OoResult<OqlResult> {
-        let oids = store.instances_of(&self.class, true)?;
-        let columns: Vec<String> = if self.attrs.is_empty() {
-            store
+    /// Resolve the output attribute list against the store's lattice.
+    fn output_columns(&self, store: &ObjectStore) -> OoResult<Vec<String>> {
+        if self.attrs.is_empty() {
+            Ok(store
                 .all_attributes(&self.class)?
                 .into_iter()
                 .map(|a| a.name)
-                .collect()
+                .collect())
         } else {
-            self.attrs.clone()
+            Ok(self.attrs.clone())
+        }
+    }
+
+    /// Build the physical plan this query executes against `store`.
+    pub fn plan(&self, store: &ObjectStore) -> OoResult<OqlPlan> {
+        let objects = store.instances_of(&self.class, true)?.len();
+        let attrs = self.output_columns(store)?;
+        let mut plan = OqlPlan::ExtentScan {
+            class: self.class.clone(),
+            objects,
         };
+        if let Some(p) = &self.filter {
+            plan = OqlPlan::Filter {
+                input: Box::new(plan),
+                pred: pred_to_text(p),
+            };
+        }
+        plan = OqlPlan::Project {
+            input: Box::new(plan),
+            attrs,
+        };
+        if let Some((attr, desc)) = &self.order_by {
+            plan = OqlPlan::Sort {
+                input: Box::new(plan),
+                attr: attr.clone(),
+                desc: *desc,
+            };
+        }
+        if let Some(n) = self.limit {
+            plan = OqlPlan::Limit {
+                input: Box::new(plan),
+                n,
+            };
+        }
+        Ok(plan)
+    }
+
+    /// Describe the plan [`OqlQuery::execute`] would run, without
+    /// executing it.
+    pub fn explain(&self, store: &ObjectStore) -> OoResult<Vec<String>> {
+        Ok(self.plan(store)?.render())
+    }
+
+    /// Execute against a store.
+    pub fn execute(&self, store: &ObjectStore) -> OoResult<OqlResult> {
+        self.execute_with_metrics(store).map(|(r, _)| r)
+    }
+
+    /// Execute against a store, returning [`OoExecMetrics`] alongside
+    /// the result. `LIMIT` without `ORDER BY` stops the extent scan as
+    /// soon as enough objects matched.
+    pub fn execute_with_metrics(
+        &self,
+        store: &ObjectStore,
+    ) -> OoResult<(OqlResult, OoExecMetrics)> {
+        let plan = self.plan(store)?;
+        let mut m = OoExecMetrics {
+            operators: plan.operator_names(),
+            ..OoExecMetrics::default()
+        };
+        let oids = store.instances_of(&self.class, true)?;
+        let columns = self.output_columns(store)?;
         let mut rows = Vec::new();
         for oid in oids {
+            // LIMIT pushdown: without a sort there is no need to keep
+            // scanning once the cap is reached.
+            if self.order_by.is_none() {
+                if let Some(n) = self.limit {
+                    if rows.len() >= n {
+                        break;
+                    }
+                }
+            }
             let obj = store.object(oid)?;
+            m.objects_scanned += 1;
             if let Some(p) = &self.filter {
                 if !matches!(eval_pred(p, obj), Some(true)) {
                     continue;
                 }
             }
+            m.objects_matched += 1;
             let values = columns.iter().map(|c| obj.get(c)).collect();
             rows.push((oid, values));
         }
         if let Some((attr, desc)) = &self.order_by {
+            m.rows_spilled += rows.len() as u64;
             let mut keyed: Vec<(OValue, (Oid, Vec<OValue>))> = rows
                 .into_iter()
                 .map(|(oid, values)| {
@@ -148,7 +373,7 @@ impl OqlQuery {
         if let Some(n) = self.limit {
             rows.truncate(n);
         }
-        Ok(OqlResult { columns, rows })
+        Ok((OqlResult { columns, rows }, m))
     }
 }
 
@@ -693,5 +918,48 @@ mod order_limit_tests {
     fn order_by_parse_errors() {
         assert!(OqlQuery::parse("select * from G order amount").is_err());
         assert!(OqlQuery::parse("select * from G limit x").is_err());
+    }
+
+    #[test]
+    fn explain_renders_the_executed_plan() {
+        let s = funded();
+        let q = OqlQuery::parse(
+            "select name from G where amount > 15 and name like '%' order by amount desc limit 2",
+        )
+        .unwrap();
+        let plan = q.plan(&s).unwrap();
+        let text = plan.render().join("\n");
+        assert!(text.contains("limit: 2"), "{text}");
+        assert!(text.contains("sort: amount DESC"), "{text}");
+        assert!(text.contains("project: name"), "{text}");
+        assert!(
+            text.contains("filter: (amount > 15 AND name LIKE '%')"),
+            "{text}"
+        );
+        assert!(
+            text.contains("extent scan G (4 objects, closure)"),
+            "{text}"
+        );
+        assert_eq!(q.explain(&s).unwrap(), plan.render());
+
+        let (_, m) = q.execute_with_metrics(&s).unwrap();
+        assert_eq!(m.operators, plan.operator_names());
+        assert_eq!(
+            m.operators,
+            vec!["extent scan", "filter", "project", "sort", "limit"]
+        );
+        assert_eq!(m.objects_scanned, 4);
+        assert_eq!(m.objects_matched, 2);
+        assert_eq!(m.rows_spilled, 2);
+    }
+
+    #[test]
+    fn limit_without_order_stops_the_scan() {
+        let s = funded();
+        let q = OqlQuery::parse("select name from G limit 2").unwrap();
+        let (r, m) = q.execute_with_metrics(&s).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        // Pushdown: only the two delivered objects were loaded.
+        assert_eq!(m.objects_scanned, 2);
     }
 }

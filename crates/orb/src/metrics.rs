@@ -73,6 +73,17 @@ pub struct OrbMetrics {
     pub fanout_sites: AtomicU64,
     /// Widest single wave observed (high-water mark, not a sum).
     pub fanout_peak_width: AtomicU64,
+    /// Rows (or objects) read from data-layer storage by queries the
+    /// wrappers executed through this ORB's servants.
+    pub data_rows_scanned: AtomicU64,
+    /// Approximate bytes of those rows.
+    pub data_bytes_scanned: AtomicU64,
+    /// Data-layer index entries hit (point lookups, range scans, index
+    /// join probes).
+    pub data_index_hits: AtomicU64,
+    /// Data-layer rows materialized by blocking operators (sorts,
+    /// aggregation).
+    pub data_rows_spilled: AtomicU64,
     /// Lock-order (ABBA) cycles reported by the `deadlock-detect`
     /// runtime detector. Process-global (the detector is a process
     /// singleton), mirrored here by [`OrbMetrics::sync_analysis`];
@@ -163,6 +174,14 @@ pub struct MetricsSnapshot {
     /// See [`OrbMetrics::fanout_peak_width`] (a high-water mark —
     /// `since` saturates).
     pub fanout_peak_width: u64,
+    /// See [`OrbMetrics::data_rows_scanned`].
+    pub data_rows_scanned: u64,
+    /// See [`OrbMetrics::data_bytes_scanned`].
+    pub data_bytes_scanned: u64,
+    /// See [`OrbMetrics::data_index_hits`].
+    pub data_index_hits: u64,
+    /// See [`OrbMetrics::data_rows_spilled`].
+    pub data_rows_spilled: u64,
     /// See [`OrbMetrics::analysis_lock_cycles`] (process-global —
     /// `since` saturates).
     pub analysis_lock_cycles: u64,
@@ -204,6 +223,10 @@ impl MetricsSnapshot {
             fanout_peak_width: self
                 .fanout_peak_width
                 .saturating_sub(earlier.fanout_peak_width),
+            data_rows_scanned: self.data_rows_scanned - earlier.data_rows_scanned,
+            data_bytes_scanned: self.data_bytes_scanned - earlier.data_bytes_scanned,
+            data_index_hits: self.data_index_hits - earlier.data_index_hits,
+            data_rows_spilled: self.data_rows_spilled - earlier.data_rows_spilled,
             analysis_lock_cycles: self
                 .analysis_lock_cycles
                 .saturating_sub(earlier.analysis_lock_cycles),
@@ -247,6 +270,10 @@ impl OrbMetrics {
             fanout_waves: self.fanout_waves.load(Ordering::Relaxed),
             fanout_sites: self.fanout_sites.load(Ordering::Relaxed),
             fanout_peak_width: self.fanout_peak_width.load(Ordering::Relaxed),
+            data_rows_scanned: self.data_rows_scanned.load(Ordering::Relaxed),
+            data_bytes_scanned: self.data_bytes_scanned.load(Ordering::Relaxed),
+            data_index_hits: self.data_index_hits.load(Ordering::Relaxed),
+            data_rows_spilled: self.data_rows_spilled.load(Ordering::Relaxed),
             analysis_lock_cycles: self.analysis_lock_cycles.load(Ordering::Relaxed),
             analysis_blocking_violations: self.analysis_blocking_violations.load(Ordering::Relaxed),
         }
@@ -293,6 +320,25 @@ impl OrbMetrics {
         self.fanout_waves.fetch_add(1, Ordering::Relaxed);
         self.fanout_sites.fetch_add(width, Ordering::Relaxed);
         self.fanout_peak_width.fetch_max(width, Ordering::Relaxed);
+    }
+
+    /// Record one data-layer query execution, in the paradigm-neutral
+    /// counter vocabulary the connect layer reports.
+    pub fn record_query_exec(
+        &self,
+        rows_scanned: u64,
+        bytes_scanned: u64,
+        index_hits: u64,
+        rows_spilled: u64,
+    ) {
+        self.data_rows_scanned
+            .fetch_add(rows_scanned, Ordering::Relaxed);
+        self.data_bytes_scanned
+            .fetch_add(bytes_scanned, Ordering::Relaxed);
+        self.data_index_hits
+            .fetch_add(index_hits, Ordering::Relaxed);
+        self.data_rows_spilled
+            .fetch_add(rows_spilled, Ordering::Relaxed);
     }
 
     /// Record a co-database answer-cache lookup.
@@ -368,6 +414,18 @@ mod tests {
         assert_eq!(s.fanout_peak_width, 7, "peak is a max, not a sum");
         assert_eq!(s.codb_cache_hits, 2);
         assert_eq!(s.codb_cache_misses, 1);
+    }
+
+    #[test]
+    fn query_exec_counters_accumulate() {
+        let m = OrbMetrics::default();
+        m.record_query_exec(100, 2048, 7, 10);
+        m.record_query_exec(1, 16, 1, 0);
+        let s = m.snapshot();
+        assert_eq!(s.data_rows_scanned, 101);
+        assert_eq!(s.data_bytes_scanned, 2064);
+        assert_eq!(s.data_index_hits, 8);
+        assert_eq!(s.data_rows_spilled, 10);
     }
 
     #[test]

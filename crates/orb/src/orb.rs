@@ -173,6 +173,12 @@ impl Orb {
         &self.metrics
     }
 
+    /// A shared handle to the traffic counters, for components (e.g.
+    /// data-source servants) that outlive a borrow of the ORB.
+    pub fn metrics_arc(&self) -> Arc<OrbMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
     /// The domain this ORB participates in.
     pub fn domain(&self) -> &Arc<OrbDomain> {
         &self.domain

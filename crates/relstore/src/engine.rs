@@ -11,7 +11,7 @@
 //!   undo log of inverse slot operations.
 
 use crate::dialect::Dialect;
-use crate::exec::{execute_select, ResultSet};
+use crate::exec::{execute_select_with_metrics, ExecMetrics, ResultSet};
 use crate::expr::{eval, EvalContext, Expr};
 use crate::sql::ast::Statement;
 use crate::sql::parse_statement;
@@ -81,6 +81,12 @@ pub struct DbStats {
     pub rows_returned: u64,
     /// Rows written (inserted + updated + deleted).
     pub rows_written: u64,
+    /// Rows read from table heaps by query pipelines.
+    pub rows_scanned: u64,
+    /// Index entries hit by point lookups, range scans, and probes.
+    pub index_hits: u64,
+    /// Rows materialized by blocking operators (sort, aggregation).
+    pub rows_spilled: u64,
 }
 
 /// One simulated relational database instance.
@@ -91,6 +97,7 @@ pub struct Database {
     tables: HashMap<String, Table>,
     txn: Option<Vec<UndoOp>>,
     stats: DbStats,
+    last_exec: Option<ExecMetrics>,
 }
 
 /// Evaluation context rejecting all column references (INSERT values).
@@ -113,6 +120,7 @@ impl Database {
             tables: HashMap::new(),
             txn: None,
             stats: DbStats::default(),
+            last_exec: None,
         }
     }
 
@@ -129,6 +137,30 @@ impl Database {
     /// Cumulative statistics.
     pub fn stats(&self) -> DbStats {
         self.stats
+    }
+
+    /// Execution metrics from the most recent SELECT, if any.
+    pub fn last_exec_metrics(&self) -> Option<&ExecMetrics> {
+        self.last_exec.as_ref()
+    }
+
+    /// Borrow the whole catalog (read-only), e.g. for planning or for
+    /// running the naive reference executor against live tables.
+    pub fn tables(&self) -> &HashMap<String, Table> {
+        &self.tables
+    }
+
+    /// Run a SELECT through the retained naive reference executor.
+    ///
+    /// Differential tests and the E10 benchmark use this as the
+    /// semantic baseline for the planned pipeline.
+    pub fn query_naive(&self, sql: &str) -> RelResult<ResultSet> {
+        match parse_statement(sql)? {
+            Statement::Select(s) => crate::exec::execute_select_naive(&s, &self.tables),
+            other => Err(RelError::Unsupported(format!(
+                "query_naive only runs SELECT, got {other:?}"
+            ))),
+        }
     }
 
     /// Names of all tables, sorted.
@@ -183,8 +215,12 @@ impl Database {
         self.dialect.check(stmt)?;
         let outcome = match stmt {
             Statement::Select(s) => {
-                let rs = execute_select(s, &self.tables)?;
+                let (rs, m) = execute_select_with_metrics(s, &self.tables)?;
                 self.stats.rows_returned += rs.rows.len() as u64;
+                self.stats.rows_scanned += m.rows_scanned;
+                self.stats.index_hits += m.index_hits;
+                self.stats.rows_spilled += m.rows_spilled;
+                self.last_exec = Some(m);
                 ExecOutcome::Rows(rs)
             }
             Statement::Explain(s) => {

@@ -1,26 +1,27 @@
-//! Query execution: scans, joins, grouping, sorting, projection.
+//! Query execution: pipelined pull-based operators over a physical plan.
 //!
-//! The executor is a straightforward pull-everything pipeline (tables are
-//! in-memory, so vector-at-a-time materialization is the honest choice):
+//! [`execute_select`] plans the statement with
+//! [`crate::plan::plan_select`] and runs the resulting
+//! [`PhysicalPlan`] tree with a pull-based (iterator-style) executor:
+//! each operator produces one row per `next` call, so `LIMIT` stops
+//! pulling — and therefore stops scanning — as soon as it is
+//! satisfied. An [`ExecMetrics`] struct threads through the operator
+//! tree counting rows/bytes scanned, index hits, and rows spilled to
+//! sorts/aggregation, and records the name of every operator that ran.
 //!
-//! 1. **FROM/JOIN** — base scan plus joins. Inner equi-joins on
-//!    `a.x = b.y` use a hash join; everything else uses nested loops.
-//!    `LEFT JOIN` pads unmatched left rows with NULLs.
-//! 2. **WHERE** — three-valued filter; for single-table queries a
-//!    top-level `col = literal` conjunct is served from an index when
-//!    one exists.
-//! 3. **GROUP BY / aggregates / HAVING** — hash grouping; aggregates are
-//!    computed once per group and substituted into SELECT/HAVING/ORDER
-//!    expressions.
-//! 4. **DISTINCT**, **ORDER BY** (with NULLs-first total order),
-//!    **LIMIT**, projection.
+//! The previous vector-at-a-time interpreter is retained verbatim as
+//! [`execute_select_naive`]: it is the semantic reference for the
+//! differential property tests and the baseline for the E10 benchmark.
 
 use crate::expr::{eval, AggFunc, BinOp, EvalContext, Expr};
-use crate::sql::ast::{Join, JoinKind, SelectItem, SelectStmt};
+use crate::plan::{
+    conjuncts, equi_join_offsets, expand_items, lookup, plan_select, Layout, PhysicalPlan, Sarg,
+};
+use crate::sql::ast::{Join, JoinKind, OrderKey, SelectStmt};
 use crate::storage::Table;
 use crate::types::{Datum, Row};
 use crate::{RelError, RelResult};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A query result: named columns and rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,61 +76,28 @@ impl ResultSet {
     }
 }
 
-/// The table layout of a joined row: which bindings cover which column
-/// ranges.
-#[derive(Debug, Clone)]
-struct Layout {
-    /// `(binding, column names, start offset)` per FROM item.
-    parts: Vec<(String, Vec<String>, usize)>,
-    width: usize,
-}
-
-impl Layout {
-    fn new() -> Layout {
-        Layout {
-            parts: Vec::new(),
-            width: 0,
-        }
-    }
-
-    fn push(&mut self, binding: String, columns: Vec<String>) {
-        let start = self.width;
-        self.width += columns.len();
-        self.parts.push((binding, columns, start));
-    }
-
-    /// Resolve `table.name` or bare `name` to an absolute offset.
-    fn resolve(&self, table: Option<&str>, name: &str) -> RelResult<usize> {
-        let lname = name.to_ascii_lowercase();
-        match table {
-            Some(t) => {
-                let lt = t.to_ascii_lowercase();
-                let (_, cols, start) = self
-                    .parts
-                    .iter()
-                    .find(|(b, _, _)| *b == lt)
-                    .ok_or_else(|| RelError::NoSuchTable(lt.clone()))?;
-                cols.iter()
-                    .position(|c| *c == lname)
-                    .map(|i| start + i)
-                    .ok_or(RelError::NoSuchColumn(format!("{lt}.{lname}")))
-            }
-            None => {
-                let mut found = None;
-                for (b, cols, start) in &self.parts {
-                    if let Some(i) = cols.iter().position(|c| *c == lname) {
-                        if found.is_some() {
-                            return Err(RelError::AmbiguousColumn(format!(
-                                "{lname} (in {b} and another table)"
-                            )));
-                        }
-                        found = Some(start + i);
-                    }
-                }
-                found.ok_or(RelError::NoSuchColumn(lname))
-            }
-        }
-    }
+/// Execution counters threaded through the pipelined operator tree.
+///
+/// Rows/bytes are counted where storage is actually touched (scans,
+/// hash-build sides, index probes); `rows_spilled` counts rows
+/// materialized by blocking operators (sort, hash aggregation);
+/// `operators` lists every plan operator that ran, bottom-up, and is
+/// guaranteed to match [`PhysicalPlan::operator_names`] of the plan
+/// that produced it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecMetrics {
+    /// Rows read from table heaps (scans, join build/probe reads).
+    pub rows_scanned: u64,
+    /// Approximate bytes of those rows.
+    pub bytes_scanned: u64,
+    /// Index entries returned by point lookups / range scans / probes.
+    pub index_hits: u64,
+    /// Rows materialized by blocking operators (sort, aggregation).
+    pub rows_spilled: u64,
+    /// Rows delivered to the client.
+    pub rows_output: u64,
+    /// Operators that actually ran, leaf first.
+    pub operators: Vec<&'static str>,
 }
 
 struct LayoutRow<'a> {
@@ -165,29 +133,9 @@ impl EvalContext for GroupRow<'_> {
     }
 }
 
-/// Look up a table in the catalog map (names are lowercase).
-fn table<'a>(tables: &'a HashMap<String, Table>, name: &str) -> RelResult<&'a Table> {
-    let lower = name.to_ascii_lowercase();
-    tables.get(&lower).ok_or(RelError::NoSuchTable(lower))
-}
-
-/// Split a conjunction into its AND-ed parts.
-fn conjuncts(expr: &Expr) -> Vec<&Expr> {
-    match expr {
-        Expr::Binary {
-            op: BinOp::And,
-            left,
-            right,
-        } => {
-            let mut v = conjuncts(left);
-            v.extend(conjuncts(right));
-            v
-        }
-        other => vec![other],
-    }
-}
-
-/// If `expr` is `col = literal` (either side), return them.
+/// If `expr` is `col = literal` (either side), return them. Used only
+/// by the naive reference executor; the planner's sarg extraction in
+/// `plan.rs` is qualifier-aware.
 fn eq_col_literal(expr: &Expr) -> Option<(&str, &Datum)> {
     if let Expr::Binary {
         op: BinOp::Eq,
@@ -204,10 +152,647 @@ fn eq_col_literal(expr: &Expr) -> Option<(&str, &Datum)> {
     None
 }
 
-/// Execute a SELECT against the given tables.
+fn datum_bytes(d: &Datum) -> u64 {
+    match d {
+        Datum::Null | Datum::Bool(_) => 1,
+        Datum::Text(s) => 8 + s.len() as u64,
+        _ => 8,
+    }
+}
+
+fn row_bytes(row: &[Datum]) -> u64 {
+    row.iter().map(datum_bytes).sum()
+}
+
+// ---------------------------------------------------------------------
+// Pipelined executor: lower half produces joined rows, upper half
+// produces (visible row, hidden sort keys) pairs.
+// ---------------------------------------------------------------------
+
+trait RowOp {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<Row>>;
+}
+
+trait KeyedOp {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<(Row, Vec<Datum>)>>;
+}
+
+struct SeqScanExec<'a> {
+    iter: Box<dyn Iterator<Item = &'a Row> + 'a>,
+}
+
+impl RowOp for SeqScanExec<'_> {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<Row>> {
+        match self.iter.next() {
+            Some(r) => {
+                m.rows_scanned += 1;
+                m.bytes_scanned += row_bytes(r);
+                Ok(Some(r.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+struct IxScanExec<'a> {
+    table: &'a Table,
+    slots: std::vec::IntoIter<usize>,
+}
+
+impl RowOp for IxScanExec<'_> {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<Row>> {
+        for slot in self.slots.by_ref() {
+            if let Some(r) = self.table.row(slot) {
+                m.rows_scanned += 1;
+                m.bytes_scanned += row_bytes(r);
+                return Ok(Some(r.clone()));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct FilterExec<'a> {
+    input: Box<dyn RowOp + 'a>,
+    pred: &'a Expr,
+    layout: &'a Layout,
+}
+
+impl RowOp for FilterExec<'_> {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<Row>> {
+        while let Some(row) = self.input.next(m)? {
+            let ctx = LayoutRow {
+                layout: self.layout,
+                row: &row,
+            };
+            if matches!(eval(self.pred, &ctx)?, Datum::Bool(true)) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct NlJoinExec<'a> {
+    input: Box<dyn RowOp + 'a>,
+    right_rows: Vec<&'a Row>,
+    right_width: usize,
+    kind: JoinKind,
+    on: Option<&'a Expr>,
+    layout: &'a Layout,
+    cur_left: Option<Row>,
+    idx: usize,
+    matched: bool,
+}
+
+impl RowOp for NlJoinExec<'_> {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<Row>> {
+        loop {
+            if self.cur_left.is_none() {
+                match self.input.next(m)? {
+                    Some(l) => {
+                        self.cur_left = Some(l);
+                        self.idx = 0;
+                        self.matched = false;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let l = self.cur_left.as_ref().expect("left row set above");
+            while self.idx < self.right_rows.len() {
+                let r = self.right_rows[self.idx];
+                self.idx += 1;
+                let mut row = l.clone();
+                row.extend(r.iter().cloned());
+                match (self.kind, self.on) {
+                    (JoinKind::Cross, _) => return Ok(Some(row)),
+                    (_, Some(on)) => {
+                        let ctx = LayoutRow {
+                            layout: self.layout,
+                            row: &row,
+                        };
+                        if matches!(eval(on, &ctx)?, Datum::Bool(true)) {
+                            self.matched = true;
+                            return Ok(Some(row));
+                        }
+                    }
+                    (_, None) => return Ok(Some(row)),
+                }
+            }
+            // Right side exhausted for this left row.
+            let l = self.cur_left.take().expect("left row present");
+            if self.kind == JoinKind::Left && !self.matched {
+                let mut row = l;
+                row.extend(std::iter::repeat_n(Datum::Null, self.right_width));
+                return Ok(Some(row));
+            }
+        }
+    }
+}
+
+struct HashJoinExec<'a> {
+    input: Box<dyn RowOp + 'a>,
+    ht: HashMap<String, Vec<&'a Row>>,
+    left_off: usize,
+    pending: VecDeque<Row>,
+}
+
+impl RowOp for HashJoinExec<'_> {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<Row>> {
+        loop {
+            if let Some(row) = self.pending.pop_front() {
+                return Ok(Some(row));
+            }
+            match self.input.next(m)? {
+                None => return Ok(None),
+                Some(l) => {
+                    if l[self.left_off].is_null() {
+                        continue; // NULL never equi-matches
+                    }
+                    let mut key = String::new();
+                    l[self.left_off].group_key(&mut key);
+                    if let Some(matches) = self.ht.get(&key) {
+                        for r in matches {
+                            let mut row = l.clone();
+                            row.extend(r.iter().cloned());
+                            self.pending.push_back(row);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct IxJoinExec<'a> {
+    input: Box<dyn RowOp + 'a>,
+    right: &'a Table,
+    left_off: usize,
+    right_col: usize,
+    pending: VecDeque<Row>,
+}
+
+impl RowOp for IxJoinExec<'_> {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<Row>> {
+        loop {
+            if let Some(row) = self.pending.pop_front() {
+                return Ok(Some(row));
+            }
+            match self.input.next(m)? {
+                None => return Ok(None),
+                Some(l) => {
+                    if l[self.left_off].is_null() {
+                        continue;
+                    }
+                    let slots = self
+                        .right
+                        .index_lookup(self.right_col, &l[self.left_off])
+                        .unwrap_or_default();
+                    m.index_hits += slots.len() as u64;
+                    for s in slots {
+                        if let Some(r) = self.right.row(s) {
+                            m.rows_scanned += 1;
+                            m.bytes_scanned += row_bytes(r);
+                            let mut row = l.clone();
+                            row.extend(r.iter().cloned());
+                            self.pending.push_back(row);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct ProjectExec<'a> {
+    input: Box<dyn RowOp + 'a>,
+    select_exprs: &'a [(Expr, String)],
+    columns: &'a [String],
+    order_by: &'a [OrderKey],
+    layout: &'a Layout,
+}
+
+impl KeyedOp for ProjectExec<'_> {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<(Row, Vec<Datum>)>> {
+        match self.input.next(m)? {
+            None => Ok(None),
+            Some(row) => {
+                let ctx = LayoutRow {
+                    layout: self.layout,
+                    row: &row,
+                };
+                let mut out = Vec::with_capacity(self.select_exprs.len());
+                for (e, _) in self.select_exprs {
+                    out.push(eval(e, &ctx)?);
+                }
+                let mut keys = Vec::with_capacity(self.order_by.len());
+                for k in self.order_by {
+                    keys.push(order_key_value(&k.expr, &ctx, self.columns, &out)?);
+                }
+                Ok(Some((out, keys)))
+            }
+        }
+    }
+}
+
+struct HashAggregateExec<'a> {
+    input: Box<dyn RowOp + 'a>,
+    group_by: &'a [Expr],
+    having: Option<&'a Expr>,
+    select_exprs: &'a [(Expr, String)],
+    columns: &'a [String],
+    order_by: &'a [OrderKey],
+    layout: &'a Layout,
+    out: Option<std::vec::IntoIter<(Row, Vec<Datum>)>>,
+}
+
+impl KeyedOp for HashAggregateExec<'_> {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<(Row, Vec<Datum>)>> {
+        if self.out.is_none() {
+            // Blocking operator: drain the input, then group.
+            let mut rows = Vec::new();
+            while let Some(r) = self.input.next(m)? {
+                rows.push(r);
+            }
+            m.rows_spilled += rows.len() as u64;
+            let produced = aggregate_rows(
+                &rows,
+                self.group_by,
+                self.having,
+                self.select_exprs,
+                self.order_by,
+                self.columns,
+                self.layout,
+            )?;
+            self.out = Some(produced.into_iter());
+        }
+        Ok(self.out.as_mut().expect("materialized above").next())
+    }
+}
+
+struct DistinctExec<'a> {
+    input: Box<dyn KeyedOp + 'a>,
+    seen: HashSet<String>,
+}
+
+impl KeyedOp for DistinctExec<'_> {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<(Row, Vec<Datum>)>> {
+        while let Some((row, keys)) = self.input.next(m)? {
+            let mut key = String::new();
+            for d in &row {
+                d.group_key(&mut key);
+            }
+            if self.seen.insert(key) {
+                return Ok(Some((row, keys)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct SortExec<'a> {
+    input: Box<dyn KeyedOp + 'a>,
+    descs: Vec<bool>,
+    out: Option<std::vec::IntoIter<(Row, Vec<Datum>)>>,
+}
+
+impl KeyedOp for SortExec<'_> {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<(Row, Vec<Datum>)>> {
+        if self.out.is_none() {
+            let mut all = Vec::new();
+            while let Some(pair) = self.input.next(m)? {
+                all.push(pair);
+            }
+            m.rows_spilled += all.len() as u64;
+            let descs = &self.descs;
+            all.sort_by(|(_, ka), (_, kb)| {
+                for (i, desc) in descs.iter().enumerate() {
+                    let ord = ka[i].sort_cmp(&kb[i]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            self.out = Some(all.into_iter());
+        }
+        Ok(self.out.as_mut().expect("materialized above").next())
+    }
+}
+
+struct LimitExec<'a> {
+    input: Box<dyn KeyedOp + 'a>,
+    remaining: u64,
+}
+
+impl KeyedOp for LimitExec<'_> {
+    fn next(&mut self, m: &mut ExecMetrics) -> RelResult<Option<(Row, Vec<Datum>)>> {
+        if self.remaining == 0 {
+            return Ok(None); // stop pulling — upstream scans stop too
+        }
+        match self.input.next(m)? {
+            Some(pair) => {
+                self.remaining -= 1;
+                Ok(Some(pair))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Build the row-producing lower half of the pipeline.
+fn build_rowop<'a>(
+    plan: &'a PhysicalPlan,
+    tables: &'a HashMap<String, Table>,
+    m: &mut ExecMetrics,
+) -> RelResult<Box<dyn RowOp + 'a>> {
+    match plan {
+        PhysicalPlan::SeqScan(n) => {
+            let t = lookup(tables, &n.table)?;
+            m.operators.push(plan.name());
+            Ok(Box::new(SeqScanExec {
+                iter: Box::new(t.scan().map(|(_, r)| r)),
+            }))
+        }
+        PhysicalPlan::IxScan(n) => {
+            let t = lookup(tables, &n.table)?;
+            let slots = match &n.sarg {
+                Sarg::Eq(v) => t.index_lookup(n.col_idx, v),
+                Sarg::Range { lo, hi } => t.index_range(n.col_idx, lo.as_ref(), hi.as_ref()),
+            }
+            .unwrap_or_default();
+            m.index_hits += slots.len() as u64;
+            m.operators.push(plan.name());
+            Ok(Box::new(IxScanExec {
+                table: t,
+                slots: slots.into_iter(),
+            }))
+        }
+        PhysicalPlan::NlJoin(n) => {
+            let input = build_rowop(&n.input, tables, m)?;
+            let right = lookup(tables, &n.table)?;
+            let right_rows: Vec<&Row> = right.scan().map(|(_, r)| r).collect();
+            m.rows_scanned += right_rows.len() as u64;
+            m.bytes_scanned += right_rows.iter().map(|r| row_bytes(r)).sum::<u64>();
+            m.operators.push(plan.name());
+            Ok(Box::new(NlJoinExec {
+                input,
+                right_rows,
+                right_width: n.right_width,
+                kind: n.kind,
+                on: n.on.as_ref(),
+                layout: &n.layout,
+                cur_left: None,
+                idx: 0,
+                matched: false,
+            }))
+        }
+        PhysicalPlan::HashJoin(n) => {
+            let input = build_rowop(&n.input, tables, m)?;
+            let right = lookup(tables, &n.table)?;
+            let mut ht: HashMap<String, Vec<&Row>> = HashMap::new();
+            for (_, r) in right.scan() {
+                m.rows_scanned += 1;
+                m.bytes_scanned += row_bytes(r);
+                if r[n.right_col].is_null() {
+                    continue;
+                }
+                let mut key = String::new();
+                r[n.right_col].group_key(&mut key);
+                ht.entry(key).or_default().push(r);
+            }
+            m.operators.push(plan.name());
+            Ok(Box::new(HashJoinExec {
+                input,
+                ht,
+                left_off: n.left_off,
+                pending: VecDeque::new(),
+            }))
+        }
+        PhysicalPlan::IxJoin(n) => {
+            let input = build_rowop(&n.input, tables, m)?;
+            let right = lookup(tables, &n.table)?;
+            m.operators.push(plan.name());
+            Ok(Box::new(IxJoinExec {
+                input,
+                right,
+                left_off: n.left_off,
+                right_col: n.right_col,
+                pending: VecDeque::new(),
+            }))
+        }
+        PhysicalPlan::Filter(n) => {
+            let input = build_rowop(&n.input, tables, m)?;
+            m.operators.push(plan.name());
+            Ok(Box::new(FilterExec {
+                input,
+                pred: &n.pred,
+                layout: &n.layout,
+            }))
+        }
+        other => Err(RelError::Unsupported(format!(
+            "operator {} cannot feed a row pipeline",
+            other.name()
+        ))),
+    }
+}
+
+/// Build the keyed upper half of the pipeline.
+fn build_keyed<'a>(
+    plan: &'a PhysicalPlan,
+    tables: &'a HashMap<String, Table>,
+    m: &mut ExecMetrics,
+) -> RelResult<Box<dyn KeyedOp + 'a>> {
+    match plan {
+        PhysicalPlan::Limit(n) => {
+            let input = build_keyed(&n.input, tables, m)?;
+            m.operators.push(plan.name());
+            Ok(Box::new(LimitExec {
+                input,
+                remaining: n.n,
+            }))
+        }
+        PhysicalPlan::Sort(n) => {
+            let input = build_keyed(&n.input, tables, m)?;
+            m.operators.push(plan.name());
+            Ok(Box::new(SortExec {
+                input,
+                descs: n.keys.iter().map(|k| k.desc).collect(),
+                out: None,
+            }))
+        }
+        PhysicalPlan::Distinct(n) => {
+            let input = build_keyed(&n.input, tables, m)?;
+            m.operators.push(plan.name());
+            Ok(Box::new(DistinctExec {
+                input,
+                seen: HashSet::new(),
+            }))
+        }
+        PhysicalPlan::Project(n) => {
+            let input = build_rowop(&n.input, tables, m)?;
+            m.operators.push(plan.name());
+            Ok(Box::new(ProjectExec {
+                input,
+                select_exprs: &n.select_exprs,
+                columns: &n.columns,
+                order_by: &n.order_by,
+                layout: &n.layout,
+            }))
+        }
+        PhysicalPlan::HashAggregate(n) => {
+            let input = build_rowop(&n.input, tables, m)?;
+            m.operators.push(plan.name());
+            Ok(Box::new(HashAggregateExec {
+                input,
+                group_by: &n.group_by,
+                having: n.having.as_ref(),
+                select_exprs: &n.select_exprs,
+                columns: &n.columns,
+                order_by: &n.order_by,
+                layout: &n.layout,
+                out: None,
+            }))
+        }
+        other => Err(RelError::Unsupported(format!(
+            "plan root {} lacks a projection",
+            other.name()
+        ))),
+    }
+}
+
+/// Execute a previously planned [`PhysicalPlan`], returning the result
+/// set and the execution metrics it generated.
+pub fn execute_plan(
+    plan: &PhysicalPlan,
+    tables: &HashMap<String, Table>,
+) -> RelResult<(ResultSet, ExecMetrics)> {
+    let mut m = ExecMetrics::default();
+    let mut op = build_keyed(plan, tables, &mut m)?;
+    let mut rows = Vec::new();
+    while let Some((row, _)) = op.next(&mut m)? {
+        m.rows_output += 1;
+        rows.push(row);
+    }
+    drop(op);
+    Ok((
+        ResultSet {
+            columns: plan.output_columns().to_vec(),
+            rows,
+        },
+        m,
+    ))
+}
+
+/// Execute a SELECT against the given tables (plan + pipeline).
 pub fn execute_select(stmt: &SelectStmt, tables: &HashMap<String, Table>) -> RelResult<ResultSet> {
+    execute_select_with_metrics(stmt, tables).map(|(rs, _)| rs)
+}
+
+/// Execute a SELECT and return the [`ExecMetrics`] alongside the rows.
+pub fn execute_select_with_metrics(
+    stmt: &SelectStmt,
+    tables: &HashMap<String, Table>,
+) -> RelResult<(ResultSet, ExecMetrics)> {
+    let plan = plan_select(stmt, tables)?;
+    execute_plan(&plan, tables)
+}
+
+/// Describe the plan `execute_select` would run, without executing it.
+///
+/// This renders the *same* [`PhysicalPlan`] the executor runs — there
+/// is no separate description path to drift.
+pub fn explain_select(
+    stmt: &SelectStmt,
+    tables: &HashMap<String, Table>,
+) -> RelResult<Vec<String>> {
+    Ok(plan_select(stmt, tables)?.render())
+}
+
+/// Evaluate an ORDER BY key: a bare column naming an output alias sorts
+/// by the output column; otherwise the expression is evaluated in `ctx`.
+fn order_key_value(
+    expr: &Expr,
+    ctx: &dyn EvalContext,
+    columns: &[String],
+    out_row: &[Datum],
+) -> RelResult<Datum> {
+    if let Expr::Column { table: None, name } = expr {
+        if let Some(i) = columns.iter().position(|c| c == name) {
+            return Ok(out_row[i].clone());
+        }
+    }
+    eval(expr, ctx)
+}
+
+/// Group `rows`, compute aggregates, apply HAVING, and evaluate the
+/// select list and ORDER BY keys per surviving group. Shared between
+/// the pipelined `HashAggregateExec` and the naive reference executor.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_rows(
+    rows: &[Row],
+    group_by: &[Expr],
+    having: Option<&Expr>,
+    select_exprs: &[(Expr, String)],
+    order_by: &[OrderKey],
+    columns: &[String],
+    layout: &Layout,
+) -> RelResult<Vec<(Row, Vec<Datum>)>> {
+    let groups = build_groups(rows, group_by, layout)?;
+    let mut produced = Vec::with_capacity(groups.len());
+    for group in groups {
+        let aggregates = compute_aggregates(&group, select_exprs, having, order_by, layout)?;
+        let representative: &[Datum] = group.first().map(|r| r.as_slice()).unwrap_or(&[]);
+        // An empty representative only happens for zero-row ungrouped
+        // aggregates; column references would error there, which is
+        // the correct SQL behaviour for e.g. `SELECT x, COUNT(*)`.
+        let dummy: Row;
+        let rep = if representative.is_empty() {
+            dummy = vec![Datum::Null; layout.width];
+            &dummy[..]
+        } else {
+            representative
+        };
+        let ctx = GroupRow {
+            layout,
+            representative: rep,
+            aggregates: &aggregates,
+        };
+        if let Some(having) = having {
+            if !matches!(eval(having, &ctx)?, Datum::Bool(true)) {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(select_exprs.len());
+        for (e, _) in select_exprs {
+            out.push(eval(e, &ctx)?);
+        }
+        let mut keys = Vec::with_capacity(order_by.len());
+        for k in order_by {
+            keys.push(order_key_value(&k.expr, &ctx, columns, &out)?);
+        }
+        produced.push((out, keys));
+    }
+    Ok(produced)
+}
+
+/// Execute a SELECT with the original vector-at-a-time interpreter.
+///
+/// Retained as the semantic reference: the differential property tests
+/// assert the pipelined executor produces the same rows, and the E10
+/// benchmark uses it as the baseline. Indexes are only consulted for
+/// single-table equality predicates, matching the pre-planner
+/// behaviour.
+pub fn execute_select_naive(
+    stmt: &SelectStmt,
+    tables: &HashMap<String, Table>,
+) -> RelResult<ResultSet> {
     // ---- FROM + JOIN -------------------------------------------------
-    let base = table(tables, &stmt.from.name)?;
+    let base = lookup(tables, &stmt.from.name)?;
     let mut layout = Layout::new();
     layout.push(
         stmt.from.binding().to_ascii_lowercase(),
@@ -277,44 +862,18 @@ pub fn execute_select(stmt: &SelectStmt, tables: &HashMap<String, Table>) -> Rel
     let columns: Vec<String> = select_exprs.iter().map(|(_, n)| n.clone()).collect();
 
     // Each produced row carries hidden sort keys after the visible columns.
-    let mut produced: Vec<(Row, Vec<Datum>)> = Vec::new();
-
-    if has_aggregates || !stmt.group_by.is_empty() {
-        let groups = build_groups(&rows, &stmt.group_by, &layout)?;
-        for group in groups {
-            let aggregates = compute_aggregates(&group, &select_exprs, stmt, &layout)?;
-            let representative: &[Datum] = group.first().map(|r| r.as_slice()).unwrap_or(&[]);
-            // An empty representative only happens for zero-row ungrouped
-            // aggregates; column references would error there, which is
-            // the correct SQL behaviour for e.g. `SELECT x, COUNT(*)`.
-            let dummy: Row;
-            let rep = if representative.is_empty() {
-                dummy = vec![Datum::Null; layout.width];
-                &dummy[..]
-            } else {
-                representative
-            };
-            let ctx = GroupRow {
-                layout: &layout,
-                representative: rep,
-                aggregates: &aggregates,
-            };
-            if let Some(having) = &stmt.having {
-                if !matches!(eval(having, &ctx)?, Datum::Bool(true)) {
-                    continue;
-                }
-            }
-            let mut out = Vec::with_capacity(select_exprs.len());
-            for (e, _) in &select_exprs {
-                out.push(eval(e, &ctx)?);
-            }
-            let mut keys = Vec::with_capacity(stmt.order_by.len());
-            for k in &stmt.order_by {
-                keys.push(order_key_value(&k.expr, &ctx, &columns, &out)?);
-            }
-            produced.push((out, keys));
-        }
+    let mut produced: Vec<(Row, Vec<Datum>)> = if has_aggregates || !stmt.group_by.is_empty() {
+        aggregate_rows(
+            &rows,
+            &stmt.group_by,
+            stmt.having.as_ref(),
+            &select_exprs,
+            &stmt.order_by,
+            &columns,
+            &layout,
+        )?
     } else {
+        let mut produced = Vec::with_capacity(rows.len());
         for row in &rows {
             let ctx = LayoutRow {
                 layout: &layout,
@@ -330,11 +889,12 @@ pub fn execute_select(stmt: &SelectStmt, tables: &HashMap<String, Table>) -> Rel
             }
             produced.push((out, keys));
         }
-    }
+        produced
+    };
 
     // ---- DISTINCT -------------------------------------------------------
     if stmt.distinct {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         produced.retain(|(row, _)| {
             let mut key = String::new();
             for d in row {
@@ -370,203 +930,14 @@ pub fn execute_select(stmt: &SelectStmt, tables: &HashMap<String, Table>) -> Rel
     })
 }
 
-/// Describe the plan `execute_select` would run, without executing it.
-///
-/// The output mirrors the executor's actual decisions — index lookup vs
-/// scan for the base table, hash vs nested-loop per join — because it
-/// calls the same predicates (`eq_col_literal`, `equi_join_offsets`)
-/// the executor uses.
-pub fn explain_select(
-    stmt: &SelectStmt,
-    tables: &HashMap<String, Table>,
-) -> RelResult<Vec<String>> {
-    let base = table(tables, &stmt.from.name)?;
-    let mut layout = Layout::new();
-    layout.push(
-        stmt.from.binding().to_ascii_lowercase(),
-        base.schema.column_names(),
-    );
-    let mut plan = Vec::new();
-
-    // Base access path.
-    let mut base_access = format!(
-        "scan {} ({} rows)",
-        stmt.from.name.to_ascii_lowercase(),
-        base.len()
-    );
-    if stmt.joins.is_empty() {
-        if let Some(filter) = &stmt.filter {
-            for c in conjuncts(filter) {
-                if let Some((col, value)) = eq_col_literal(c) {
-                    if let Some(ci) = base.schema.column_index(col) {
-                        let lcol = col.to_ascii_lowercase();
-                        if base.pk_columns() == [ci] {
-                            base_access = format!(
-                                "index lookup {}.{lcol} = {value} via PRIMARY KEY",
-                                stmt.from.name.to_ascii_lowercase()
-                            );
-                            break;
-                        }
-                        if base.index_lookup(ci, value).is_some() {
-                            base_access = format!(
-                                "index lookup {}.{lcol} = {value} via secondary index",
-                                stmt.from.name.to_ascii_lowercase()
-                            );
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    plan.push(base_access);
-
-    for join in &stmt.joins {
-        let right = table(tables, &join.table.name)?;
-        let right_binding = join.table.binding().to_ascii_lowercase();
-        match join.kind {
-            JoinKind::Cross => {
-                plan.push(format!(
-                    "cross join {} ({} rows)",
-                    join.table.name.to_ascii_lowercase(),
-                    right.len()
-                ));
-            }
-            JoinKind::Inner => {
-                let on = join.on.as_ref().expect("inner join has ON");
-                if equi_join_offsets(on, &layout, &right_binding, right).is_some() {
-                    plan.push(format!(
-                        "hash join {} on {} (build {} rows)",
-                        join.table.name.to_ascii_lowercase(),
-                        on.to_sql(),
-                        right.len()
-                    ));
-                } else {
-                    plan.push(format!(
-                        "nested-loop inner join {} on {}",
-                        join.table.name.to_ascii_lowercase(),
-                        on.to_sql()
-                    ));
-                }
-            }
-            JoinKind::Left => {
-                let on = join.on.as_ref().expect("left join has ON");
-                plan.push(format!(
-                    "nested-loop left join {} on {}",
-                    join.table.name.to_ascii_lowercase(),
-                    on.to_sql()
-                ));
-            }
-        }
-        layout.push(right_binding, right.schema.column_names());
-    }
-
-    if let Some(filter) = &stmt.filter {
-        plan.push(format!("filter: {}", filter.to_sql()));
-    }
-    let select_exprs = expand_items(&stmt.items, &layout)?;
-    let has_aggregates = select_exprs.iter().any(|(e, _)| e.contains_aggregate())
-        || stmt
-            .having
-            .as_ref()
-            .map(Expr::contains_aggregate)
-            .unwrap_or(false);
-    if !stmt.group_by.is_empty() {
-        let keys: Vec<String> = stmt.group_by.iter().map(Expr::to_sql).collect();
-        plan.push(format!("hash group by: {}", keys.join(", ")));
-    } else if has_aggregates {
-        plan.push("aggregate over all rows".to_string());
-    }
-    if let Some(h) = &stmt.having {
-        plan.push(format!("having: {}", h.to_sql()));
-    }
-    if stmt.distinct {
-        plan.push("distinct".to_string());
-    }
-    if !stmt.order_by.is_empty() {
-        let keys: Vec<String> = stmt
-            .order_by
-            .iter()
-            .map(|k| {
-                let mut s = k.expr.to_sql();
-                if k.desc {
-                    s.push_str(" DESC");
-                }
-                s
-            })
-            .collect();
-        plan.push(format!("sort: {}", keys.join(", ")));
-    }
-    if let Some(n) = stmt.limit {
-        plan.push(format!("limit: {n}"));
-    }
-    let names: Vec<String> = select_exprs.into_iter().map(|(_, n)| n).collect();
-    plan.push(format!("project: {}", names.join(", ")));
-    Ok(plan)
-}
-
-/// Evaluate an ORDER BY key: a bare column naming an output alias sorts
-/// by the output column; otherwise the expression is evaluated in `ctx`.
-fn order_key_value(
-    expr: &Expr,
-    ctx: &dyn EvalContext,
-    columns: &[String],
-    out_row: &[Datum],
-) -> RelResult<Datum> {
-    if let Expr::Column { table: None, name } = expr {
-        if let Some(i) = columns.iter().position(|c| c == name) {
-            return Ok(out_row[i].clone());
-        }
-    }
-    eval(expr, ctx)
-}
-
-/// Expand the select list into `(expression, output name)` pairs.
-fn expand_items(items: &[SelectItem], layout: &Layout) -> RelResult<Vec<(Expr, String)>> {
-    let mut out = Vec::new();
-    for item in items {
-        match item {
-            SelectItem::Wildcard => {
-                for (binding, cols, _) in &layout.parts {
-                    for c in cols {
-                        out.push((Expr::qcol(binding.clone(), c.clone()), c.clone()));
-                    }
-                }
-            }
-            SelectItem::QualifiedWildcard(t) => {
-                let lt = t.to_ascii_lowercase();
-                let part = layout
-                    .parts
-                    .iter()
-                    .find(|(b, _, _)| *b == lt)
-                    .ok_or(RelError::NoSuchTable(lt.clone()))?;
-                for c in &part.1 {
-                    out.push((Expr::qcol(lt.clone(), c.clone()), c.clone()));
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                let name = match alias {
-                    Some(a) => a.to_ascii_lowercase(),
-                    None => match expr {
-                        Expr::Column { name, .. } => name.clone(),
-                        other => other.to_sql().to_ascii_lowercase(),
-                    },
-                };
-                out.push((expr.clone(), name));
-            }
-        }
-    }
-    Ok(out)
-}
-
-/// Attach one join step to the current row set.
+/// Attach one join step to the current row set (naive executor).
 fn apply_join(
     left_rows: Vec<Row>,
     layout: &mut Layout,
     join: &Join,
     tables: &HashMap<String, Table>,
 ) -> RelResult<Vec<Row>> {
-    let right = table(tables, &join.table.name)?;
+    let right = lookup(tables, &join.table.name)?;
     let right_binding = join.table.binding().to_ascii_lowercase();
     let right_cols = right.schema.column_names();
     let right_width = right_cols.len();
@@ -577,7 +948,6 @@ fn apply_join(
         _ => None,
     };
 
-    let old_layout = layout.clone();
     layout.push(right_binding.clone(), right_cols);
 
     let right_rows: Vec<&Row> = right.scan().map(|(_, r)| r).collect();
@@ -654,59 +1024,7 @@ fn apply_join(
             }
         }
     }
-    let _ = old_layout; // layout already updated
     Ok(out)
-}
-
-/// If `on` is `left_col = right_col` with one side in the existing layout
-/// and the other in the newly joined table, return their offsets
-/// (`left_offset`, `right_column_index`).
-fn equi_join_offsets(
-    on: &Expr,
-    layout: &Layout,
-    right_binding: &str,
-    right: &Table,
-) -> Option<(usize, usize)> {
-    let (a, b) = match on {
-        Expr::Binary {
-            op: BinOp::Eq,
-            left,
-            right,
-        } => (&**left, &**right),
-        _ => return None,
-    };
-    let classify = |e: &Expr| -> Option<(Option<String>, String)> {
-        match e {
-            Expr::Column { table, name } => Some((table.clone(), name.clone())),
-            _ => None,
-        }
-    };
-    let (at, an) = classify(a)?;
-    let (bt, bn) = classify(b)?;
-    let right_col = |t: &Option<String>, n: &str| -> Option<usize> {
-        match t {
-            Some(t) if t == right_binding => right.schema.column_index(n),
-            Some(_) => None,
-            None => right.schema.column_index(n),
-        }
-    };
-    let left_off =
-        |t: &Option<String>, n: &str| -> Option<usize> { layout.resolve(t.as_deref(), n).ok() };
-    // a on left, b on right?
-    if let (Some(lo), Some(rc)) = (left_off(&at, &an), right_col(&bt, &bn)) {
-        // ensure b genuinely refers to the right table when unqualified:
-        // prefer the right side interpretation only if the left layout
-        // cannot resolve it unambiguously as well.
-        if bt.as_deref() == Some(right_binding) || left_off(&bt, &bn).is_none() {
-            return Some((lo, rc));
-        }
-    }
-    if let (Some(lo), Some(rc)) = (left_off(&bt, &bn), right_col(&at, &an)) {
-        if at.as_deref() == Some(right_binding) || left_off(&at, &an).is_none() {
-            return Some((lo, rc));
-        }
-    }
-    None
 }
 
 /// Partition rows into groups by the GROUP BY keys (one all-encompassing
@@ -739,17 +1057,18 @@ fn build_groups(rows: &[Row], group_by: &[Expr], layout: &Layout) -> RelResult<V
 fn compute_aggregates(
     group: &[Row],
     select_exprs: &[(Expr, String)],
-    stmt: &SelectStmt,
+    having: Option<&Expr>,
+    order_by: &[OrderKey],
     layout: &Layout,
 ) -> RelResult<Vec<(Expr, Datum)>> {
     let mut agg_exprs: Vec<&Expr> = Vec::new();
     for (e, _) in select_exprs {
         e.collect_aggregates(&mut agg_exprs);
     }
-    if let Some(h) = &stmt.having {
+    if let Some(h) = having {
         h.collect_aggregates(&mut agg_exprs);
     }
-    for k in &stmt.order_by {
+    for k in order_by {
         k.expr.collect_aggregates(&mut agg_exprs);
     }
 
@@ -796,7 +1115,7 @@ fn run_aggregate(
         }
     }
     if distinct {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         values.retain(|v| {
             let mut k = String::new();
             v.group_key(&mut k);
@@ -938,6 +1257,14 @@ mod tests {
         let stmt = parse_statement(sql).unwrap();
         match stmt {
             Statement::Select(s) => execute_select(&s, &catalog()).unwrap_err(),
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    fn run_with_metrics(sql: &str) -> (ResultSet, ExecMetrics) {
+        let stmt = parse_statement(sql).unwrap();
+        match stmt {
+            Statement::Select(s) => execute_select_with_metrics(&s, &catalog()).unwrap(),
             other => panic!("not a select: {other:?}"),
         }
     }
@@ -1112,5 +1439,77 @@ mod tests {
         let rs =
             run("SELECT h.* FROM patient p JOIN history h ON p.patient_id = h.patient_id LIMIT 1");
         assert_eq!(rs.columns, vec!["patient_id", "description", "cost"]);
+    }
+
+    #[test]
+    fn limit_stops_pulling_from_the_scan() {
+        let (rs, m) = run_with_metrics("SELECT name FROM patient LIMIT 2");
+        assert_eq!(rs.rows.len(), 2);
+        // Pull-based pipeline: only the two delivered rows were scanned.
+        assert_eq!(m.rows_scanned, 2);
+        assert_eq!(m.rows_output, 2);
+    }
+
+    #[test]
+    fn metrics_operators_match_the_plan() {
+        let tables = catalog();
+        for sql in [
+            "SELECT * FROM patient",
+            "SELECT name FROM patient WHERE patient_id = 3",
+            "SELECT p.name FROM patient p JOIN history h ON p.patient_id = h.patient_id",
+            "SELECT gender, COUNT(*) FROM patient GROUP BY gender ORDER BY gender LIMIT 1",
+            "SELECT DISTINCT gender FROM patient",
+        ] {
+            let stmt = match parse_statement(sql).unwrap() {
+                Statement::Select(s) => s,
+                other => panic!("not a select: {other:?}"),
+            };
+            let plan = plan_select(&stmt, &tables).unwrap();
+            let (_, m) = execute_plan(&plan, &tables).unwrap();
+            assert_eq!(m.operators, plan.operator_names(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn index_scan_counts_hits_and_joined_queries_use_indexes() {
+        // The pre-planner executor refused to use indexes under joins;
+        // the sarg on patient_id must now hit the PK index.
+        let (rs, m) = run_with_metrics(
+            "SELECT p.name, h.description FROM patient p \
+             JOIN history h ON p.patient_id = h.patient_id WHERE p.patient_id = 1",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        assert!(m.index_hits >= 1, "{m:?}");
+        assert!(
+            m.operators.contains(&"index scan"),
+            "expected index scan in {:?}",
+            m.operators
+        );
+    }
+
+    #[test]
+    fn planned_matches_naive_on_the_corpus() {
+        let tables = catalog();
+        for sql in [
+            "SELECT * FROM patient",
+            "SELECT name FROM patient WHERE patient_id = 3",
+            "SELECT name FROM patient WHERE patient_id > 2 ORDER BY name",
+            "SELECT p.name, h.cost FROM patient p JOIN history h \
+             ON p.patient_id = h.patient_id ORDER BY p.name, h.cost",
+            "SELECT p.name, h.description FROM patient p LEFT JOIN history h \
+             ON p.patient_id = h.patient_id ORDER BY p.name, h.description",
+            "SELECT gender, COUNT(*) n, SUM(patient_id) FROM patient \
+             GROUP BY gender ORDER BY gender",
+            "SELECT DISTINCT description FROM history ORDER BY description",
+            "SELECT COUNT(*) FROM patient WHERE patient_id BETWEEN 2 AND 3",
+        ] {
+            let stmt = match parse_statement(sql).unwrap() {
+                Statement::Select(s) => s,
+                other => panic!("not a select: {other:?}"),
+            };
+            let planned = execute_select(&stmt, &tables).unwrap();
+            let naive = execute_select_naive(&stmt, &tables).unwrap();
+            assert_eq!(planned, naive, "{sql}");
+        }
     }
 }

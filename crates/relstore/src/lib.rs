@@ -13,8 +13,12 @@
 //!   `DELETE`, and `SELECT` with joins, aggregation, `GROUP BY`/`HAVING`,
 //!   `ORDER BY`, `DISTINCT`, and `LIMIT`;
 //! * an expression evaluator with SQL three-valued logic ([`expr`]);
-//! * an executor ([`exec`]) with index-assisted filtering and both
-//!   nested-loop and hash equi-joins;
+//! * a cost-informed physical planner ([`plan`]) choosing index point
+//!   lookups, index range scans, and hash/index/nested-loop joins from
+//!   lightweight per-table statistics;
+//! * a pull-based pipelined executor ([`exec`]) that runs the planned
+//!   operator tree, stops pulling at `LIMIT`, and reports
+//!   [`exec::ExecMetrics`]; `EXPLAIN` renders the very plan it runs;
 //! * statement atomicity plus multi-statement transactions with an undo
 //!   log ([`engine`]);
 //! * vendor dialect flavoring ([`dialect`]) so that the same logical
@@ -30,6 +34,7 @@ pub mod dialect;
 pub mod engine;
 pub mod exec;
 pub mod expr;
+pub mod plan;
 pub mod schema;
 pub mod sql;
 pub mod storage;
@@ -37,7 +42,10 @@ pub mod types;
 
 pub use dialect::Dialect;
 pub use engine::{Database, ExecOutcome};
+pub use exec::ExecMetrics;
+pub use plan::{plan_select, PhysicalPlan, Sarg};
 pub use schema::{Column, TableSchema};
+pub use storage::{IndexKind, TableStats};
 pub use types::{DataType, Datum, Row};
 
 use std::fmt;

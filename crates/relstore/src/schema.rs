@@ -83,6 +83,15 @@ impl TableSchema {
             .collect()
     }
 
+    /// Position of the primary-key column when the key is exactly one
+    /// column — the only key shape the planner can turn into sargs.
+    pub fn single_primary_key(&self) -> Option<usize> {
+        match self.primary_key_indices().as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+
     /// Number of columns.
     pub fn arity(&self) -> usize {
         self.columns.len()

@@ -11,6 +11,8 @@ use crate::types::{Datum, Row};
 use crate::{RelError, RelResult};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Bound;
 
 /// A `Datum` wrapper giving the total `sort_cmp` order, usable as a
 /// B-tree key.
@@ -291,6 +293,146 @@ impl Table {
                 .unwrap_or_default()
         })
     }
+
+    /// The kind of index usable for point/range access on `column`,
+    /// if any: the PK B-tree (single-column primary keys only) or the
+    /// first secondary index over that column.
+    pub fn index_kind(&self, column: usize) -> Option<IndexKind> {
+        if self.schema.single_primary_key() == Some(column) {
+            return Some(IndexKind::PrimaryKey);
+        }
+        self.secondary
+            .iter()
+            .find(|s| s.column == column)
+            .map(|_| IndexKind::Secondary)
+    }
+
+    /// Number of distinct keys in the index over `column`, or `None`
+    /// when no usable index exists. The planner uses this to estimate
+    /// equality-sarg selectivity as `len() / distinct`.
+    pub fn index_distinct(&self, column: usize) -> Option<usize> {
+        if self.schema.single_primary_key() == Some(column) {
+            return self.pk.as_ref().map(BTreeMap::len);
+        }
+        self.secondary
+            .iter()
+            .find(|s| s.column == column)
+            .map(|s| s.map.len())
+    }
+
+    /// Lightweight planner statistics: live row count plus the distinct
+    /// key count of every index (PK and secondary), keyed by column
+    /// position. Maintained for free by the B-tree indexes themselves.
+    pub fn stats(&self) -> TableStats {
+        let mut column_distinct = Vec::new();
+        if let (Some(col), Some(pk)) = (self.schema.single_primary_key(), self.pk.as_ref()) {
+            column_distinct.push((col, pk.len()));
+        }
+        for s in &self.secondary {
+            if !column_distinct.iter().any(|&(c, _)| c == s.column) {
+                column_distinct.push((s.column, s.map.len()));
+            }
+        }
+        TableStats {
+            rows: self.live,
+            column_distinct,
+        }
+    }
+
+    /// Slots whose `column` falls in the half-open/closed range
+    /// `(lo, hi)`, exploiting B-tree key order; `None` means no usable
+    /// index exists over `column`. NULL keys (which sort below every
+    /// non-null datum) are never returned: no SQL range predicate is
+    /// true of NULL. Slots come back in index-key order. An inverted
+    /// range (lo above hi) yields an empty result.
+    pub fn index_range(
+        &self,
+        column: usize,
+        lo: Bound<&Datum>,
+        hi: Bound<&Datum>,
+    ) -> Option<Vec<usize>> {
+        fn key_bound(b: Bound<&Datum>) -> Bound<IndexKey> {
+            match b {
+                Bound::Included(d) => Bound::Included(vec![KeyDatum(d.clone())]),
+                Bound::Excluded(d) => Bound::Excluded(vec![KeyDatum(d.clone())]),
+                Bound::Unbounded => Bound::Unbounded,
+            }
+        }
+        let lo = match lo {
+            // An open lower bound must still skip the NULL keys that
+            // sort first in the B-tree.
+            Bound::Unbounded => Bound::Excluded(vec![KeyDatum(Datum::Null)]),
+            other => key_bound(other),
+        };
+        let hi = key_bound(hi);
+        // BTreeMap::range panics on inverted bounds; detect and return
+        // an empty slot list instead.
+        let inverted = match (&lo, &hi) {
+            (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+                match a.cmp(b) {
+                    Ordering::Greater => true,
+                    Ordering::Equal => {
+                        matches!(&lo, Bound::Excluded(_)) && matches!(&hi, Bound::Excluded(_))
+                    }
+                    Ordering::Less => false,
+                }
+            }
+            _ => false,
+        };
+        if self.pk_cols.len() == 1 && self.pk_cols[0] == column {
+            let pk = self.pk.as_ref()?;
+            if inverted {
+                return Some(Vec::new());
+            }
+            return Some(pk.range((lo, hi)).map(|(_, &s)| s).collect());
+        }
+        self.secondary.iter().find(|s| s.column == column).map(|s| {
+            if inverted {
+                return Vec::new();
+            }
+            s.map
+                .range((lo, hi))
+                .flat_map(|(_, slots)| slots.iter().copied())
+                .collect()
+        })
+    }
+}
+
+/// Which index structure serves an access path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// The unique primary-key B-tree.
+    PrimaryKey,
+    /// A non-unique secondary B-tree.
+    Secondary,
+}
+
+impl fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexKind::PrimaryKey => write!(f, "PRIMARY KEY"),
+            IndexKind::Secondary => write!(f, "secondary index"),
+        }
+    }
+}
+
+/// Planner statistics for one table; see [`Table::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Live row count.
+    pub rows: usize,
+    /// `(column position, distinct key count)` per indexed column.
+    pub column_distinct: Vec<(usize, usize)>,
+}
+
+impl TableStats {
+    /// Distinct key count for `column`, if it is indexed.
+    pub fn distinct(&self, column: usize) -> Option<usize> {
+        self.column_distinct
+            .iter()
+            .find(|&&(c, _)| c == column)
+            .map(|&(_, n)| n)
+    }
 }
 
 #[cfg(test)]
@@ -440,5 +582,92 @@ mod tests {
         let t = beds();
         assert!(t.index_lookup(1, &Datum::Text("x".into())).is_none());
         assert!(t.index_lookup(2, &Datum::Null).is_none());
+    }
+
+    #[test]
+    fn index_range_over_pk_and_secondary() {
+        let mut t = beds();
+        for i in 1..=9 {
+            t.insert(row(i, if i % 2 == 0 { "even" } else { "odd" }))
+                .unwrap();
+        }
+        // PK range: 3 <= bed_id < 7.
+        let lo = Datum::Int(3);
+        let hi = Datum::Int(7);
+        let slots = t
+            .index_range(0, Bound::Included(&lo), Bound::Excluded(&hi))
+            .unwrap();
+        let ids: Vec<i64> = slots
+            .iter()
+            .map(|&s| match t.row(s).unwrap()[0] {
+                Datum::Int(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![3, 4, 5, 6]);
+        // Unbounded below excludes nothing non-null; bounded above.
+        let slots = t
+            .index_range(0, Bound::Unbounded, Bound::Included(&lo))
+            .unwrap();
+        assert_eq!(slots.len(), 3);
+        // No index on column 1 until created.
+        assert!(t
+            .index_range(1, Bound::Unbounded, Bound::Unbounded)
+            .is_none());
+        t.create_index("beds_loc", 1).unwrap();
+        let e = Datum::Text("even".into());
+        let slots = t
+            .index_range(1, Bound::Included(&e), Bound::Included(&e))
+            .unwrap();
+        assert_eq!(slots.len(), 4);
+        // Inverted range yields empty, not panic.
+        let slots = t
+            .index_range(0, Bound::Included(&hi), Bound::Included(&lo))
+            .unwrap();
+        assert!(slots.is_empty());
+        let slots = t
+            .index_range(0, Bound::Excluded(&lo), Bound::Excluded(&lo))
+            .unwrap();
+        assert!(slots.is_empty());
+    }
+
+    #[test]
+    fn index_range_skips_null_keys() {
+        let mut t = beds();
+        t.insert(vec![Datum::Int(1), Datum::Text("a".into()), Datum::Null])
+            .unwrap();
+        t.insert(vec![
+            Datum::Int(2),
+            Datum::Text("b".into()),
+            Datum::Text("icu".into()),
+        ])
+        .unwrap();
+        t.create_index("beds_type", 2).unwrap();
+        // Fully unbounded range must not surface the NULL key.
+        let slots = t
+            .index_range(2, Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        assert_eq!(slots.len(), 1);
+        assert_eq!(t.row(slots[0]).unwrap()[0], Datum::Int(2));
+    }
+
+    #[test]
+    fn stats_track_rows_and_distinct_keys() {
+        let mut t = beds();
+        t.insert(row(1, "ward A")).unwrap();
+        t.insert(row(2, "ward A")).unwrap();
+        t.insert(row(3, "ward B")).unwrap();
+        t.create_index("beds_loc", 1).unwrap();
+        let st = t.stats();
+        assert_eq!(st.rows, 3);
+        assert_eq!(st.distinct(0), Some(3)); // pk
+        assert_eq!(st.distinct(1), Some(2)); // two wards
+        assert_eq!(st.distinct(2), None); // unindexed
+        assert_eq!(t.index_kind(0), Some(IndexKind::PrimaryKey));
+        assert_eq!(t.index_kind(1), Some(IndexKind::Secondary));
+        assert_eq!(t.index_kind(2), None);
+        assert_eq!(t.index_distinct(1), Some(2));
+        t.delete_slot(0);
+        assert_eq!(t.stats().rows, 2);
     }
 }
