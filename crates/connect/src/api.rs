@@ -82,6 +82,16 @@ pub struct DataMetrics {
     pub index_hits: u64,
     /// Rows materialized by blocking operators (sort, aggregation).
     pub rows_spilled: u64,
+    /// WAL records appended by this statement (0 for in-memory and
+    /// object stores).
+    pub wal_appends: u64,
+    /// Snapshot/checkpoint pages written back around this statement.
+    pub pages_flushed: u64,
+    /// WAL records replayed if the statement triggered recovery (in
+    /// practice nonzero only on the first statement after a reopen).
+    pub recovery_redo: u64,
+    /// Loser records rolled back during such a recovery.
+    pub recovery_undo: u64,
 }
 
 /// Static description of a connected data source.
@@ -108,6 +118,28 @@ pub trait Connection: Send {
     fn invoke(&mut self, _method: &str, _args: &[OValue]) -> ConnectResult<QueryOutput> {
         Err(crate::ConnectError::WrongParadigm(
             "method invocation on a relational connection".into(),
+        ))
+    }
+
+    /// Open an explicit transaction (relational sources only).
+    fn begin(&mut self) -> ConnectResult<QueryOutput> {
+        Err(crate::ConnectError::WrongParadigm(
+            "transactions on a non-transactional connection".into(),
+        ))
+    }
+
+    /// Commit the open transaction. On durable sources an `Ok` return
+    /// means the commit record reached stable storage.
+    fn commit(&mut self) -> ConnectResult<QueryOutput> {
+        Err(crate::ConnectError::WrongParadigm(
+            "transactions on a non-transactional connection".into(),
+        ))
+    }
+
+    /// Roll back the open transaction.
+    fn rollback(&mut self) -> ConnectResult<QueryOutput> {
+        Err(crate::ConnectError::WrongParadigm(
+            "transactions on a non-transactional connection".into(),
         ))
     }
 

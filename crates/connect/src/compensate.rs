@@ -109,6 +109,18 @@ impl Connection for CompensatingConnection {
         self.inner.invoke(method, args)
     }
 
+    fn begin(&mut self) -> ConnectResult<QueryOutput> {
+        self.inner.begin()
+    }
+
+    fn commit(&mut self) -> ConnectResult<QueryOutput> {
+        self.inner.commit()
+    }
+
+    fn rollback(&mut self) -> ConnectResult<QueryOutput> {
+        self.inner.rollback()
+    }
+
     fn last_data_metrics(&self) -> Option<DataMetrics> {
         self.inner.last_data_metrics()
     }

@@ -119,20 +119,40 @@ impl Connection for RelationalConnection {
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         let (outcome, metrics) = {
             let mut guard = db.lock();
+            // Durability work (WAL appends, checkpoint flushes,
+            // recovery replay) is cumulative per database, so this
+            // statement's share is the before/after delta — captured
+            // under the same lock so a concurrent statement on a
+            // sibling connection can't interleave.
+            let before = guard.storage_stats();
             let outcome = guard.execute(text)?;
-            // Capture under the same lock so a concurrent query on a
-            // sibling connection can't swap the metrics underneath us.
-            let metrics = guard.last_exec_metrics().map(|m| DataMetrics {
-                rows_scanned: m.rows_scanned,
-                bytes_scanned: m.bytes_scanned,
-                index_hits: m.index_hits,
-                rows_spilled: m.rows_spilled,
-            });
+            // `last_exec_metrics` is only refreshed by SELECTs; for
+            // DML/DDL outcomes it still describes an older query and
+            // must not be attributed to this statement.
+            let mut metrics = match &outcome {
+                ExecOutcome::Rows(_) => guard
+                    .last_exec_metrics()
+                    .map(|m| DataMetrics {
+                        rows_scanned: m.rows_scanned,
+                        bytes_scanned: m.bytes_scanned,
+                        index_hits: m.index_hits,
+                        rows_spilled: m.rows_spilled,
+                        ..DataMetrics::default()
+                    })
+                    .unwrap_or_default(),
+                _ => DataMetrics::default(),
+            };
+            if let (Some(b), Some(a)) = (before, guard.storage_stats()) {
+                metrics.wal_appends = a.wal_appends - b.wal_appends;
+                metrics.pages_flushed = a.pages_flushed - b.pages_flushed;
+                metrics.recovery_redo = a.recovery_redo - b.recovery_redo;
+                metrics.recovery_undo = a.recovery_undo - b.recovery_undo;
+            }
             (outcome, metrics)
         };
+        self.last_metrics = Some(metrics);
         Ok(match outcome {
             ExecOutcome::Rows(rs) => {
-                self.last_metrics = metrics;
                 self.stats
                     .rows
                     .fetch_add(rs.rows.len() as u64, Ordering::Relaxed);
@@ -141,6 +161,18 @@ impl Connection for RelationalConnection {
             ExecOutcome::Count(n) => QueryOutput::Count(n),
             ExecOutcome::Done => QueryOutput::Done,
         })
+    }
+
+    fn begin(&mut self) -> ConnectResult<QueryOutput> {
+        self.execute("BEGIN")
+    }
+
+    fn commit(&mut self) -> ConnectResult<QueryOutput> {
+        self.execute("COMMIT")
+    }
+
+    fn rollback(&mut self) -> ConnectResult<QueryOutput> {
+        self.execute("ROLLBACK")
     }
 
     fn last_data_metrics(&self) -> Option<DataMetrics> {
@@ -265,9 +297,8 @@ impl Connection for ObjectConnection {
         let (result, m) = query.execute_with_metrics(&guard.store)?;
         self.last_metrics = Some(DataMetrics {
             rows_scanned: m.objects_scanned,
-            bytes_scanned: 0,
-            index_hits: 0,
             rows_spilled: m.rows_spilled,
+            ..DataMetrics::default()
         });
         self.stats
             .rows
@@ -432,6 +463,63 @@ mod tests {
             conn.invoke("X.y", &[]),
             Err(ConnectError::WrongParadigm(_))
         ));
+    }
+
+    #[test]
+    fn durable_transactions_and_crash_restart() {
+        use std::sync::Arc as StdArc;
+        use webfindit_relstore::file_mgr::{SimVfs, Vfs};
+
+        let reg = DataSourceRegistry::new();
+        let vfs = SimVfs::new();
+        let db = Database::open_vfs(
+            StdArc::clone(&vfs) as StdArc<dyn Vfs>,
+            "RBH",
+            Dialect::Oracle,
+        )
+        .unwrap();
+        reg.register_relational("oracle", "RBH", db);
+        let driver = RelationalDriver::new(Dialect::Oracle, StdArc::clone(&reg));
+        let mut conn = driver.connect("jdbc:oracle://h/RBH").unwrap();
+
+        conn.execute("CREATE TABLE beds (bed_id INT PRIMARY KEY, location TEXT)")
+            .unwrap();
+        conn.begin().unwrap();
+        conn.execute("INSERT INTO beds VALUES (1, 'ward A')")
+            .unwrap();
+        conn.commit().unwrap();
+        let m = conn.last_data_metrics().unwrap();
+        assert!(m.wal_appends > 0, "commit must report WAL traffic");
+
+        // In-flight work at the moment of the crash must not survive.
+        conn.begin().unwrap();
+        conn.execute("INSERT INTO beds VALUES (2, 'ward B')")
+            .unwrap();
+        assert!(reg.crash_relational("oracle", "RBH"));
+        vfs.power_loss(7);
+        assert!(matches!(
+            conn.execute("SELECT * FROM beds"),
+            Err(ConnectError::Rel(
+                webfindit_relstore::RelError::Unavailable(_)
+            ))
+        ));
+
+        reg.restart_relational("oracle", "RBH").unwrap();
+        let out = conn
+            .execute("SELECT bed_id FROM beds ORDER BY bed_id")
+            .unwrap();
+        let m = conn.last_data_metrics().unwrap();
+        assert_eq!(out.row_count(), 1, "committed row survives, loser is gone");
+        assert_eq!(
+            m.recovery_redo + m.recovery_undo,
+            0,
+            "recovery already done"
+        );
+
+        // Crashing an in-memory instance is meaningless and says so.
+        reg.register_relational("msql", "Mem", Database::new("Mem", Dialect::MSql));
+        assert!(!reg.crash_relational("msql", "Mem"));
+        assert!(!reg.crash_relational("msql", "Ghost"));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod drivers;
 pub mod manager;
 pub mod registry;
 
-pub use api::{BridgeKind, Connection, DataMetrics, Driver, QueryOutput};
+pub use api::{parse_url, BridgeKind, Connection, DataMetrics, Driver, QueryOutput, UrlParts};
 pub use compensate::CompensatingConnection;
 pub use manager::DriverManager;
 pub use registry::DataSourceRegistry;

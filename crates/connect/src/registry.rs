@@ -44,7 +44,15 @@ impl DataSourceRegistry {
         name: &str,
         db: Database,
     ) -> Arc<Mutex<Database>> {
-        let handle = Arc::new(Mutex::new(db));
+        // Durable instances fsync their WAL inside COMMIT while this
+        // lock is held; that hold-across-blocking is deliberate (the
+        // database is single-writer by design) and exempted from the
+        // runtime detector.
+        let handle = Arc::new(
+            Mutex::new_labeled(db, "connect.registry.relational-db").allow_hold_across_blocking(
+                "commit-path fsync runs under the per-instance database lock",
+            ),
+        );
         self.relational.write().insert(
             (vendor.to_ascii_lowercase(), name.to_ascii_lowercase()),
             Arc::clone(&handle),
@@ -84,6 +92,31 @@ impl DataSourceRegistry {
             .get(&(vendor.to_ascii_lowercase(), name.to_ascii_lowercase()))
             .cloned()
             .ok_or_else(|| ConnectError::UnknownDataSource(format!("{vendor}/{name}")))
+    }
+
+    /// Simulate a crash of a relational instance (the site loses
+    /// power mid-flight). The handle stays registered — connections
+    /// fail with the engine's `Unavailable` error until
+    /// [`DataSourceRegistry::restart_relational`] runs recovery.
+    /// Returns false for unknown or in-memory (non-durable) instances,
+    /// whose state cannot survive a crash in any meaningful sense.
+    pub fn crash_relational(&self, vendor: &str, name: &str) -> bool {
+        match self.relational(vendor, name) {
+            Ok(db) => db.lock().simulate_crash(),
+            Err(_) => false,
+        }
+    }
+
+    /// Restart a crashed relational instance: replay the WAL, roll
+    /// back in-flight transactions, and bring the handle back online.
+    /// A no-op for instances that are not crashed.
+    pub fn restart_relational(&self, vendor: &str, name: &str) -> ConnectResult<()> {
+        let db = self.relational(vendor, name)?;
+        let mut guard = db.lock();
+        if guard.is_crashed() {
+            guard.reopen()?;
+        }
+        Ok(())
     }
 
     /// Remove an instance (database taken offline). Returns true if it

@@ -645,6 +645,18 @@ impl Federation {
             return Ok(false);
         }
         orb.shutdown();
+        // A machine crash takes the hosted databases down with the ORB:
+        // durable instances lose power mid-flight and stay Unavailable
+        // until restart_orb runs recovery; in-memory instances report
+        // false from crash_relational and keep their state, as before.
+        for site in self.sites.read().values() {
+            if site.orb_name != name {
+                continue;
+            }
+            if let Some(parts) = webfindit_connect::parse_url(&site.url) {
+                self.registry.crash_relational(parts.vendor, parts.instance);
+            }
+        }
         Ok(true)
     }
 
@@ -666,6 +678,14 @@ impl Federation {
         for site in self.sites.read().values() {
             if site.orb_name != name {
                 continue;
+            }
+            // Bring crashed durable databases back first: WAL replay +
+            // loser rollback, so the re-activated ISI servant serves the
+            // last committed state.
+            if let Some(parts) = webfindit_connect::parse_url(&site.url) {
+                let _ = self
+                    .registry
+                    .restart_relational(parts.vendor, parts.instance);
             }
             let codb_key = format!("codb/{}", site.name);
             orb.activate(

@@ -358,7 +358,27 @@ impl IsiServant {
                 m.index_hits,
                 m.rows_spilled,
             );
+            orb.record_durability(
+                m.wal_appends,
+                m.pages_flushed,
+                m.recovery_redo,
+                m.recovery_undo,
+            );
         }
+    }
+
+    /// Run one of the transaction-control verbs over a fresh
+    /// connection. Transaction state lives in the underlying database
+    /// instance, so the paper's stateless per-invocation connection
+    /// still brackets a multi-invocation transaction correctly.
+    fn tx_control(
+        &self,
+        f: impl FnOnce(&mut CompensatingConnection) -> webfindit_connect::ConnectResult<QueryOutput>,
+    ) -> InvokeResult {
+        let mut conn = self.open()?;
+        let out = f(&mut conn).map_err(|e| ServantError::Application(e.to_string()))?;
+        self.report_data_metrics(&conn);
+        Ok(output_to_value(out))
     }
 }
 
@@ -468,15 +488,26 @@ impl Servant for IsiServant {
                 let conn = self.open()?;
                 Ok(Value::string(conn.bridge().to_string()))
             }
+            "begin" => self.tx_control(|c| c.begin()),
+            "commit" => self.tx_control(|c| c.commit()),
+            "rollback" => self.tx_control(|c| c.rollback()),
             other => Err(ServantError::UnknownOperation(other.to_owned())),
         }
     }
 
     fn operations(&self) -> Vec<String> {
-        ["execute", "invoke_function", "interface_of", "bridge"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "execute",
+            "invoke_function",
+            "interface_of",
+            "bridge",
+            "begin",
+            "commit",
+            "rollback",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     }
 }
 
@@ -601,5 +632,62 @@ mod tests {
         assert!(isi
             .invoke("execute", &[Value::string("garbage !")])
             .is_err());
+    }
+
+    #[test]
+    fn isi_brackets_transactions_on_a_durable_source() {
+        use std::sync::Arc;
+        use webfindit_relstore::file_mgr::{SimVfs, Vfs};
+
+        let registry = DataSourceRegistry::new();
+        let vfs = SimVfs::new();
+        let db =
+            Database::open_vfs(Arc::clone(&vfs) as Arc<dyn Vfs>, "RBH", Dialect::Oracle).unwrap();
+        registry.register_relational("oracle", "RBH", db);
+        let manager = Arc::new(standard_manager(Arc::clone(&registry)));
+        let orb_metrics = Arc::new(webfindit_orb::OrbMetrics::default());
+        let isi = IsiServant::with_metrics(
+            manager,
+            "jdbc:oracle://dba.icis.qut.edu.au/RBH",
+            Arc::clone(&orb_metrics),
+        );
+        assert!(isi.operations().contains(&"commit".to_string()));
+
+        isi.invoke(
+            "execute",
+            &[Value::string(
+                "CREATE TABLE beds (bed_id INT PRIMARY KEY, location TEXT)",
+            )],
+        )
+        .unwrap();
+        // Committed over ISI: survives the site crash.
+        isi.invoke("begin", &[]).unwrap();
+        isi.invoke(
+            "execute",
+            &[Value::string("INSERT INTO beds VALUES (1, 'ward A')")],
+        )
+        .unwrap();
+        isi.invoke("commit", &[]).unwrap();
+        // Rolled back over ISI: never visible.
+        isi.invoke("begin", &[]).unwrap();
+        isi.invoke(
+            "execute",
+            &[Value::string("INSERT INTO beds VALUES (2, 'ward B')")],
+        )
+        .unwrap();
+        isi.invoke("rollback", &[]).unwrap();
+        assert!(
+            orb_metrics.snapshot().data_wal_appends > 0,
+            "durability work must reach the ORB metrics"
+        );
+
+        assert!(registry.crash_relational("oracle", "RBH"));
+        vfs.power_loss(3);
+        registry.restart_relational("oracle", "RBH").unwrap();
+        let out = isi
+            .invoke("execute", &[Value::string("SELECT bed_id FROM beds")])
+            .unwrap();
+        let rows = out.field("rows").and_then(Value::as_sequence).unwrap();
+        assert_eq!(rows.len(), 1, "only the committed insert survives");
     }
 }

@@ -142,21 +142,29 @@ impl Trace {
     /// Record a Data-layer event annotated with the data-layer
     /// execution counters the wrappers report through
     /// [`webfindit_orb::OrbMetrics::record_query_exec`]: rows and bytes
-    /// scanned, index hits, and rows spilled to sorts/aggregation — so
-    /// a rendered trace shows how much storage work the member
-    /// databases did, the way it already shows channel and discovery
-    /// work.
+    /// scanned, index hits, and rows spilled to sorts/aggregation —
+    /// plus the durability counters mirrored through
+    /// [`webfindit_orb::OrbMetrics::record_durability`]: WAL appends,
+    /// checkpoint pages flushed, and records replayed/rolled back by
+    /// crash recovery — so a rendered trace shows how much storage work
+    /// the member databases did, the way it already shows channel and
+    /// discovery work.
     pub fn data_event(&mut self, message: impl Into<String>, metrics: &webfindit_orb::OrbMetrics) {
         let m = metrics.snapshot();
         self.event(
             Layer::Data,
             format!(
-                "{} [rows scanned {}, bytes {}, index hits {}, spilled {}]",
+                "{} [rows scanned {}, bytes {}, index hits {}, spilled {}, \
+                 wal appends {}, pages flushed {}, redo {}, undo {}]",
                 message.into(),
                 m.data_rows_scanned,
                 m.data_bytes_scanned,
                 m.data_index_hits,
-                m.data_rows_spilled
+                m.data_rows_spilled,
+                m.data_wal_appends,
+                m.data_pages_flushed,
+                m.data_recovery_redo,
+                m.data_recovery_undo
             ),
         );
     }
@@ -243,6 +251,7 @@ mod tests {
     fn data_event_reports_exec_counters() {
         let metrics = webfindit_orb::OrbMetrics::default();
         metrics.record_query_exec(40, 1024, 3, 5);
+        metrics.record_durability(7, 2, 19, 1);
         let mut t = Trace::new();
         t.data_event("SQL executed by the wrapper", &metrics);
         let rendered = t.render();
@@ -250,6 +259,10 @@ mod tests {
         assert!(rendered.contains("rows scanned 40"));
         assert!(rendered.contains("index hits 3"));
         assert!(rendered.contains("spilled 5"));
+        assert!(rendered.contains("wal appends 7"));
+        assert!(rendered.contains("pages flushed 2"));
+        assert!(rendered.contains("redo 19"));
+        assert!(rendered.contains("undo 1"));
     }
 
     #[test]

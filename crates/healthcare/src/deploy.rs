@@ -8,6 +8,7 @@ use webfindit::federation::{Federation, SiteSpec, SiteVendor};
 use webfindit::orb::chaos::{ChaosPlan, ChaosRegistry, ChaosTargets};
 use webfindit::wire::cdr::ByteOrder;
 use webfindit::WfResult;
+use webfindit_relstore::file_mgr::SimVfs;
 use webfindit_relstore::Dialect;
 
 /// A running healthcare deployment.
@@ -48,6 +49,22 @@ impl HealthcareDeployment {
 /// the five coalitions, the nine service links, and the documentation
 /// store contents.
 pub fn build_healthcare(seed: u64) -> WfResult<HealthcareDeployment> {
+    build_healthcare_with(seed, false)
+}
+
+/// [`build_healthcare`], but every relational site gets the durable
+/// storage tier on its own simulated disk ([`SimVfs`]): its generated
+/// data is written as the initial checkpoint, and from then on commits
+/// go through the WAL. Killing a hosting ORB then loses the site's
+/// volatile state exactly as a machine crash would, and restarting it
+/// runs crash recovery — the committed rows survive, in-flight
+/// transactions do not. Object sites stay in-memory (the paper's
+/// Ontos/ObjectStore wrappers never promised durability).
+pub fn build_healthcare_durable(seed: u64) -> WfResult<HealthcareDeployment> {
+    build_healthcare_with(seed, true)
+}
+
+fn build_healthcare_with(seed: u64, durable: bool) -> WfResult<HealthcareDeployment> {
     let fed = Federation::new()?;
 
     // Figure 2's three ORBs. Byte orders differ so cross-ORB calls are
@@ -101,8 +118,12 @@ pub fn build_healthcare(seed: u64) -> WfResult<HealthcareDeployment> {
             interface,
         };
         match built {
-            BuiltSource::Relational(db, _) => {
-                fed.add_relational_site(spec, db)?;
+            BuiltSource::Relational(mut db, _) => {
+                if durable {
+                    db.make_durable(SimVfs::new())
+                        .map_err(webfindit_connect::ConnectError::Rel)?;
+                }
+                fed.add_relational_site(spec, *db)?;
             }
             BuiltSource::Object(store, methods, _) => {
                 fed.add_object_site(spec, store, methods)?;
@@ -223,6 +244,68 @@ mod tests {
         }
         assert_eq!(servants, 28, "14 co-databases + 14 ISIs");
         assert!(dep.wiring_calls > 0);
+        dep.fed.shutdown();
+    }
+
+    #[test]
+    fn durable_deployment_survives_an_orb_crash() {
+        let dep = build_healthcare_durable(1999).unwrap();
+        let rbh = dep.fed.site("Royal Brisbane Hospital").unwrap();
+        let parts = webfindit_connect::parse_url(&rbh.url).unwrap();
+        let registry = dep.fed.registry();
+        let db = registry.relational(parts.vendor, parts.instance).unwrap();
+        assert!(db.lock().is_durable());
+
+        // Committed work before the crash...
+        let baseline = db
+            .lock()
+            .execute("SELECT COUNT(*) c FROM researchprojects")
+            .unwrap()
+            .rows()
+            .unwrap()
+            .rows[0][0]
+            .clone();
+        db.lock()
+            .execute("INSERT INTO researchprojects VALUES (9001, 'Durability study', 'wal, recovery', 3, '1999-01-01', NULL, 42000.0)")
+            .unwrap();
+        // ...and an in-flight transaction that must not survive.
+        {
+            let mut guard = db.lock();
+            guard.begin().unwrap();
+            guard
+                .execute("INSERT INTO researchprojects VALUES (9002, 'Lost update', 'none', 3, '1999-01-02', NULL, 1.0)")
+                .unwrap();
+        }
+
+        dep.fed.kill_orb(&rbh.orb_name).unwrap();
+        assert!(db.lock().is_crashed(), "durable site dies with its ORB");
+        dep.fed.restart_orb(&rbh.orb_name).unwrap();
+
+        let mut guard = db.lock();
+        assert!(!guard.is_crashed(), "restart runs recovery");
+        let committed = guard
+            .execute("SELECT project_id FROM researchprojects WHERE project_id >= 9001")
+            .unwrap();
+        assert_eq!(
+            committed.rows().unwrap().rows,
+            vec![vec![webfindit_relstore::Datum::Int(9001)]],
+            "committed row survives, in-flight row does not"
+        );
+        let after = guard
+            .execute("SELECT COUNT(*) c FROM researchprojects")
+            .unwrap()
+            .rows()
+            .unwrap()
+            .rows[0][0]
+            .clone();
+        assert_eq!(
+            after,
+            match baseline {
+                webfindit_relstore::Datum::Int(n) => webfindit_relstore::Datum::Int(n + 1),
+                other => other,
+            }
+        );
+        drop(guard);
         dep.fed.shutdown();
     }
 

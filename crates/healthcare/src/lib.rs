@@ -25,5 +25,5 @@ pub mod schemas;
 pub mod sessions;
 pub mod topology;
 
-pub use deploy::{build_healthcare, HealthcareDeployment};
+pub use deploy::{build_healthcare, build_healthcare_durable, HealthcareDeployment};
 pub use topology::{coalitions, databases, service_links, DatabaseInfo, Dbms, OrbName};

@@ -18,8 +18,9 @@ use crate::topology::{DatabaseInfo, Dbms};
 
 /// A built data source: the engine instance plus its exported interface.
 pub enum BuiltSource {
-    /// A relational database.
-    Relational(Database, Vec<ExportedType>),
+    /// A relational database (boxed: the engine carries its durable
+    /// tier inline, dwarfing the object variant).
+    Relational(Box<Database>, Vec<ExportedType>),
     /// An object database with its access routines.
     Object(ObjectStore, MethodTable, Vec<ExportedType>),
 }
@@ -68,13 +69,18 @@ fn sql_escape(s: &str) -> String {
 pub fn build_database(info: &DatabaseInfo, seed: u64) -> BuiltSource {
     let mut rng = StdRng::seed_from_u64(seed ^ hash_name(info.name));
     match info.dbms {
-        Dbms::Oracle => {
-            BuiltSource::Relational(build_oracle(info, &mut rng), relational_interface(info))
-        }
-        Dbms::MSql => {
-            BuiltSource::Relational(build_msql(info, &mut rng), relational_interface(info))
-        }
-        Dbms::Db2 => BuiltSource::Relational(build_db2(info, &mut rng), relational_interface(info)),
+        Dbms::Oracle => BuiltSource::Relational(
+            Box::new(build_oracle(info, &mut rng)),
+            relational_interface(info),
+        ),
+        Dbms::MSql => BuiltSource::Relational(
+            Box::new(build_msql(info, &mut rng)),
+            relational_interface(info),
+        ),
+        Dbms::Db2 => BuiltSource::Relational(
+            Box::new(build_db2(info, &mut rng)),
+            relational_interface(info),
+        ),
         Dbms::ObjectStore | Dbms::Ontos => {
             let (store, methods) = build_object(info, &mut rng);
             BuiltSource::Object(store, methods, object_interface(info))

@@ -84,6 +84,17 @@ pub struct OrbMetrics {
     /// Data-layer rows materialized by blocking operators (sorts,
     /// aggregation).
     pub data_rows_spilled: AtomicU64,
+    /// Write-ahead-log records appended by durable data-layer stores
+    /// behind this ORB's servants.
+    pub data_wal_appends: AtomicU64,
+    /// Snapshot/checkpoint pages written back by durable stores.
+    pub data_pages_flushed: AtomicU64,
+    /// WAL records replayed (REDO) during crash recovery of durable
+    /// stores.
+    pub data_recovery_redo: AtomicU64,
+    /// Loser-transaction records rolled back (UNDO) during crash
+    /// recovery of durable stores.
+    pub data_recovery_undo: AtomicU64,
     /// Lock-order (ABBA) cycles reported by the `deadlock-detect`
     /// runtime detector. Process-global (the detector is a process
     /// singleton), mirrored here by [`OrbMetrics::sync_analysis`];
@@ -182,6 +193,14 @@ pub struct MetricsSnapshot {
     pub data_index_hits: u64,
     /// See [`OrbMetrics::data_rows_spilled`].
     pub data_rows_spilled: u64,
+    /// See [`OrbMetrics::data_wal_appends`].
+    pub data_wal_appends: u64,
+    /// See [`OrbMetrics::data_pages_flushed`].
+    pub data_pages_flushed: u64,
+    /// See [`OrbMetrics::data_recovery_redo`].
+    pub data_recovery_redo: u64,
+    /// See [`OrbMetrics::data_recovery_undo`].
+    pub data_recovery_undo: u64,
     /// See [`OrbMetrics::analysis_lock_cycles`] (process-global —
     /// `since` saturates).
     pub analysis_lock_cycles: u64,
@@ -227,6 +246,10 @@ impl MetricsSnapshot {
             data_bytes_scanned: self.data_bytes_scanned - earlier.data_bytes_scanned,
             data_index_hits: self.data_index_hits - earlier.data_index_hits,
             data_rows_spilled: self.data_rows_spilled - earlier.data_rows_spilled,
+            data_wal_appends: self.data_wal_appends - earlier.data_wal_appends,
+            data_pages_flushed: self.data_pages_flushed - earlier.data_pages_flushed,
+            data_recovery_redo: self.data_recovery_redo - earlier.data_recovery_redo,
+            data_recovery_undo: self.data_recovery_undo - earlier.data_recovery_undo,
             analysis_lock_cycles: self
                 .analysis_lock_cycles
                 .saturating_sub(earlier.analysis_lock_cycles),
@@ -274,6 +297,10 @@ impl OrbMetrics {
             data_bytes_scanned: self.data_bytes_scanned.load(Ordering::Relaxed),
             data_index_hits: self.data_index_hits.load(Ordering::Relaxed),
             data_rows_spilled: self.data_rows_spilled.load(Ordering::Relaxed),
+            data_wal_appends: self.data_wal_appends.load(Ordering::Relaxed),
+            data_pages_flushed: self.data_pages_flushed.load(Ordering::Relaxed),
+            data_recovery_redo: self.data_recovery_redo.load(Ordering::Relaxed),
+            data_recovery_undo: self.data_recovery_undo.load(Ordering::Relaxed),
             analysis_lock_cycles: self.analysis_lock_cycles.load(Ordering::Relaxed),
             analysis_blocking_violations: self.analysis_blocking_violations.load(Ordering::Relaxed),
         }
@@ -339,6 +366,25 @@ impl OrbMetrics {
             .fetch_add(index_hits, Ordering::Relaxed);
         self.data_rows_spilled
             .fetch_add(rows_spilled, Ordering::Relaxed);
+    }
+
+    /// Record durable-storage activity (WAL appends, checkpoint page
+    /// write-backs, recovery REDO/UNDO work) observed behind a servant.
+    pub fn record_durability(
+        &self,
+        wal_appends: u64,
+        pages_flushed: u64,
+        recovery_redo: u64,
+        recovery_undo: u64,
+    ) {
+        self.data_wal_appends
+            .fetch_add(wal_appends, Ordering::Relaxed);
+        self.data_pages_flushed
+            .fetch_add(pages_flushed, Ordering::Relaxed);
+        self.data_recovery_redo
+            .fetch_add(recovery_redo, Ordering::Relaxed);
+        self.data_recovery_undo
+            .fetch_add(recovery_undo, Ordering::Relaxed);
     }
 
     /// Record a co-database answer-cache lookup.
@@ -426,6 +472,24 @@ mod tests {
         assert_eq!(s.data_bytes_scanned, 2064);
         assert_eq!(s.data_index_hits, 8);
         assert_eq!(s.data_rows_spilled, 10);
+    }
+
+    #[test]
+    fn durability_counters_accumulate() {
+        let m = OrbMetrics::default();
+        m.record_durability(12, 3, 0, 0);
+        m.record_durability(5, 0, 40, 2);
+        let s = m.snapshot();
+        assert_eq!(s.data_wal_appends, 17);
+        assert_eq!(s.data_pages_flushed, 3);
+        assert_eq!(s.data_recovery_redo, 40);
+        assert_eq!(s.data_recovery_undo, 2);
+        let later = {
+            m.record_durability(1, 1, 1, 1);
+            m.snapshot()
+        };
+        assert_eq!(later.since(&s).data_wal_appends, 1);
+        assert_eq!(later.since(&s).data_recovery_undo, 1);
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! A pinning buffer pool over one page file.
+//!
+//! The pool owns a fixed set of [`PAGE_SIZE`](crate::file_mgr::PAGE_SIZE)
+//! frames. Callers pin a page to work on it (reads fault it in from the
+//! [`PageFileMgr`]) and unpin when done; dirty frames are written back
+//! either when a clock-sweep eviction needs the frame or when the
+//! storage layer flushes at a checkpoint barrier. Pinned frames are
+//! never evicted; a pool where every frame is pinned reports
+//! exhaustion instead of silently growing.
+
+use crate::file_mgr::PageFileMgr;
+use crate::{RelError, RelResult};
+use std::collections::HashMap;
+
+/// A frame index returned by [`BufferPool::pin`]; valid until the
+/// matching [`BufferPool::unpin`].
+pub type FrameId = usize;
+
+#[derive(Debug)]
+struct Frame {
+    page_no: u64,
+    payload: Vec<u8>,
+    dirty: bool,
+    pins: u32,
+    /// Clock-sweep reference bit: set on pin, cleared as the hand passes.
+    referenced: bool,
+}
+
+/// Cumulative pool counters (read by the storage stats).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Pins satisfied from a resident frame.
+    pub hits: u64,
+    /// Pins that faulted the page in from the file.
+    pub misses: u64,
+    /// Frames reclaimed by the clock sweep.
+    pub evictions: u64,
+    /// Pages written back to the file (evictions + flushes).
+    pub pages_flushed: u64,
+}
+
+/// A pinning buffer pool over one [`PageFileMgr`].
+#[derive(Debug)]
+pub struct BufferPool {
+    mgr: PageFileMgr,
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    capacity: usize,
+    hand: usize,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames over `mgr`.
+    pub fn new(mgr: PageFileMgr, capacity: usize) -> BufferPool {
+        BufferPool {
+            mgr,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            hand: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// The underlying page file manager.
+    pub fn mgr(&self) -> &PageFileMgr {
+        &self.mgr
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    fn free_frame(&mut self) -> RelResult<usize> {
+        if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                page_no: 0,
+                payload: Vec::new(),
+                dirty: false,
+                pins: 0,
+                referenced: false,
+            });
+            return Ok(self.frames.len() - 1);
+        }
+        // Clock sweep: skip pinned frames, clear reference bits, evict
+        // the first unpinned unreferenced frame. Two full sweeps with
+        // no victim means every frame is pinned.
+        for _ in 0..2 * self.frames.len() {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let f = &mut self.frames[i];
+            if f.pins > 0 {
+                continue;
+            }
+            if f.referenced {
+                f.referenced = false;
+                continue;
+            }
+            if f.dirty {
+                self.mgr.write_page(f.page_no, &f.payload)?;
+                self.stats.pages_flushed += 1;
+            }
+            self.map.remove(&self.frames[i].page_no);
+            self.stats.evictions += 1;
+            return Ok(i);
+        }
+        Err(RelError::Storage(format!(
+            "buffer pool exhausted: all {} frames pinned",
+            self.capacity
+        )))
+    }
+
+    /// Pin page `no`, faulting it in if absent. Errors with
+    /// [`RelError::Corrupt`] when the on-file page fails its checksum.
+    pub fn pin(&mut self, no: u64) -> RelResult<FrameId> {
+        if let Some(&i) = self.map.get(&no) {
+            self.stats.hits += 1;
+            let f = &mut self.frames[i];
+            f.pins += 1;
+            f.referenced = true;
+            return Ok(i);
+        }
+        self.stats.misses += 1;
+        let payload = self.mgr.read_page(no)?.ok_or_else(|| {
+            RelError::Corrupt(format!(
+                "page {no} of {} is missing or fails its checksum",
+                self.mgr.file()
+            ))
+        })?;
+        let i = self.free_frame()?;
+        self.frames[i] = Frame {
+            page_no: no,
+            payload,
+            dirty: false,
+            pins: 1,
+            referenced: true,
+        };
+        self.map.insert(no, i);
+        Ok(i)
+    }
+
+    /// Pin page `no` as a fresh dirty page with `payload`, without
+    /// reading the file (page writers).
+    pub fn pin_new(&mut self, no: u64, payload: Vec<u8>) -> RelResult<FrameId> {
+        if let Some(&i) = self.map.get(&no) {
+            self.stats.hits += 1;
+            let f = &mut self.frames[i];
+            f.payload = payload;
+            f.dirty = true;
+            f.pins += 1;
+            f.referenced = true;
+            return Ok(i);
+        }
+        self.stats.misses += 1;
+        let i = self.free_frame()?;
+        self.frames[i] = Frame {
+            page_no: no,
+            payload,
+            dirty: true,
+            pins: 1,
+            referenced: true,
+        };
+        self.map.insert(no, i);
+        Ok(i)
+    }
+
+    /// Borrow a pinned frame's payload.
+    pub fn payload(&self, frame: FrameId) -> &[u8] {
+        &self.frames[frame].payload
+    }
+
+    /// Replace a pinned frame's payload, marking it dirty.
+    pub fn set_payload(&mut self, frame: FrameId, payload: Vec<u8>) {
+        let f = &mut self.frames[frame];
+        f.payload = payload;
+        f.dirty = true;
+    }
+
+    /// Release one pin on `frame`.
+    pub fn unpin(&mut self, frame: FrameId) {
+        let f = &mut self.frames[frame];
+        debug_assert!(f.pins > 0, "unpin without a pin");
+        f.pins = f.pins.saturating_sub(1);
+    }
+
+    /// Page numbers of the currently dirty frames, sorted.
+    pub fn dirty_pages(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .frames
+            .iter()
+            .filter(|f| f.dirty)
+            .map(|f| f.page_no)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Write one dirty page back to the file (leaving it resident and
+    /// clean). No-op for clean or absent pages.
+    pub fn flush_page(&mut self, no: u64) -> RelResult<bool> {
+        let Some(&i) = self.map.get(&no) else {
+            return Ok(false);
+        };
+        if !self.frames[i].dirty {
+            return Ok(false);
+        }
+        self.mgr.write_page(no, &self.frames[i].payload)?;
+        self.frames[i].dirty = false;
+        self.stats.pages_flushed += 1;
+        Ok(true)
+    }
+
+    /// Drop every frame (e.g. after the file was rewritten underneath).
+    pub fn invalidate(&mut self) {
+        self.frames.clear();
+        self.map.clear();
+        self.hand = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file_mgr::{SimVfs, Vfs};
+    use std::sync::Arc;
+
+    fn pool(capacity: usize) -> (Arc<SimVfs>, BufferPool) {
+        let vfs = SimVfs::new();
+        let mgr = PageFileMgr::new(vfs.clone() as Arc<dyn Vfs>, "data");
+        (vfs, BufferPool::new(mgr, capacity))
+    }
+
+    #[test]
+    fn pin_faults_in_and_hits_thereafter() {
+        let (_vfs, mut pool) = pool(4);
+        pool.mgr().write_page(0, b"page zero").unwrap();
+        let f = pool.pin(0).unwrap();
+        assert_eq!(pool.payload(f), b"page zero");
+        pool.unpin(f);
+        let f2 = pool.pin(0).unwrap();
+        pool.unpin(f2);
+        let s = pool.stats();
+        assert_eq!((s.misses, s.hits), (1, 1));
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_victims() {
+        let (_vfs, mut pool) = pool(2);
+        for i in 0..4u64 {
+            let f = pool.pin_new(i, vec![i as u8; 8]).unwrap();
+            pool.unpin(f);
+        }
+        let s = pool.stats();
+        assert!(s.evictions >= 2, "small pool must evict: {s:?}");
+        assert!(s.pages_flushed >= 2, "dirty victims written: {s:?}");
+        // Evicted pages fault back in with their written contents.
+        let f = pool.pin(0).unwrap();
+        assert_eq!(pool.payload(f), &[0u8; 8]);
+        pool.unpin(f);
+    }
+
+    #[test]
+    fn pinned_frames_are_never_evicted() {
+        let (_vfs, mut pool) = pool(2);
+        let a = pool.pin_new(0, vec![1]).unwrap();
+        let b = pool.pin_new(1, vec![2]).unwrap();
+        // Both frames pinned: a third pin must report exhaustion.
+        assert!(matches!(
+            pool.pin_new(2, vec![3]),
+            Err(RelError::Storage(_))
+        ));
+        pool.unpin(a);
+        pool.unpin(b);
+        let c = pool.pin_new(2, vec![3]).unwrap();
+        pool.unpin(c);
+    }
+
+    #[test]
+    fn corrupt_page_is_a_corrupt_error() {
+        let (vfs, mut pool) = pool(2);
+        pool.mgr().write_page(0, b"valid").unwrap();
+        vfs.corrupt("data", 20, &[0xee]);
+        assert!(matches!(pool.pin(0), Err(RelError::Corrupt(_))));
+    }
+
+    #[test]
+    fn flush_page_and_dirty_tracking() {
+        let (_vfs, mut pool) = pool(4);
+        let f = pool.pin_new(3, b"dirty".to_vec()).unwrap();
+        pool.unpin(f);
+        assert_eq!(pool.dirty_pages(), vec![3]);
+        assert!(pool.flush_page(3).unwrap());
+        assert!(!pool.flush_page(3).unwrap(), "second flush is a no-op");
+        assert!(pool.dirty_pages().is_empty());
+        assert_eq!(pool.mgr().read_page(3).unwrap().unwrap(), b"dirty");
+    }
+}

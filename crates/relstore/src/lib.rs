@@ -23,30 +23,46 @@
 //!   log ([`engine`]);
 //! * vendor dialect flavoring ([`dialect`]) so that the same logical
 //!   query arrives in visibly different SQL per "product", which is the
-//!   heterogeneity WebFINDIT's wrappers absorb.
+//!   heterogeneity WebFINDIT's wrappers absorb;
+//! * an optional durable storage tier — a checksummed page file manager
+//!   over a pluggable [`file_mgr::Vfs`] ([`file_mgr`]), a pinning buffer
+//!   pool with clock-sweep eviction ([`buffer`]), an ARIES-style
+//!   write-ahead log ([`wal`]), a recovery manager that repeats history
+//!   and rolls back losers on open ([`recovery`]), and a lock-table
+//!   transaction manager ([`tx`]).
 //!
-//! The engine is deliberately synchronous and in-memory: the paper's
-//! experiments stress *federation* behaviour, not single-node storage.
+//! The engine is deliberately synchronous: the paper's experiments
+//! stress *federation* behaviour, not single-node throughput.
+//! [`Database::new`] stays purely in-memory (the fast path);
+//! [`Database::open`] attaches the durable tier and recovers to the
+//! last committed state, which is what makes the federation's
+//! kill/restart chaos scenarios honest.
 
 #![warn(missing_docs)]
 
+pub mod buffer;
 pub mod dialect;
 pub mod engine;
 pub mod exec;
 pub mod expr;
+pub mod file_mgr;
 pub mod plan;
+pub mod recovery;
 pub mod schema;
 pub mod sql;
 pub mod storage;
+pub mod tx;
 pub mod types;
+pub mod wal;
 
 pub use dialect::Dialect;
-pub use engine::{Database, ExecOutcome};
+pub use engine::{Database, ExecOutcome, StorageStats};
 pub use exec::ExecMetrics;
 pub use plan::{plan_select, PhysicalPlan, Sarg};
 pub use schema::{Column, TableSchema};
 pub use storage::{IndexKind, TableStats};
 pub use types::{DataType, Datum, Row};
+pub use wal::CrashPoint;
 
 use std::fmt;
 
@@ -97,6 +113,15 @@ pub enum RelError {
     TransactionState(String),
     /// The statement is valid SQL but not supported by this engine.
     Unsupported(String),
+    /// Durable storage failed (I/O, buffer pool exhaustion).
+    Storage(String),
+    /// On-disk data failed a checksum or decoded to garbage.
+    Corrupt(String),
+    /// The database crashed (or was crash-injected) and must be
+    /// reopened before use.
+    Unavailable(String),
+    /// A table lock is held by another live transaction.
+    LockConflict(String),
 }
 
 impl fmt::Display for RelError {
@@ -122,6 +147,10 @@ impl fmt::Display for RelError {
             RelError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
             RelError::TransactionState(msg) => write!(f, "transaction error: {msg}"),
             RelError::Unsupported(msg) => write!(f, "unsupported SQL: {msg}"),
+            RelError::Storage(msg) => write!(f, "storage error: {msg}"),
+            RelError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            RelError::Unavailable(msg) => write!(f, "database unavailable: {msg}"),
+            RelError::LockConflict(msg) => write!(f, "lock conflict: {msg}"),
         }
     }
 }

@@ -196,6 +196,38 @@ impl Table {
         self.live += 1;
     }
 
+    /// Restore `row` into `slot` even if the heap has never grown that
+    /// far (log replay and snapshot loading, where slot ids must land
+    /// exactly where the log says). Intermediate slots are padded with
+    /// tombstones.
+    pub fn force_restore(&mut self, slot: usize, row: Row) {
+        if self.slots.len() <= slot {
+            self.slots.resize(slot + 1, None);
+        }
+        self.restore_slot(slot, row);
+    }
+
+    /// Grow the heap to at least `n` slots (tombstones), so that the
+    /// next insert allocates the same slot id it did before a crash.
+    pub fn pad_slots(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, None);
+        }
+    }
+
+    /// Total heap slots ever allocated (live + tombstoned).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Secondary index definitions as `(name, column)` pairs.
+    pub fn secondary_defs(&self) -> Vec<(String, usize)> {
+        self.secondary
+            .iter()
+            .map(|s| (s.name.clone(), s.column))
+            .collect()
+    }
+
     /// Replace the row in `slot`, returning the old row.
     pub fn update_slot(&mut self, slot: usize, new_row: Row) -> RelResult<Row> {
         let new_row = self.check_row(new_row)?;
@@ -276,6 +308,15 @@ impl Table {
         }
         self.secondary.push(idx);
         Ok(())
+    }
+
+    /// Drop the secondary index named `name` (recovery UNDO of an
+    /// uncommitted `CREATE INDEX`). Returns false when absent.
+    pub fn drop_index(&mut self, name: &str) -> bool {
+        let lower = name.to_ascii_lowercase();
+        let before = self.secondary.len();
+        self.secondary.retain(|s| s.name != lower);
+        self.secondary.len() != before
     }
 
     /// Slots whose `column` equals `value`, via a secondary index or the

@@ -43,7 +43,7 @@ const ACQUIRE_CALLS: [&str; 3] = ["lock", "read", "write"];
 /// Tokens that mark a potentially long blocking operation: IIOP
 /// invocations, frame I/O, connection establishment. A live guard at
 /// one of these is a `guard-across-blocking` finding.
-const BLOCKING_TOKENS: [&str; 12] = [
+const BLOCKING_TOKENS: [&str; 14] = [
     ".invoke(",
     ".invoke_with(",
     "invoke_codb(",
@@ -56,6 +56,8 @@ const BLOCKING_TOKENS: [&str; 12] = [
     "TcpStream::connect",
     ".locate(",
     ".call(",
+    ".sync_all(",
+    ".sync_data(",
 ];
 
 /// One lint hit, before allowlist filtering.

@@ -11,7 +11,7 @@ use webfindit::orb::BreakerState;
 use webfindit::processor::{Processor, Response};
 use webfindit::session::BrowserSession;
 use webfindit_healthcare::schemas::{build_database, BuiltSource};
-use webfindit_healthcare::{build_healthcare, databases};
+use webfindit_healthcare::{build_healthcare, build_healthcare_durable, databases};
 use webfindit_relstore::Datum;
 
 /// Ground truth for a COUNT(*) on a relational site, read from a
@@ -203,6 +203,85 @@ fn killing_one_orb_yields_partial_discovery_naming_the_lost_sites() {
         .push(2, ChaosAction::RestartSite("RMIT Medical Research".into()));
     assert_eq!(plan.digest(), replay.digest());
 
+    dep.fed.shutdown();
+}
+
+/// The durability contract over the full 14-site deployment: a scripted
+/// [`ChaosPlan`] kills the ORB hosting a *durable* Royal Brisbane
+/// Hospital mid-transaction and restarts it. The kill loses the site's
+/// volatile state (a machine crash, not a graceful stop); the restart
+/// runs WAL recovery. Rows from a committed transaction must be visible
+/// through the full stack afterwards; rows from the transaction that
+/// was in flight at the moment of the crash must not.
+#[test]
+fn chaos_kill_restart_of_a_durable_site_keeps_committed_rows_only() {
+    let dep = build_healthcare_durable(1999).unwrap();
+    let processor = Processor::new(dep.fed.clone());
+    let mut session = BrowserSession::new("QUT Research");
+
+    let rbh = dep.fed.site("Royal Brisbane Hospital").unwrap();
+    let parts = webfindit_connect::parse_url(&rbh.url).unwrap();
+    let db = dep
+        .fed
+        .registry()
+        .relational(parts.vendor, parts.instance)
+        .unwrap();
+    {
+        let mut guard = db.lock();
+        assert!(guard.is_durable(), "durable deployment attaches storage");
+        // One transaction commits (its WAL records are fsynced before
+        // COMMIT returns)...
+        guard.begin().unwrap();
+        guard
+            .execute("INSERT INTO doctors VALUES (9001, 'MBBS', 'registrar')")
+            .unwrap();
+        guard.commit().unwrap();
+        // ...and a second is still open when the machine dies.
+        guard.begin().unwrap();
+        guard
+            .execute("INSERT INTO doctors VALUES (9002, 'MD', 'phantom')")
+            .unwrap();
+    }
+
+    let mut plan = ChaosPlan::new(2026);
+    plan.push(1, ChaosAction::KillSite("Royal Brisbane Hospital".into()))
+        .push(
+            2,
+            ChaosAction::RestartSite("Royal Brisbane Hospital".into()),
+        );
+    let fed = dep.fed.clone();
+    plan.run(&*fed, |step| match step {
+        1 => {
+            assert!(
+                db.lock().is_crashed(),
+                "killing the hosting ORB crashes the durable instance"
+            );
+        }
+        2 => {
+            assert!(!db.lock().is_crashed(), "restart runs recovery");
+        }
+        _ => unreachable!("plan has two steps"),
+    });
+
+    // Through the full stack (WebTassili → ORB → ISI → engine), the
+    // recovered site serves exactly the committed row.
+    std::thread::sleep(Duration::from_millis(60));
+    let resp = processor
+        .submit(
+            &mut session,
+            "Submit Native 'SELECT employee_id FROM doctors WHERE employee_id > 9000' \
+             To Instance Royal Brisbane Hospital;",
+            None,
+        )
+        .unwrap();
+    match resp {
+        Response::Table(rs) => assert_eq!(
+            rs.rows,
+            vec![vec![Datum::Int(9001)]],
+            "committed row survives; the in-flight row is rolled back"
+        ),
+        other => panic!("{other:?}"),
+    }
     dep.fed.shutdown();
 }
 
