@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use webfindit_base::sync::{detect, Mutex};
 use webfindit_wire::cdr::ByteOrder;
-use webfindit_wire::giop::GiopMessage;
+use webfindit_wire::giop::{FragmentAssembler, GiopMessage};
 use webfindit_wire::transport::{FramedTcp, Transport};
 use webfindit_wire::WireError;
 
@@ -309,7 +309,12 @@ impl MuxConn {
 }
 
 /// The reader loop: demultiplex frames until the connection dies.
+///
+/// Frames pass through a [`FragmentAssembler`], so a reply the server
+/// streamed as a GIOP fragment train arrives here as one reassembled
+/// message; unfragmented frames decode on the spot.
 fn reader_loop(conn: Arc<MuxConn>, mut reader: FramedTcp, metrics: Arc<OrbMetrics>) {
+    let mut assembler = FragmentAssembler::new();
     loop {
         let frame = match reader.recv_frame() {
             Ok(f) => f,
@@ -324,8 +329,17 @@ fn reader_loop(conn: Arc<MuxConn>, mut reader: FramedTcp, metrics: Arc<OrbMetric
             }
         };
         metrics.add(&metrics.bytes_received, frame.len() as u64);
-        let msg = match GiopMessage::decode_frame(&frame) {
-            Ok(m) => m,
+        let mid_train = assembler.in_progress();
+        let msg = match assembler.push_frame(&frame) {
+            Ok(Some(m)) => {
+                if mid_train {
+                    metrics.add(&metrics.fragments_reassembled, 1);
+                }
+                m
+            }
+            // A valid continuation of an in-progress train: wait for
+            // the final fragment.
+            Ok(None) => continue,
             Err(e) => {
                 // Undecodable bytes mean the stream is desynchronized;
                 // evict the connection rather than corrupt later calls.

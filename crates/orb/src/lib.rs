@@ -31,6 +31,7 @@ pub mod domain;
 pub mod metrics;
 pub mod naming;
 pub mod orb;
+mod reactor;
 pub mod servant;
 
 pub use adapter::ObjectAdapter;
@@ -39,7 +40,7 @@ pub use chaos::{ChaosAction, ChaosEvent, ChaosHost, ChaosPlan, ChaosRegistry, Ch
 pub use domain::OrbDomain;
 pub use metrics::{EndpointLatency, OrbMetrics};
 pub use naming::{IorCache, NamingClient, NamingService};
-pub use orb::{Orb, OrbConfig};
+pub use orb::{Orb, OrbConfig, ServerCore};
 pub use servant::{Servant, ServantError};
 
 use std::fmt;

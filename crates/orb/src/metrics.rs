@@ -95,6 +95,17 @@ pub struct OrbMetrics {
     /// Loser-transaction records rolled back (UNDO) during crash
     /// recovery of durable stores.
     pub data_recovery_undo: AtomicU64,
+    /// Replies whose encoded body exceeded the fragment threshold and
+    /// were streamed as an initial frame plus `Fragment` continuations.
+    pub fragmented_replies: AtomicU64,
+    /// Continuation `Fragment` frames sent by the reactor core.
+    pub fragments_sent: AtomicU64,
+    /// Fragment trains reassembled into complete messages on the
+    /// client's reader threads.
+    pub fragments_reassembled: AtomicU64,
+    /// Times the reactor paused reading a connection because its write
+    /// queue crossed the backpressure high-water mark.
+    pub backpressure_pauses: AtomicU64,
     /// Lock-order (ABBA) cycles reported by the `deadlock-detect`
     /// runtime detector. Process-global (the detector is a process
     /// singleton), mirrored here by [`OrbMetrics::sync_analysis`];
@@ -201,6 +212,14 @@ pub struct MetricsSnapshot {
     pub data_recovery_redo: u64,
     /// See [`OrbMetrics::data_recovery_undo`].
     pub data_recovery_undo: u64,
+    /// See [`OrbMetrics::fragmented_replies`].
+    pub fragmented_replies: u64,
+    /// See [`OrbMetrics::fragments_sent`].
+    pub fragments_sent: u64,
+    /// See [`OrbMetrics::fragments_reassembled`].
+    pub fragments_reassembled: u64,
+    /// See [`OrbMetrics::backpressure_pauses`].
+    pub backpressure_pauses: u64,
     /// See [`OrbMetrics::analysis_lock_cycles`] (process-global —
     /// `since` saturates).
     pub analysis_lock_cycles: u64,
@@ -250,6 +269,10 @@ impl MetricsSnapshot {
             data_pages_flushed: self.data_pages_flushed - earlier.data_pages_flushed,
             data_recovery_redo: self.data_recovery_redo - earlier.data_recovery_redo,
             data_recovery_undo: self.data_recovery_undo - earlier.data_recovery_undo,
+            fragmented_replies: self.fragmented_replies - earlier.fragmented_replies,
+            fragments_sent: self.fragments_sent - earlier.fragments_sent,
+            fragments_reassembled: self.fragments_reassembled - earlier.fragments_reassembled,
+            backpressure_pauses: self.backpressure_pauses - earlier.backpressure_pauses,
             analysis_lock_cycles: self
                 .analysis_lock_cycles
                 .saturating_sub(earlier.analysis_lock_cycles),
@@ -301,6 +324,10 @@ impl OrbMetrics {
             data_pages_flushed: self.data_pages_flushed.load(Ordering::Relaxed),
             data_recovery_redo: self.data_recovery_redo.load(Ordering::Relaxed),
             data_recovery_undo: self.data_recovery_undo.load(Ordering::Relaxed),
+            fragmented_replies: self.fragmented_replies.load(Ordering::Relaxed),
+            fragments_sent: self.fragments_sent.load(Ordering::Relaxed),
+            fragments_reassembled: self.fragments_reassembled.load(Ordering::Relaxed),
+            backpressure_pauses: self.backpressure_pauses.load(Ordering::Relaxed),
             analysis_lock_cycles: self.analysis_lock_cycles.load(Ordering::Relaxed),
             analysis_blocking_violations: self.analysis_blocking_violations.load(Ordering::Relaxed),
         }

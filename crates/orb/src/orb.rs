@@ -6,9 +6,13 @@
 //! * binds a loopback TCP listener (its IIOP endpoint) and registers its
 //!   advertised `(host, port)` with the shared [`OrbDomain`];
 //! * serves GIOP Requests arriving on that endpoint by dispatching into
-//!   its [`ObjectAdapter`] — one worker thread per request, replies
-//!   multiplexed back over the connection through a shared writer, so a
-//!   slow servant never holds up other requests on the same connection;
+//!   its [`ObjectAdapter`]. The default server core is the event-loop
+//!   reactor ([`crate::reactor`]): one poll-driven thread owns every
+//!   connection and a bounded worker pool runs servant dispatch, so a
+//!   slow servant never holds up other requests on the same connection
+//!   and ten thousand idle connections cost ten thousand fds, not ten
+//!   thousand stacks. The original thread-per-connection core survives
+//!   behind [`ServerCore::Threaded`] as baseline and fallback;
 //! * acts as a client: [`Orb::invoke`] marshals a Request and ships it
 //!   over a multiplexed [`IiopChannel`] (see [`crate::channel`]); many
 //!   concurrent callers share each connection instead of serializing on
@@ -39,17 +43,44 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use webfindit_base::sync::Mutex;
 use webfindit_wire::cdr::ByteOrder;
-use webfindit_wire::giop::{self, GiopMessage, LocateStatus, ReplyStatus};
+use webfindit_wire::giop::{self, GiopMessage, LocateStatus, ReplyStatus, RequestHeader};
 use webfindit_wire::ior::IiopProfile;
 use webfindit_wire::transport::{FramedTcp, Transport};
-use webfindit_wire::{Ior, Value, WireError};
+use webfindit_wire::{BufPool, Ior, Value, WireError};
 
 /// Upper bound on multiplexed connections per remote endpoint.
 const MAX_CONNS_PER_ENDPOINT: usize = 4;
 
 /// Ids a server remembers from CancelRequests whose dispatch is still
 /// running; bounded so a hostile client cannot grow it without limit.
-const MAX_REMEMBERED_CANCELS: usize = 1024;
+pub(crate) const MAX_REMEMBERED_CANCELS: usize = 1024;
+
+/// Default size of the reactor core's dispatch worker pool.
+const DEFAULT_DISPATCH_WORKERS: usize = 8;
+
+/// Which server core an ORB runs its listener on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerCore {
+    /// The original core: one thread per connection plus one per
+    /// in-flight request. Simple, but per-request thread costs dominate
+    /// at high fan-in. Kept as a baseline and fallback.
+    Threaded,
+    /// The event-loop core ([`crate::reactor`]): one poll-driven
+    /// reactor thread plus a bounded dispatch worker pool, with write
+    /// backpressure and GIOP fragment streaming of large replies.
+    Reactor,
+}
+
+impl ServerCore {
+    /// Core selected by the `WEBFINDIT_SERVER_CORE` environment
+    /// variable (`"threaded"` or `"reactor"`); defaults to the reactor.
+    pub fn from_env() -> Self {
+        match std::env::var("WEBFINDIT_SERVER_CORE").as_deref() {
+            Ok("threaded") => ServerCore::Threaded,
+            _ => ServerCore::Reactor,
+        }
+    }
+}
 
 /// Static configuration of an ORB instance.
 #[derive(Debug, Clone)]
@@ -65,6 +96,12 @@ pub struct OrbConfig {
     pub byte_order: ByteOrder,
     /// Circuit-breaker policy applied to every client channel.
     pub breaker: BreakerConfig,
+    /// Which server core runs the listener (default: environment
+    /// selection via [`ServerCore::from_env`], i.e. the reactor).
+    pub server_core: ServerCore,
+    /// Dispatch worker threads under the reactor core (ignored by the
+    /// threaded core, which spawns per request).
+    pub dispatch_workers: usize,
 }
 
 impl OrbConfig {
@@ -81,12 +118,26 @@ impl OrbConfig {
             advertised_port,
             byte_order,
             breaker: BreakerConfig::default(),
+            server_core: ServerCore::from_env(),
+            dispatch_workers: DEFAULT_DISPATCH_WORKERS,
         }
     }
 
     /// Override the circuit-breaker policy.
     pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
         self.breaker = breaker;
+        self
+    }
+
+    /// Pin the server core, overriding the environment selection.
+    pub fn with_server_core(mut self, core: ServerCore) -> Self {
+        self.server_core = core;
+        self
+    }
+
+    /// Override the reactor's dispatch worker pool size.
+    pub fn with_dispatch_workers(mut self, workers: usize) -> Self {
+        self.dispatch_workers = workers.max(1);
         self
     }
 }
@@ -112,7 +163,12 @@ pub struct Orb {
     /// Client channel pool: advertised endpoint → multiplexed channel.
     channels: Mutex<HashMap<(String, u16), Arc<IiopChannel>>>,
     next_request_id: AtomicU32,
-    listener_handle: Mutex<Option<JoinHandle<()>>>,
+    /// Join handle of the core's driver thread: the accept loop
+    /// (threaded) or the reactor event loop.
+    core_handle: Mutex<Option<JoinHandle<()>>>,
+    /// Recycled buffers for the client-side CDR encode path (the
+    /// reactor core keeps its own pool for replies).
+    pool: Arc<BufPool>,
 }
 
 impl Orb {
@@ -138,16 +194,40 @@ impl Orb {
             server_conns: Arc::new(Mutex::new(Vec::new())),
             channels: Mutex::new(HashMap::new()),
             next_request_id: AtomicU32::new(1),
-            listener_handle: Mutex::new(None),
+            core_handle: Mutex::new(None),
+            pool: BufPool::shared(),
         });
 
-        let accept_orb = Arc::clone(&orb);
-        let handle = std::thread::Builder::new()
-            .name(format!("orb-{}-accept", orb.config.name))
-            .spawn(move || accept_loop(accept_orb, listener))
-            .expect("spawning ORB accept thread");
-        *orb.listener_handle.lock() = Some(handle);
+        let handle = match orb.config.server_core {
+            ServerCore::Threaded => {
+                let accept_orb = Arc::clone(&orb);
+                std::thread::Builder::new()
+                    .name(format!("orb-{}-accept", orb.config.name))
+                    .spawn(move || accept_loop(accept_orb, listener))
+                    .expect("spawning ORB accept thread")
+            }
+            ServerCore::Reactor => {
+                let core = crate::reactor::spawn(
+                    orb.config.name.clone(),
+                    listener,
+                    Arc::clone(&orb.adapter),
+                    Arc::clone(&orb.metrics),
+                    orb.config.byte_order,
+                    Arc::clone(&orb.shutdown),
+                    orb.config.dispatch_workers,
+                    BufPool::shared(),
+                )
+                .map_err(WireError::Io)?;
+                core.join
+            }
+        };
+        *orb.core_handle.lock() = Some(handle);
         Ok(orb)
+    }
+
+    /// Which server core this ORB is running.
+    pub fn server_core(&self) -> ServerCore {
+        self.config.server_core
     }
 
     /// This ORB's instance name.
@@ -295,7 +375,7 @@ impl Orb {
                 args.to_vec(),
             );
             let frame = msg
-                .encode(self.config.byte_order)
+                .encode_pooled(self.config.byte_order, &self.pool)
                 .map_err(|e| CallFailure {
                     class: FailureClass::NeverSent,
                     error: OrbError::Wire(e),
@@ -466,11 +546,15 @@ impl Orb {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return; // already down
         }
-        // Unblock the accept loop by poking the listener.
+        // Unblock the core's driver thread by poking the listener: the
+        // accept loop returns from accept(), the reactor's poll reports
+        // the listener readable; both then see the flag. Joining the
+        // reactor also waits for its CloseConnection broadcast.
         let _ = TcpStream::connect(self.listener_addr);
-        if let Some(handle) = self.listener_handle.lock().take() {
+        if let Some(handle) = self.core_handle.lock().take() {
             let _ = handle.join();
         }
+        // Threaded core only (the vec stays empty under the reactor).
         // Drain under the lock, send outside it: CloseConnection goes
         // over the socket, and holding `server_conns` across those
         // writes would block the accept path of a concurrent connection.
@@ -645,22 +729,21 @@ fn serve_connection(
     }
 }
 
-/// Dispatch one request on its worker thread and send the reply.
-fn serve_request(
-    header: webfindit_wire::giop::RequestHeader,
-    args: Vec<Value>,
+/// Dispatch one request through the adapter and build its GIOP reply.
+/// Panic isolation and exception mapping live here so both server
+/// cores (threaded workers, reactor pool workers) behave identically.
+pub(crate) fn dispatch_reply(
+    header: &RequestHeader,
+    args: &[Value],
     adapter: &ObjectAdapter,
     metrics: &OrbMetrics,
-    writer: &Mutex<FramedTcp>,
-    canceled: &Mutex<HashSet<u32>>,
-    order: ByteOrder,
-) {
+) -> GiopMessage {
     // A servant bug must become a system exception for this one
     // request, not a dead connection: isolate panics.
     let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        adapter.dispatch(&header.object_key, &header.operation, &args)
+        adapter.dispatch(&header.object_key, &header.operation, args)
     }));
-    let reply = match dispatched {
+    match dispatched {
         Ok(Ok(value)) => giop::reply_ok(header.request_id, value),
         Ok(Err(e)) => {
             metrics.add(&metrics.exceptions_sent, 1);
@@ -679,7 +762,20 @@ fn serve_request(
                 &format!("UNKNOWN: servant panicked: {what}"),
             )
         }
-    };
+    }
+}
+
+/// Dispatch one request on its worker thread and send the reply.
+fn serve_request(
+    header: RequestHeader,
+    args: Vec<Value>,
+    adapter: &ObjectAdapter,
+    metrics: &OrbMetrics,
+    writer: &Mutex<FramedTcp>,
+    canceled: &Mutex<HashSet<u32>>,
+    order: ByteOrder,
+) {
+    let reply = dispatch_reply(&header, &args, adapter, metrics);
     if canceled.lock().remove(&header.request_id) {
         // The client gave up on this request (deadline expired there);
         // a reply now would be bytes it will only discard.

@@ -667,12 +667,153 @@ fn sarg_of(
     })
 }
 
+/// The facts of a detected single-table primary-key point lookup,
+/// borrowed from the statement and catalog. Produced by
+/// [`detect_pk_point`]; consumed by [`plan_pk_point`] (to build the
+/// canonical plan tree) and by the executor's direct AST path in
+/// [`crate::exec::execute_select_with_metrics`] (to skip plan
+/// construction entirely).
+pub(crate) struct PkPoint<'a> {
+    /// The resolved base table.
+    pub(crate) base: &'a Table,
+    /// Offset of the primary-key column in the table schema.
+    pub(crate) col_idx: usize,
+    /// The literal the key column is compared against.
+    pub(crate) key: &'a Datum,
+    /// The full WHERE expression (still evaluated per fetched row).
+    pub(crate) filter: &'a Expr,
+}
+
+/// Compare a stored (already lowercase) identifier against a query
+/// identifier, mirroring [`Layout::resolve`]'s
+/// `stored == query.to_ascii_lowercase()` without allocating.
+pub(crate) fn eq_lowered(stored: &str, query: &str) -> bool {
+    stored.len() == query.len()
+        && stored
+            .bytes()
+            .zip(query.bytes())
+            .all(|(s, q)| s == q.to_ascii_lowercase())
+}
+
+/// Recognize `SELECT <no aggregates> FROM one_table WHERE pk = literal`
+/// with no joins, grouping, ordering, DISTINCT, or LIMIT. The
+/// preconditions here are exactly the ones under which [`plan_select`]
+/// commits to the point-lookup tree, so both the planner shortcut and
+/// the executor's AST path key off one detector and cannot drift.
+pub(crate) fn detect_pk_point<'a>(
+    stmt: &'a SelectStmt,
+    tables: &'a HashMap<String, Table>,
+) -> Option<PkPoint<'a>> {
+    if !stmt.joins.is_empty()
+        || !stmt.group_by.is_empty()
+        || stmt.having.is_some()
+        || stmt.distinct
+        || !stmt.order_by.is_empty()
+        || stmt.limit.is_some()
+    {
+        return None;
+    }
+    let filter = stmt.filter.as_ref()?;
+    // Exactly one conjunct of the shape `col = literal` (either order).
+    let (col, lit) = match filter {
+        Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } => match (&**left, &**right) {
+            (Expr::Column { table, name }, Expr::Literal(d))
+            | (Expr::Literal(d), Expr::Column { table, name }) => ((table, name), d),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    // Aggregates reshape the tree (HashAggregate root); leave them to
+    // the general path.
+    let has_aggregate = stmt.items.iter().any(|item| match item {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        _ => false,
+    });
+    if has_aggregate {
+        return None;
+    }
+    let base = lookup(tables, &stmt.from.name).ok()?;
+    // A qualifier must name the FROM binding (same check resolving
+    // through a one-table Layout would perform).
+    if let Some(t) = col.0.as_deref() {
+        if !t.eq_ignore_ascii_case(stmt.from.binding()) {
+            return None;
+        }
+    }
+    let col_idx = base
+        .schema
+        .columns
+        .iter()
+        .position(|c| eq_lowered(&c.name, col.1))?;
+    if base.schema.single_primary_key() != Some(col_idx) {
+        return None;
+    }
+    Some(PkPoint {
+        base,
+        col_idx,
+        key: lit,
+        filter,
+    })
+}
+
+/// Recognize the canonical point lookup — `SELECT ... FROM t WHERE
+/// pk = literal`, single table, nothing else in play — and build its
+/// plan directly, skipping the costing pass entirely.
+///
+/// A primary-key equality can only ever plan one way (index lookup,
+/// residual filter, projection), so running the full sarg sweep and
+/// statistics pass for it is pure overhead; at one-row result sizes
+/// that overhead is what the E10 `pk_point` measurement is made of.
+/// The tree built here is node-for-node identical to what the general
+/// path would produce (same operators, same `est_rows`, same EXPLAIN
+/// rendering) — only the work to decide it is skipped.
+fn plan_pk_point(stmt: &SelectStmt, tables: &HashMap<String, Table>) -> Option<PhysicalPlan> {
+    let pk = detect_pk_point(stmt, tables)?;
+    let (base, col_idx, lit, filter) = (pk.base, pk.col_idx, pk.key, pk.filter);
+    let mut layout = Layout::new();
+    layout.push(
+        stmt.from.binding().to_ascii_lowercase(),
+        base.schema.column_names(),
+    );
+    let select_exprs = expand_items(&stmt.items, &layout).ok()?;
+    let columns: Vec<String> = select_exprs.iter().map(|(_, n)| n.clone()).collect();
+    let scan = PhysicalPlan::IxScan(IxScanNode {
+        table: stmt.from.name.to_ascii_lowercase(),
+        column: base.schema.columns[col_idx].name.clone(),
+        col_idx,
+        sarg: Sarg::Eq(lit.clone()),
+        via: IndexKind::PrimaryKey,
+        est_rows: 1,
+    });
+    let filtered = PhysicalPlan::Filter(Box::new(FilterNode {
+        input: Box::new(scan),
+        pred: filter.clone(),
+        layout: layout.clone(),
+    }));
+    Some(PhysicalPlan::Project(Box::new(ProjectNode {
+        input: Box::new(filtered),
+        select_exprs,
+        columns,
+        order_by: Vec::new(),
+        layout,
+    })))
+}
+
 /// Build the physical plan for `stmt` against the current catalog.
 ///
 /// Planning never executes row-level work, so `EXPLAIN` is free; it
 /// does resolve tables (errors early, like the executor would) and
 /// reads table statistics for its access-path and join decisions.
+/// Single-table primary-key point lookups short-circuit past the cost
+/// pass (see [`plan_pk_point`]).
 pub fn plan_select(stmt: &SelectStmt, tables: &HashMap<String, Table>) -> RelResult<PhysicalPlan> {
+    if let Some(plan) = plan_pk_point(stmt, tables) {
+        return Ok(plan);
+    }
     let base = lookup(tables, &stmt.from.name)?;
     let base_name = stmt.from.name.to_ascii_lowercase();
     let base_arity = base.schema.arity();
@@ -1023,6 +1164,35 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
+    }
+
+    #[test]
+    fn pk_point_fast_path_builds_the_canonical_tree() {
+        // The shape the general path would build: index lookup,
+        // residual filter, projection — with the same rendering.
+        let p = plan("SELECT salary FROM emp WHERE emp_id = 3");
+        assert_eq!(p.operator_names(), vec!["index scan", "filter", "project"]);
+        let text = p.render().join("\n");
+        assert!(
+            text.contains("index lookup emp.emp_id = 3 via PRIMARY KEY (~1 rows)"),
+            "{text}"
+        );
+        assert!(text.contains("filter: (emp_id = 3)"), "{text}");
+
+        // Qualified and flipped forms take the same path.
+        let p = plan("SELECT e.salary FROM emp e WHERE 3 = e.emp_id");
+        assert_eq!(p.operator_names(), vec!["index scan", "filter", "project"]);
+
+        // Non-PK equality, extra conjuncts, and wrappers fall through
+        // to the general path (same answers, costed plan).
+        let p = plan("SELECT salary FROM emp WHERE dept_id = 2");
+        assert!(p.render().join("\n").contains("via secondary index"));
+        let p = plan("SELECT salary FROM emp WHERE emp_id = 3 AND salary > 0");
+        assert!(p.operator_names().contains(&"index scan"));
+        let p = plan("SELECT COUNT(*) FROM emp WHERE emp_id = 3");
+        assert!(p.operator_names().contains(&"hash aggregate"));
+        let p = plan("SELECT salary FROM emp WHERE emp_id = 3 LIMIT 1");
+        assert!(p.operator_names().contains(&"limit"));
     }
 
     #[test]

@@ -58,14 +58,42 @@ impl ByteOrder {
 pub struct CdrWriter {
     buf: Vec<u8>,
     order: ByteOrder,
+    /// Offset of the encapsulation start within `buf`; alignment is
+    /// measured from here. Nonzero only for frame writers, where the
+    /// buffer opens with a 12-byte GIOP header preamble so header and
+    /// body share one allocation.
+    base: usize,
 }
 
 impl CdrWriter {
     /// Create a writer producing bytes in the given order.
     pub fn new(order: ByteOrder) -> Self {
+        CdrWriter::new_in(order, Vec::with_capacity(128))
+    }
+
+    /// Create a writer over recycled storage (cleared before use). The
+    /// buffer pool hands storage in here; `into_bytes` hands it back out.
+    pub fn new_in(order: ByteOrder, mut buf: Vec<u8>) -> Self {
+        buf.clear();
         CdrWriter {
-            buf: Vec::with_capacity(128),
+            buf,
             order,
+            base: 0,
+        }
+    }
+
+    /// Create a *frame* writer over recycled storage: the first 12 bytes
+    /// are reserved (zeroed) for a GIOP header to be patched in later,
+    /// and CDR alignment is measured from byte 12 — the body start — as
+    /// the spec requires. This lets header and body be encoded into a
+    /// single buffer with no assembly copy.
+    pub fn frame(order: ByteOrder, mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        buf.resize(12, 0);
+        CdrWriter {
+            buf,
+            order,
+            base: 12,
         }
     }
 
@@ -74,17 +102,18 @@ impl CdrWriter {
         self.order
     }
 
-    /// Number of bytes written so far.
+    /// Number of body bytes written so far (excludes any frame preamble).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.base
     }
 
     /// True if nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
-    /// Consume the writer, returning the encoded bytes.
+    /// Consume the writer, returning the encoded bytes (for a frame
+    /// writer this includes the 12-byte header preamble).
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
@@ -92,7 +121,7 @@ impl CdrWriter {
     /// Pad with zero octets until the cursor is aligned to `align` bytes.
     pub fn align(&mut self, align: usize) {
         debug_assert!(align.is_power_of_two());
-        let misalign = self.buf.len() % align;
+        let misalign = (self.buf.len() - self.base) % align;
         if misalign != 0 {
             for _ in 0..(align - misalign) {
                 self.buf.push(0);
@@ -510,6 +539,36 @@ mod tests {
         let mut r = CdrReader::new(&bytes, ByteOrder::LittleEndian);
         assert_eq!(r.read_ushort().unwrap(), 1);
         assert_eq!(r.read_double().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn frame_writer_aligns_relative_to_body_start() {
+        // A frame writer reserves 12 preamble bytes; CDR alignment must
+        // be measured from the body start, not the buffer start, or
+        // 8-aligned primitives land off by four.
+        let mut w = CdrWriter::frame(ByteOrder::BigEndian, Vec::new());
+        w.write_octet(1); // body pos 1
+        w.write_double(2.5); // pads to body pos 8
+        assert_eq!(w.len(), 16);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 12 + 16);
+        assert_eq!(&bytes[..12], &[0u8; 12]);
+        let mut r = CdrReader::new(&bytes[12..], ByteOrder::BigEndian);
+        assert_eq!(r.read_octet().unwrap(), 1);
+        assert_eq!(r.read_double().unwrap(), 2.5);
+    }
+
+    #[test]
+    fn new_in_reuses_and_clears_storage() {
+        let mut recycled = Vec::with_capacity(64);
+        recycled.extend_from_slice(b"stale");
+        let ptr = recycled.as_ptr();
+        let mut w = CdrWriter::new_in(ByteOrder::LittleEndian, recycled);
+        w.write_ulong(7);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.as_ptr(), ptr, "storage reused");
+        let mut r = CdrReader::new(&bytes, ByteOrder::LittleEndian);
+        assert_eq!(r.read_ulong().unwrap(), 7);
     }
 
     #[test]

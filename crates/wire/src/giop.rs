@@ -15,9 +15,19 @@
 //! * `CloseConnection` / `MessageError` — connection management.
 //! * `Fragment` — continuation frames for bodies larger than one message.
 
+use crate::bufpool::{BufPool, PooledBuf};
 use crate::cdr::{ByteOrder, CdrReader, CdrWriter};
 use crate::value::Value;
 use crate::{WireError, WireResult, MAX_MESSAGE_SIZE};
+use std::sync::Arc;
+
+/// Body size above which the reactor streams a reply as an initial
+/// frame plus `Fragment` continuations instead of one giant message.
+///
+/// Well under [`MAX_MESSAGE_SIZE`]: a peer enforcing the defensive
+/// limit never sees a single frame approach it, and the sending side's
+/// write queue interleaves at chunk granularity.
+pub const FRAGMENT_BODY_SIZE: usize = 64 * 1024;
 
 /// The 4 magic octets that open every GIOP message.
 pub const GIOP_MAGIC: [u8; 4] = *b"GIOP";
@@ -338,7 +348,24 @@ impl GiopMessage {
 
     /// Encode header + body into a single wire frame.
     pub fn encode(&self, order: ByteOrder) -> WireResult<Vec<u8>> {
-        let mut body = CdrWriter::new(order);
+        self.encode_into(order, Vec::with_capacity(128))
+    }
+
+    /// Encode into pool storage; the frame returns to the pool on drop.
+    pub fn encode_pooled(&self, order: ByteOrder, pool: &Arc<BufPool>) -> WireResult<PooledBuf> {
+        Ok(PooledBuf::new(
+            self.encode_into(order, pool.take())?,
+            Arc::clone(pool),
+        ))
+    }
+
+    /// Encode header + body into `buf` (recycled storage welcome): the
+    /// 12-byte header and the CDR body share one buffer, written in a
+    /// single pass — the header is patched in place once the body size
+    /// is known, so there is no separate body allocation or assembly
+    /// copy per message.
+    pub fn encode_into(&self, order: ByteOrder, buf: Vec<u8>) -> WireResult<Vec<u8>> {
+        let mut body = CdrWriter::frame(order, buf);
         let mut more_fragments = false;
         match self {
             GiopMessage::Request { header, args } => {
@@ -392,10 +419,10 @@ impl GiopMessage {
                 body.write_raw(data);
             }
         }
-        let body = body.into_bytes();
-        if body.len() as u64 > MAX_MESSAGE_SIZE as u64 {
+        let body_len = body.len();
+        if body_len as u64 > MAX_MESSAGE_SIZE as u64 {
             return Err(WireError::TooLarge {
-                declared: body.len() as u64,
+                declared: body_len as u64,
                 limit: MAX_MESSAGE_SIZE as u64,
             });
         }
@@ -405,11 +432,10 @@ impl GiopMessage {
             order,
             more_fragments,
             kind: self.kind(),
-            body_size: body.len() as u32,
+            body_size: body_len as u32,
         };
-        let mut frame = Vec::with_capacity(12 + body.len());
-        frame.extend_from_slice(&header.to_bytes());
-        frame.extend_from_slice(&body);
+        let mut frame = body.into_bytes();
+        frame[..12].copy_from_slice(&header.to_bytes());
         Ok(frame)
     }
 
@@ -506,6 +532,152 @@ impl GiopMessage {
         hdr.copy_from_slice(&frame[..12]);
         let header = GiopHeader::from_bytes(&hdr)?;
         GiopMessage::decode(&header, &frame[12..])
+    }
+}
+
+/// Split a complete encoded frame into a fragment train: the original
+/// header (flagged `more_fragments`) over the first `max_body` bytes of
+/// body, followed by `Fragment` frames carrying the rest, the last one
+/// with the flag clear. Frames whose body already fits return as a
+/// single (repooled) frame.
+///
+/// Chunk frames draw their storage from `pool`, so a multi-megabyte
+/// reply streams through a handful of recycled `max_body`-sized buffers
+/// instead of pinning one giant allocation per message.
+pub fn split_into_fragments(
+    frame: &[u8],
+    max_body: usize,
+    pool: &Arc<BufPool>,
+) -> WireResult<Vec<PooledBuf>> {
+    if frame.len() < 12 {
+        return Err(WireError::UnexpectedEof {
+            needed: 12,
+            remaining: frame.len(),
+        });
+    }
+    let max_body = max_body.max(1);
+    let mut hdr = [0u8; 12];
+    hdr.copy_from_slice(&frame[..12]);
+    let mut header = GiopHeader::from_bytes(&hdr)?;
+    let body = &frame[12..];
+    let mut chunks = body.chunks(max_body);
+    let first = chunks.next().unwrap_or(&[]);
+    let rest: Vec<&[u8]> = chunks.collect();
+
+    let mut out = Vec::with_capacity(1 + rest.len());
+    header.more_fragments = !rest.is_empty();
+    header.body_size = first.len() as u32;
+    let mut lead = pool.take();
+    lead.extend_from_slice(&header.to_bytes());
+    lead.extend_from_slice(first);
+    out.push(PooledBuf::new(lead, Arc::clone(pool)));
+
+    for (i, chunk) in rest.iter().enumerate() {
+        let cont = GiopHeader {
+            kind: MessageKind::Fragment,
+            more_fragments: i + 1 < rest.len(),
+            body_size: chunk.len() as u32,
+            ..header
+        };
+        let mut buf = pool.take();
+        buf.extend_from_slice(&cont.to_bytes());
+        buf.extend_from_slice(chunk);
+        out.push(PooledBuf::new(buf, Arc::clone(pool)));
+    }
+    Ok(out)
+}
+
+/// Receive-side reassembly of fragment trains.
+///
+/// Feed every raw frame arriving on one connection through
+/// [`FragmentAssembler::push_frame`]; unfragmented messages decode and
+/// return immediately, while an initial frame flagged `more_fragments`
+/// opens an accumulation that completes on the final `Fragment`. Our
+/// framing never interleaves trains on one connection (the sender
+/// enqueues a whole train atomically), so a non-`Fragment` frame
+/// arriving mid-train — or a `Fragment` with no train open — is a
+/// protocol error, not a reordering to tolerate.
+#[derive(Debug, Default)]
+pub struct FragmentAssembler {
+    initial: Option<GiopHeader>,
+    body: Vec<u8>,
+}
+
+impl FragmentAssembler {
+    /// A fresh assembler with no train in progress.
+    pub fn new() -> Self {
+        FragmentAssembler::default()
+    }
+
+    /// True while an initial frame awaits its continuation fragments.
+    pub fn in_progress(&self) -> bool {
+        self.initial.is_some()
+    }
+
+    /// Abandon any partial accumulation.
+    pub fn reset(&mut self) {
+        self.initial = None;
+        self.body.clear();
+    }
+
+    /// Feed one complete raw frame (header + body). Returns the decoded
+    /// message when one is complete, `None` while mid-train.
+    pub fn push_frame(&mut self, frame: &[u8]) -> WireResult<Option<GiopMessage>> {
+        if frame.len() < 12 {
+            return Err(WireError::UnexpectedEof {
+                needed: 12,
+                remaining: frame.len(),
+            });
+        }
+        let mut hdr = [0u8; 12];
+        hdr.copy_from_slice(&frame[..12]);
+        let header = GiopHeader::from_bytes(&hdr)?;
+        let body = &frame[12..];
+        if body.len() != header.body_size as usize {
+            return Err(WireError::UnexpectedEof {
+                needed: header.body_size as usize,
+                remaining: body.len(),
+            });
+        }
+        match (self.initial.is_some(), header.kind) {
+            (false, MessageKind::Fragment) => Err(WireError::BadTag {
+                context: "GIOP Fragment with no message in progress",
+                tag: header.kind as u32,
+            }),
+            (false, _) if header.more_fragments => {
+                self.body.clear();
+                self.body.extend_from_slice(body);
+                self.initial = Some(header);
+                Ok(None)
+            }
+            (false, _) => GiopMessage::decode(&header, body).map(Some),
+            (true, MessageKind::Fragment) => {
+                if self.body.len() + body.len() > MAX_MESSAGE_SIZE as usize {
+                    self.reset();
+                    return Err(WireError::TooLarge {
+                        declared: (self.body.len() + body.len()) as u64,
+                        limit: MAX_MESSAGE_SIZE as u64,
+                    });
+                }
+                self.body.extend_from_slice(body);
+                if header.more_fragments {
+                    Ok(None)
+                } else {
+                    let mut initial = self.initial.take().expect("train in progress");
+                    initial.more_fragments = false;
+                    initial.body_size = self.body.len() as u32;
+                    let body = std::mem::take(&mut self.body);
+                    GiopMessage::decode(&initial, &body).map(Some)
+                }
+            }
+            (true, other) => {
+                self.reset();
+                Err(WireError::BadTag {
+                    context: "non-Fragment frame interrupting a fragment train",
+                    tag: other as u32,
+                })
+            }
+        }
     }
 }
 

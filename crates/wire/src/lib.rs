@@ -14,6 +14,7 @@
 //!
 //! ## Layout
 //!
+//! * [`bufpool`] — recycled byte buffers backing the CDR encode path.
 //! * [`cdr`] — aligned CDR encoding/decoding with both byte orders.
 //! * [`value`] — a self-describing value model (the `any`/TypeCode analog)
 //!   used by dynamic invocation.
@@ -21,22 +22,30 @@
 //!   LocateRequest/Reply, CancelRequest, CloseConnection, MessageError,
 //!   Fragment).
 //! * [`ior`] — interoperable object references with tagged IIOP profiles.
-//! * [`transport`] — framed byte transports: TCP, in-process duplex pipes,
-//!   and a fault-injecting wrapper for tests.
+//! * [`poll`] — a minimal `poll(2)` readiness binding for the reactor core.
+//! * [`transport`] — framed byte transports: TCP (blocking and
+//!   nonblocking/incremental), in-process duplex pipes, and a
+//!   fault-injecting wrapper for tests.
 
 #![warn(missing_docs)]
 
+pub mod bufpool;
 pub mod cdr;
 pub mod giop;
 pub mod ior;
+pub mod poll;
 pub mod transport;
 pub mod value;
 
+pub use bufpool::{BufPool, FrameBuf, PooledBuf};
 pub use cdr::{ByteOrder, CdrReader, CdrWriter};
-pub use giop::{GiopHeader, GiopMessage, MessageKind, ReplyStatus, RequestHeader};
+pub use giop::{
+    FragmentAssembler, GiopHeader, GiopMessage, MessageKind, ReplyStatus, RequestHeader,
+};
 pub use ior::{IiopProfile, Ior, TaggedProfile};
 pub use transport::{
-    duplex, Fault, FaultSlot, FaultyTransport, FramedTcp, PipeTransport, Transport,
+    duplex, Fault, FaultSlot, FaultyTransport, FramedTcp, NbFramed, NbRead, PipeTransport,
+    Transport,
 };
 pub use value::Value;
 

@@ -14,8 +14,10 @@
 //! All transports move whole frames: a 12-byte GIOP header followed by
 //! exactly `body_size` bytes.
 
+use crate::bufpool::FrameBuf;
 use crate::giop::{GiopHeader, GiopMessage};
 use crate::{WireError, WireResult};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -335,6 +337,164 @@ impl Transport for FramedTcp {
                 }
             }
         }
+    }
+}
+
+/// How many bytes `NbFramed` reads per `read` call while draining a
+/// readable socket.
+const NB_READ_CHUNK: usize = 64 * 1024;
+
+/// What one readiness-driven read pass produced.
+#[derive(Debug, Default)]
+pub struct NbRead {
+    /// Complete frames extracted from the stream, oldest first.
+    pub frames: Vec<Vec<u8>>,
+    /// The peer closed its write side (frames may still be present).
+    pub closed: bool,
+}
+
+/// Nonblocking, incrementally-parsed GIOP framing for the reactor core.
+///
+/// Unlike [`FramedTcp`], which parks a thread in `read_exact` until a
+/// whole frame arrives, `NbFramed` is driven by readiness: each
+/// [`NbFramed::on_readable`] drains whatever bytes the socket has into
+/// an accumulation buffer and extracts every complete frame; partial
+/// frames simply wait for the next readiness event. Writes mirror that:
+/// frames are queued whole, and [`NbFramed::on_writable`] pushes queued
+/// bytes until the socket would block, tracking a byte count the
+/// reactor uses for per-connection backpressure.
+///
+/// Chaos wire faults are a client-side concern (they are installed on
+/// dialed connections); this server-side path stays fault-free.
+#[derive(Debug)]
+pub struct NbFramed {
+    stream: TcpStream,
+    /// Received-but-unparsed bytes; complete frames are drained off the
+    /// front, a trailing partial frame stays for the next pass.
+    recv: Vec<u8>,
+    /// Outgoing frames not yet (fully) written.
+    send_q: VecDeque<FrameBuf>,
+    /// How many bytes of the queue's front frame are already written.
+    send_off: usize,
+    /// Total unwritten bytes across the queue.
+    queued: usize,
+}
+
+impl NbFramed {
+    /// Wrap a connected stream, switching it to nonblocking mode.
+    pub fn new(stream: TcpStream) -> WireResult<Self> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(NbFramed {
+            stream,
+            recv: Vec::new(),
+            send_q: VecDeque::new(),
+            send_off: 0,
+            queued: 0,
+        })
+    }
+
+    /// The underlying stream (for fd registration and severing).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Drain readable bytes and extract complete frames. Call when the
+    /// socket polls readable. A header that fails validation (bad
+    /// magic, oversized body) is a protocol error that desynchronizes
+    /// the stream — the caller must drop the connection.
+    pub fn on_readable(&mut self) -> WireResult<NbRead> {
+        let mut out = NbRead::default();
+        loop {
+            let old = self.recv.len();
+            self.recv.resize(old + NB_READ_CHUNK, 0);
+            match self.stream.read(&mut self.recv[old..]) {
+                Ok(0) => {
+                    self.recv.truncate(old);
+                    out.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.recv.truncate(old + n);
+                    if n < NB_READ_CHUNK {
+                        break; // socket drained
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.recv.truncate(old);
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.recv.truncate(old);
+                }
+                Err(e) => {
+                    self.recv.truncate(old);
+                    return Err(WireError::Io(e));
+                }
+            }
+        }
+        let mut off = 0;
+        while self.recv.len() - off >= 12 {
+            let mut hdr = [0u8; 12];
+            hdr.copy_from_slice(&self.recv[off..off + 12]);
+            let header = GiopHeader::from_bytes(&hdr)?;
+            let total = 12 + header.body_size as usize;
+            if self.recv.len() - off < total {
+                break;
+            }
+            out.frames.push(self.recv[off..off + total].to_vec());
+            off += total;
+        }
+        self.recv.drain(..off);
+        Ok(out)
+    }
+
+    /// Queue one whole frame for writing. The caller checks
+    /// [`NbFramed::queued_bytes`] against its high-water mark; the queue
+    /// itself never refuses a frame (replies to already-admitted
+    /// requests must not be dropped).
+    pub fn enqueue(&mut self, frame: impl Into<FrameBuf>) {
+        let frame = frame.into();
+        self.queued += frame.len();
+        self.send_q.push_back(frame);
+    }
+
+    /// Write queued bytes until the queue empties or the socket would
+    /// block. Call when the socket polls writable (or right after
+    /// enqueueing, to attempt an eager flush).
+    pub fn on_writable(&mut self) -> WireResult<()> {
+        while let Some(front) = self.send_q.front() {
+            let bytes = &front[self.send_off..];
+            match self.stream.write(bytes) {
+                Ok(n) => {
+                    self.send_off += n;
+                    self.queued -= n;
+                    if self.send_off == front.len() {
+                        self.send_q.pop_front();
+                        self.send_off = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// True while unwritten frames are queued.
+    pub fn wants_write(&self) -> bool {
+        !self.send_q.is_empty()
+    }
+
+    /// Unwritten bytes currently queued — the backpressure signal.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued
+    }
+
+    /// Sever both directions of the stream.
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -698,6 +858,112 @@ mod tests {
             .unwrap();
         client.shutdown();
         assert_eq!(server.join().unwrap(), vec![0, 1]);
+    }
+
+    fn nb_pair() -> (NbFramed, FramedTcp) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        (NbFramed::new(accepted).unwrap(), FramedTcp::new(peer))
+    }
+
+    /// Poll `f` until it returns Some, for nonblocking tests.
+    fn wait_for<T>(mut f: impl FnMut() -> Option<T>) -> T {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(v) = f() {
+                return v;
+            }
+            assert!(std::time::Instant::now() < deadline, "timed out waiting");
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn nb_framed_parses_split_and_coalesced_frames() {
+        let (mut nb, peer) = nb_pair();
+        let f1 = request(1, b"k".to_vec(), "op", vec![Value::Long(1)])
+            .encode(ByteOrder::BigEndian)
+            .unwrap();
+        let f2 = request(2, b"k".to_vec(), "op", vec![])
+            .encode(ByteOrder::LittleEndian)
+            .unwrap();
+
+        // Deliver both frames in one burst, split mid-header of the
+        // second: the parser must return frame 1, hold the tail.
+        let mut raw = peer.stream.try_clone().unwrap();
+        let burst: Vec<u8> = f1.iter().chain(f2.iter()).copied().collect();
+        let cut = f1.len() + 5;
+        raw.write_all(&burst[..cut]).unwrap();
+        let got = wait_for(|| {
+            let r = nb.on_readable().unwrap();
+            assert!(!r.closed);
+            if r.frames.is_empty() {
+                None
+            } else {
+                Some(r.frames)
+            }
+        });
+        assert_eq!(got, vec![f1]);
+
+        raw.write_all(&burst[cut..]).unwrap();
+        let got = wait_for(|| {
+            let r = nb.on_readable().unwrap();
+            if r.frames.is_empty() {
+                None
+            } else {
+                Some(r.frames)
+            }
+        });
+        assert_eq!(got, vec![f2]);
+    }
+
+    #[test]
+    fn nb_framed_reports_peer_close() {
+        let (mut nb, peer) = nb_pair();
+        drop(peer);
+        let closed = wait_for(|| {
+            let r = nb.on_readable().unwrap();
+            r.closed.then_some(true)
+        });
+        assert!(closed);
+    }
+
+    #[test]
+    fn nb_framed_write_queue_drains_under_backpressure() {
+        let (mut nb, mut peer) = nb_pair();
+        // A reply large enough to overflow any sane socket buffer, so
+        // flushes leave queued bytes behind until the peer drains.
+        let big = reply_ok(1, Value::string("y".repeat(8 << 20)));
+        let frame = big.encode(ByteOrder::BigEndian).unwrap();
+        nb.enqueue(frame.clone());
+        assert_eq!(nb.queued_bytes(), frame.len());
+        nb.on_writable().unwrap();
+
+        // Reader drains on another thread while we keep flushing.
+        let reader = thread::spawn(move || peer.recv_frame().unwrap());
+        while nb.wants_write() {
+            nb.on_writable().unwrap();
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(nb.queued_bytes(), 0);
+        assert_eq!(reader.join().unwrap(), frame);
+    }
+
+    #[test]
+    fn nb_framed_rejects_bad_magic() {
+        let (mut nb, peer) = nb_pair();
+        let mut raw = peer.stream.try_clone().unwrap();
+        raw.write_all(b"POIGxxxxxxxxxxxx").unwrap();
+        let err = wait_for(|| match nb.on_readable() {
+            Ok(r) => {
+                assert!(r.frames.is_empty());
+                None
+            }
+            Err(e) => Some(e),
+        });
+        assert!(matches!(err, WireError::BadMagic(_)));
     }
 
     #[test]

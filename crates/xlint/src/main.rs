@@ -5,7 +5,7 @@
 //! in CI, before an interleaving ever has to go wrong. It is a
 //! deliberately small token-level analyser (no syn, no external deps —
 //! the build is offline) that scrubs comments and string literals,
-//! tracks brace depth, and applies four rules to every `crates/*/src`
+//! tracks brace depth, and applies five rules to every `crates/*/src`
 //! file:
 //!
 //! * `guard-across-blocking` — a lock guard bound with `.lock()` /
@@ -22,6 +22,13 @@
 //! * `lock-unwrap` — `.lock().unwrap()` and friends in non-test code:
 //!   the workspace wrappers are poison-free and return guards directly,
 //!   so an `unwrap()`/`expect()` there means a raw std lock leaked in.
+//! * `thread-spawn-dispatch` — `std::thread::spawn` /
+//!   `Builder::new().spawn` in the ORB's server dispatch path
+//!   (`crates/orb/src`, excluding the reactor module). Servant work
+//!   belongs on the reactor's bounded worker pool; ad-hoc
+//!   thread-per-request spawning is what the reactor replaced, and the
+//!   few deliberate spawns (threaded-core fallback, client reader
+//!   threads) are allowlisted by hand.
 //!
 //! Findings print as `file:line: [rule] message`. Deliberate violations
 //! are suppressed through the plain-text allowlist `xlint.toml` (one
@@ -59,6 +66,16 @@ const BLOCKING_TOKENS: [&str; 14] = [
     ".sync_all(",
     ".sync_data(",
 ];
+
+/// Files the `thread-spawn-dispatch` rule applies to: the ORB crate's
+/// request/connection handling. The reactor module is excluded by
+/// construction — it IS the sanctioned worker pool, so its spawns
+/// (the reactor thread and the pool workers) are the rule's fixed
+/// point, not violations of it.
+fn dispatch_path(file: &Path) -> bool {
+    let rel = file.to_string_lossy().replace('\\', "/");
+    rel.starts_with("crates/orb/src/") && !rel.ends_with("/reactor.rs")
+}
 
 /// One lint hit, before allowlist filtering.
 #[derive(Debug, Clone)]
@@ -512,6 +529,28 @@ fn process_statement(
         }
     }
 
+    // R5: raw thread spawns in the server dispatch path. Matches both
+    // `thread::spawn(` (also via `std::`) and the `.spawn(` tail of a
+    // `Builder::new()` chain; `reactor::spawn(` matches neither.
+    if dispatch_path(scan.file) {
+        for needle in ["thread::spawn(", ".spawn("] {
+            let mut from = 0;
+            while let Some(pos) = stmt[from..].find(needle) {
+                let at = from + pos;
+                scan.push(
+                    stmt_line,
+                    "thread-spawn-dispatch",
+                    format!(
+                        "`{}` in the server dispatch path — servant work belongs on the \
+                         reactor's bounded worker pool, not ad-hoc threads",
+                        needle.trim_matches(['.', '('])
+                    ),
+                );
+                from = at + needle.len();
+            }
+        }
+    }
+
     // Explicit guard death.
     if let Some(rest) = stmt.trim_start().strip_prefix("drop(") {
         if let Some(name) = rest.split(')').next() {
@@ -881,8 +920,12 @@ mod tests {
     }
 
     fn run_rule(src: &str) -> Vec<Finding> {
+        run_rule_at("crates/x/src/lib.rs", src)
+    }
+
+    fn run_rule_at(path: &str, src: &str) -> Vec<Finding> {
         let scrubbed = scrub(src);
-        let rel = PathBuf::from("crates/x/src/lib.rs");
+        let rel = PathBuf::from(path);
         let mut scan = FileScan {
             file: &rel,
             findings: Vec::new(),
@@ -978,6 +1021,31 @@ mod tests {
         assert!(run_rule(src)
             .iter()
             .all(|h| h.rule != "guard-across-blocking" && h.rule != "lock-unwrap"));
+    }
+
+    #[test]
+    fn thread_spawn_flagged_in_dispatch_path_only() {
+        let bare = "fn f() { std::thread::spawn(move || serve(x)); }\n";
+        let builder = "fn f() {\n    std::thread::Builder::new()\n        .name(n)\n        .spawn(move || serve(x))\n        .expect(\"spawn\");\n}\n";
+        for src in [bare, builder] {
+            let hits = run_rule_at("crates/orb/src/orb.rs", src);
+            assert_eq!(
+                hits.iter()
+                    .filter(|h| h.rule == "thread-spawn-dispatch")
+                    .count(),
+                1,
+                "{hits:?}"
+            );
+            // The reactor module and other crates are out of scope.
+            assert!(run_rule_at("crates/orb/src/reactor.rs", src).is_empty());
+            assert!(run_rule_at("crates/relstore/src/lib.rs", src).is_empty());
+        }
+    }
+
+    #[test]
+    fn reactor_spawn_call_is_not_a_thread_spawn() {
+        let src = "fn f() { let core = crate::reactor::spawn(name, listener); }\n";
+        assert!(run_rule_at("crates/orb/src/orb.rs", src).is_empty());
     }
 
     #[test]
