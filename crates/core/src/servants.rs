@@ -563,6 +563,67 @@ mod tests {
     }
 
     #[test]
+    fn descriptive_operations() {
+        let s = codb_servant();
+        let owner = s.invoke("owner", &[]).unwrap();
+        assert_eq!(owner.as_str(), Some("RBH"));
+        let doc = s
+            .invoke("coalition_documentation", &[Value::string("Research")])
+            .unwrap();
+        assert_eq!(doc.as_str(), Some("medical research"));
+        let memberships = s
+            .invoke("memberships", &[Value::string("Royal Brisbane Hospital")])
+            .unwrap();
+        assert_eq!(
+            memberships,
+            Value::Sequence(vec![Value::string("Research")])
+        );
+        let sources = s.invoke("sources", &[]).unwrap();
+        assert_eq!(
+            sources,
+            Value::Sequence(vec![Value::string("Royal Brisbane Hospital")])
+        );
+    }
+
+    #[test]
+    fn isi_invokes_object_methods_through_the_bridge() {
+        use webfindit_oostore::method::MethodTable;
+        use webfindit_oostore::model::{ClassDef, OType, OValue};
+        use webfindit_oostore::ObjectStore;
+
+        let registry = DataSourceRegistry::new();
+        let mut store = ObjectStore::new("PrinceCharles");
+        store
+            .define_class(ClassDef::root("Treatment").attr("name", OType::Text))
+            .unwrap();
+        store
+            .create(
+                "Treatment",
+                [("name".to_string(), OValue::from("dialysis"))],
+            )
+            .unwrap();
+        let mut mt = MethodTable::new();
+        mt.register("Treatment", "count_all", |s, _r, _a| {
+            Ok(OValue::Int(
+                s.instances_of("Treatment", true).unwrap().len() as i64,
+            ))
+        });
+        registry.register_object("ontos", "PrinceCharles", store, mt);
+        let manager = Arc::new(standard_manager(registry));
+
+        let isi = IsiServant::new(manager, "jni:ontos://dba.icis.qut.edu.au/PrinceCharles");
+        let out = isi
+            .invoke("invoke_function", &[Value::string("Treatment.count_all")])
+            .unwrap();
+        assert_eq!(out, Value::LongLong(1));
+
+        // A bogus Class.method surfaces as an application exception.
+        assert!(isi
+            .invoke("invoke_function", &[Value::string("Treatment.nope")])
+            .is_err());
+    }
+
+    #[test]
     fn management_operations() {
         let s = codb_servant();
         s.invoke(

@@ -169,6 +169,43 @@ impl Trace {
         );
     }
 
+    /// Record a Communication-layer event annotated with the GIOP
+    /// transport totals: request/reply traffic (sent, served, local
+    /// short-circuits), raw bytes on the wire in both directions,
+    /// exception and LocateReply counts, replies that arrived after
+    /// their caller gave up, the fragmentation counters (replies split,
+    /// fragments sent and reassembled), and the reactor's backpressure
+    /// pauses — the wire-level half of the Communication layer the
+    /// breaker-centric [`Trace::channel_event`] does not cover.
+    pub fn transport_event(
+        &mut self,
+        message: impl Into<String>,
+        metrics: &webfindit_orb::OrbMetrics,
+    ) {
+        let m = metrics.snapshot();
+        self.event(
+            Layer::Communication,
+            format!(
+                "{} [requests {}s/{}r, local {}, bytes {}out/{}in, \
+                 exceptions {}, locates {}, late {}, \
+                 fragmented {}/{}sent/{}reasm, backpressure {}]",
+                message.into(),
+                m.requests_sent,
+                m.requests_served,
+                m.local_dispatches,
+                m.bytes_sent,
+                m.bytes_received,
+                m.exceptions_sent,
+                m.locates_served,
+                m.late_replies,
+                m.fragmented_replies,
+                m.fragments_sent,
+                m.fragments_reassembled,
+                m.backpressure_pauses
+            ),
+        );
+    }
+
     /// Record a Communication-layer event annotated with the
     /// concurrency-analysis state: the `deadlock-detect` detector's
     /// report totals (after mirroring them into `metrics` via
@@ -229,6 +266,7 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn events_keep_order_and_layer() {
@@ -263,6 +301,37 @@ mod tests {
         assert!(rendered.contains("pages flushed 2"));
         assert!(rendered.contains("redo 19"));
         assert!(rendered.contains("undo 1"));
+    }
+
+    #[test]
+    fn transport_event_reports_wire_counters() {
+        let metrics = webfindit_orb::OrbMetrics::default();
+        metrics.requests_sent.fetch_add(3, Ordering::Relaxed);
+        metrics.requests_served.fetch_add(2, Ordering::Relaxed);
+        metrics.local_dispatches.fetch_add(1, Ordering::Relaxed);
+        metrics.bytes_sent.fetch_add(512, Ordering::Relaxed);
+        metrics.bytes_received.fetch_add(256, Ordering::Relaxed);
+        metrics.exceptions_sent.fetch_add(1, Ordering::Relaxed);
+        metrics.locates_served.fetch_add(4, Ordering::Relaxed);
+        metrics.late_replies.fetch_add(1, Ordering::Relaxed);
+        metrics.fragmented_replies.fetch_add(1, Ordering::Relaxed);
+        metrics.fragments_sent.fetch_add(6, Ordering::Relaxed);
+        metrics
+            .fragments_reassembled
+            .fetch_add(6, Ordering::Relaxed);
+        metrics.backpressure_pauses.fetch_add(2, Ordering::Relaxed);
+        let mut t = Trace::new();
+        t.transport_event("GIOP reply flushed", &metrics);
+        let rendered = t.render();
+        assert!(rendered.contains("[communication] GIOP reply flushed"));
+        assert!(rendered.contains("requests 3s/2r"));
+        assert!(rendered.contains("local 1"));
+        assert!(rendered.contains("bytes 512out/256in"));
+        assert!(rendered.contains("exceptions 1"));
+        assert!(rendered.contains("locates 4"));
+        assert!(rendered.contains("late 1"));
+        assert!(rendered.contains("fragmented 1/6sent/6reasm"));
+        assert!(rendered.contains("backpressure 2"));
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! The `xlint.toml` allowlist: `rule path "snippet" [via "step"] why`.
+//!
+//! An entry suppresses one finding when the rule matches, the finding's
+//! file ends with `path`, and the finding's anchor source line contains
+//! `snippet`. The optional `via "step"` clause additionally requires
+//! the finding to carry a witness path with a step whose rendered form
+//! (`Qualified (file:line)`) contains the step text — so an allowlisted
+//! interprocedural finding is pinned to the *path* that justified it,
+//! not just the site.
+//!
+//! Entries that suppress nothing fail the run (exit 2) with a
+//! diagnosis: plain stale (nothing at that site), wrong rule (the site
+//! has a finding under a different rule), or witness mismatch (rule and
+//! site match but the via-step is not on the finding's witness path).
+
+use crate::report::Finding;
+use std::cell::Cell;
+
+#[derive(Debug)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub snippet: String,
+    pub via: Option<String>,
+    pub justification: String,
+    pub line: usize,
+    pub used: Cell<bool>,
+}
+
+impl AllowEntry {
+    /// Does this entry suppress `finding` (whose anchor source text is
+    /// `source_line`)?
+    pub fn matches(&self, finding: &Finding, source_line: &str) -> bool {
+        self.site_matches(finding, source_line)
+            && self.rule == finding.rule
+            && self.via_matches(finding)
+    }
+
+    /// Path + snippet match, ignoring rule and witness.
+    pub fn site_matches(&self, finding: &Finding, source_line: &str) -> bool {
+        finding.file.to_string_lossy().ends_with(&self.path) && source_line.contains(&self.snippet)
+    }
+
+    pub fn via_matches(&self, finding: &Finding) -> bool {
+        match &self.via {
+            None => true,
+            Some(step) => finding.witness.iter().any(|s| s.to_string().contains(step)),
+        }
+    }
+}
+
+pub fn parse_allowlist_text(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (rule, rest) = line.split_once(char::is_whitespace).ok_or_else(|| {
+            format!(
+                "xlint.toml:{}: expected `rule path \"snippet\" [via \"step\"] why`",
+                idx + 1
+            )
+        })?;
+        let (file, rest) = rest
+            .trim_start()
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("xlint.toml:{}: missing snippet", idx + 1))?;
+        let rest = rest.trim_start();
+        let (snippet, rest) = rest
+            .strip_prefix('"')
+            .and_then(|r| r.split_once('"'))
+            .ok_or_else(|| format!("xlint.toml:{}: snippet must be double-quoted", idx + 1))?;
+        let rest = rest.trim_start();
+        let (via, rest) = match rest.strip_prefix("via ") {
+            Some(after) => {
+                let (step, tail) = after
+                    .trim_start()
+                    .strip_prefix('"')
+                    .and_then(|r| r.split_once('"'))
+                    .ok_or_else(|| {
+                        format!("xlint.toml:{}: via step must be double-quoted", idx + 1)
+                    })?;
+                (Some(step.to_owned()), tail)
+            }
+            None => (None, rest),
+        };
+        let justification = rest.trim();
+        if justification.is_empty() {
+            return Err(format!(
+                "xlint.toml:{}: every allowed site needs a justification",
+                idx + 1
+            ));
+        }
+        entries.push(AllowEntry {
+            rule: rule.to_owned(),
+            path: file.to_owned(),
+            snippet: snippet.to_owned(),
+            via,
+            justification: justification.to_owned(),
+            line: idx + 1,
+            used: Cell::new(false),
+        });
+    }
+    Ok(entries)
+}
+
+/// Why an allowlist entry failed to suppress anything.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AllowIssue {
+    /// Nothing at that site at all.
+    Stale { line: usize, detail: String },
+    /// The site has a finding, but under a different rule.
+    WrongRule {
+        line: usize,
+        detail: String,
+        actual: String,
+    },
+    /// Rule and site match, but the via-step is not on the witness path.
+    WitnessMismatch { line: usize, detail: String },
+}
+
+impl AllowIssue {
+    pub fn line(&self) -> usize {
+        match self {
+            AllowIssue::Stale { line, .. }
+            | AllowIssue::WrongRule { line, .. }
+            | AllowIssue::WitnessMismatch { line, .. } => *line,
+        }
+    }
+
+    pub fn render(&self) -> String {
+        match self {
+            AllowIssue::Stale { line, detail } => format!(
+                "xlint.toml:{line}: stale allowlist entry ({detail}) matches nothing — remove it"
+            ),
+            AllowIssue::WrongRule {
+                line,
+                detail,
+                actual,
+            } => format!(
+                "xlint.toml:{line}: allowlist entry ({detail}) names the wrong rule — \
+                 the finding at that site is `{actual}`; fix the rule name"
+            ),
+            AllowIssue::WitnessMismatch { line, detail } => format!(
+                "xlint.toml:{line}: allowlist entry ({detail}) has a witness clause that \
+                 matches no step on the finding's witness path — update the `via` step"
+            ),
+        }
+    }
+}
+
+/// Classify every unused entry against the full finding set.
+pub fn classify_unused(entries: &[AllowEntry], findings: &[(Finding, String)]) -> Vec<AllowIssue> {
+    let mut issues = Vec::new();
+    for entry in entries {
+        if entry.used.get() {
+            continue;
+        }
+        let detail = format!("{} {} \"{}\"", entry.rule, entry.path, entry.snippet);
+        let site_hits: Vec<&Finding> = findings
+            .iter()
+            .filter(|(f, src)| entry.site_matches(f, src))
+            .map(|(f, _)| f)
+            .collect();
+        if site_hits.is_empty() {
+            issues.push(AllowIssue::Stale {
+                line: entry.line,
+                detail,
+            });
+            continue;
+        }
+        if let Some(f) = site_hits.iter().find(|f| f.rule == entry.rule) {
+            // Rule and site match — the via clause must be what failed.
+            debug_assert!(!entry.via_matches(f) || entry.used.get());
+            issues.push(AllowIssue::WitnessMismatch {
+                line: entry.line,
+                detail,
+            });
+        } else {
+            issues.push(AllowIssue::WrongRule {
+                line: entry.line,
+                detail,
+                actual: site_hits[0].rule.to_owned(),
+            });
+        }
+    }
+    issues
+}

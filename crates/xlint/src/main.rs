@@ -1,767 +1,16 @@
-//! xlint — the workspace's concurrency lint.
+//! xlint binary: analyze the workspace, apply `xlint.toml`, report.
 //!
-//! The runtime detector in `webfindit_base::sync::detect` catches lock
-//! misuse that actually executes; xlint catches it at the source level,
-//! in CI, before an interleaving ever has to go wrong. It is a
-//! deliberately small token-level analyser (no syn, no external deps —
-//! the build is offline) that scrubs comments and string literals,
-//! tracks brace depth, and applies five rules to every `crates/*/src`
-//! file:
-//!
-//! * `guard-across-blocking` — a lock guard bound with `.lock()` /
-//!   `.read()` / `.write()` is still live when a blocking token
-//!   (`.invoke(`, `.send_frame(`, `TcpStream::connect`, …) appears.
-//!   Holding a lock across an IIOP round-trip is the workspace's
-//!   cardinal concurrency sin: one slow peer stalls every thread that
-//!   wants the lock.
-//! * `std-sync-direct` — `std::sync::Mutex` / `std::sync::RwLock` used
-//!   instead of the instrumented `webfindit_base::sync` wrappers. Locks
-//!   that bypass the wrappers are invisible to the deadlock detector.
-//! * `lock-order-cycle` — two lock sites acquired in both orders within
-//!   one file (an intra-file acquired-before graph with a cycle check).
-//! * `lock-unwrap` — `.lock().unwrap()` and friends in non-test code:
-//!   the workspace wrappers are poison-free and return guards directly,
-//!   so an `unwrap()`/`expect()` there means a raw std lock leaked in.
-//! * `thread-spawn-dispatch` — `std::thread::spawn` /
-//!   `Builder::new().spawn` in the ORB's server dispatch path
-//!   (`crates/orb/src`, excluding the reactor module). Servant work
-//!   belongs on the reactor's bounded worker pool; ad-hoc
-//!   thread-per-request spawning is what the reactor replaced, and the
-//!   few deliberate spawns (threaded-core fallback, client reader
-//!   threads) are allowlisted by hand.
-//!
-//! Findings print as `file:line: [rule] message`. Deliberate violations
-//! are suppressed through the plain-text allowlist `xlint.toml` (one
-//! entry per line: `rule path "snippet" justification`); entries that no
-//! longer match anything are *stale* and fail the run, so the allowlist
-//! can only shrink to fit the code.
-//!
-//! Exit codes: 0 clean, 1 findings, 2 stale allowlist entries.
+//! Exit codes: 0 clean, 1 findings, 2 allowlist problems (stale entry,
+//! wrong-rule entry, or witness-path mismatch — each with its own
+//! diagnostic). See the crate docs in `lib.rs` for the pipeline.
 
-use std::collections::BTreeMap;
-use std::fmt;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// Method calls after which the receiver's guard (or a temporary guard)
-/// is considered "acquired".
-const ACQUIRE_CALLS: [&str; 3] = ["lock", "read", "write"];
-
-/// Tokens that mark a potentially long blocking operation: IIOP
-/// invocations, frame I/O, connection establishment. A live guard at
-/// one of these is a `guard-across-blocking` finding.
-const BLOCKING_TOKENS: [&str; 14] = [
-    ".invoke(",
-    ".invoke_with(",
-    "invoke_codb(",
-    "send_request(",
-    "recv_reply(",
-    ".send_frame(",
-    ".recv_frame(",
-    ".send_message(",
-    ".recv_message(",
-    "TcpStream::connect",
-    ".locate(",
-    ".call(",
-    ".sync_all(",
-    ".sync_data(",
-];
-
-/// Files the `thread-spawn-dispatch` rule applies to: the ORB crate's
-/// request/connection handling. The reactor module is excluded by
-/// construction — it IS the sanctioned worker pool, so its spawns
-/// (the reactor thread and the pool workers) are the rule's fixed
-/// point, not violations of it.
-fn dispatch_path(file: &Path) -> bool {
-    let rel = file.to_string_lossy().replace('\\', "/");
-    rel.starts_with("crates/orb/src/") && !rel.ends_with("/reactor.rs")
-}
-
-/// One lint hit, before allowlist filtering.
-#[derive(Debug, Clone)]
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
-    }
-}
-
-/// One `xlint.toml` line: `rule path "snippet" justification`.
-#[derive(Debug)]
-struct AllowEntry {
-    rule: String,
-    path: String,
-    snippet: String,
-    justification: String,
-    line: usize,
-    used: std::cell::Cell<bool>,
-}
-
-impl AllowEntry {
-    /// Does this entry suppress `finding` (whose source text is
-    /// `source_line`)?
-    fn matches(&self, finding: &Finding, source_line: &str) -> bool {
-        self.rule == finding.rule
-            && finding.file.to_string_lossy().ends_with(&self.path)
-            && source_line.contains(&self.snippet)
-    }
-}
-
-fn parse_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(_) => return Ok(Vec::new()), // no allowlist is a valid (strict) state
-    };
-    let mut entries = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (rule, rest) = line.split_once(char::is_whitespace).ok_or_else(|| {
-            format!(
-                "xlint.toml:{}: expected `rule path \"snippet\" why`",
-                idx + 1
-            )
-        })?;
-        let (file, rest) = rest
-            .trim_start()
-            .split_once(char::is_whitespace)
-            .ok_or_else(|| format!("xlint.toml:{}: missing snippet", idx + 1))?;
-        let rest = rest.trim_start();
-        let inner = rest
-            .strip_prefix('"')
-            .and_then(|r| r.split_once('"'))
-            .ok_or_else(|| format!("xlint.toml:{}: snippet must be double-quoted", idx + 1))?;
-        let (snippet, justification) = inner;
-        let justification = justification.trim();
-        if justification.is_empty() {
-            return Err(format!(
-                "xlint.toml:{}: every allowed site needs a justification",
-                idx + 1
-            ));
-        }
-        entries.push(AllowEntry {
-            rule: rule.to_owned(),
-            path: file.to_owned(),
-            snippet: snippet.to_owned(),
-            justification: justification.to_owned(),
-            line: idx + 1,
-            used: std::cell::Cell::new(false),
-        });
-    }
-    Ok(entries)
-}
-
-/// Blank out comments, string literals, char literals, and lifetime
-/// ticks, preserving every newline (so byte offsets keep their line
-/// numbers) and leaving all other characters in place.
-fn scrub(src: &str) -> String {
-    let bytes = src.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                let mut depth = 1;
-                out.extend_from_slice(b"  ");
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else {
-                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => {
-                // Ordinary string literal (raw strings are handled below
-                // via the `r` prefix case before we ever see the quote).
-                out.push(b' ');
-                i += 1;
-                while i < bytes.len() && bytes[i] != b'"' {
-                    if bytes[i] == b'\\' {
-                        out.push(b' ');
-                        i += 1;
-                        if i < bytes.len() {
-                            out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                            i += 1;
-                        }
-                    } else {
-                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-                out.push(b' ');
-                i += 1;
-            }
-            b'r' if matches!(bytes.get(i + 1), Some(b'"') | Some(b'#'))
-                && (i == 0 || !is_ident_byte(bytes[i - 1])) =>
-            {
-                // Raw string r"…", r#"…"#, r##"…"##, …
-                let mut hashes = 0;
-                let mut j = i + 1;
-                while bytes.get(j) == Some(&b'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                if bytes.get(j) == Some(&b'"') {
-                    out.extend(std::iter::repeat_n(b' ', j - i + 1));
-                    let mut k = j + 1;
-                    'raw: while k < bytes.len() {
-                        if bytes[k] == b'"' {
-                            let mut h = 0;
-                            while bytes.get(k + 1 + h) == Some(&b'#') && h < hashes {
-                                h += 1;
-                            }
-                            if h == hashes {
-                                out.extend(std::iter::repeat_n(b' ', hashes + 1));
-                                k += 1 + hashes;
-                                break 'raw;
-                            }
-                        }
-                        out.push(if bytes[k] == b'\n' { b'\n' } else { b' ' });
-                        k += 1;
-                    }
-                    i = k;
-                } else {
-                    out.push(bytes[i]);
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal or lifetime. `'a` (lifetime) has no
-                // closing quote nearby; `'x'` / `'\n'` do.
-                let close = if bytes.get(i + 1) == Some(&b'\\') {
-                    bytes.get(i + 3) == Some(&b'\'') || bytes.get(i + 4) == Some(&b'\'')
-                } else {
-                    bytes.get(i + 2) == Some(&b'\'')
-                };
-                if close {
-                    let end = if bytes.get(i + 1) == Some(&b'\\') {
-                        if bytes.get(i + 3) == Some(&b'\'') {
-                            i + 3
-                        } else {
-                            i + 4
-                        }
-                    } else {
-                        i + 2
-                    };
-                    out.extend(std::iter::repeat_n(b' ', end - i + 1));
-                    i = end + 1;
-                } else {
-                    out.push(b' '); // lifetime tick
-                    i += 1;
-                }
-            }
-            b => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// The identifier immediately before byte offset `end` in `text`
-/// (used to name the lock site: `self.entries.lock()` → `entries`).
-fn ident_before(text: &str, end: usize) -> Option<String> {
-    let bytes = text.as_bytes();
-    let mut j = end;
-    while j > 0 && is_ident_byte(bytes[j - 1]) {
-        j -= 1;
-    }
-    if j == end {
-        return None;
-    }
-    Some(text[j..end].to_owned())
-}
-
-/// A live guard inside the scope stack.
-#[derive(Debug, Clone)]
-struct Guard {
-    /// Binding name, or `<temporary>` for construct-header guards.
-    name: String,
-    /// Lock-site label (final field/variable before the acquire call).
-    site: String,
-    /// Brace depth at which the guard dies.
-    depth: usize,
-    /// Line it was acquired on.
-    line: usize,
-}
-
-/// Per-file scan state and output.
-struct FileScan<'a> {
-    file: &'a Path,
-    findings: Vec<Finding>,
-    /// Intra-file acquired-before edges: (held_site, then_site) → first line.
-    edges: BTreeMap<(String, String), usize>,
-}
-
-impl<'a> FileScan<'a> {
-    fn push(&mut self, line: usize, rule: &'static str, message: String) {
-        self.findings.push(Finding {
-            file: self.file.to_path_buf(),
-            line,
-            rule,
-            message,
-        });
-    }
-}
-
-/// Find `.lock()` / `.read()` / `.write()` call sites in `stmt`
-/// (scrubbed text), returning `(offset, call, site)` triples. Only
-/// zero-argument calls count — `file.read(&mut buf)` is I/O, not a lock.
-fn acquire_sites(stmt: &str) -> Vec<(usize, &'static str, String)> {
-    let mut out = Vec::new();
-    for call in ACQUIRE_CALLS {
-        let needle = format!(".{call}()");
-        let mut from = 0;
-        while let Some(pos) = stmt[from..].find(&needle) {
-            let at = from + pos;
-            if let Some(site) = ident_before(stmt, at) {
-                out.push((at, call, site));
-            }
-            from = at + needle.len();
-        }
-    }
-    out.sort_by_key(|(at, _, _)| *at);
-    out
-}
-
-/// True when the statement is a `let` whose right-hand side *ends* with
-/// an acquire call — i.e. the binding IS the guard. `let n = *m.lock();`
-/// dereferences and copies, so the guard dies with the statement.
-fn let_guard(stmt: &str) -> Option<(String, String)> {
-    let trimmed = stmt.trim_start();
-    let rest = trimmed.strip_prefix("let ")?;
-    let rest = rest.trim_start();
-    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
-    let name_end = rest.find(|c: char| !c.is_alphanumeric() && c != '_')?;
-    let name = &rest[..name_end];
-    if name.is_empty() {
-        return None;
-    }
-    let eq = stmt.find('=')?;
-    let rhs = stmt[eq + 1..]
-        .trim_start()
-        .trim_end()
-        .trim_end_matches(';')
-        .trim_end();
-    if rhs.starts_with('*') || rhs.starts_with('&') && rhs.contains('*') {
-        return None;
-    }
-    for call in ACQUIRE_CALLS {
-        let suffix = format!(".{call}()");
-        if rhs.ends_with(&suffix) {
-            let site = ident_before(rhs, rhs.len() - suffix.len())?;
-            return Some((name.to_owned(), site));
-        }
-    }
-    None
-}
-
-/// Scan one scrubbed file. Findings inside `#[cfg(test)]` modules are
-/// still emitted here; the caller drops them via [`test_line_ranges`].
-fn scan_file(_file: &Path, scrubbed: &str, scan: &mut FileScan<'_>) {
-    let mut depth: usize = 0;
-    let mut guards: Vec<Guard> = Vec::new();
-
-    // Statement accumulator: we process text between `;`, `{`, `}`
-    // boundaries so multi-line expressions are seen whole.
-    let mut stmt = String::new();
-    let mut stmt_line = 1;
-    let mut line = 1;
-    let mut in_stmt = false;
-
-    for c in scrubbed.chars() {
-        match c {
-            '\n' => {
-                line += 1;
-                stmt.push(' ');
-            }
-            '{' => {
-                let construct_header = {
-                    let t = stmt.trim_start();
-                    t.starts_with("for ")
-                        || t.starts_with("if ")
-                        || t.starts_with("while ")
-                        || t.starts_with("match ")
-                        || t.starts_with("else if ")
-                };
-                process_statement(scan, &stmt, stmt_line, depth, &mut guards, construct_header);
-                depth += 1;
-                stmt.clear();
-                in_stmt = false;
-            }
-            '}' => {
-                process_statement(scan, &stmt, stmt_line, depth, &mut guards, false);
-                depth = depth.saturating_sub(1);
-                guards.retain(|g| g.depth <= depth);
-                stmt.clear();
-                in_stmt = false;
-            }
-            ';' => {
-                stmt.push(';');
-                process_statement(scan, &stmt, stmt_line, depth, &mut guards, false);
-                stmt.clear();
-                in_stmt = false;
-            }
-            _ => {
-                if !in_stmt && !c.is_whitespace() {
-                    in_stmt = true;
-                    stmt_line = line;
-                }
-                stmt.push(c);
-            }
-        }
-    }
-}
-
-/// Process `stmt` for guard bindings, acquisitions, blocking tokens,
-/// ordering edges, and unwrap-on-lock. `construct_header` marks a
-/// `for`/`if`/`while`/`match` header whose temporaries outlive the
-/// statement (they live until the construct's closing brace).
-fn process_statement(
-    scan: &mut FileScan<'_>,
-    stmt: &str,
-    stmt_line: usize,
-    depth: usize,
-    guards: &mut Vec<Guard>,
-    construct_header: bool,
-) {
-    if stmt.trim().is_empty() {
-        return;
-    }
-
-    // R4: unwrap/expect directly on an acquire call.
-    for call in ACQUIRE_CALLS {
-        for bad in ["unwrap", "expect"] {
-            let needle = format!(".{call}().{bad}(");
-            let mut from = 0;
-            while let Some(pos) = stmt[from..].find(&needle) {
-                let at = from + pos;
-                scan.push(
-                    stmt_line,
-                    "lock-unwrap",
-                    format!(
-                        "`.{call}().{bad}()` — workspace locks are poison-free \
-                         `webfindit_base::sync` wrappers; a raw std lock has leaked in"
-                    ),
-                );
-                from = at + needle.len();
-            }
-        }
-    }
-
-    // R2: direct std::sync lock types. A following identifier byte
-    // means a different type (`std::sync::MutexGuard`), not the lock.
-    for ty in ["Mutex", "RwLock"] {
-        let qualified = format!("std::sync::{ty}");
-        let mut from = 0;
-        while let Some(pos) = stmt[from..].find(&qualified) {
-            let at = from + pos;
-            let end = at + qualified.len();
-            if !stmt.as_bytes().get(end).copied().is_some_and(is_ident_byte) {
-                scan.push(
-                    stmt_line,
-                    "std-sync-direct",
-                    format!(
-                        "`{qualified}` used directly — use `webfindit_base::sync::{ty}` so the \
-                         deadlock detector can see this lock"
-                    ),
-                );
-            }
-            from = end;
-        }
-    }
-    if let Some(rest) = stmt
-        .trim_start()
-        .strip_prefix("use std::sync::")
-        .or_else(|| stmt.trim_start().strip_prefix("pub use std::sync::"))
-    {
-        for ty in ["Mutex", "RwLock"] {
-            // `MutexGuard`/`RwLockReadGuard` in an import list are fine
-            // only alongside the raw types, so flag the types themselves.
-            let listed = rest
-                .split(|c: char| !c.is_alphanumeric() && c != '_')
-                .any(|tok| tok == ty);
-            if listed {
-                scan.push(
-                    stmt_line,
-                    "std-sync-direct",
-                    format!(
-                        "`std::sync::{ty}` imported — use `webfindit_base::sync::{ty}` so the \
-                         deadlock detector can see this lock"
-                    ),
-                );
-            }
-        }
-    }
-
-    // R5: raw thread spawns in the server dispatch path. Matches both
-    // `thread::spawn(` (also via `std::`) and the `.spawn(` tail of a
-    // `Builder::new()` chain; `reactor::spawn(` matches neither.
-    if dispatch_path(scan.file) {
-        for needle in ["thread::spawn(", ".spawn("] {
-            let mut from = 0;
-            while let Some(pos) = stmt[from..].find(needle) {
-                let at = from + pos;
-                scan.push(
-                    stmt_line,
-                    "thread-spawn-dispatch",
-                    format!(
-                        "`{}` in the server dispatch path — servant work belongs on the \
-                         reactor's bounded worker pool, not ad-hoc threads",
-                        needle.trim_matches(['.', '('])
-                    ),
-                );
-                from = at + needle.len();
-            }
-        }
-    }
-
-    // Explicit guard death.
-    if let Some(rest) = stmt.trim_start().strip_prefix("drop(") {
-        if let Some(name) = rest.split(')').next() {
-            let name = name.trim();
-            guards.retain(|g| g.name != name);
-        }
-    }
-
-    let acquires = acquire_sites(stmt);
-
-    // R3: ordering edges — every acquisition in this statement happens
-    // while the currently-live guards are held.
-    for (_, _, site) in &acquires {
-        for held in guards.iter() {
-            if &held.site != site {
-                scan.edges
-                    .entry((held.site.clone(), site.clone()))
-                    .or_insert(stmt_line);
-            }
-        }
-    }
-
-    // R1: blocking token with a guard live (including one acquired
-    // earlier in this same statement via a construct header — those are
-    // pushed below, so check order matters: a header like
-    // `for s in self.sites.read().values()` that ALSO contains `.invoke(`
-    // is caught by the in-statement check here).
-    for token in BLOCKING_TOKENS {
-        let mut from = 0;
-        while let Some(pos) = stmt[from..].find(token) {
-            let at = from + pos;
-            for g in guards.iter() {
-                scan.push(
-                    stmt_line,
-                    "guard-across-blocking",
-                    format!(
-                        "blocking `{}` while guard `{}` (site `{}`, acquired line {}) is held",
-                        token.trim_matches(['.', '(']),
-                        g.name,
-                        g.site,
-                        g.line
-                    ),
-                );
-            }
-            // Guard acquired earlier in this very statement?
-            for (aq_at, call, site) in &acquires {
-                if *aq_at < at {
-                    scan.push(
-                        stmt_line,
-                        "guard-across-blocking",
-                        format!(
-                            "blocking `{}` in the same expression as `.{}()` on `{}` — \
-                             the guard temporary is still live",
-                            token.trim_matches(['.', '(']),
-                            call,
-                            site
-                        ),
-                    );
-                }
-            }
-            from = at + token.len();
-        }
-    }
-
-    // New guards, live until their scope (or construct) closes.
-    if let Some((name, site)) = let_guard(stmt) {
-        guards.push(Guard {
-            name,
-            site,
-            depth,
-            line: stmt_line,
-        });
-    } else if construct_header {
-        for (_, _, site) in &acquires {
-            guards.push(Guard {
-                name: "<temporary>".into(),
-                site: site.clone(),
-                // The construct is about to open a brace; its guard
-                // temporaries die when that brace closes, i.e. when
-                // depth returns to the current value.
-                depth: depth + 1,
-                line: stmt_line,
-            });
-        }
-    }
-}
-
-/// After a file scan, report site pairs acquired in both orders.
-fn cycle_findings(scan: &mut FileScan<'_>) {
-    let edges = std::mem::take(&mut scan.edges);
-    let mut reported = Vec::new();
-    for ((a, b), line) in &edges {
-        if a < b {
-            if let Some(rev_line) = edges.get(&(b.clone(), a.clone())) {
-                reported.push((a.clone(), b.clone(), *line, *rev_line));
-            }
-        }
-    }
-    for (a, b, l1, l2) in reported {
-        scan.push(
-            l1.min(l2),
-            "lock-order-cycle",
-            format!(
-                "sites `{a}` and `{b}` are acquired in both orders \
-                 (lines {l1} and {l2}) — pick one order"
-            ),
-        );
-    }
-}
-
-fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    let crates = root.join("crates");
-    let Ok(entries) = std::fs::read_dir(&crates) else {
-        return files;
-    };
-    let mut crate_dirs: Vec<PathBuf> = entries
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.is_dir())
-        .collect();
-    crate_dirs.sort();
-    for dir in crate_dirs {
-        let src = dir.join("src");
-        if src.is_dir() {
-            walk(&src, &mut files);
-        }
-    }
-    files.sort();
-    files
-}
-
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.filter_map(Result::ok) {
-        let path = entry.path();
-        if path.is_dir() {
-            walk(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Files the lint does not apply to: the detector's own internals (its
-/// raw std locks are the instrument, not a subject) and xlint itself
-/// (its source *names* the forbidden tokens).
-fn exempt_file(root: &Path, file: &Path) -> bool {
-    let rel = file.strip_prefix(root).unwrap_or(file);
-    let rel = rel.to_string_lossy().replace('\\', "/");
-    rel.starts_with("crates/base/src/sync/") || rel.starts_with("crates/xlint/")
-}
-
-/// Re-scan a file recording which line ranges belong to `#[cfg(test)]`
-/// modules, so findings inside them can be dropped. (The statement
-/// scanner tracks this for `;`-statements; brace-punctuated constructs
-/// are easier to filter by range after the fact.)
-fn test_line_ranges(scrubbed: &str) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    let mut depth = 0usize;
-    let mut line = 1usize;
-    let mut pending = false;
-    let mut open: Option<(usize, usize)> = None; // (depth, start_line)
-    let mut window = String::new();
-    for c in scrubbed.chars() {
-        match c {
-            '\n' => {
-                line += 1;
-                if window.contains("#[cfg(test") || window.contains("#[cfg(all(test") {
-                    pending = true;
-                } else if !window.trim().is_empty() && !window.trim_start().starts_with("#[") {
-                    // A non-attribute line between the cfg and the mod
-                    // cancels the pending flag unless it opens the mod.
-                    if !window.contains("mod ") {
-                        pending = false;
-                    }
-                }
-                window.clear();
-            }
-            '{' => {
-                if pending && window.contains("mod ") && open.is_none() {
-                    open = Some((depth, line));
-                    pending = false;
-                }
-                depth += 1;
-                window.clear();
-            }
-            '}' => {
-                depth = depth.saturating_sub(1);
-                if let Some((d, start)) = open {
-                    if depth == d {
-                        ranges.push((start, line));
-                        open = None;
-                    }
-                }
-                window.clear();
-            }
-            _ => window.push(c),
-        }
-    }
-    if let Some((_, start)) = open {
-        ranges.push((start, line));
-    }
-    ranges
-}
+use xlint::{analyze, apply_allowlist, parse_allowlist_text, workspace_root};
 
 fn main() -> ExitCode {
     let root = workspace_root();
-    let files = collect_rs_files(&root);
-    if files.is_empty() {
+    let analysis = analyze(&root);
+    if analysis.scanned == 0 {
         eprintln!(
             "xlint: no crates/*/src files found under {}",
             root.display()
@@ -769,302 +18,44 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let allowlist = match parse_allowlist(&root.join("xlint.toml")) {
-        Ok(a) => a,
+    let allow_text = std::fs::read_to_string(root.join("xlint.toml")).unwrap_or_default();
+    let entries = match parse_allowlist_text(&allow_text) {
+        Ok(e) => e,
         Err(e) => {
             eprintln!("xlint: {e}");
             return ExitCode::from(2);
         }
     };
 
-    let mut findings: Vec<(Finding, String)> = Vec::new();
-    let mut scanned = 0usize;
-    for file in &files {
-        if exempt_file(&root, file) {
-            continue;
-        }
-        scanned += 1;
-        let Ok(src) = std::fs::read_to_string(file) else {
-            continue;
-        };
-        let scrubbed = scrub(&src);
-        let rel = file.strip_prefix(&root).unwrap_or(file).to_path_buf();
-        let mut scan = FileScan {
-            file: &rel,
-            findings: Vec::new(),
-            edges: BTreeMap::new(),
-        };
-        scan_file(&rel, &scrubbed, &mut scan);
-        cycle_findings(&mut scan);
-        let test_ranges = test_line_ranges(&scrubbed);
-        let source_lines: Vec<&str> = src.lines().collect();
-        for f in scan.findings {
-            if test_ranges
-                .iter()
-                .any(|(s, e)| f.line >= *s && f.line <= *e)
-            {
-                continue;
-            }
-            let source_line = source_lines
-                .get(f.line.saturating_sub(1))
-                .copied()
-                .unwrap_or("")
-                .to_owned();
-            findings.push((f, source_line));
-        }
-    }
-
-    let mut real: Vec<&Finding> = Vec::new();
-    let mut suppressed: Vec<(&Finding, &AllowEntry)> = Vec::new();
-    for (finding, source_line) in &findings {
-        match allowlist
-            .iter()
-            .find(|entry| entry.matches(finding, source_line))
-        {
-            Some(entry) => {
-                entry.used.set(true);
-                suppressed.push((finding, entry));
-            }
-            None => real.push(finding),
-        }
-    }
-
+    let outcome = apply_allowlist(&analysis, &entries);
     println!(
-        "xlint: scanned {scanned} files, {} findings, {} allowlisted",
-        real.len(),
-        suppressed.len()
+        "xlint: scanned {} files, {} findings, {} allowlisted",
+        analysis.scanned,
+        outcome.real.len(),
+        outcome.suppressed.len()
     );
-    for (finding, entry) in &suppressed {
-        println!("  allowed: {finding} — {}", entry.justification);
-    }
-    for finding in &real {
-        println!("{finding}");
-    }
-
-    let stale: Vec<&AllowEntry> = allowlist.iter().filter(|e| !e.used.get()).collect();
-    for entry in &stale {
-        eprintln!(
-            "xlint.toml:{}: stale allowlist entry ({} {} \"{}\") matches nothing — remove it",
-            entry.line, entry.rule, entry.path, entry.snippet
+    for (finding, entry) in &outcome.suppressed {
+        println!(
+            "  allowed: {}:{}: [{}] {} — {}",
+            finding.file.display(),
+            finding.line,
+            finding.rule,
+            finding.message,
+            entry.justification
         );
     }
+    for finding in &outcome.real {
+        println!("{finding}");
+    }
+    for issue in &outcome.issues {
+        eprintln!("{}", issue.render());
+    }
 
-    if !stale.is_empty() {
+    if !outcome.issues.is_empty() {
         ExitCode::from(2)
-    } else if !real.is_empty() {
+    } else if !outcome.real.is_empty() {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
-    }
-}
-
-fn workspace_root() -> PathBuf {
-    // `cargo run -p xlint` sets CARGO_MANIFEST_DIR to crates/xlint; a
-    // direct binary invocation falls back to the current directory,
-    // walking up until a directory with `crates/` appears.
-    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
-        let p = PathBuf::from(manifest);
-        if let Some(root) = p.ancestors().nth(2) {
-            if root.join("crates").is_dir() {
-                return root.to_path_buf();
-            }
-        }
-    }
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    loop {
-        if dir.join("crates").is_dir() {
-            return dir;
-        }
-        if !dir.pop() {
-            return PathBuf::from(".");
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scrub_blanks_comments_and_strings_preserving_lines() {
-        let src = "let a = \"x.lock()\"; // .invoke(\nlet b = 1; /* .read() */ let c = 'x';";
-        let s = scrub(src);
-        assert!(!s.contains("x.lock()"));
-        assert!(!s.contains(".invoke("));
-        assert!(!s.contains(".read()"));
-        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
-        assert!(s.contains("let b = 1;"));
-    }
-
-    #[test]
-    fn scrub_handles_raw_strings_and_lifetimes() {
-        let src = "fn f<'a>(x: &'a str) { let s = r#\"a.lock()\"#; }";
-        let s = scrub(src);
-        assert!(!s.contains("a.lock()"));
-        assert!(s.contains("fn f"));
-    }
-
-    #[test]
-    fn let_guard_recognises_bindings_not_copies() {
-        assert_eq!(
-            let_guard("let g = self.entries.lock();"),
-            Some(("g".into(), "entries".into()))
-        );
-        assert_eq!(
-            let_guard("let mut g = map.write();"),
-            Some(("g".into(), "map".into()))
-        );
-        assert_eq!(let_guard("let n = *self.count.lock();"), None);
-        assert_eq!(let_guard("let x = compute();"), None);
-        assert_eq!(let_guard("self.entries.lock().clear();"), None);
-    }
-
-    fn run_rule(src: &str) -> Vec<Finding> {
-        run_rule_at("crates/x/src/lib.rs", src)
-    }
-
-    fn run_rule_at(path: &str, src: &str) -> Vec<Finding> {
-        let scrubbed = scrub(src);
-        let rel = PathBuf::from(path);
-        let mut scan = FileScan {
-            file: &rel,
-            findings: Vec::new(),
-            edges: BTreeMap::new(),
-        };
-        scan_file(&rel, &scrubbed, &mut scan);
-        cycle_findings(&mut scan);
-        let ranges = test_line_ranges(&scrubbed);
-        scan.findings
-            .into_iter()
-            .filter(|f| !ranges.iter().any(|(s, e)| f.line >= *s && f.line <= *e))
-            .collect()
-    }
-
-    #[test]
-    fn guard_across_blocking_fires_on_live_binding() {
-        let src = "fn f(&self) {\n    let g = self.cache.lock();\n    self.orb.invoke(&ior, op, args);\n}\n";
-        let hits = run_rule(src);
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert_eq!(hits[0].rule, "guard-across-blocking");
-        assert_eq!(hits[0].line, 3);
-    }
-
-    #[test]
-    fn guard_released_before_blocking_is_clean() {
-        let src = "fn f(&self) {\n    { let g = self.cache.lock(); }\n    self.orb.invoke(&ior, op, args);\n}\n";
-        assert!(run_rule(src).is_empty());
-        let dropped = "fn f(&self) {\n    let g = self.cache.lock();\n    drop(g);\n    self.orb.invoke(&ior, op, args);\n}\n";
-        assert!(run_rule(dropped).is_empty());
-    }
-
-    #[test]
-    fn for_header_guard_temporary_lives_through_the_loop() {
-        let src = "fn f(&self) {\n    for s in self.sites.read().values() {\n        s.orb.invoke(&s.ior, op, args);\n    }\n}\n";
-        let hits = run_rule(src);
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert_eq!(hits[0].rule, "guard-across-blocking");
-    }
-
-    #[test]
-    fn same_expression_guard_and_blocking_call_is_flagged() {
-        let src = "fn f(&self) { self.conns.lock().iter().for_each(|c| c.send_frame(f)); }\n";
-        let hits = run_rule(src);
-        assert!(
-            hits.iter().any(|h| h.rule == "guard-across-blocking"),
-            "{hits:?}"
-        );
-    }
-
-    #[test]
-    fn std_sync_direct_flags_raw_locks_but_not_atomics() {
-        let src = "use std::sync::Mutex;\nuse std::sync::atomic::AtomicU64;\nstatic X: std::sync::RwLock<u8> = std::sync::RwLock::new(0);\n";
-        let hits = run_rule(src);
-        let rules: Vec<_> = hits.iter().map(|h| h.rule).collect();
-        assert!(rules.iter().all(|r| *r == "std-sync-direct"), "{hits:?}");
-        assert!(hits.len() >= 2, "{hits:?}");
-        let clean = "use std::sync::Arc;\nuse std::sync::atomic::{AtomicU64, Ordering};\n";
-        assert!(run_rule(clean).is_empty());
-    }
-
-    #[test]
-    fn lock_order_cycle_detected_intra_file() {
-        let src = "fn a(&self) {\n    let g = self.alpha.lock();\n    let h = self.beta.lock();\n}\nfn b(&self) {\n    let h = self.beta.lock();\n    let g = self.alpha.lock();\n}\n";
-        let hits = run_rule(src);
-        assert_eq!(
-            hits.iter().filter(|h| h.rule == "lock-order-cycle").count(),
-            1,
-            "{hits:?}"
-        );
-    }
-
-    #[test]
-    fn consistent_order_is_clean() {
-        let src = "fn a(&self) {\n    let g = self.alpha.lock();\n    let h = self.beta.lock();\n}\nfn b(&self) {\n    let g = self.alpha.lock();\n    let h = self.beta.lock();\n}\n";
-        assert!(run_rule(src).iter().all(|h| h.rule != "lock-order-cycle"));
-    }
-
-    #[test]
-    fn lock_unwrap_flagged_outside_tests_only() {
-        let src = "fn f(m: &std::sync::Mutex<u8>) { let g = m.lock().unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g(m: &std::sync::Mutex<u8>) { let g = m.lock().unwrap(); }\n}\n";
-        let hits = run_rule(src);
-        assert_eq!(
-            hits.iter().filter(|h| h.rule == "lock-unwrap").count(),
-            1,
-            "{hits:?}"
-        );
-    }
-
-    #[test]
-    fn io_read_with_args_is_not_a_lock() {
-        let src =
-            "fn f(mut s: TcpStream) { let n = s.read(&mut buf).unwrap(); s.send_frame(x); }\n";
-        assert!(run_rule(src)
-            .iter()
-            .all(|h| h.rule != "guard-across-blocking" && h.rule != "lock-unwrap"));
-    }
-
-    #[test]
-    fn thread_spawn_flagged_in_dispatch_path_only() {
-        let bare = "fn f() { std::thread::spawn(move || serve(x)); }\n";
-        let builder = "fn f() {\n    std::thread::Builder::new()\n        .name(n)\n        .spawn(move || serve(x))\n        .expect(\"spawn\");\n}\n";
-        for src in [bare, builder] {
-            let hits = run_rule_at("crates/orb/src/orb.rs", src);
-            assert_eq!(
-                hits.iter()
-                    .filter(|h| h.rule == "thread-spawn-dispatch")
-                    .count(),
-                1,
-                "{hits:?}"
-            );
-            // The reactor module and other crates are out of scope.
-            assert!(run_rule_at("crates/orb/src/reactor.rs", src).is_empty());
-            assert!(run_rule_at("crates/relstore/src/lib.rs", src).is_empty());
-        }
-    }
-
-    #[test]
-    fn reactor_spawn_call_is_not_a_thread_spawn() {
-        let src = "fn f() { let core = crate::reactor::spawn(name, listener); }\n";
-        assert!(run_rule_at("crates/orb/src/orb.rs", src).is_empty());
-    }
-
-    #[test]
-    fn allowlist_lines_parse_and_match() {
-        let entry = AllowEntry {
-            rule: "guard-across-blocking".into(),
-            path: "crates/orb/src/channel.rs".into(),
-            snippet: "writer.lock()".into(),
-            justification: "whole-frame writes".into(),
-            line: 1,
-            used: std::cell::Cell::new(false),
-        };
-        let finding = Finding {
-            file: PathBuf::from("crates/orb/src/channel.rs"),
-            line: 10,
-            rule: "guard-across-blocking",
-            message: String::new(),
-        };
-        assert!(entry.matches(&finding, "let w = self.writer.lock();"));
-        assert!(!entry.matches(&finding, "let w = self.pending.lock();"));
     }
 }

@@ -1,0 +1,75 @@
+//! Finding and witness-path types shared by every rule.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One hop on an interprocedural witness path: a function (or the final
+/// offending site) at a `file:line` location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    pub what: String,
+    pub file: PathBuf,
+    pub line: usize,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}:{})", self.what, self.file.display(), self.line)
+    }
+}
+
+/// One lint hit, before allowlist filtering. Interprocedural rules
+/// attach a witness path — the chain of call sites from the rule's
+/// root (e.g. `Reactor::run`) to the offending operation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+    pub witness: Vec<Step>,
+}
+
+impl Finding {
+    pub fn new(file: PathBuf, line: usize, rule: &'static str, message: String) -> Self {
+        Finding {
+            file,
+            line,
+            rule,
+            message,
+            witness: Vec::new(),
+        }
+    }
+
+    pub fn with_witness(mut self, witness: Vec<Step>) -> Self {
+        self.witness = witness;
+        self
+    }
+
+    /// The witness path rendered as one ` -> `-joined line, empty for
+    /// intra-procedural findings.
+    pub fn witness_line(&self) -> String {
+        self.witness
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )?;
+        if !self.witness.is_empty() {
+            write!(f, "\n    witness: {}", self.witness_line())?;
+        }
+        Ok(())
+    }
+}

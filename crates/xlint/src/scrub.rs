@@ -1,0 +1,322 @@
+//! Source scrubbing: blank comments, string/char literals, and lifetime
+//! ticks while preserving byte offsets and newlines, and record every
+//! string literal's span and contents so later passes (IDL-drift arm
+//! extraction, `invoke("op")` argument reading) can recover literal text
+//! at a known offset.
+
+/// One string literal found while scrubbing. `start` is the byte offset
+/// of the opening quote (or the `r` of a raw string); `end` is one past
+/// the closing quote (including closing hashes for raw strings).
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    pub start: usize,
+    pub end: usize,
+    pub line: usize,
+    pub value: String,
+}
+
+/// A scrubbed file: `text` is byte-for-byte the same length as the
+/// input with comments/strings/chars blanked to spaces (newlines kept),
+/// `strings` lists the blanked string literals in offset order.
+#[derive(Debug)]
+pub struct Scrubbed {
+    pub text: String,
+    pub strings: Vec<StrLit>,
+}
+
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// The identifier immediately before byte offset `end` in `text`
+/// (used to name the lock site: `self.entries.lock()` → `entries`).
+pub fn ident_before(text: &str, end: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut j = end;
+    while j > 0 && is_ident_byte(bytes[j - 1]) {
+        j -= 1;
+    }
+    if j == end {
+        return None;
+    }
+    Some(text[j..end].to_owned())
+}
+
+/// Blank out comments, string literals, char literals, and lifetime
+/// ticks, preserving every newline (so byte offsets keep their line
+/// numbers) and leaving all other characters in place.
+pub fn scrub(src: &str) -> Scrubbed {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut strings = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                            out.push(b'\n');
+                        } else {
+                            out.push(b' ');
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                // Ordinary string literal (raw strings are handled below
+                // via the `r` prefix case before we ever see the quote).
+                let start = i;
+                let start_line = line;
+                out.push(b' ');
+                i += 1;
+                let lit_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' {
+                        out.push(b' ');
+                        i += 1;
+                        if i < bytes.len() {
+                            if bytes[i] == b'\n' {
+                                line += 1;
+                                out.push(b'\n');
+                            } else {
+                                out.push(b' ');
+                            }
+                            i += 1;
+                        }
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                            out.push(b'\n');
+                        } else {
+                            out.push(b' ');
+                        }
+                        i += 1;
+                    }
+                }
+                let value = String::from_utf8_lossy(&bytes[lit_start..i]).into_owned();
+                out.push(b' ');
+                i += 1;
+                strings.push(StrLit {
+                    start,
+                    end: i,
+                    line: start_line,
+                    value,
+                });
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(b'"') | Some(b'#'))
+                && (i == 0 || !is_ident_byte(bytes[i - 1])) =>
+            {
+                // Raw string r"…", r#"…"#, r##"…"##, …
+                let start = i;
+                let start_line = line;
+                let mut hashes = 0;
+                let mut j = i + 1;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                    let lit_start = j + 1;
+                    let mut k = j + 1;
+                    let mut lit_end = k;
+                    'raw: while k < bytes.len() {
+                        if bytes[k] == b'"' {
+                            let mut h = 0;
+                            while bytes.get(k + 1 + h) == Some(&b'#') && h < hashes {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                lit_end = k;
+                                out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                                k += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        if bytes[k] == b'\n' {
+                            line += 1;
+                            out.push(b'\n');
+                        } else {
+                            out.push(b' ');
+                        }
+                        k += 1;
+                    }
+                    let value = String::from_utf8_lossy(&bytes[lit_start..lit_end]).into_owned();
+                    strings.push(StrLit {
+                        start,
+                        end: k,
+                        line: start_line,
+                        value,
+                    });
+                    i = k;
+                } else {
+                    out.push(bytes[i]);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'a` (lifetime) has no
+                // closing quote nearby; `'x'` / `'\n'` do.
+                let close = if bytes.get(i + 1) == Some(&b'\\') {
+                    bytes.get(i + 3) == Some(&b'\'') || bytes.get(i + 4) == Some(&b'\'')
+                } else {
+                    bytes.get(i + 2) == Some(&b'\'')
+                };
+                if close {
+                    let end = if bytes.get(i + 1) == Some(&b'\\') {
+                        if bytes.get(i + 3) == Some(&b'\'') {
+                            i + 3
+                        } else {
+                            i + 4
+                        }
+                    } else {
+                        i + 2
+                    };
+                    out.extend(std::iter::repeat_n(b' ', end - i + 1));
+                    i = end + 1;
+                } else {
+                    out.push(b' '); // lifetime tick
+                    i += 1;
+                }
+            }
+            b'\n' => {
+                line += 1;
+                out.push(b'\n');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    Scrubbed {
+        text: String::from_utf8_lossy(&out).into_owned(),
+        strings,
+    }
+}
+
+/// Re-scan a file recording which line ranges belong to `#[cfg(test)]`
+/// modules, so findings inside them can be dropped.
+pub fn test_line_ranges(scrubbed: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut depth = 0usize;
+    let mut line = 1usize;
+    let mut pending = false;
+    let mut open: Option<(usize, usize)> = None; // (depth, start_line)
+    let mut window = String::new();
+    for c in scrubbed.chars() {
+        match c {
+            '\n' => {
+                line += 1;
+                if window.contains("#[cfg(test") || window.contains("#[cfg(all(test") {
+                    pending = true;
+                } else if !window.trim().is_empty() && !window.trim_start().starts_with("#[") {
+                    // A non-attribute line between the cfg and the mod
+                    // cancels the pending flag unless it opens the mod.
+                    if !window.contains("mod ") {
+                        pending = false;
+                    }
+                }
+                window.clear();
+            }
+            '{' => {
+                if pending && window.contains("mod ") && open.is_none() {
+                    open = Some((depth, line));
+                    pending = false;
+                }
+                depth += 1;
+                window.clear();
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if let Some((d, start)) = open {
+                    if depth == d {
+                        ranges.push((start, line));
+                        open = None;
+                    }
+                }
+                window.clear();
+            }
+            _ => window.push(c),
+        }
+    }
+    if let Some((_, start)) = open {
+        ranges.push((start, line));
+    }
+    ranges
+}
+
+pub fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|(s, e)| line >= *s && line <= *e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings_preserving_lines() {
+        let src = "let a = \"x.lock()\"; // .invoke(\nlet b = 1; /* .read() */ let c = 'x';";
+        let s = scrub(src);
+        assert!(!s.text.contains("x.lock()"));
+        assert!(!s.text.contains(".invoke("));
+        assert!(!s.text.contains(".read()"));
+        assert_eq!(s.text.matches('\n').count(), src.matches('\n').count());
+        assert!(s.text.contains("let b = 1;"));
+        assert_eq!(s.text.len(), src.len());
+    }
+
+    #[test]
+    fn scrub_records_string_literals_with_offsets() {
+        let src = "fn f() { g(\"find_links\", 1); }\nconst X: &str = \"IDL:a/B:1.0\";";
+        let s = scrub(src);
+        assert_eq!(s.strings.len(), 2);
+        assert_eq!(s.strings[0].value, "find_links");
+        assert_eq!(s.strings[0].line, 1);
+        assert_eq!(&src[s.strings[0].start..s.strings[0].end], "\"find_links\"");
+        assert_eq!(s.strings[1].value, "IDL:a/B:1.0");
+        assert_eq!(s.strings[1].line, 2);
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let s = r#\"a.lock()\"#; }";
+        let s = scrub(src);
+        assert!(!s.text.contains("a.lock()"));
+        assert!(s.text.contains("fn f"));
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].value, "a.lock()");
+    }
+
+    #[test]
+    fn test_ranges_cover_cfg_test_modules() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\n";
+        let s = scrub(src);
+        let ranges = test_line_ranges(&s.text);
+        assert_eq!(ranges.len(), 1);
+        assert!(in_ranges(&ranges, 4));
+        assert!(!in_ranges(&ranges, 1));
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: no findings. `v.push(1)` under a guard must NOT resolve to
+//! `Q::push` (which sends a frame) — `push` collides with std and is
+//! stoplisted, so the transitive guard rule stays quiet.
+
+pub struct Q;
+
+impl Q {
+    pub fn push(&self) {
+        self.wire.send_frame(&[]);
+    }
+}
+
+pub fn tidy(v: &mut Vec<u8>, m: &M) {
+    let g = m.inner.lock();
+    v.push(1);
+    drop(g);
+}

@@ -1,0 +1,12 @@
+//! Fixture: a guard held across a call that reaches blocking I/O two
+//! hops away in another file.
+
+pub fn caller(s: &Store) {
+    let g = s.state.lock();
+    mid(s);
+    drop(g);
+}
+
+fn mid(s: &Store) {
+    slow_io(s);
+}

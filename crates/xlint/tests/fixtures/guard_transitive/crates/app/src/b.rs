@@ -1,0 +1,5 @@
+//! Fixture: the blocking leaf.
+
+pub fn slow_io(s: &Store) {
+    s.file.sync_all();
+}

@@ -1,0 +1,12 @@
+//! Fixture: client-side invoke drift — a direct orphan op, an orphan
+//! reached through a forwarder, and a legitimate forwarded op.
+
+pub fn fetch(fed: &Fed) {
+    fed.invoke("list_all", &[]);
+    fetch_named(fed, "lookup");
+    fetch_named(fed, "bogus_remote");
+}
+
+pub fn fetch_named(fed: &Fed, op: &str) {
+    fed.invoke(op, &[]);
+}

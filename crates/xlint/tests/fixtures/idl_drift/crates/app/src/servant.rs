@@ -1,0 +1,27 @@
+//! Fixture: a servant whose dispatch table drifted from its clients
+//! and from its own `operations()` listing.
+
+const IFACE: &str = "IDL:fixture/Thing:1.0";
+
+pub struct ThingServant;
+
+impl Servant for ThingServant {
+    fn interface_id(&self) -> &str {
+        IFACE
+    }
+
+    fn invoke(&self, operation: &str, args: &[Value]) -> InvokeResult {
+        match operation {
+            "lookup" => do_lookup(args),
+            "extra_arm" => do_extra(args),
+            other => fail(other),
+        }
+    }
+
+    fn operations(&self) -> Vec<String> {
+        ["lookup", "ghost_op"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+}

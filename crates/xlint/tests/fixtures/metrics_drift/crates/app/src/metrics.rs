@@ -1,0 +1,19 @@
+//! Fixture: one healthy counter, one recorded-but-invisible, one dead.
+
+pub struct FooMetrics {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub ghosts: AtomicU64,
+}
+
+impl FooMetrics {
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_miss(&self) {
+        // Wrapped method chain: still counts as recorded.
+        self.misses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: the trace surfaces `hits` only.
+
+pub struct Trace;
+
+impl Trace {
+    pub fn event(&self, m: &FooMetrics) {
+        let _ = m.hits;
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: the cross-file helper the reactor reaches.
+
+pub fn helper_flush(r: &Reactor) {
+    let q = r.queue.lock();
+    wire.send_frame(&q);
+}
