@@ -1,0 +1,247 @@
+//! E13 — federated cross-site query execution over the 14-site
+//! healthcare deployment: sequential per-site shipping vs the parallel
+//! wave, cold and warm caches, plus one chaos-kill degraded run.
+//!
+//! Every member site's servant gets a small stall so a shipped
+//! subquery costs what a WAN hop would; the sequential reference then
+//! pays the stall once per member while the parallel wave overlaps
+//! them. Each timed parallel execution is checked byte-for-byte
+//! against the sequential merge (the determinism contract), and the
+//! chaos section kills one member's hosting ORB mid-workload to show
+//! the query degrades to partial rows instead of an error. Results go
+//! to `BENCH_fedquery.json`; EXPERIMENTS.md records them as E13.
+//! `--quick` shrinks iterations for the CI smoke job.
+
+use std::time::{Duration, Instant};
+use webfindit::discovery::DiscoveryEngine;
+use webfindit::orb::CallOptions;
+use webfindit::{FedExecutor, FedOutcome, Federation};
+use webfindit_bench::{header, percentile};
+use webfindit_healthcare::build_healthcare;
+use webfindit_tassili::{parse, Statement};
+
+struct Query {
+    name: &'static str,
+    text: &'static str,
+}
+
+const QUERIES: &[Query] = &[
+    Query {
+        name: "union_research",
+        text: "Invoke ResearchProjects.Funding() At Coalition Research;",
+    },
+    Query {
+        name: "union_research_topic_scope",
+        text: "Invoke ResearchProjects.Funding() At Sites With Information Medical Research;",
+    },
+    Query {
+        name: "semi_join_insurance",
+        text: "Invoke Policies.Premium() At Coalition Medical Insurance \
+               Where Policies.Holder In Members.Name();",
+    },
+];
+
+const ORIGIN: &str = "QUT Research";
+
+struct Timing {
+    p50_us: f64,
+    p95_us: f64,
+}
+
+fn timing(samples: &[f64]) -> Timing {
+    Timing {
+        p50_us: percentile(samples, 50.0),
+        p95_us: percentile(samples, 95.0),
+    }
+}
+
+fn json_timing(name: &str, t: &Timing) -> String {
+    format!(
+        "\"{name}\": {{\"p50_us\": {:.1}, \"p95_us\": {:.1}}}",
+        t.p50_us, t.p95_us
+    )
+}
+
+fn clear_caches(fed: &Federation, engine: &DiscoveryEngine) {
+    fed.ior_cache().clear();
+    engine.codb_cache().clear();
+}
+
+/// Time `iterations` executions of `stmt` under one executor
+/// configuration, returning per-execution latencies in microseconds
+/// and the last outcome.
+fn run_config(
+    fed: &Federation,
+    engine: &DiscoveryEngine,
+    exec: &FedExecutor,
+    stmt: &Statement,
+    iterations: usize,
+    cold: bool,
+) -> (Vec<f64>, FedOutcome) {
+    if !cold {
+        clear_caches(fed, engine);
+        exec.execute(engine, ORIGIN, stmt, None).expect("prime run");
+    }
+    let mut samples = Vec::with_capacity(iterations);
+    let mut last = None;
+    for _ in 0..iterations {
+        if cold {
+            clear_caches(fed, engine);
+        }
+        let started = Instant::now();
+        let out = exec.execute(engine, ORIGIN, stmt, None).expect("timed run");
+        samples.push(started.elapsed().as_micros() as f64);
+        assert!(out.complete(), "{:?}", out.degraded);
+        last = Some(out);
+    }
+    (samples, last.expect("at least one iteration"))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iterations = if quick { 5 } else { 30 };
+    let stall_ms: u64 = if quick { 4 } else { 10 };
+    header(
+        "Experiment E13",
+        "Federated query shipping: sequential vs parallel, with chaos degradation (healthcare, 14 sites)",
+    );
+
+    let dep = build_healthcare(1999).expect("healthcare deployment");
+    let fed = dep.fed.clone();
+    fed.set_call_options(CallOptions::with_deadline(Duration::from_millis(
+        stall_ms * 50,
+    )));
+    // WAN-shaped data-path latency: every ISI holds each request
+    // briefly, so shipping cost dominates thread overhead. Metadata
+    // (co-database) traffic stays fast — member resolution is shared
+    // by both configurations and is not what E13 measures.
+    for site in fed.site_names() {
+        fed.site(&site).unwrap().isi_stall.stall(stall_ms);
+    }
+
+    let engine = DiscoveryEngine::new(fed.clone());
+    let mut sequential = FedExecutor::new(fed.clone());
+    sequential.max_workers = 1;
+    let mut parallel = FedExecutor::new(fed.clone());
+    parallel.max_workers = 8;
+
+    println!(
+        "\n{:<28} {:>5} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>8}",
+        "query",
+        "sites",
+        "seq-cold50",
+        "seq-cold95",
+        "seq-warm50",
+        "seq-warm95",
+        "par-cold50",
+        "par-cold95",
+        "par-warm50",
+        "par-warm95",
+        "speedup"
+    );
+    println!("{}", "-".repeat(150));
+
+    let mut query_objects = Vec::new();
+    for q in QUERIES {
+        let stmt = parse(q.text).expect("query parses");
+
+        // Determinism first: the parallel merge must be byte-identical
+        // to the sequential reference, cold and warm.
+        let reference = sequential
+            .execute(&engine, ORIGIN, &stmt, None)
+            .expect("reference run");
+        let mut identical = true;
+        for _ in 0..2 {
+            let out = parallel
+                .execute(&engine, ORIGIN, &stmt, None)
+                .expect("parallel run");
+            identical &= out.render() == reference.render();
+        }
+        assert!(identical, "{}: parallel merge diverged", q.name);
+
+        let (seq_cold_s, _) = run_config(&fed, &engine, &sequential, &stmt, iterations, true);
+        let (seq_warm_s, _) = run_config(&fed, &engine, &sequential, &stmt, iterations, false);
+        let (par_cold_s, _) = run_config(&fed, &engine, &parallel, &stmt, iterations, true);
+        let (par_warm_s, out) = run_config(&fed, &engine, &parallel, &stmt, iterations, false);
+        let seq_cold = timing(&seq_cold_s);
+        let seq_warm = timing(&seq_warm_s);
+        let par_cold = timing(&par_cold_s);
+        let par_warm = timing(&par_warm_s);
+        let speedup = if par_warm.p50_us > 0.0 {
+            seq_warm.p50_us / par_warm.p50_us
+        } else {
+            f64::INFINITY
+        };
+
+        println!(
+            "{:<28} {:>5} | {:>10.0} {:>10.0} | {:>10.0} {:>10.0} | {:>10.0} {:>10.0} | {:>10.0} {:>10.0} | {:>7.2}x",
+            q.name,
+            out.per_site.len(),
+            seq_cold.p50_us,
+            seq_cold.p95_us,
+            seq_warm.p50_us,
+            seq_warm.p95_us,
+            par_cold.p50_us,
+            par_cold.p95_us,
+            par_warm.p50_us,
+            par_warm.p95_us,
+            speedup
+        );
+
+        query_objects.push(format!(
+            "    {{\"name\": \"{}\", \"sites_answered\": {}, \"rows_merged\": {}, \
+             \"keys_shipped\": {}, {}, {}, {}, {}, \
+             \"speedup_parallel_vs_sequential_warm\": {:.2}, \"identical_results\": true}}",
+            q.name,
+            out.per_site.len(),
+            out.stats.rows_merged,
+            out.stats.keys_shipped,
+            json_timing("sequential_cold", &seq_cold),
+            json_timing("sequential_warm", &seq_warm),
+            json_timing("parallel_cold", &par_cold),
+            json_timing("parallel_warm", &par_warm),
+            speedup
+        ));
+    }
+
+    // ---- chaos: kill one member's hosting ORB mid-workload ---------
+    // Orbix hosts RMIT Medical Research (a Research member); the union
+    // query must return the survivors' rows plus RMIT in `degraded`.
+    let stmt = parse(QUERIES[0].text).expect("query parses");
+    fed.kill_orb("Orbix").expect("kill Orbix");
+    let degraded_out = parallel
+        .execute(&engine, ORIGIN, &stmt, None)
+        .expect("degraded run must not error");
+    assert!(
+        !degraded_out.complete() && !degraded_out.rows.is_empty(),
+        "partial rows plus degradation, got {degraded_out:?}"
+    );
+    let degraded_sites: Vec<String> = degraded_out
+        .degraded_sites()
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect();
+    println!(
+        "\nchaos: killed Orbix -> {} row(s) from {} site(s), degraded: {:?}",
+        degraded_out.rows.len(),
+        degraded_out.per_site.len(),
+        degraded_out.degraded_sites()
+    );
+    fed.restart_orb("Orbix").expect("restart Orbix");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E13\",\n  \"topology\": \"healthcare-14\",\n  \
+         \"quick\": {quick},\n  \"iterations\": {iterations},\n  \"stall_ms\": {stall_ms},\n  \
+         \"max_workers\": 8,\n  \"queries\": [\n{}\n  ],\n  \
+         \"degraded_run\": {{\"killed_orb\": \"Orbix\", \"rows\": {}, \"sites_answered\": {}, \
+         \"degraded_sites\": [{}]}}\n}}\n",
+        query_objects.join(",\n"),
+        degraded_out.rows.len(),
+        degraded_out.per_site.len(),
+        degraded_sites.join(", ")
+    );
+    std::fs::write("BENCH_fedquery.json", &json).expect("write BENCH_fedquery.json");
+    println!("wrote BENCH_fedquery.json ({} queries)", QUERIES.len());
+
+    fed.shutdown();
+}

@@ -1,0 +1,102 @@
+//! Seeded chaos replay for federated query execution.
+//!
+//! Builds the 14-site healthcare deployment, generates a `ChaosPlan`
+//! from the seed on the command line (default 1999), and after every
+//! applied fault step runs the federated acceptance queries — a union
+//! across the Research coalition and the insurers' semi-join — printing
+//! a fully deterministic transcript: merged row count, answering
+//! members, and the degraded set of each execution. A member killed by
+//! the plan must show up in `degraded` with the surviving members'
+//! rows intact, never as a query error. The CI `chaos` job runs this
+//! twice per seed and diffs the transcripts; any divergence (schedule,
+//! degradation, merge order, or row content) fails the job.
+
+use std::thread;
+use std::time::Duration;
+use webfindit::discovery::DiscoveryEngine;
+use webfindit::orb::CallOptions;
+use webfindit::FedExecutor;
+use webfindit_bench::header;
+use webfindit_healthcare::build_healthcare;
+use webfindit_tassili::parse;
+
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "research union",
+        "Invoke ResearchProjects.Funding() At Coalition Research;",
+    ),
+    (
+        "insurance semi-join",
+        "Invoke Policies.Premium() At Coalition Medical Insurance \
+         Where Policies.Holder In Members.Name();",
+    ),
+];
+
+fn main() {
+    let plan_seed: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("seed must be a u64"))
+        .unwrap_or(1999);
+
+    header(
+        "Federated chaos replay",
+        "seeded fault schedule against federated query execution",
+    );
+    let dep = build_healthcare(1999).expect("healthcare deployment");
+    dep.fed
+        .set_call_options(CallOptions::with_deadline(Duration::from_millis(80)));
+    let engine = DiscoveryEngine::new(dep.fed.clone());
+    let executor = FedExecutor::new(dep.fed.clone());
+    let stmts: Vec<_> = QUERIES
+        .iter()
+        .map(|(name, text)| (*name, parse(text).expect("query parses")))
+        .collect();
+
+    let plan = dep.chaos_plan(plan_seed, 16);
+    println!("plan seed: {plan_seed}");
+    println!("plan digest: {:#018x}", plan.digest());
+    println!("events: {}", plan.events().len());
+
+    for step in 1..=plan.last_step() {
+        for line in plan.apply_step(step, &*dep.fed) {
+            println!("{line}");
+        }
+        // Let breakers opened by the previous step finish their
+        // cooldown so admission depends on endpoint health, not timing.
+        thread::sleep(Duration::from_millis(60));
+        for (name, stmt) in &stmts {
+            let out = executor
+                .execute(&engine, "QUT Research", stmt, None)
+                .expect("a federated query degrades, it does not error");
+            let mut lost = out.degraded_sites();
+            lost.sort_unstable();
+            lost.dedup();
+            println!(
+                "  {name}: rows={} sites={:?} complete={} degraded={lost:?}",
+                out.rows.len(),
+                out.per_site
+                    .iter()
+                    .map(|(s, n)| format!("{s}:{n}"))
+                    .collect::<Vec<_>>(),
+                out.complete(),
+            );
+        }
+    }
+
+    // The schedule heals everything it inflicts: the closing merges
+    // must be complete and identical to a fresh deployment's.
+    thread::sleep(Duration::from_millis(60));
+    for (name, stmt) in &stmts {
+        let out = executor
+            .execute(&engine, "QUT Research", stmt, None)
+            .expect("final federated query");
+        println!(
+            "final {name}: rows={} complete={}",
+            out.rows.len(),
+            out.complete(),
+        );
+        assert!(out.complete(), "healed federation must answer completely");
+    }
+    println!("replay of seed {plan_seed} complete");
+    dep.fed.shutdown();
+}

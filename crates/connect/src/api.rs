@@ -66,6 +66,18 @@ impl QueryOutput {
             _ => 0,
         }
     }
+
+    /// Keep at most `max_rows` data rows, dropping the tail. The
+    /// federated executor applies this server-side when the target
+    /// dialect cannot fold a row limit into the shipped query (mSQL has
+    /// no LIMIT at all), so a pushed-down limit never widens the wire.
+    pub fn truncate(&mut self, max_rows: usize) {
+        match self {
+            QueryOutput::Rows(rs) => rs.rows.truncate(max_rows),
+            QueryOutput::Objects { rows, .. } => rows.truncate(max_rows),
+            _ => {}
+        }
+    }
 }
 
 /// Data-layer execution metrics from the most recent query on a

@@ -52,6 +52,7 @@
 //!   cannot answer the version call is degraded, never served from
 //!   cache.
 
+use crate::failure::degrade_reason;
 use crate::federation::Federation;
 use crate::servants::value_to_link;
 use crate::value_map::value_to_strings;
@@ -129,21 +130,7 @@ impl DiscoveryStats {
     }
 }
 
-/// A site whose co-database could not be consulted during discovery.
-///
-/// Sites are autonomous: they crash and leave without telling anyone.
-/// Discovery degrades gracefully — it keeps the answer it can compute
-/// from the reachable subtree and reports what it had to skip, so the
-/// user knows the answer may be partial and which repository to blame.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SiteFailure {
-    /// The unreachable site.
-    pub site: String,
-    /// BFS distance at which the probe failed.
-    pub distance: usize,
-    /// Rendered cause (naming failure, connect refusal, deadline, …).
-    pub reason: String,
-}
+pub use crate::failure::SiteFailure;
 
 /// The outcome of one discovery.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,24 +158,6 @@ impl DiscoveryOutcome {
     /// Names of the sites that could not be consulted.
     pub fn degraded_sites(&self) -> Vec<&str> {
         self.degraded.iter().map(|f| f.site.as_str()).collect()
-    }
-}
-
-/// Render a probe failure deterministically.
-///
-/// Whether a dead endpoint surfaces as "cannot resolve" or "circuit
-/// breaker open" depends on how many probes hit it first — under
-/// parallel fanout that is a scheduling race. Both mean the same thing
-/// to discovery (the endpoint is unreachable), so they canonicalize to
-/// one string and parallel output stays byte-identical to serial. The
-/// breaker-vs-direct distinction is still observable in
-/// [`webfindit_orb::OrbMetrics`].
-fn degrade_reason(e: &WebfinditError) -> String {
-    match e {
-        WebfinditError::Orb(
-            OrbError::UnknownHost { host, port } | OrbError::CircuitOpen { host, port },
-        ) => format!("endpoint {host}:{port} unreachable"),
-        other => other.to_string(),
     }
 }
 

@@ -136,6 +136,9 @@ pub struct SiteHandle {
     pub descriptor: InformationSource,
     /// Shared stall gate of the co-database servant (chaos hook).
     pub stall: StallGate,
+    /// Shared stall gate of the ISI servant (chaos hook; benches use it
+    /// to shape per-site data-path latency independently of metadata).
+    pub isi_stall: StallGate,
 }
 
 /// One WebFINDIT deployment.
@@ -347,14 +350,14 @@ impl Federation {
                 stall.clone(),
             )),
         );
+        let isi_stall = StallGate::new();
         let isi_key = format!("isi/{}", spec.name);
         let isi_ior = orb.activate(
             isi_key.as_bytes().to_vec(),
-            Arc::new(IsiServant::with_metrics(
-                Arc::clone(&self.manager),
-                url.clone(),
-                orb.metrics_arc(),
-            )),
+            Arc::new(
+                IsiServant::with_metrics(Arc::clone(&self.manager), url.clone(), orb.metrics_arc())
+                    .with_gate(isi_stall.clone()),
+            ),
         );
 
         // Bind both servants in the naming service, over the wire.
@@ -373,6 +376,7 @@ impl Federation {
             isi_ior,
             descriptor,
             stall,
+            isi_stall,
         };
         self.sites
             .write()
@@ -507,7 +511,7 @@ impl Federation {
     /// coalition (the contact member recorded by a service link), so no
     /// single answer can be trusted to be complete: take the union over
     /// every co-database that knows the coalition.
-    fn coalition_members(&self, coalition: &str) -> WfResult<Vec<String>> {
+    pub fn coalition_members(&self, coalition: &str) -> WfResult<Vec<String>> {
         let mut union: Vec<String> = Vec::new();
         // Same discipline as leave_coalition: no guard across invokes.
         let handles: Vec<SiteHandle> = self.sites.read().values().cloned().collect();
@@ -698,11 +702,14 @@ impl Federation {
             let isi_key = format!("isi/{}", site.name);
             orb.activate(
                 isi_key.as_bytes().to_vec(),
-                Arc::new(IsiServant::with_metrics(
-                    Arc::clone(&self.manager),
-                    site.url.clone(),
-                    orb.metrics_arc(),
-                )),
+                Arc::new(
+                    IsiServant::with_metrics(
+                        Arc::clone(&self.manager),
+                        site.url.clone(),
+                        orb.metrics_arc(),
+                    )
+                    .with_gate(site.isi_stall.clone()),
+                ),
             );
         }
         self.orbs.write().insert(name.to_owned(), orb);
@@ -759,6 +766,7 @@ impl ChaosHost for Federation {
             return false;
         };
         handle.stall.stall(millis);
+        handle.isi_stall.stall(millis);
         true
     }
 
@@ -767,6 +775,7 @@ impl ChaosHost for Federation {
             return false;
         };
         handle.stall.clear();
+        handle.isi_stall.clear();
         true
     }
 

@@ -22,6 +22,11 @@
 //! * [`discovery`] — the incremental query-resolution algorithm of §2
 //!   (local co-database → service links → coalition peers, breadth
 //!   first), with per-query cost accounting.
+//! * [`fedquery`] — federated cross-site query execution: member-set
+//!   resolution via discovery, per-site subquery decomposition with
+//!   filter/limit pushdown and semi-join key shipping, parallel
+//!   shipping over the multiplexed channels, and a deterministic merge
+//!   that degrades gracefully per site ([`failure::SiteFailure`]).
 //! * [`baselines`] — the comparison systems for the scalability
 //!   experiments: flat broadcast and a centralized global index.
 //! * [`synth`] — deterministic synthetic federation generator used by
@@ -34,7 +39,9 @@
 pub mod baselines;
 pub mod discovery;
 pub mod docs;
+pub mod failure;
 pub mod federation;
+pub mod fedquery;
 pub mod processor;
 pub mod servants;
 pub mod session;
@@ -42,9 +49,11 @@ pub mod synth;
 pub mod trace;
 pub mod value_map;
 
-pub use discovery::{CodbAnswerCache, DiscoveryEngine, DiscoveryOutcome, Lead, SiteFailure};
+pub use discovery::{CodbAnswerCache, DiscoveryEngine, DiscoveryOutcome, Lead};
 pub use docs::{DocFormat, DocStore, Document};
+pub use failure::SiteFailure;
 pub use federation::{Federation, SiteHandle, SiteSpec};
+pub use fedquery::{FedExecutor, FedOutcome, FedPlan, FedStats};
 pub use processor::{Processor, Response};
 pub use servants::StallGate;
 pub use session::BrowserSession;

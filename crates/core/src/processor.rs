@@ -9,6 +9,7 @@
 use crate::discovery::{DiscoveryEngine, Lead};
 use crate::docs::{DocFormat, Document};
 use crate::federation::Federation;
+use crate::fedquery::{FedExecutor, FedOutcome};
 use crate::session::BrowserSession;
 use crate::trace::{Layer, Trace};
 use crate::value_map::{value_to_descriptor, value_to_result_set, value_to_strings};
@@ -64,6 +65,10 @@ pub enum Response {
     },
     /// A scalar result.
     Scalar(String),
+    /// A federated query answer: merged rows plus degradation report.
+    Federated(Box<FedOutcome>),
+    /// An execution plan (`Explain …`), rendered root-first.
+    Plan(Vec<String>),
     /// Acknowledgement of a management action, with its ORB-call cost.
     Ack {
         /// Human-readable summary.
@@ -132,6 +137,8 @@ impl Response {
                 out
             }
             Response::Scalar(s) => s.clone(),
+            Response::Federated(outcome) => outcome.render(),
+            Response::Plan(lines) => lines.join("\n"),
             Response::Ack { message, calls } => format!("{message} ({calls} ORB calls)"),
         }
     }
@@ -141,18 +148,26 @@ impl Response {
 pub struct Processor {
     fed: Arc<Federation>,
     engine: DiscoveryEngine,
+    fedex: FedExecutor,
 }
 
 impl Processor {
     /// Create a processor over a federation.
     pub fn new(fed: Arc<Federation>) -> Processor {
         let engine = DiscoveryEngine::new(Arc::clone(&fed));
-        Processor { fed, engine }
+        let fedex = FedExecutor::new(Arc::clone(&fed));
+        Processor { fed, engine, fedex }
     }
 
     /// The federation this processor operates on.
     pub fn federation(&self) -> &Arc<Federation> {
         &self.fed
+    }
+
+    /// Set the federated ship-wave concurrency (`1` = the sequential
+    /// reference execution the parallel merge is byte-identical to).
+    pub fn set_fed_workers(&mut self, workers: usize) {
+        self.fedex.max_workers = workers;
     }
 
     /// Parse and execute WebTassili text in a session.
@@ -278,6 +293,35 @@ impl Processor {
             }
             Statement::Native { instance, query } => {
                 self.run_native(session, instance, query, trace.as_deref_mut())?
+            }
+            Statement::FedInvoke { .. } => {
+                let outcome =
+                    self.fedex
+                        .execute(&self.engine, &session.site, stmt, trace.as_deref_mut())?;
+                session.last_degraded = outcome.degraded.clone();
+                Response::Federated(Box::new(outcome))
+            }
+            Statement::Explain(inner) => {
+                let lines = match inner.as_ref() {
+                    Statement::FedInvoke { .. } => self
+                        .fedex
+                        .plan(&self.engine, &session.site, inner)?
+                        .render(),
+                    Statement::Invoke { instance, .. } => {
+                        let (descriptor, _) = self.find_descriptor(session, instance)?;
+                        let (language, native) = if descriptor.wrapper.starts_with("jdbc:") {
+                            ("SQL", translate_invoke_to_sql(inner)?)
+                        } else {
+                            (
+                                "OQL",
+                                webfindit_tassili::translate::translate_invoke_to_oql(inner)?,
+                            )
+                        };
+                        vec![format!("Invoke @ {instance} [{language}]: {native}")]
+                    }
+                    other => vec![format!("No plan surface for: {other}")],
+                };
+                Response::Plan(lines)
             }
             // ---- management -------------------------------------------
             Statement::CreateCoalition {

@@ -316,6 +316,7 @@ pub struct IsiServant {
     manager: Arc<DriverManager>,
     url: String,
     metrics: Option<Arc<webfindit_orb::OrbMetrics>>,
+    stall: StallGate,
 }
 
 impl IsiServant {
@@ -325,6 +326,7 @@ impl IsiServant {
             manager,
             url: url.into(),
             metrics: None,
+            stall: StallGate::new(),
         }
     }
 
@@ -339,7 +341,15 @@ impl IsiServant {
             manager,
             url: url.into(),
             metrics: Some(metrics),
+            stall: StallGate::new(),
         }
+    }
+
+    /// Attach a shared stall gate (chaos hook / WAN-latency shaping in
+    /// benches), mirroring the co-database servant's gate.
+    pub fn with_gate(mut self, stall: StallGate) -> IsiServant {
+        self.stall = stall;
+        self
     }
 
     fn open(&self) -> Result<CompensatingConnection, ServantError> {
@@ -439,13 +449,31 @@ impl Servant for IsiServant {
     }
 
     fn invoke(&self, operation: &str, args: &[Value]) -> InvokeResult {
+        self.stall.wait();
         match operation {
             "execute" => {
                 let text = arg_str(args, 0, "a query string")?;
+                // Optional second argument: a server-side row cap. The
+                // federated executor pushes LIMIT down this way because
+                // not every vendor dialect can fold a row limit into
+                // the shipped text (mSQL has none) — truncating at the
+                // ISI keeps the cap effective without widening the wire.
+                let max_rows = match args.get(1) {
+                    None | Some(Value::Null) => None,
+                    Some(Value::ULong(n)) => Some(*n as usize),
+                    Some(other) => {
+                        return Err(ServantError::BadArguments(format!(
+                            "max_rows must be an unsigned long, got {other}"
+                        )))
+                    }
+                };
                 let mut conn = self.open()?;
-                let out = conn
+                let mut out = conn
                     .execute(&text)
                     .map_err(|e| ServantError::Application(e.to_string()))?;
+                if let Some(n) = max_rows {
+                    out.truncate(n);
+                }
                 self.report_data_metrics(&conn);
                 Ok(output_to_value(out))
             }

@@ -9,6 +9,7 @@
 //! discovery, and a transcript of the interaction.
 
 use crate::discovery::Lead;
+use crate::failure::SiteFailure;
 
 /// One user's interaction state.
 #[derive(Debug, Clone)]
@@ -20,6 +21,9 @@ pub struct BrowserSession {
     pub coalition: Option<(String, String)>,
     /// Leads from the most recent `Find …` statement.
     pub last_leads: Vec<Lead>,
+    /// Sites the most recent federated query could not consult; empty
+    /// when the last answer was complete.
+    pub last_degraded: Vec<SiteFailure>,
     /// `(statement, rendered response)` pairs, in order.
     pub transcript: Vec<(String, String)>,
 }
@@ -31,6 +35,7 @@ impl BrowserSession {
             site: site.into(),
             coalition: None,
             last_leads: Vec::new(),
+            last_degraded: Vec::new(),
             transcript: Vec::new(),
         }
     }

@@ -169,6 +169,36 @@ impl Trace {
         );
     }
 
+    /// Record a Query-layer event annotated with the federated-query
+    /// counters the coordinator reports through
+    /// [`webfindit_orb::OrbMetrics::record_fed_query`],
+    /// [`webfindit_orb::OrbMetrics::record_fed_site`], and
+    /// [`webfindit_orb::OrbMetrics::record_fed_merge`]: queries fanned
+    /// out, per-site subqueries shipped, sites that answered vs
+    /// degraded, rows and bytes shipped over the wire, rows surviving
+    /// the merge, and semi-join keys shipped — so a rendered trace
+    /// shows the shape of a cross-site fan-out the way it already shows
+    /// discovery waves.
+    pub fn fed_event(&mut self, message: impl Into<String>, metrics: &webfindit_orb::OrbMetrics) {
+        let m = metrics.snapshot();
+        self.event(
+            Layer::Query,
+            format!(
+                "{} [fed queries {}, subqueries {}, sites {}ok/{}deg, \
+                 rows {}shipped/{}merged, bytes shipped {}, keys shipped {}]",
+                message.into(),
+                m.fed_queries,
+                m.fed_subqueries,
+                m.fed_sites_answered,
+                m.fed_sites_degraded,
+                m.fed_rows_shipped,
+                m.fed_rows_merged,
+                m.fed_bytes_shipped,
+                m.fed_keys_shipped
+            ),
+        );
+    }
+
     /// Record a Communication-layer event annotated with the GIOP
     /// transport totals: request/reply traffic (sent, served, local
     /// short-circuits), raw bytes on the wire in both directions,
@@ -301,6 +331,25 @@ mod tests {
         assert!(rendered.contains("pages flushed 2"));
         assert!(rendered.contains("redo 19"));
         assert!(rendered.contains("undo 1"));
+    }
+
+    #[test]
+    fn fed_event_reports_federation_counters() {
+        let metrics = webfindit_orb::OrbMetrics::default();
+        metrics.record_fed_query(3, 8);
+        metrics.record_fed_site(true, 20, 400);
+        metrics.record_fed_site(false, 0, 0);
+        metrics.record_fed_merge(20);
+        let mut t = Trace::new();
+        t.fed_event("federated fan-out merged", &metrics);
+        let rendered = t.render();
+        assert!(rendered.contains("[query] federated fan-out merged"));
+        assert!(rendered.contains("fed queries 1"));
+        assert!(rendered.contains("subqueries 3"));
+        assert!(rendered.contains("sites 1ok/1deg"));
+        assert!(rendered.contains("rows 20shipped/20merged"));
+        assert!(rendered.contains("bytes shipped 400"));
+        assert!(rendered.contains("keys shipped 8"));
     }
 
     #[test]

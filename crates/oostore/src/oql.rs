@@ -56,6 +56,14 @@ pub enum Pred {
         /// True for IS NOT NULL.
         negated: bool,
     },
+    /// `attr IN (lit, lit, …)` — membership in a literal list. The
+    /// federated executor ships semi-join key sets this way.
+    In {
+        /// Attribute name.
+        attr: String,
+        /// Admitted values (at least one).
+        values: Vec<OValue>,
+    },
     /// Conjunction.
     And(Box<Pred>, Box<Pred>),
     /// Disjunction.
@@ -239,6 +247,10 @@ fn pred_to_text(p: &Pred) -> String {
         Pred::IsNull { attr, negated } => {
             format!("{attr} IS {}NULL", if *negated { "NOT " } else { "" })
         }
+        Pred::In { attr, values } => {
+            let vs: Vec<String> = values.iter().map(value_to_text).collect();
+            format!("{attr} IN ({})", vs.join(", "))
+        }
         Pred::And(a, b) => format!("({} AND {})", pred_to_text(a), pred_to_text(b)),
         Pred::Or(a, b) => format!("({} OR {})", pred_to_text(a), pred_to_text(b)),
         Pred::Not(a) => format!("NOT {}", pred_to_text(a)),
@@ -399,6 +411,22 @@ fn eval_pred(p: &Pred, obj: &crate::store::Object) -> Option<bool> {
             })
         }
         Pred::IsNull { attr, negated } => Some(obj.get(attr).is_null() != *negated),
+        Pred::In { attr, values } => {
+            let v = obj.get(attr);
+            let mut unknown = false;
+            for candidate in values {
+                match v.compare(candidate) {
+                    Some(Ordering::Equal) => return Some(true),
+                    Some(_) => {}
+                    None => unknown = true,
+                }
+            }
+            if unknown {
+                None
+            } else {
+                Some(false)
+            }
+        }
         Pred::And(a, b) => match (eval_pred(a, obj), eval_pred(b, obj)) {
             (Some(false), _) | (_, Some(false)) => Some(false),
             (Some(true), Some(true)) => Some(true),
@@ -605,6 +633,20 @@ impl Parser {
                 value,
             });
         }
+        if self.eat_kw("in") {
+            if !matches!(self.bump(), Tok::Sym("(")) {
+                return self.err("expected '(' after IN");
+            }
+            let mut values = vec![self.literal()?];
+            while matches!(self.peek(), Tok::Sym(",")) {
+                self.bump();
+                values.push(self.literal()?);
+            }
+            if !matches!(self.bump(), Tok::Sym(")")) {
+                return self.err("expected ')' after the IN list");
+            }
+            return Ok(Pred::In { attr, values });
+        }
         let op = match self.bump() {
             Tok::Sym("=") => CmpOp::Eq,
             Tok::Sym("<>") => CmpOp::Ne,
@@ -772,6 +814,26 @@ mod tests {
         let r = q.execute(&store()).unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.columns, vec!["name", "funding", "active"]);
+    }
+
+    #[test]
+    fn in_list_membership() {
+        let q = OqlQuery::parse(
+            "select funding from Research where name in ('QUT Research', 'Nowhere')",
+        )
+        .unwrap();
+        let r = q.execute(&store()).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].1[0], OValue::from(120_000.0));
+        // The list renders back into the plan's filter line.
+        let plan = q.plan(&store()).unwrap();
+        let text = plan.render().join("\n");
+        assert!(
+            text.contains("name IN ('QUT Research', 'Nowhere')"),
+            "{text}"
+        );
+        // An empty IN list is a parse error, not an empty match.
+        assert!(OqlQuery::parse("select * from Research where name in ()").is_err());
     }
 
     #[test]

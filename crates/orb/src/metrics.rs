@@ -95,6 +95,24 @@ pub struct OrbMetrics {
     /// Loser-transaction records rolled back (UNDO) during crash
     /// recovery of durable stores.
     pub data_recovery_undo: AtomicU64,
+    /// Federated queries planned and executed through this ORB (each
+    /// fans out one subquery per member site).
+    pub fed_queries: AtomicU64,
+    /// Per-site subqueries shipped by federated queries.
+    pub fed_subqueries: AtomicU64,
+    /// Member sites that answered their shipped subquery.
+    pub fed_sites_answered: AtomicU64,
+    /// Member sites that degraded (timeout, kill, open breaker) instead
+    /// of answering; their partial absence is reported, not fatal.
+    pub fed_sites_degraded: AtomicU64,
+    /// Rows returned over the wire by answering member sites.
+    pub fed_rows_shipped: AtomicU64,
+    /// Approximate bytes of those shipped rows.
+    pub fed_bytes_shipped: AtomicU64,
+    /// Rows surviving the coordinator's merge (dedup/limit applied).
+    pub fed_rows_merged: AtomicU64,
+    /// Semi-join build keys shipped to probe sites as IN-list values.
+    pub fed_keys_shipped: AtomicU64,
     /// Replies whose encoded body exceeded the fragment threshold and
     /// were streamed as an initial frame plus `Fragment` continuations.
     pub fragmented_replies: AtomicU64,
@@ -212,6 +230,22 @@ pub struct MetricsSnapshot {
     pub data_recovery_redo: u64,
     /// See [`OrbMetrics::data_recovery_undo`].
     pub data_recovery_undo: u64,
+    /// See [`OrbMetrics::fed_queries`].
+    pub fed_queries: u64,
+    /// See [`OrbMetrics::fed_subqueries`].
+    pub fed_subqueries: u64,
+    /// See [`OrbMetrics::fed_sites_answered`].
+    pub fed_sites_answered: u64,
+    /// See [`OrbMetrics::fed_sites_degraded`].
+    pub fed_sites_degraded: u64,
+    /// See [`OrbMetrics::fed_rows_shipped`].
+    pub fed_rows_shipped: u64,
+    /// See [`OrbMetrics::fed_bytes_shipped`].
+    pub fed_bytes_shipped: u64,
+    /// See [`OrbMetrics::fed_rows_merged`].
+    pub fed_rows_merged: u64,
+    /// See [`OrbMetrics::fed_keys_shipped`].
+    pub fed_keys_shipped: u64,
     /// See [`OrbMetrics::fragmented_replies`].
     pub fragmented_replies: u64,
     /// See [`OrbMetrics::fragments_sent`].
@@ -269,6 +303,14 @@ impl MetricsSnapshot {
             data_pages_flushed: self.data_pages_flushed - earlier.data_pages_flushed,
             data_recovery_redo: self.data_recovery_redo - earlier.data_recovery_redo,
             data_recovery_undo: self.data_recovery_undo - earlier.data_recovery_undo,
+            fed_queries: self.fed_queries - earlier.fed_queries,
+            fed_subqueries: self.fed_subqueries - earlier.fed_subqueries,
+            fed_sites_answered: self.fed_sites_answered - earlier.fed_sites_answered,
+            fed_sites_degraded: self.fed_sites_degraded - earlier.fed_sites_degraded,
+            fed_rows_shipped: self.fed_rows_shipped - earlier.fed_rows_shipped,
+            fed_bytes_shipped: self.fed_bytes_shipped - earlier.fed_bytes_shipped,
+            fed_rows_merged: self.fed_rows_merged - earlier.fed_rows_merged,
+            fed_keys_shipped: self.fed_keys_shipped - earlier.fed_keys_shipped,
             fragmented_replies: self.fragmented_replies - earlier.fragmented_replies,
             fragments_sent: self.fragments_sent - earlier.fragments_sent,
             fragments_reassembled: self.fragments_reassembled - earlier.fragments_reassembled,
@@ -324,6 +366,14 @@ impl OrbMetrics {
             data_pages_flushed: self.data_pages_flushed.load(Ordering::Relaxed),
             data_recovery_redo: self.data_recovery_redo.load(Ordering::Relaxed),
             data_recovery_undo: self.data_recovery_undo.load(Ordering::Relaxed),
+            fed_queries: self.fed_queries.load(Ordering::Relaxed),
+            fed_subqueries: self.fed_subqueries.load(Ordering::Relaxed),
+            fed_sites_answered: self.fed_sites_answered.load(Ordering::Relaxed),
+            fed_sites_degraded: self.fed_sites_degraded.load(Ordering::Relaxed),
+            fed_rows_shipped: self.fed_rows_shipped.load(Ordering::Relaxed),
+            fed_bytes_shipped: self.fed_bytes_shipped.load(Ordering::Relaxed),
+            fed_rows_merged: self.fed_rows_merged.load(Ordering::Relaxed),
+            fed_keys_shipped: self.fed_keys_shipped.load(Ordering::Relaxed),
             fragmented_replies: self.fragmented_replies.load(Ordering::Relaxed),
             fragments_sent: self.fragments_sent.load(Ordering::Relaxed),
             fragments_reassembled: self.fragments_reassembled.load(Ordering::Relaxed),
@@ -412,6 +462,32 @@ impl OrbMetrics {
             .fetch_add(recovery_redo, Ordering::Relaxed);
         self.data_recovery_undo
             .fetch_add(recovery_undo, Ordering::Relaxed);
+    }
+
+    /// Record one federated query fanning `subqueries` per-site
+    /// subqueries out, carrying `keys_shipped` semi-join keys.
+    pub fn record_fed_query(&self, subqueries: u64, keys_shipped: u64) {
+        self.fed_queries.fetch_add(1, Ordering::Relaxed);
+        self.fed_subqueries.fetch_add(subqueries, Ordering::Relaxed);
+        self.fed_keys_shipped
+            .fetch_add(keys_shipped, Ordering::Relaxed);
+    }
+
+    /// Record one member site's outcome within a federated fan-out: an
+    /// answer shipping `rows`/`bytes`, or a degradation.
+    pub fn record_fed_site(&self, answered: bool, rows: u64, bytes: u64) {
+        if answered {
+            self.fed_sites_answered.fetch_add(1, Ordering::Relaxed);
+            self.fed_rows_shipped.fetch_add(rows, Ordering::Relaxed);
+            self.fed_bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.fed_sites_degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record the coordinator's merge emitting `rows` final rows.
+    pub fn record_fed_merge(&self, rows: u64) {
+        self.fed_rows_merged.fetch_add(rows, Ordering::Relaxed);
     }
 
     /// Record a co-database answer-cache lookup.
@@ -517,6 +593,27 @@ mod tests {
         };
         assert_eq!(later.since(&s).data_wal_appends, 1);
         assert_eq!(later.since(&s).data_recovery_undo, 1);
+    }
+
+    #[test]
+    fn federated_counters_accumulate() {
+        let m = OrbMetrics::default();
+        m.record_fed_query(4, 12);
+        m.record_fed_site(true, 30, 640);
+        m.record_fed_site(true, 10, 200);
+        m.record_fed_site(false, 0, 0);
+        m.record_fed_merge(35);
+        let s = m.snapshot();
+        assert_eq!(s.fed_queries, 1);
+        assert_eq!(s.fed_subqueries, 4);
+        assert_eq!(s.fed_keys_shipped, 12);
+        assert_eq!(s.fed_sites_answered, 2);
+        assert_eq!(s.fed_sites_degraded, 1);
+        assert_eq!(s.fed_rows_shipped, 40);
+        assert_eq!(s.fed_bytes_shipped, 840);
+        assert_eq!(s.fed_rows_merged, 35);
+        m.record_fed_query(2, 0);
+        assert_eq!(m.snapshot().since(&s).fed_subqueries, 2);
     }
 
     #[test]

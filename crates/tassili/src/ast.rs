@@ -72,6 +72,15 @@ pub enum Predicate {
         /// Literal operand.
         value: Literal,
     },
+    /// `Path In (lit, lit, …)` — membership in a literal list. The
+    /// federated executor synthesizes these to ship a semi-join's key
+    /// set to the probe sites.
+    InList {
+        /// Dotted attribute path.
+        path: String,
+        /// The admitted values (at least one).
+        values: Vec<Literal>,
+    },
     /// Conjunction.
     And(Box<Predicate>, Box<Predicate>),
     /// Disjunction.
@@ -89,6 +98,44 @@ pub enum Arg {
     Literal(Literal),
     /// A parenthesized predicate.
     Predicate(Predicate),
+}
+
+/// The member-set scope of a federated invocation: which sites a
+/// coalition-wide query fans out to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FedScope {
+    /// `At Coalition <name>` — every member of the named coalition.
+    Coalition(String),
+    /// `At Sites With Information <topic>` — the members of every
+    /// coalition discovery finds for the topic.
+    Topic(String),
+}
+
+impl fmt::Display for FedScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedScope::Coalition(name) => write!(f, "At Coalition {name}"),
+            FedScope::Topic(topic) => write!(f, "At Sites With Information {topic}"),
+        }
+    }
+}
+
+/// A semi-join clause on a federated invocation:
+/// `Where <probe attr> In <BuildType>.<BuildAttr>(build args…)`.
+///
+/// The build side runs first over the sites exporting `build_type`; its
+/// distinct values become the key set shipped (as an `In` predicate) to
+/// the sites answering the probe side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemiJoin {
+    /// Probe-side attribute the keys restrict (dotted path).
+    pub probe_attr: String,
+    /// Exported type of the build side.
+    pub build_type: String,
+    /// Attribute/function projected on the build side (the keys).
+    pub build_attr: String,
+    /// Arguments (predicates) pushed down to the build side.
+    pub build_args: Vec<Arg>,
 }
 
 /// A service-link endpoint in management statements.
@@ -177,6 +224,29 @@ pub enum Statement {
         /// The native query text.
         query: String,
     },
+    /// `Invoke <Type>.<Function>(args…) At Coalition <name>` (or
+    /// `At Sites With Information <topic>`) — a federated access-function
+    /// call fanned out to every member site exporting the type, merged
+    /// as a union. An optional `Where <attr> In <T2>.<A2>(…)` clause
+    /// adds a cross-site semi-join, and `Limit <n>` bounds the merged
+    /// result (pushed to the members as a row cap).
+    FedInvoke {
+        /// Exported type owning the function.
+        type_name: String,
+        /// Function name (the projected column).
+        function: String,
+        /// Arguments (predicates are pushed down to every site).
+        args: Vec<Arg>,
+        /// Which member sites to fan out to.
+        scope: FedScope,
+        /// Optional cross-site semi-join.
+        semi: Option<SemiJoin>,
+        /// Optional row cap on the merged result.
+        limit: Option<u64>,
+    },
+    /// `Explain <statement>` — render the execution plan instead of
+    /// running the statement (federated invocations only).
+    Explain(Box<Statement>),
     /// `Create Coalition <name> [Under <parent>] [Documentation '<d>']`.
     CreateCoalition {
         /// New coalition name.
@@ -271,6 +341,52 @@ impl fmt::Display for Statement {
                 "Submit Native '{}' To Instance {instance};",
                 query.replace('\'', "''")
             ),
+            Statement::FedInvoke {
+                type_name,
+                function,
+                args,
+                scope,
+                semi,
+                limit,
+            } => {
+                let rendered: Vec<String> = args
+                    .iter()
+                    .map(|a| match a {
+                        Arg::AttrRef(p) => p.clone(),
+                        Arg::Literal(l) => l.to_string(),
+                        Arg::Predicate(p) => format!("({})", render_pred(p)),
+                    })
+                    .collect();
+                write!(
+                    f,
+                    "Invoke {type_name}.{function}({}) {scope}",
+                    rendered.join(", ")
+                )?;
+                if let Some(s) = semi {
+                    let build_args: Vec<String> = s
+                        .build_args
+                        .iter()
+                        .map(|a| match a {
+                            Arg::AttrRef(p) => p.clone(),
+                            Arg::Literal(l) => l.to_string(),
+                            Arg::Predicate(p) => format!("({})", render_pred(p)),
+                        })
+                        .collect();
+                    write!(
+                        f,
+                        " Where {} In {}.{}({})",
+                        s.probe_attr,
+                        s.build_type,
+                        s.build_attr,
+                        build_args.join(", ")
+                    )?;
+                }
+                if let Some(n) = limit {
+                    write!(f, " Limit {n}")?;
+                }
+                write!(f, ";")
+            }
+            Statement::Explain(inner) => write!(f, "Explain {inner}"),
             Statement::CreateCoalition {
                 name,
                 parent,
@@ -319,6 +435,10 @@ impl fmt::Display for Statement {
 pub fn render_pred(p: &Predicate) -> String {
     match p {
         Predicate::Cmp { path, op, value } => format!("{path} {} {value}", op.sql()),
+        Predicate::InList { path, values } => {
+            let vs: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+            format!("{path} In ({})", vs.join(", "))
+        }
         Predicate::And(a, b) => format!("({}) And ({})", render_pred(a), render_pred(b)),
         Predicate::Or(a, b) => format!("({}) Or ({})", render_pred(a), render_pred(b)),
         Predicate::Not(a) => format!("Not ({})", render_pred(a)),

@@ -4,7 +4,7 @@
 //! words until a structural keyword (`Of`, `To`, `From`, `Under`,
 //! `Documentation`, `Description`) or a terminator (`;`, end of input).
 
-use crate::ast::{Arg, LinkTarget, Literal, PredOp, Predicate, Statement};
+use crate::ast::{Arg, FedScope, LinkTarget, Literal, PredOp, Predicate, SemiJoin, Statement};
 use crate::lexer::{tokenize, Spanned, Tok};
 use crate::{TassiliError, TassiliResult};
 
@@ -198,6 +198,33 @@ impl Parser {
                     return self.err("expected ',' or ')' in argument list");
                 }
             }
+            if self.eat_kw("at") {
+                let scope = self.fed_scope()?;
+                let semi = if self.eat_kw("where") {
+                    Some(self.semi_join()?)
+                } else {
+                    None
+                };
+                let limit = if self.eat_kw("limit") {
+                    match self.bump() {
+                        Tok::Int(n) if n >= 0 => Some(n as u64),
+                        other => {
+                            return self
+                                .err(format!("expected a row count after Limit, found {other:?}"))
+                        }
+                    }
+                } else {
+                    None
+                };
+                return Ok(Statement::FedInvoke {
+                    type_name,
+                    function,
+                    args,
+                    scope,
+                    semi,
+                    limit,
+                });
+            }
             self.expect_kw("on")?;
             self.expect_kw("instance")?;
             let instance = self.name_until(&[])?;
@@ -286,7 +313,61 @@ impl Parser {
                 description,
             });
         }
+        if self.eat_kw("explain") {
+            let inner = self.statement()?;
+            return Ok(Statement::Explain(Box::new(inner)));
+        }
         self.err(format!("unrecognized statement start: {:?}", self.peek()))
+    }
+
+    /// `Coalition <name>` or `Sites With Information <topic>` (the `At`
+    /// keyword has already been consumed).
+    fn fed_scope(&mut self) -> TassiliResult<FedScope> {
+        if self.eat_kw("coalition") {
+            let name = self.name_until(&["where", "limit"])?;
+            return Ok(FedScope::Coalition(name));
+        }
+        if self.eat_kw("sites") {
+            self.expect_kw("with")?;
+            self.expect_kw("information")?;
+            let topic = self.name_until(&["where", "limit"])?;
+            return Ok(FedScope::Topic(topic));
+        }
+        self.err("expected Coalition or Sites after At")
+    }
+
+    /// `<probe path> In <BuildType>.<BuildAttr>(args…)` (the `Where`
+    /// keyword has already been consumed).
+    fn semi_join(&mut self) -> TassiliResult<SemiJoin> {
+        let probe_attr = self.dotted_path()?;
+        self.expect_kw("in")?;
+        let build_type = self.word()?;
+        if !self.eat_sym(".") {
+            return self.err("expected '.' after the build-side type name");
+        }
+        let build_attr = self.word()?;
+        if !self.eat_sym("(") {
+            return self.err("expected '(' after the build-side attribute");
+        }
+        let mut build_args = Vec::new();
+        if !self.eat_sym(")") {
+            loop {
+                build_args.push(self.arg()?);
+                if self.eat_sym(",") {
+                    continue;
+                }
+                if self.eat_sym(")") {
+                    break;
+                }
+                return self.err("expected ',' or ')' in the build-side argument list");
+            }
+        }
+        Ok(SemiJoin {
+            probe_attr,
+            build_type,
+            build_attr,
+            build_args,
+        })
     }
 
     fn link_target(&mut self, stops: &[&str]) -> TassiliResult<LinkTarget> {
@@ -370,6 +451,19 @@ impl Parser {
             return Ok(inner);
         }
         let path = self.dotted_path()?;
+        if self.eat_kw("in") {
+            if !self.eat_sym("(") {
+                return self.err("expected '(' after In");
+            }
+            let mut values = vec![self.literal()?];
+            while self.eat_sym(",") {
+                values.push(self.literal()?);
+            }
+            if !self.eat_sym(")") {
+                return self.err("expected ')' after the In list");
+            }
+            return Ok(Predicate::InList { path, values });
+        }
         if self.eat_kw("like") {
             let value = self.literal()?;
             return Ok(Predicate::Cmp {
@@ -578,12 +672,118 @@ mod tests {
     }
 
     #[test]
+    fn federated_invoke_at_coalition() {
+        let stmt = parse(
+            "Invoke ResearchProjects.Funding((ResearchProjects.Title Like 'AIDS%')) \
+             At Coalition Research;",
+        )
+        .unwrap();
+        match stmt {
+            Statement::FedInvoke {
+                type_name,
+                function,
+                args,
+                scope,
+                semi,
+                limit,
+            } => {
+                assert_eq!(type_name, "ResearchProjects");
+                assert_eq!(function, "Funding");
+                assert_eq!(args.len(), 1);
+                assert_eq!(scope, FedScope::Coalition("Research".into()));
+                assert!(semi.is_none());
+                assert!(limit.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn federated_invoke_at_topic_with_limit() {
+        let stmt =
+            parse("Invoke Claims.Amount() At Sites With Information Medical Insurance Limit 10;")
+                .unwrap();
+        match stmt {
+            Statement::FedInvoke { scope, limit, .. } => {
+                assert_eq!(scope, FedScope::Topic("Medical Insurance".into()));
+                assert_eq!(limit, Some(10));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn federated_semi_join_clause() {
+        let stmt = parse(
+            "Invoke Policies.Premium() At Coalition Medical Insurance \
+             Where Policies.Holder In Members.Name((Members.Plan = 'gold'));",
+        )
+        .unwrap();
+        match stmt {
+            Statement::FedInvoke { semi: Some(s), .. } => {
+                assert_eq!(s.probe_attr, "Policies.Holder");
+                assert_eq!(s.build_type, "Members");
+                assert_eq!(s.build_attr, "Name");
+                assert_eq!(s.build_args.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_list_predicate() {
+        let stmt = parse("Invoke T.F((T.name In ('a', 'b', 'c'))) On Instance D;").unwrap();
+        match stmt {
+            Statement::Invoke { args, .. } => {
+                assert_eq!(
+                    args[0],
+                    Arg::Predicate(Predicate::InList {
+                        path: "T.name".into(),
+                        values: vec![
+                            Literal::Str("a".into()),
+                            Literal::Str("b".into()),
+                            Literal::Str("c".into()),
+                        ]
+                    })
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_wraps_a_statement() {
+        let stmt = parse("Explain Invoke T.F() At Coalition Research;").unwrap();
+        match stmt {
+            Statement::Explain(inner) => {
+                assert!(matches!(*inner, Statement::FedInvoke { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn federated_errors_are_reported() {
+        assert!(parse("Invoke T.F() At Nowhere X;").is_err());
+        assert!(parse("Invoke T.F() At Coalition R Limit 'ten';").is_err());
+        assert!(parse("Invoke T.F() At Coalition R Where T.k In B;").is_err());
+        assert!(parse("Invoke T.F((T.x In ())) On Instance D;").is_err());
+        assert!(parse("Explain;").is_err());
+    }
+
+    #[test]
     fn display_roundtrip() {
         for text in [
             "Find Coalitions With Information Medical Research;",
             "Display Document of Instance Royal Brisbane Hospital Of Class Research;",
             "Join Instance AMP To Coalition Superannuation;",
             "Submit Native 'select * from medical_students' To Instance RBH;",
+            "Invoke ResearchProjects.Funding() At Coalition Research;",
+            "Invoke Policies.Premium() At Coalition Medical Insurance \
+             Where Policies.Holder In Members.Name() Limit 5;",
+            "Invoke Claims.Amount((Claims.Provider In ('RBH', 'PCH'))) \
+             At Sites With Information Medical;",
+            "Explain Invoke ResearchProjects.Funding() At Coalition Research;",
         ] {
             let stmt = parse(text).unwrap();
             let printed = stmt.to_string();

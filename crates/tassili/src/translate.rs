@@ -40,6 +40,10 @@ pub fn predicate_to_sql(p: &Predicate, alias: &str) -> String {
             op.sql(),
             literal_sql(value)
         ),
+        Predicate::InList { path, values } => {
+            let vs: Vec<String> = values.iter().map(literal_sql).collect();
+            format!("{} IN ({})", requalify(path, alias), vs.join(", "))
+        }
         Predicate::And(a, b) => format!(
             "({}) AND ({})",
             predicate_to_sql(a, alias),
@@ -66,6 +70,11 @@ pub fn predicate_to_oql(p: &Predicate) -> String {
             };
             format!("{attr} {ops} {}", literal_sql(value))
         }
+        Predicate::InList { path, values } => {
+            let attr = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
+            let vs: Vec<String> = values.iter().map(literal_sql).collect();
+            format!("{attr} in ({})", vs.join(", "))
+        }
         Predicate::And(a, b) => {
             format!("({}) and ({})", predicate_to_oql(a), predicate_to_oql(b))
         }
@@ -76,31 +85,42 @@ pub fn predicate_to_oql(p: &Predicate) -> String {
     }
 }
 
-/// Translate an `Invoke` statement into SQL against a relational source.
-///
-/// The function's name doubles as the projected column (the paper's
-/// `Funding()` projects the `funding` column); leading attribute-ref
-/// arguments are informational (they restate the parameter signature)
-/// and predicates become the WHERE clause.
-pub fn translate_invoke_to_sql(stmt: &Statement) -> TassiliResult<String> {
-    let (type_name, function, args) = match stmt {
-        Statement::Invoke {
-            type_name,
-            function,
-            args,
-            ..
-        } => (type_name, function, args),
-        other => {
-            return Err(TassiliError::Translate(format!(
-                "not an Invoke statement: {other}"
-            )))
-        }
-    };
+/// A rendered conjunct, parenthesized when it is a top-level `Or` (so
+/// joining conjuncts with `AND` cannot change its meaning — `AND` binds
+/// tighter than `OR` in every target dialect).
+fn sql_conjunct(p: &Predicate, alias: &str, lonely: bool) -> String {
+    let rendered = predicate_to_sql(p, alias);
+    if !lonely && matches!(p, Predicate::Or(_, _)) {
+        format!("({rendered})")
+    } else {
+        rendered
+    }
+}
+
+fn oql_conjunct(p: &Predicate, lonely: bool) -> String {
+    let rendered = predicate_to_oql(p);
+    if !lonely && matches!(p, Predicate::Or(_, _)) {
+        format!("({rendered})")
+    } else {
+        rendered
+    }
+}
+
+/// Translate an access-function call into SQL against a relational
+/// source: the exported type becomes the FROM table, the function name
+/// the projected column, and predicate arguments the WHERE clause.
+/// `extra` (the federated executor's shipped key set) is conjoined on.
+pub fn access_call_to_sql(
+    type_name: &str,
+    function: &str,
+    args: &[Arg],
+    extra: Option<&Predicate>,
+) -> TassiliResult<String> {
     let alias = "a";
-    let mut conjuncts: Vec<String> = Vec::new();
+    let mut preds: Vec<&Predicate> = Vec::new();
     for arg in args {
         match arg {
-            Arg::Predicate(p) => conjuncts.push(predicate_to_sql(p, alias)),
+            Arg::Predicate(p) => preds.push(p),
             Arg::AttrRef(_) => {} // signature restatement, no WHERE effect
             Arg::Literal(_) => {
                 return Err(TassiliError::Translate(
@@ -109,6 +129,12 @@ pub fn translate_invoke_to_sql(stmt: &Statement) -> TassiliResult<String> {
             }
         }
     }
+    preds.extend(extra);
+    let lonely = preds.len() == 1;
+    let conjuncts: Vec<String> = preds
+        .iter()
+        .map(|p| sql_conjunct(p, alias, lonely))
+        .collect();
     let mut sql = format!(
         "SELECT {alias}.{} FROM {} {alias}",
         function.to_ascii_lowercase(),
@@ -121,27 +147,22 @@ pub fn translate_invoke_to_sql(stmt: &Statement) -> TassiliResult<String> {
     Ok(sql)
 }
 
-/// Translate an `Invoke` statement into OQL against an object source.
-pub fn translate_invoke_to_oql(stmt: &Statement) -> TassiliResult<String> {
-    let (type_name, function, args) = match stmt {
-        Statement::Invoke {
-            type_name,
-            function,
-            args,
-            ..
-        } => (type_name, function, args),
-        other => {
-            return Err(TassiliError::Translate(format!(
-                "not an Invoke statement: {other}"
-            )))
-        }
-    };
-    let mut conjuncts: Vec<String> = Vec::new();
+/// Translate an access-function call into OQL against an object source.
+pub fn access_call_to_oql(
+    type_name: &str,
+    function: &str,
+    args: &[Arg],
+    extra: Option<&Predicate>,
+) -> TassiliResult<String> {
+    let mut preds: Vec<&Predicate> = Vec::new();
     for arg in args {
         if let Arg::Predicate(p) = arg {
-            conjuncts.push(predicate_to_oql(p));
+            preds.push(p);
         }
     }
+    preds.extend(extra);
+    let lonely = preds.len() == 1;
+    let conjuncts: Vec<String> = preds.iter().map(|p| oql_conjunct(p, lonely)).collect();
     let mut oql = format!(
         "select {} from {}",
         function.to_ascii_lowercase(),
@@ -152,6 +173,37 @@ pub fn translate_invoke_to_oql(stmt: &Statement) -> TassiliResult<String> {
         oql.push_str(&conjuncts.join(" and "));
     }
     Ok(oql)
+}
+
+fn invoke_parts(stmt: &Statement) -> TassiliResult<(&str, &str, &[Arg])> {
+    match stmt {
+        Statement::Invoke {
+            type_name,
+            function,
+            args,
+            ..
+        } => Ok((type_name, function, args)),
+        other => Err(TassiliError::Translate(format!(
+            "not an Invoke statement: {other}"
+        ))),
+    }
+}
+
+/// Translate an `Invoke` statement into SQL against a relational source.
+///
+/// The function's name doubles as the projected column (the paper's
+/// `Funding()` projects the `funding` column); leading attribute-ref
+/// arguments are informational (they restate the parameter signature)
+/// and predicates become the WHERE clause.
+pub fn translate_invoke_to_sql(stmt: &Statement) -> TassiliResult<String> {
+    let (type_name, function, args) = invoke_parts(stmt)?;
+    access_call_to_sql(type_name, function, args, None)
+}
+
+/// Translate an `Invoke` statement into OQL against an object source.
+pub fn translate_invoke_to_oql(stmt: &Statement) -> TassiliResult<String> {
+    let (type_name, function, args) = invoke_parts(stmt)?;
+    access_call_to_oql(type_name, function, args, None)
 }
 
 #[cfg(test)]

@@ -6,7 +6,9 @@
 
 use webfindit_base::prop::{self, string_from, vec_of};
 use webfindit_base::rng::StdRng;
-use webfindit_tassili::ast::{render_pred, Arg, LinkTarget, Literal, PredOp, Predicate};
+use webfindit_tassili::ast::{
+    render_pred, Arg, FedScope, LinkTarget, Literal, PredOp, Predicate, SemiJoin,
+};
 use webfindit_tassili::{parse, Statement};
 
 const UPPER: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
@@ -57,6 +59,12 @@ fn name_word_is_keyword(w: &str) -> bool {
             | "subclasses"
             | "coalitions"
             | "databases"
+            | "at"
+            | "in"
+            | "where"
+            | "limit"
+            | "sites"
+            | "explain"
     )
 }
 
@@ -116,7 +124,7 @@ fn arb_op(rng: &mut StdRng) -> PredOp {
 }
 
 fn arb_pred(rng: &mut StdRng, depth: u32) -> Predicate {
-    let pick = if depth == 0 { 0 } else { rng.gen_range(0..6) };
+    let pick = if depth == 0 { 0 } else { rng.gen_range(0..7) };
     match pick {
         1 => Predicate::And(
             Box::new(arb_pred(rng, depth - 1)),
@@ -127,6 +135,13 @@ fn arb_pred(rng: &mut StdRng, depth: u32) -> Predicate {
             Box::new(arb_pred(rng, depth - 1)),
         ),
         3 => Predicate::Not(Box::new(arb_pred(rng, depth - 1))),
+        4 => {
+            let (t, a) = (arb_ident(rng), arb_ident(rng));
+            Predicate::InList {
+                path: format!("{t}.{a}"),
+                values: vec_of(rng, 1..4, arb_literal),
+            }
+        }
         _ => {
             let (t, a) = (arb_ident(rng), arb_ident(rng));
             Predicate::Cmp {
@@ -138,8 +153,48 @@ fn arb_pred(rng: &mut StdRng, depth: u32) -> Predicate {
     }
 }
 
+fn arb_args(rng: &mut StdRng) -> Vec<Arg> {
+    vec_of(rng, 0..3, |r| {
+        if r.gen_bool(0.5) {
+            Arg::Predicate(arb_pred(r, 3))
+        } else {
+            let (t, a) = (arb_ident(r), arb_ident(r));
+            Arg::AttrRef(format!("{t}.{a}"))
+        }
+    })
+}
+
+fn arb_fed_invoke(rng: &mut StdRng) -> Statement {
+    Statement::FedInvoke {
+        type_name: arb_ident(rng),
+        function: arb_ident(rng),
+        args: arb_args(rng),
+        scope: if rng.gen_bool(0.5) {
+            FedScope::Coalition(arb_name(rng))
+        } else {
+            FedScope::Topic(arb_name(rng))
+        },
+        semi: if rng.gen_bool(0.5) {
+            let (pt, pa) = (arb_ident(rng), arb_ident(rng));
+            Some(SemiJoin {
+                probe_attr: format!("{pt}.{pa}"),
+                build_type: arb_ident(rng),
+                build_attr: arb_ident(rng),
+                build_args: arb_args(rng),
+            })
+        } else {
+            None
+        },
+        limit: if rng.gen_bool(0.5) {
+            Some(rng.gen_range(0i64..1_000) as u64)
+        } else {
+            None
+        },
+    }
+}
+
 fn arb_statement(rng: &mut StdRng) -> Statement {
-    match rng.gen_range(0..15) {
+    match rng.gen_range(0..17) {
         0 => Statement::FindCoalitions {
             topic: arb_name(rng),
         },
@@ -220,18 +275,13 @@ fn arb_statement(rng: &mut StdRng) -> Statement {
                 description: None,
             }
         }
+        14 => arb_fed_invoke(rng),
+        15 => Statement::Explain(Box::new(arb_fed_invoke(rng))),
         _ => Statement::Invoke {
             instance: arb_name(rng),
             type_name: arb_ident(rng),
             function: arb_ident(rng),
-            args: vec_of(rng, 0..3, |r| {
-                if r.gen_bool(0.5) {
-                    Arg::Predicate(arb_pred(r, 3))
-                } else {
-                    let (t, a) = (arb_ident(r), arb_ident(r));
-                    Arg::AttrRef(format!("{t}.{a}"))
-                }
-            }),
+            args: arb_args(rng),
         },
     }
 }

@@ -68,3 +68,12 @@ fn guard_transitive_fixture() {
 fn clean_fixture() {
     run_case("clean");
 }
+
+/// Federated fan-out-merge: holding the merge lock across the shipping
+/// wave is flagged (the wire round trips happen under the guard, via
+/// `ship_wave -> ship_one -> invoke`); the ship-then-merge shape the
+/// real executor uses stays quiet.
+#[test]
+fn fed_fanout_fixture() {
+    run_case("fed_fanout");
+}

@@ -1,0 +1,22 @@
+//! Fixture: the member-site servant the wave ships to. Exports the
+//! `execute` verb so the shipping client is not an IDL orphan — the
+//! fixture's only finding is the eager merge's guard.
+
+pub struct MemberServant;
+
+impl Servant for MemberServant {
+    fn interface_id(&self) -> &str {
+        "IDL:fixture/Member:1.0"
+    }
+
+    fn invoke(&self, operation: &str, args: &[Value]) -> InvokeResult {
+        match operation {
+            "execute" => run_native(args),
+            other => fail(other),
+        }
+    }
+
+    fn operations(&self) -> Vec<String> {
+        vec!["execute".to_string()]
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: the shipping leaf — one subquery crossing the wire.
+
+pub fn ship_one(w: &Wave, member: &Member) -> Rows {
+    w.channel.invoke("execute", &[member.native.clone()])
+}

@@ -1,0 +1,26 @@
+//! Fixture: federated fan-out-merge. `merge_eager` holds the merge
+//! lock across the whole shipping wave — every subquery's wire round
+//! trip happens under the guard, which is the guard-across-blocking
+//! finding. `merge_after_wave` is the sanctioned shape: ship first,
+//! then take the lock only to fold the slots in wave order.
+
+pub fn merge_eager(w: &Wave) {
+    let g = w.slots.lock();
+    ship_wave(w);
+    drop(g);
+}
+
+pub fn merge_after_wave(w: &Wave) {
+    let rows = ship_wave(w);
+    let g = w.slots.lock();
+    g.fold(rows);
+    drop(g);
+}
+
+fn ship_wave(w: &Wave) -> Rows {
+    let mut rows = Rows::new();
+    for member in &w.members {
+        rows.extend(ship_one(w, member));
+    }
+    rows
+}
